@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.soc import build_test_schedules, build_test_tasks
+
+
+@pytest.fixture(scope="session")
+def paper_tasks():
+    """The seven test sequences of the paper (shared across benchmarks)."""
+    return build_test_tasks()
+
+
+@pytest.fixture(scope="session")
+def paper_schedules():
+    """The four test schedules of the paper (shared across benchmarks)."""
+    return build_test_schedules()

@@ -1,0 +1,78 @@
+"""Ablation benchmarks: design choices the paper leaves to exploration.
+
+These benches exercise the exploration studies DESIGN.md calls out:
+
+* compression-ratio sweep of the deterministic processor test,
+* TAM-width sweep for the best schedule,
+* automatically generated schedules versus the paper's hand-written ones.
+
+Run with::
+
+    pytest benchmarks/test_bench_ablation.py --benchmark-only
+"""
+
+import pytest
+
+from repro.explore.sweeps import (
+    compression_ratio_sweep,
+    schedule_exploration,
+    tam_width_sweep,
+)
+
+COMPRESSION_RATIOS = (1, 10, 50, 1000)
+TAM_WIDTHS = (8, 32, 64)
+
+
+def test_compression_ratio_ablation(benchmark):
+    """Test length must fall monotonically as the compression ratio rises
+    until the core-internal shift time becomes the bottleneck."""
+    points = benchmark.pedantic(
+        compression_ratio_sweep, kwargs={"ratios": COMPRESSION_RATIOS},
+        iterations=1, rounds=1,
+    )
+    lengths = [point.metrics.test_length_mcycles for point in points]
+    for ratio, point in zip(COMPRESSION_RATIOS, points):
+        benchmark.extra_info[f"length_mcycles_at_{ratio}x"] = round(
+            point.metrics.test_length_mcycles, 1
+        )
+    assert all(earlier >= later - 1e-6
+               for earlier, later in zip(lengths, lengths[1:]))
+    # Uncompressed external test is ATE-limited and much longer than 50x.
+    assert lengths[0] > 1.5 * lengths[2]
+
+
+def test_tam_width_ablation(benchmark):
+    """Wider TAMs shorten (or at least never lengthen) schedule 4."""
+    points = benchmark.pedantic(
+        tam_width_sweep, kwargs={"widths": TAM_WIDTHS}, iterations=1, rounds=1,
+    )
+    lengths = [point.metrics.test_length_mcycles for point in points]
+    for width, point in zip(TAM_WIDTHS, points):
+        benchmark.extra_info[f"length_mcycles_at_{width}bit"] = round(
+            point.metrics.test_length_mcycles, 1
+        )
+    assert all(earlier >= later - 1e-6
+               for earlier, later in zip(lengths, lengths[1:]))
+
+
+def test_schedule_exploration_ablation(benchmark):
+    """Generated schedules are valid and the greedy one beats the sequential
+    baseline; the coarse estimates stay close to the simulated lengths."""
+    comparisons = benchmark.pedantic(
+        schedule_exploration, kwargs={"power_budget": 6.0},
+        iterations=1, rounds=1,
+    )
+    by_name = {comparison.schedule.name: comparison for comparison in comparisons}
+    benchmark.extra_info["schedules_simulated"] = len(comparisons)
+    for name, comparison in by_name.items():
+        benchmark.extra_info[f"simulated_mcycles_{name}"] = round(
+            comparison.metrics.test_length_mcycles, 1
+        )
+
+    greedy = by_name["generated_greedy"]
+    sequential = by_name["generated_sequential"]
+    assert greedy.metrics.test_length_cycles < sequential.metrics.test_length_cycles
+    for comparison in comparisons:
+        deviation = abs(comparison.estimated_cycles
+                        - comparison.metrics.test_length_cycles)
+        assert deviation <= 0.2 * comparison.metrics.test_length_cycles

@@ -1,0 +1,110 @@
+"""Micro-benchmarks of the simulation kernel and substrates.
+
+Not part of the paper's evaluation, but useful to track the cost of the
+building blocks everything else stands on: event throughput of the kernel,
+TAM transaction throughput, gate-level fault simulation and the functional
+JPEG pipeline.
+
+Run with::
+
+    pytest benchmarks/test_bench_kernel.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernel import NS, Clock, SimTime, Simulator, Timeout
+from repro.rtl import (
+    FaultSimulator,
+    LFSR,
+    SyntheticCoreSpec,
+    enumerate_faults,
+    generate_netlist,
+    insert_scan,
+)
+from repro.rtl.simulation import ScanPattern
+from repro.soc.jpeg import JpegEncoder
+from repro.dft import TamChannel, TamPayload
+
+
+def test_kernel_event_throughput(benchmark):
+    """Events dispatched per second by the kernel (ping-pong processes)."""
+    EVENTS = 20_000
+
+    def run():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(EVENTS):
+                yield Timeout(SimTime(10, NS))
+
+        sim.spawn(ticker(), name="ticker")
+        sim.run()
+        return sim
+
+    sim = benchmark(run)
+    assert sim.dispatched_activations >= EVENTS
+
+
+def test_tam_transaction_throughput(benchmark):
+    """Timed, arbitrated TAM transactions per second."""
+    TRANSACTIONS = 5_000
+
+    def run():
+        sim = Simulator()
+        clock = Clock(sim, "clk", SimTime(10, NS))
+        tam = TamChannel(sim, "tam", width_bits=32, clock=clock)
+
+        class Sink:
+            def tam_access(self, payload):
+                return payload.complete()
+
+        tam.bind_slave(Sink(), 0, 0x1000)
+
+        def master():
+            for index in range(TRANSACTIONS):
+                payload = TamPayload.write(0, data_bits=128)
+                payload.initiator = "bench"
+                yield from tam.write(payload)
+
+        sim.spawn(master(), name="master")
+        sim.run()
+        return tam
+
+    tam = benchmark(run)
+    assert tam.transaction_count == TRANSACTIONS
+
+
+def test_fault_simulation_throughput(benchmark):
+    """Stuck-at fault simulation of LFSR patterns on a synthetic core."""
+    spec = SyntheticCoreSpec(name="bench_fault_core", flip_flops=64, gates=320,
+                             seed=5)
+    netlist = generate_netlist(spec)
+    scan_config = insert_scan(netlist, 4)
+    faults = enumerate_faults(netlist, sample=100, seed=5)
+    lfsr = LFSR(32, seed=17)
+    flip_flops = sorted(netlist.flip_flops)
+    inputs = list(netlist.primary_inputs)
+    patterns = []
+    for _ in range(64):
+        ff_values = {name: lfsr.step() for name in flip_flops}
+        pi_values = {name: lfsr.step() for name in inputs}
+        patterns.append(ScanPattern(ff_values, pi_values))
+
+    def run():
+        simulator = FaultSimulator(netlist, scan_config)
+        return simulator.fault_coverage(patterns, faults)
+
+    coverage = benchmark(run)
+    assert 0.3 < coverage <= 1.0
+
+
+def test_jpeg_pipeline_throughput(benchmark):
+    """Functional JPEG encoding of a 64x64 image (software reference)."""
+    rng = np.random.default_rng(11)
+    image = rng.integers(0, 256, size=(64, 64, 3), dtype=np.uint8)
+    encoder = JpegEncoder(quality=75)
+
+    encoded = benchmark(encoder.encode, image)
+    assert encoded.compressed_bits > 0
+    assert encoded.compression_ratio > 1.0

@@ -1,0 +1,79 @@
+"""Benchmark harness for the TLM-vs-RTL speed claim of Section IV.
+
+The paper states that ~300 million clock cycles simulate in under seven
+minutes at transaction level while RTL simulation of the processor core alone
+exceeds two days — at least three orders of magnitude.  These benchmarks
+measure both abstraction levels in this code base (a bit-parallel gate-level
+simulator versus the SoC TLM) and assert that the reproduction preserves the
+multi-order-of-magnitude gap.
+
+Run with::
+
+    pytest benchmarks/test_bench_speedup.py --benchmark-only
+"""
+
+import pytest
+
+from repro.explore.speedup import run_speed_comparison
+from repro.rtl import LogicSimulator, SyntheticCoreSpec, generate_netlist
+from repro.soc import JpegSocTlm
+
+GATE_LEVEL_CYCLES = 200
+
+
+@pytest.fixture(scope="module")
+def gate_level_core():
+    spec = SyntheticCoreSpec(name="bench_core", flip_flops=600, gates=3_000, seed=3)
+    return generate_netlist(spec)
+
+
+def test_gate_level_simulation_speed(benchmark, gate_level_core):
+    """Cycles-per-second achievable by per-cycle gate-level simulation."""
+    def run():
+        simulator = LogicSimulator(gate_level_core)
+        simulator.run_cycles(GATE_LEVEL_CYCLES)
+        return simulator
+
+    simulator = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["simulated_cycles"] = simulator.simulated_cycles
+    benchmark.extra_info["gate_evaluations"] = simulator.gate_evaluations
+    assert simulator.simulated_cycles == GATE_LEVEL_CYCLES
+
+
+def test_tlm_simulation_speed(benchmark, paper_schedules, paper_tasks):
+    """Cycles-per-second achievable by the transaction level model."""
+    def run():
+        soc = JpegSocTlm()
+        return soc.run_test_schedule(paper_schedules["schedule_4"], paper_tasks)
+
+    metrics = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["simulated_cycles"] = metrics.test_length_cycles
+    benchmark.extra_info["simulated_activations"] = metrics.simulated_activations
+    assert metrics.test_length_cycles > 100_000_000
+
+
+def test_speedup_is_orders_of_magnitude(benchmark):
+    """The TLM simulates SoC clock cycles >= 1000x faster than gate level."""
+    result = benchmark.pedantic(
+        run_speed_comparison,
+        kwargs={"gate_level_cycles": GATE_LEVEL_CYCLES},
+        iterations=1, rounds=1,
+    )
+    benchmark.extra_info["speedup"] = round(result.speedup)
+    benchmark.extra_info["gate_level_cycles_per_second"] = round(
+        result.gate_level_cycles_per_second, 1
+    )
+    benchmark.extra_info["tlm_cycles_per_second"] = round(
+        result.tlm_cycles_per_second
+    )
+    benchmark.extra_info["gate_level_projection_hours"] = round(
+        result.gate_level_projection_seconds / 3600.0, 1
+    )
+    benchmark.extra_info["tlm_projection_seconds"] = round(
+        result.tlm_projection_seconds, 1
+    )
+    # The paper reports >= 3 orders of magnitude; require at least 3 here.
+    assert result.speedup >= 1_000
+    # And the TLM must be able to cover the paper's 300 Mcycles in well under
+    # the paper's seven minutes on this machine.
+    assert result.tlm_projection_seconds < 420

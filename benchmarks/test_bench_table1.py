@@ -1,0 +1,82 @@
+"""Benchmark harness for Table I of the paper.
+
+Each benchmark simulates one of the paper's four test schedules on a freshly
+built JPEG SoC TLM and reports the simulated metrics (peak/average TAM
+utilization, test length) next to the paper's values via the
+pytest-benchmark ``extra_info`` mechanism.  The *measured time* of each
+benchmark corresponds to the "CPU runtime" column of Table I (the wall-clock
+cost of simulating the schedule at transaction level).
+
+Run with::
+
+    pytest benchmarks/test_bench_table1.py --benchmark-only
+"""
+
+import pytest
+
+from repro.explore.experiments import PAPER_TABLE1
+from repro.soc import JpegSocTlm
+
+#: Expected qualitative shape of Table I (orderings, not absolute values).
+SCHEDULE_NAMES = ["schedule_1", "schedule_2", "schedule_3", "schedule_4"]
+
+_collected_metrics = {}
+
+
+def _simulate(schedule, tasks):
+    soc = JpegSocTlm()
+    return soc.run_test_schedule(schedule, tasks)
+
+
+@pytest.mark.parametrize("schedule_name", SCHEDULE_NAMES)
+def test_table1_schedule(benchmark, schedule_name, paper_schedules, paper_tasks):
+    """Simulate one Table I scenario and record its metrics."""
+    schedule = paper_schedules[schedule_name]
+    metrics = benchmark.pedantic(
+        _simulate, args=(schedule, paper_tasks), iterations=1, rounds=1,
+    )
+    _collected_metrics[schedule_name] = metrics
+
+    paper = PAPER_TABLE1[schedule_name]
+    benchmark.extra_info["test_length_mcycles"] = round(metrics.test_length_mcycles, 1)
+    benchmark.extra_info["paper_test_length_mcycles"] = paper["test_length_mcycles"]
+    benchmark.extra_info["peak_tam_utilization"] = round(metrics.peak_tam_utilization, 3)
+    benchmark.extra_info["paper_peak_tam_utilization"] = paper["peak_tam_utilization"]
+    benchmark.extra_info["avg_tam_utilization"] = round(metrics.avg_tam_utilization, 3)
+    benchmark.extra_info["paper_avg_tam_utilization"] = paper["avg_tam_utilization"]
+    benchmark.extra_info["paper_cpu_seconds"] = paper["cpu_seconds"]
+
+    # Row-level sanity: the simulation produced a complete, successful run.
+    assert metrics.test_length_cycles > 0
+    assert metrics.execution is not None
+    assert metrics.execution.all_signatures_ok
+    assert 0.0 <= metrics.avg_tam_utilization <= metrics.peak_tam_utilization <= 1.0
+
+
+def test_table1_shape(paper_schedules, paper_tasks):
+    """The qualitative shape of Table I holds for the reproduction.
+
+    * test length: schedule 4 < schedule 2 < schedule 3 < schedule 1,
+    * average TAM utilization: schedule 4 > schedule 2 > schedule 3 > schedule 1,
+    * peak TAM utilization: schedule 4 reaches (close to) 100 % and no
+      sequential schedule exceeds it.
+    """
+    for name in SCHEDULE_NAMES:
+        if name not in _collected_metrics:
+            _collected_metrics[name] = _simulate(paper_schedules[name], paper_tasks)
+    metrics = _collected_metrics
+
+    lengths = {name: metrics[name].test_length_mcycles for name in SCHEDULE_NAMES}
+    assert lengths["schedule_4"] < lengths["schedule_2"] < lengths["schedule_3"] \
+        < lengths["schedule_1"]
+
+    averages = {name: metrics[name].avg_tam_utilization for name in SCHEDULE_NAMES}
+    assert averages["schedule_4"] > averages["schedule_2"] > averages["schedule_3"] \
+        > averages["schedule_1"]
+
+    peaks = {name: metrics[name].peak_tam_utilization for name in SCHEDULE_NAMES}
+    assert peaks["schedule_4"] >= 0.95
+    assert peaks["schedule_4"] >= max(peaks.values()) - 1e-9
+    # Concurrent schedules never peak below their sequential counterparts.
+    assert peaks["schedule_3"] >= peaks["schedule_1"] - 1e-9
+    assert peaks["schedule_4"] >= peaks["schedule_2"] - 1e-9

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Exploration sweep: test data compression ratio of the processor test.
+
+The paper motivates TLM-based exploration with the large number of design
+decisions left to the test engineer, test data compression among them.  This
+example sweeps the compression ratio of the deterministic processor test
+(test sequence 3) from 1x (no compression) to 1000x and reports how test
+length and TAM utilization respond, showing where the bottleneck moves from
+the ATE link to the TAM and finally to the core-internal scan chains.
+Run it with::
+
+    python examples/compression_sweep.py
+"""
+
+from repro.explore import format_table
+from repro.explore.sweeps import compression_ratio_sweep, tam_width_sweep
+
+
+def main() -> None:
+    print("Compression-ratio sweep of the deterministic processor test\n")
+    points = compression_ratio_sweep(ratios=(1, 2, 5, 10, 50, 100, 1000))
+    rows = []
+    for point in points:
+        rows.append({
+            "ratio": f"{point.value:g}x",
+            "length_mcycles": point.metrics.test_length_mcycles,
+            "peak_tam": f"{point.metrics.peak_tam_utilization:.0%}",
+            "avg_tam": f"{point.metrics.avg_tam_utilization:.0%}",
+        })
+    print(format_table(
+        rows, ["ratio", "length_mcycles", "peak_tam", "avg_tam"],
+        headers={"ratio": "Compression", "length_mcycles": "Length [Mcycles]",
+                 "peak_tam": "Peak TAM", "avg_tam": "Avg TAM"},
+    ))
+
+    print("\nTAM width sweep for schedule 4\n")
+    width_points = tam_width_sweep(widths=(8, 16, 32, 64))
+    rows = []
+    for point in width_points:
+        rows.append({
+            "width": f"{point.value:.0f} bit",
+            "length_mcycles": point.metrics.test_length_mcycles,
+            "peak_tam": f"{point.metrics.peak_tam_utilization:.0%}",
+            "avg_tam": f"{point.metrics.avg_tam_utilization:.0%}",
+        })
+    print(format_table(
+        rows, ["width", "length_mcycles", "peak_tam", "avg_tam"],
+        headers={"width": "TAM width", "length_mcycles": "Length [Mcycles]",
+                 "peak_tam": "Peak TAM", "avg_tam": "Avg TAM"},
+    ))
+
+
+if __name__ == "__main__":
+    main()

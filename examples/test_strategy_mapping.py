@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""From test strategy to DfT infrastructure and schedule (Figure 1).
+
+The paper's Figure 1 shows the refinement from design requirements via test
+strategies to concrete DfT infrastructure.  This example walks that path for
+the JPEG SoC: it lists the test strategy per core, shows which infrastructure
+blocks implement it, lets the scheduler build schedules under a power budget,
+and validates the generated schedule against the paper's hand-written one by
+simulation.  Run it with::
+
+    python examples/test_strategy_mapping.py
+"""
+
+from repro.explore import format_table
+from repro.explore.sweeps import schedule_exploration
+from repro.schedule import PowerModel, TestTimeEstimator
+from repro.schedule.scheduler import greedy_concurrent_schedule
+from repro.soc import (
+    build_core_descriptions,
+    build_platform_parameters,
+    build_test_tasks,
+    MEMORY_WORDS,
+)
+from repro.soc.testplan import MEMORY
+
+#: Which DfT infrastructure blocks implement each test kind (Figure 1 mapping).
+INFRASTRUCTURE_FOR_KIND = {
+    "logic_bist": ["test wrapper (INTEST_BIST)", "core-internal LFSR/MISR",
+                   "test controller", "TAM (status polling only)"],
+    "external_scan": ["test wrapper (INTEST_SCAN)", "EBI", "ATE link",
+                      "TAM (stimulus streaming)", "compactor"],
+    "external_scan_compressed": ["test wrapper (INTEST_COMPRESSED)",
+                                 "decompressor", "compactor", "EBI",
+                                 "ATE link", "TAM"],
+    "memory_bist_controller": ["test controller", "TAM (march operations)",
+                               "memory array"],
+    "memory_march_processor": ["embedded processor (software march)",
+                               "system bus / TAM", "memory array"],
+}
+
+
+def main() -> None:
+    tasks = build_test_tasks()
+    descriptions = build_core_descriptions()
+    platform = build_platform_parameters()
+    estimator = TestTimeEstimator(descriptions, platform,
+                                  memory_words={MEMORY: MEMORY_WORDS})
+    estimates = estimator.estimate_all(tasks)
+
+    print("Test strategy -> DfT infrastructure mapping (Figure 1)\n")
+    rows = []
+    for name in sorted(tasks):
+        task = tasks[name]
+        rows.append({
+            "test": name,
+            "core": task.core,
+            "kind": task.kind.value,
+            "est_mcycles": estimates[name] / 1e6,
+            "infrastructure": ", ".join(INFRASTRUCTURE_FOR_KIND[task.kind.value]),
+        })
+    print(format_table(
+        rows, ["test", "core", "kind", "est_mcycles"],
+        headers={"test": "Test sequence", "core": "Core", "kind": "Strategy",
+                 "est_mcycles": "Estimate [Mcycles]"},
+    ))
+    print()
+    for row in rows:
+        print(f"  {row['test']}: {row['infrastructure']}")
+
+    print("\nGenerating a schedule under a peak power budget of 6.0 units ...\n")
+    power_model = PowerModel(budget=6.0)
+    generated = greedy_concurrent_schedule("generated_greedy", tasks, estimates,
+                                           power_model=power_model)
+    print(f"  {generated}")
+    print(f"  estimated makespan: "
+          f"{estimator.estimate_schedule_cycles(generated, tasks) / 1e6:.0f} Mcycles")
+    print(f"  peak power        : "
+          f"{power_model.schedule_peak_power(generated, tasks):.1f} units")
+
+    print("\nSimulating hand-written and generated schedules "
+          "(this takes a few seconds) ...\n")
+    comparisons = schedule_exploration(power_budget=6.0)
+    rows = []
+    for comparison in comparisons:
+        rows.append({
+            "schedule": comparison.schedule.name,
+            "estimated_mcycles": comparison.estimated_cycles / 1e6,
+            "simulated_mcycles": comparison.metrics.test_length_mcycles,
+            "peak_tam": f"{comparison.metrics.peak_tam_utilization:.0%}",
+            "peak_power": comparison.metrics.peak_power,
+        })
+    print(format_table(
+        rows,
+        ["schedule", "estimated_mcycles", "simulated_mcycles", "peak_tam",
+         "peak_power"],
+        headers={"schedule": "Schedule",
+                 "estimated_mcycles": "Estimated [Mcycles]",
+                 "simulated_mcycles": "Simulated [Mcycles]",
+                 "peak_tam": "Peak TAM", "peak_power": "Peak power"},
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools lacks the ``wheel`` package (legacy
+``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""Test-infrastructure transaction level models.
+
+This package is the reproduction of the paper's contribution (Sections II and
+III): transaction level models of the structural building blocks of a
+system-on-chip manufacturing-test architecture.
+
+* :mod:`repro.dft.payload` -- the test transaction payload carried by TAMs
+* :mod:`repro.dft.tam` -- the TAM interface (``read``/``write``/``write_read``)
+  and channel models (bus TAM, dedicated TAM, ATE link)
+* :mod:`repro.dft.config_bus` -- the configuration scan bus / ring
+* :mod:`repro.dft.wrapper` -- IEEE 1500-style test wrappers with a WIR
+* :mod:`repro.dft.pattern_source` -- LFSR, deterministic and compressed
+  pattern sources
+* :mod:`repro.dft.compression` -- decompressor/compactor interface adaptors
+* :mod:`repro.dft.ebi` -- the external bus interface to the ATE
+* :mod:`repro.dft.controller` -- the on-chip test controller
+* :mod:`repro.dft.ate` -- the ATE model and virtual-ATE test programs
+* :mod:`repro.dft.ctl` -- CTL-like core test descriptions and automatic
+  wrapper generation
+* :mod:`repro.dft.monitor` -- TAM-utilization and power monitors
+"""
+
+from repro.dft.payload import TamCommand, TamPayload, TamResponse
+from repro.dft.tam import AteLink, TamChannel, TamInterface, TamSlaveInterface
+from repro.dft.config_bus import ConfigurationScanBus, ConfigurableRegister
+from repro.dft.wrapper import TestWrapper, WrapperInstructionRegister, WrapperMode
+from repro.dft.pattern_source import (
+    CompressedPatternSource,
+    DeterministicPatternSource,
+    LfsrPatternSource,
+    PatternSource,
+)
+from repro.dft.compression import Compactor, Decompressor
+from repro.dft.ebi import ExternalBusInterface, ExternalTestTiming
+from repro.dft.controller import TestController
+from repro.dft.ate import (
+    AutomatedTestEquipment,
+    ScheduleExecutionResult,
+    StepKind,
+    TaskExecutionResult,
+    TestArchitecture,
+    TestProgram,
+    TestProgramStep,
+)
+from repro.dft.ctl import CoreTestDescription, generate_wrapper
+from repro.dft.monitor import ActivityLog, PowerMonitor, TamUtilizationMonitor
+
+__all__ = [
+    "ActivityLog",
+    "AteLink",
+    "AutomatedTestEquipment",
+    "Compactor",
+    "CompressedPatternSource",
+    "ConfigurableRegister",
+    "ConfigurationScanBus",
+    "CoreTestDescription",
+    "Decompressor",
+    "DeterministicPatternSource",
+    "ExternalBusInterface",
+    "ExternalTestTiming",
+    "LfsrPatternSource",
+    "PatternSource",
+    "PowerMonitor",
+    "ScheduleExecutionResult",
+    "StepKind",
+    "TamChannel",
+    "TamCommand",
+    "TamInterface",
+    "TamPayload",
+    "TamResponse",
+    "TamSlaveInterface",
+    "TamUtilizationMonitor",
+    "TaskExecutionResult",
+    "TestArchitecture",
+    "TestController",
+    "TestProgram",
+    "TestProgramStep",
+    "TestWrapper",
+    "WrapperInstructionRegister",
+    "WrapperMode",
+    "generate_wrapper",
+]

@@ -1,0 +1,445 @@
+"""Automated test equipment (ATE) model and virtual test programs.
+
+The ATE configures the test infrastructure, initiates individual tests,
+supplies test stimuli, evaluates test responses and executes the overall test
+flow (paper, Section III-E).  During exploration the ATE is modeled by its
+functional behaviour; for validation, the same model executes a *test
+program* — an explicit instruction list — which is the virtual-ATE use case
+the paper refers to.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.kernel.channel import Channel
+from repro.kernel.event import AllOf, AnyOf, Timeout
+from repro.kernel.module import Module
+from repro.kernel.simtime import SimTime
+from repro.kernel.simulator import Simulator
+from repro.schedule.model import TestKind, TestSchedule, TestTask
+from repro.dft.compression import Compactor, Decompressor
+from repro.dft.config_bus import ConfigurationScanBus
+from repro.dft.controller import TestController
+from repro.dft.ebi import ExternalBusInterface, ExternalTestTiming
+from repro.dft.monitor import ActivityLog
+from repro.dft.payload import TamPayload
+from repro.dft.tam import AteLink, TamChannel
+from repro.dft.wrapper import TestWrapper, WrapperMode
+
+
+@dataclass
+class TestArchitecture:
+    """Handles to every test infrastructure block the ATE interacts with."""
+
+    tam: TamChannel
+    ate_link: AteLink
+    ebi: ExternalBusInterface
+    config_bus: ConfigurationScanBus
+    controller: TestController
+    wrappers: Dict[str, TestWrapper] = field(default_factory=dict)
+    decompressors: Dict[str, Decompressor] = field(default_factory=dict)
+    compactors: Dict[str, Compactor] = field(default_factory=dict)
+    memory_cores: Dict[str, object] = field(default_factory=dict)
+    processor_cores: Dict[str, object] = field(default_factory=dict)
+    #: TAM base address of each wrapped core / infrastructure block.
+    addresses: Dict[str, int] = field(default_factory=dict)
+    activity_log: ActivityLog = field(default_factory=ActivityLog)
+
+    def wrapper_for(self, core: str) -> TestWrapper:
+        try:
+            return self.wrappers[core]
+        except KeyError:
+            raise KeyError(f"no test wrapper registered for core {core!r}")
+
+    def address_of(self, core: str) -> int:
+        return self.addresses.get(core, 0)
+
+
+class StepKind(enum.Enum):
+    """Instruction kinds of the virtual ATE test program."""
+
+    CONFIGURE = "configure"
+    RUN_TASK = "run_task"
+    BARRIER = "barrier"
+    WAIT_CYCLES = "wait_cycles"
+    READ_STATUS = "read_status"
+
+
+@dataclass
+class TestProgramStep:
+    """One instruction of a virtual ATE test program."""
+
+    kind: StepKind
+    task: Optional[str] = None
+    target: Optional[str] = None
+    value: int = 0
+    cycles: int = 0
+    comment: str = ""
+
+
+@dataclass
+class TestProgram:
+    """A virtual ATE test program (ordered list of instructions)."""
+
+    name: str
+    steps: List[TestProgramStep] = field(default_factory=list)
+
+    @classmethod
+    def from_schedule(cls, schedule: TestSchedule,
+                      tasks: Mapping[str, TestTask]) -> "TestProgram":
+        """Compile a test schedule into an explicit test program.
+
+        Every phase becomes a group of ``RUN_TASK`` instructions terminated by
+        a ``BARRIER`` — the ATE starts the phase's tests concurrently and
+        waits for all of them before moving on, which is exactly the schedule
+        semantics assumed by the coarse scheduler.
+        """
+        schedule.validate(dict(tasks))
+        steps: List[TestProgramStep] = []
+        for phase_index, phase in enumerate(schedule.phases):
+            for task_name in phase:
+                steps.append(TestProgramStep(
+                    kind=StepKind.RUN_TASK, task=task_name,
+                    comment=f"phase {phase_index}",
+                ))
+            steps.append(TestProgramStep(
+                kind=StepKind.BARRIER, comment=f"end of phase {phase_index}",
+            ))
+        return cls(name=f"{schedule.name}_program", steps=steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+@dataclass
+class TaskExecutionResult:
+    """Simulation outcome of a single test task."""
+
+    task_name: str
+    core: str
+    kind: TestKind
+    start: SimTime
+    end: SimTime
+    cycles: int
+    patterns_applied: int = 0
+    signature: Optional[int] = None
+    signature_ok: Optional[bool] = None
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> SimTime:
+        return self.end - self.start
+
+
+@dataclass
+class ScheduleExecutionResult:
+    """Simulation outcome of a complete schedule / test program."""
+
+    name: str
+    start: SimTime
+    end: SimTime
+    cycles: int
+    task_results: Dict[str, TaskExecutionResult] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> SimTime:
+        return self.end - self.start
+
+    @property
+    def all_signatures_ok(self) -> bool:
+        return all(result.signature_ok is not False
+                   for result in self.task_results.values())
+
+
+class AutomatedTestEquipment(Channel):
+    """The ATE: executes test programs against the SoC's test architecture."""
+
+    def __init__(self, parent: Union[Simulator, Module], name: str,
+                 architecture: TestArchitecture,
+                 status_poll_fraction: float = 0.05,
+                 burst_patterns: int = 64):
+        super().__init__(parent, name)
+        if not 0.0 < status_poll_fraction <= 1.0:
+            raise ValueError("status_poll_fraction must be in (0, 1]")
+        self.architecture = architecture
+        self.status_poll_fraction = status_poll_fraction
+        self.burst_patterns = burst_patterns
+        self.programs_executed = 0
+
+    # -- program execution ------------------------------------------------------------
+    def execute_schedule(self, schedule: TestSchedule,
+                         tasks: Mapping[str, TestTask]):
+        """Execute *schedule* (blocking; ``yield from``); returns the result."""
+        program = TestProgram.from_schedule(schedule, tasks)
+        result = yield from self.run_program(program, tasks,
+                                             result_name=schedule.name)
+        return result
+
+    def run_program(self, program: TestProgram, tasks: Mapping[str, TestTask],
+                    result_name: Optional[str] = None):
+        """Execute a virtual ATE test program (blocking; ``yield from``)."""
+        architecture = self.architecture
+        clock = architecture.tam.clock
+        start_time = self.sim.now
+        result = ScheduleExecutionResult(
+            name=result_name or program.name, start=start_time, end=start_time,
+            cycles=0,
+        )
+        outstanding = []
+
+        # Bring up the infrastructure: the test controller is enabled once at
+        # the start of the test program via the configuration scan bus.
+        yield from architecture.config_bus.configure(
+            architecture.controller.config_register.name, 1, initiator=self.name,
+        )
+
+        for step in program.steps:
+            if step.kind is StepKind.RUN_TASK:
+                task = tasks[step.task]
+                process = self.sim.spawn(
+                    self._execute_task(task, result),
+                    name=f"{self.name}.{task.name}",
+                )
+                outstanding.append(process)
+            elif step.kind is StepKind.BARRIER:
+                if outstanding:
+                    pending = [p.finished for p in outstanding if p.alive]
+                    if pending:
+                        yield AllOf(pending)
+                    outstanding = []
+            elif step.kind is StepKind.CONFIGURE:
+                yield from architecture.config_bus.configure(
+                    step.target, step.value, initiator=self.name,
+                )
+            elif step.kind is StepKind.WAIT_CYCLES:
+                yield Timeout(clock.cycles(step.cycles))
+            elif step.kind is StepKind.READ_STATUS:
+                payload = TamPayload.read(
+                    architecture.addresses.get("test_controller", 0),
+                    response_bits=architecture.controller.status_poll_bits,
+                    session=step.target,
+                )
+                payload.initiator = self.name
+                yield from architecture.tam.read(payload)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unsupported program step: {step.kind!r}")
+
+        if outstanding:
+            pending = [p.finished for p in outstanding if p.alive]
+            if pending:
+                yield AllOf(pending)
+
+        end_time = self.sim.now
+        result.end = end_time
+        result.cycles = clock.cycles_between(start_time, end_time)
+        self.programs_executed += 1
+        return result
+
+    # -- per-task execution -----------------------------------------------------------
+    def _execute_task(self, task: TestTask, result: ScheduleExecutionResult):
+        dispatch = {
+            TestKind.LOGIC_BIST: self._run_logic_bist,
+            TestKind.EXTERNAL_SCAN: self._run_external_scan,
+            TestKind.EXTERNAL_SCAN_COMPRESSED: self._run_external_scan,
+            TestKind.MEMORY_BIST_CONTROLLER: self._run_memory_bist,
+            TestKind.MEMORY_MARCH_PROCESSOR: self._run_memory_march,
+        }
+        try:
+            handler = dispatch[task.kind]
+        except KeyError:
+            raise ValueError(f"the ATE cannot execute test kind {task.kind!r}")
+        start = self.sim.now
+        details = yield from handler(task)
+        end = self.sim.now
+        clock = self.architecture.tam.clock
+        task_result = TaskExecutionResult(
+            task_name=task.name, core=task.core, kind=task.kind,
+            start=start, end=end, cycles=clock.cycles_between(start, end),
+            patterns_applied=int(details.pop("patterns_applied", 0)),
+            signature=details.pop("signature", None),
+            details=details,
+        )
+        expected = task.attributes.get("expected_signature")
+        if expected is not None and task_result.signature is not None:
+            task_result.signature_ok = (task_result.signature == expected)
+        result.task_results[task.name] = task_result
+        return task_result
+
+    # -- logic BIST (tests 1 and 4) ---------------------------------------------------------
+    def _run_logic_bist(self, task: TestTask):
+        architecture = self.architecture
+        wrapper = architecture.wrapper_for(task.core)
+        clock = architecture.tam.clock
+        yield from architecture.config_bus.configure(
+            wrapper.wir_register.name,
+            wrapper.wir.encode(WrapperMode.INTEST_BIST),
+            initiator=self.name,
+        )
+        start_payload = TamPayload.write(
+            architecture.address_of(task.core), data_bits=32,
+            data={"command": "start_bist", "patterns": task.pattern_count},
+        )
+        start_payload.initiator = self.name
+        yield from architecture.tam.write(start_payload)
+
+        session = f"{task.name}@{task.core}"
+        bist_process = self.sim.spawn(
+            architecture.controller.run_logic_bist(
+                session, wrapper, task.pattern_count, power=task.power,
+            ),
+            name=f"{self.name}.{task.name}.bist",
+        )
+        total_cycles = task.pattern_count * wrapper.shift_cycles_per_pattern()
+        poll_cycles = max(1, round(total_cycles * self.status_poll_fraction))
+        polls = 0
+        controller_address = architecture.addresses.get(
+            "test_controller", architecture.address_of(task.core)
+        )
+        while bist_process.alive:
+            timer = self.sim.event(f"{self.name}.{task.name}.poll")
+            timer.notify(clock.cycles(poll_cycles))
+            yield AnyOf([timer, bist_process.finished])
+            if not bist_process.alive:
+                break
+            poll_payload = TamPayload.read(
+                controller_address,
+                response_bits=architecture.controller.status_poll_bits,
+                session=session,
+            )
+            poll_payload.initiator = f"{self.name}.{task.name}"
+            yield from architecture.tam.read(poll_payload)
+            polls += 1
+
+        signature_payload = TamPayload.read(
+            architecture.address_of(task.core), response_bits=64, session=session,
+        )
+        signature_payload.initiator = f"{self.name}.{task.name}"
+        yield from architecture.tam.read(signature_payload)
+        return {
+            "patterns_applied": task.pattern_count,
+            "signature": wrapper.signature,
+            "session": session,
+            "status_polls": polls,
+        }
+
+    # -- external scan tests (tests 2, 3 and 5) -----------------------------------------------
+    def _run_external_scan(self, task: TestTask):
+        architecture = self.architecture
+        wrapper = architecture.wrapper_for(task.core)
+        compressed = task.kind is TestKind.EXTERNAL_SCAN_COMPRESSED
+        decompressor = architecture.decompressors.get(task.core) if compressed else None
+        compactor = architecture.compactors.get(task.core)
+
+        mode = WrapperMode.INTEST_COMPRESSED if compressed else WrapperMode.INTEST_SCAN
+        yield from architecture.config_bus.configure(
+            wrapper.wir_register.name, wrapper.wir.encode(mode),
+            initiator=self.name,
+        )
+        if decompressor is not None:
+            yield from architecture.config_bus.configure(
+                decompressor.config_register.name, Decompressor.MODE_ACTIVE,
+                initiator=self.name,
+            )
+        if compactor is not None:
+            yield from architecture.config_bus.configure(
+                compactor.config_register.name, Compactor.MODE_ACTIVE,
+                initiator=self.name,
+            )
+        yield from architecture.config_bus.configure(
+            architecture.ebi.config_register.name, 1, initiator=self.name,
+        )
+
+        stimulus_bits = wrapper.stimulus_bits_per_pattern()
+        response_bits = wrapper.response_bits_per_pattern()
+        if compressed:
+            ratio = task.compression_ratio
+            ate_bits = max(1, math.ceil(stimulus_bits / ratio))
+            tam_bits = ate_bits + stimulus_bits
+            shift = wrapper.shift_cycles_per_pattern(compressed=True)
+        else:
+            ate_bits = stimulus_bits
+            tam_bits = stimulus_bits
+            shift = wrapper.shift_cycles_per_pattern(compressed=False)
+        if compactor is not None:
+            ate_response_bits = compactor.misr.width
+        else:
+            ate_response_bits = response_bits
+
+        timing = ExternalTestTiming(
+            ate_bits_per_pattern=ate_bits,
+            ate_response_bits_per_pattern=ate_response_bits,
+            tam_bits_per_pattern=tam_bits,
+            shift_cycles_per_pattern=shift,
+        )
+        start = self.sim.now
+        stats = yield from architecture.ebi.stream_patterns(
+            initiator=f"{self.name}.{task.name}",
+            address=architecture.address_of(task.core),
+            patterns=task.pattern_count,
+            timing=timing,
+            wrapper=wrapper,
+            decompressor=decompressor,
+            compactor=compactor,
+            burst_patterns=self.burst_patterns,
+        )
+        architecture.activity_log.record(
+            core=task.core, kind=task.kind.value, start=start, end=self.sim.now,
+            power=task.power,
+        )
+        return {
+            "patterns_applied": stats["patterns"],
+            "signature": compactor.signature if compactor is not None else wrapper.signature,
+            "stream_stats": stats,
+        }
+
+    # -- controller-driven memory BIST (test 6) ------------------------------------------------
+    def _run_memory_bist(self, task: TestTask):
+        architecture = self.architecture
+        memory_core = architecture.memory_cores[task.core]
+        yield from architecture.config_bus.configure(
+            architecture.controller.config_register.name, 1, initiator=self.name,
+        )
+        session = f"{task.name}@{task.core}"
+        status = yield from architecture.controller.run_memory_bist(
+            session, memory_core, task.march,
+            pattern_backgrounds=task.pattern_backgrounds,
+            power=task.power,
+        )
+        return {
+            "patterns_applied": 0,
+            "operations": status["operations_done"],
+            "failures": status["failures"],
+            "march_passed": status["failures"] == 0,
+        }
+
+    # -- processor-driven memory march (test 7) --------------------------------------------------
+    def _run_memory_march(self, task: TestTask):
+        architecture = self.architecture
+        processor_name = task.attributes.get("processor_core", "processor")
+        processor = architecture.processor_cores[processor_name]
+        memory_core = architecture.memory_cores[task.core]
+        command = TamPayload.write(
+            architecture.address_of(processor_name), data_bits=64,
+            data={"command": "run_memory_march", "target": task.core},
+        )
+        command.initiator = self.name
+        yield from architecture.tam.write(command)
+        start = self.sim.now
+        status = yield from processor.run_memory_march(
+            memory_core, task.march,
+            pattern_backgrounds=task.pattern_backgrounds,
+        )
+        architecture.activity_log.record(
+            core=task.core, kind=task.kind.value, start=start, end=self.sim.now,
+            power=task.power,
+        )
+        return {
+            "patterns_applied": 0,
+            "operations": status["operations"],
+            "failures": status["failures"],
+            "march_passed": status["failures"] == 0,
+        }

@@ -1,0 +1,145 @@
+"""Core test descriptions (CTL, IEEE Std 1450.6 subset) and wrapper generation.
+
+The paper states that, given the CTL description of a core's interface
+(functional, system and test inputs/outputs), a test wrapper TLM can be
+generated automatically.  :class:`CoreTestDescription` is the Python
+equivalent of that description and :func:`generate_wrapper` performs the
+automatic generation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.rtl.generate import SyntheticCoreSpec, generate_netlist
+from repro.rtl.netlist import Netlist
+from repro.rtl.scan import ScanConfiguration, insert_scan
+
+
+@dataclass
+class CoreTestDescription:
+    """Test-relevant description of a core, as a test wrapper sees it.
+
+    Two levels of detail coexist:
+
+    * the *architectural* scan configuration (:attr:`scan_config`) carries the
+      pattern volumes and shift lengths that determine test time and TAM
+      utilization (e.g. "32 scan chains, 46 400 scan cells" for the paper's
+      processor core);
+    * an optional *validation netlist* (:attr:`validation_netlist`) is a small
+      synthetic gate-level model on which generated patterns can actually be
+      fault-simulated, standing in for the real IP netlist that the paper's
+      authors had and we do not.
+    """
+
+    core_name: str
+    scan_config: ScanConfiguration
+    functional_input_bits: int = 32
+    functional_output_bits: int = 32
+    #: Does the core contain its own LFSR/MISR pair (logic BIST)?
+    has_logic_bist: bool = False
+    #: Number of core-internal scan chains available behind a decompressor.
+    #: Test compression splits the scan cells into many short internal chains,
+    #: which shortens the per-pattern shift time.
+    internal_chain_count: Optional[int] = None
+    #: Relative power weight while the core is under test (arbitrary units).
+    test_power: float = 1.0
+    #: Relative power weight in functional/idle mode.
+    idle_power: float = 0.1
+    validation_netlist: Optional[Netlist] = None
+    validation_scan_config: Optional[ScanConfiguration] = None
+    notes: List[str] = field(default_factory=list)
+
+    # -- volumes -------------------------------------------------------------
+    @property
+    def scan_cells(self) -> int:
+        return self.scan_config.total_cells
+
+    @property
+    def chain_count(self) -> int:
+        return self.scan_config.chain_count
+
+    def stimulus_bits_per_pattern(self) -> int:
+        """Scan stimulus volume of one test pattern."""
+        return self.scan_config.total_cells
+
+    def response_bits_per_pattern(self) -> int:
+        """Scan response volume of one test pattern."""
+        return self.scan_config.total_cells
+
+    # -- timing ----------------------------------------------------------------
+    def shift_cycles_per_pattern(self, compressed: bool = False,
+                                 capture_cycles: int = 1) -> int:
+        """Scan-shift plus capture cycles for one pattern.
+
+        In compressed mode the decompressor drives the (more numerous, hence
+        shorter) internal chains, so the shift length drops accordingly.
+        """
+        if compressed and self.internal_chain_count:
+            chain_length = math.ceil(self.scan_cells / self.internal_chain_count)
+        else:
+            chain_length = self.scan_config.max_chain_length
+        return chain_length + capture_cycles
+
+    def bist_cycles(self, pattern_count: int, capture_cycles: int = 1) -> int:
+        """Cycles for *pattern_count* BIST patterns applied by an on-core LFSR."""
+        if not self.has_logic_bist:
+            raise ValueError(f"core {self.core_name!r} has no logic BIST")
+        return pattern_count * self.shift_cycles_per_pattern(
+            compressed=False, capture_cycles=capture_cycles
+        )
+
+    # -- construction helpers ------------------------------------------------------
+    @classmethod
+    def describe(cls, core_name: str, chain_count: int, scan_cells: int,
+                 **kwargs) -> "CoreTestDescription":
+        """Create a description from chain count and total scan cells."""
+        scan_config = ScanConfiguration.describe(core_name, chain_count, scan_cells)
+        return cls(core_name=core_name, scan_config=scan_config, **kwargs)
+
+    def attach_synthetic_validation(self, flip_flops: int = 96, gates: int = 480,
+                                    seed: int = 1,
+                                    chain_count: Optional[int] = None) -> "CoreTestDescription":
+        """Generate and attach a small synthetic netlist for pattern validation."""
+        spec = SyntheticCoreSpec(
+            name=f"{self.core_name}_validation",
+            flip_flops=flip_flops,
+            gates=gates,
+            seed=seed,
+        )
+        netlist = generate_netlist(spec)
+        chains = chain_count or min(self.chain_count, flip_flops)
+        self.validation_netlist = netlist
+        self.validation_scan_config = insert_scan(netlist, chains,
+                                                  core_name=spec.name)
+        self.notes.append(
+            f"validation netlist: {flip_flops} flip-flops, {gates} gates, "
+            f"{chains} chains (synthetic stand-in for the real IP netlist)"
+        )
+        return self
+
+
+def generate_wrapper(parent, description: CoreTestDescription, core=None,
+                     config_bus=None, wir_width: int = 8,
+                     tracer=None):
+    """Automatically generate a test wrapper TLM from a CTL description.
+
+    Mirrors the paper's statement that a wrapper TLM can be generated from the
+    CTL (IEEE 1450.6) description of a core.  The returned wrapper is already
+    registered on *config_bus* when one is given.
+    """
+    from repro.dft.wrapper import TestWrapper
+
+    wrapper = TestWrapper(
+        parent,
+        f"{description.core_name}_wrapper",
+        description=description,
+        core=core,
+        wir_width=wir_width,
+        tracer=tracer,
+    )
+    if config_bus is not None:
+        config_bus.register(wrapper.wir_register)
+    return wrapper

@@ -1,0 +1,219 @@
+"""Monitors deriving evaluation metrics from the simulation.
+
+The paper's point is that accurate numbers for TAM utilization and power are
+obtained by *simulating* the schedule rather than from the coarse information
+available to the scheduler.  The monitors in this module compute exactly the
+quantities of Table I (peak and average TAM utilization) plus a test power
+profile, all from the transaction/activity streams recorded during
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernel.clock import Clock
+from repro.kernel.simtime import SimTime
+from repro.kernel.tracing import TransactionTracer
+
+
+class TamUtilizationMonitor:
+    """Computes TAM utilization figures from a transaction tracer."""
+
+    def __init__(self, tracer: TransactionTracer, channel_name: str, clock: Clock):
+        self.tracer = tracer
+        self.channel_name = channel_name
+        self.clock = clock
+
+    # -- bounds -----------------------------------------------------------------
+    def _bounds(self, start: Optional[SimTime],
+                end: Optional[SimTime]) -> Tuple[Optional[SimTime], Optional[SimTime]]:
+        records = self.tracer.for_channel(self.channel_name)
+        if not records:
+            return None, None
+        if start is None:
+            start = min(r.start for r in records)
+        if end is None:
+            end = max(r.end for r in records)
+        return start, end
+
+    # -- metrics -------------------------------------------------------------------
+    def busy_time(self, start: Optional[SimTime] = None,
+                  end: Optional[SimTime] = None) -> SimTime:
+        """Total time the TAM was occupied within [start, end)."""
+        start, end = self._bounds(start, end)
+        if start is None:
+            return SimTime(0)
+        busy_fraction = self.tracer.utilization(self.channel_name, start, end)
+        return SimTime(round(busy_fraction * (end - start).femtoseconds))
+
+    def average_utilization(self, start: Optional[SimTime] = None,
+                            end: Optional[SimTime] = None) -> float:
+        """Average TAM utilization over [start, end) (0.0 .. 1.0)."""
+        if start is None or end is None:
+            bounded_start, bounded_end = self._bounds(start, end)
+            start = start if start is not None else bounded_start
+            end = end if end is not None else bounded_end
+        if start is None or end is None or end <= start:
+            return 0.0
+        return self.tracer.utilization(self.channel_name, start, end)
+
+    def peak_utilization(self, window_cycles: int = 1_000_000,
+                         start: Optional[SimTime] = None,
+                         end: Optional[SimTime] = None) -> float:
+        """Peak TAM utilization: maximum utilization over fixed windows.
+
+        The window defaults to one million TAM clock cycles, i.e. the peak is
+        the busiest million-cycle stretch of the schedule.
+        """
+        start, end = (start, end) if (start is not None and end is not None) \
+            else self._bounds(start, end)
+        if start is None or end is None or end <= start:
+            return 0.0
+        window = self.clock.cycles(window_cycles)
+        profile = self.tracer.utilization_profile(
+            self.channel_name, window, start=start, end=end
+        )
+        return max(profile) if profile else 0.0
+
+    def utilization_profile(self, window_cycles: int = 1_000_000,
+                            start: Optional[SimTime] = None,
+                            end: Optional[SimTime] = None) -> List[float]:
+        """Per-window utilization series (for plotting exploration results)."""
+        start, end = (start, end) if (start is not None and end is not None) \
+            else self._bounds(start, end)
+        if start is None or end is None or end <= start:
+            return []
+        window = self.clock.cycles(window_cycles)
+        return self.tracer.utilization_profile(
+            self.channel_name, window, start=start, end=end
+        )
+
+    def transferred_bits(self) -> int:
+        """Total payload bits moved over the TAM."""
+        return sum(r.data_bits for r in self.tracer.for_channel(self.channel_name))
+
+
+@dataclass
+class ActivityRecord:
+    """One interval of test activity on a core (used for power analysis)."""
+
+    core: str
+    kind: str
+    start: SimTime
+    end: SimTime
+    power: float
+
+    @property
+    def duration(self) -> SimTime:
+        return self.end - self.start
+
+
+class ActivityLog:
+    """Collects :class:`ActivityRecord` intervals during schedule execution."""
+
+    def __init__(self):
+        self.records: List[ActivityRecord] = []
+
+    def record(self, core: str, kind: str, start: SimTime, end: SimTime,
+               power: float) -> ActivityRecord:
+        if end < start:
+            raise ValueError("activity interval end precedes start")
+        entry = ActivityRecord(core=core, kind=kind, start=start, end=end, power=power)
+        self.records.append(entry)
+        return entry
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def cores(self) -> List[str]:
+        return sorted({r.core for r in self.records})
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class PowerMonitor:
+    """Derives a test power profile from an :class:`ActivityLog`.
+
+    Power is expressed in the same arbitrary units as the per-core test power
+    weights of the CTL descriptions; what matters for scheduling is the
+    *relative* profile and its peak against the power budget.
+    """
+
+    def __init__(self, log: ActivityLog):
+        self.log = log
+
+    def _bounds(self) -> Tuple[Optional[SimTime], Optional[SimTime]]:
+        if not self.log.records:
+            return None, None
+        start = min(r.start for r in self.log.records)
+        end = max(r.end for r in self.log.records)
+        return start, end
+
+    def power_at(self, time: SimTime) -> float:
+        """Instantaneous power: sum of the power of all active intervals."""
+        return sum(
+            r.power for r in self.log.records if r.start <= time < r.end
+        )
+
+    def peak_power(self, samples: int = 512) -> float:
+        """Peak power over the schedule (sampled at interval boundaries)."""
+        if not self.log.records:
+            return 0.0
+        boundaries = set()
+        for record in self.log.records:
+            boundaries.add(record.start.femtoseconds)
+            boundaries.add(record.end.femtoseconds - 1)
+        return max(self.power_at(SimTime(b)) for b in sorted(boundaries) if b >= 0)
+
+    def average_power(self) -> float:
+        """Energy divided by makespan."""
+        start, end = self._bounds()
+        if start is None or end <= start:
+            return 0.0
+        total = (end - start).femtoseconds
+        energy = sum(
+            r.power * r.duration.femtoseconds for r in self.log.records
+        )
+        return energy / total
+
+    def energy(self) -> float:
+        """Total energy in power-units x seconds."""
+        return sum(
+            r.power * r.duration.to(1_000_000_000_000_000)
+            for r in self.log.records
+        )
+
+    def profile(self, window: SimTime) -> List[Tuple[SimTime, float]]:
+        """Average power per window across the schedule."""
+        start, end = self._bounds()
+        if start is None:
+            return []
+        if window.femtoseconds <= 0:
+            raise ValueError("window must be positive")
+        profile = []
+        cursor = start
+        while cursor < end:
+            upper = min(SimTime(cursor.femtoseconds + window.femtoseconds), end)
+            span = (upper - cursor).femtoseconds
+            energy = 0.0
+            for record in self.log.records:
+                overlap_start = max(record.start.femtoseconds, cursor.femtoseconds)
+                overlap_end = min(record.end.femtoseconds, upper.femtoseconds)
+                if overlap_end > overlap_start:
+                    energy += record.power * (overlap_end - overlap_start)
+            profile.append((cursor, energy / span if span else 0.0))
+            cursor = upper
+        return profile
+
+    def per_core_energy(self) -> Dict[str, float]:
+        """Energy contribution of each core (power-units x seconds)."""
+        energies: Dict[str, float] = {}
+        for record in self.log.records:
+            energies.setdefault(record.core, 0.0)
+            energies[record.core] += record.power * record.duration.to(
+                1_000_000_000_000_000
+            )
+        return energies

@@ -1,0 +1,159 @@
+"""Pattern source TLMs (paper, Section III-C).
+
+A pattern source supplies test data to a sink via the TAM.  Three kinds are
+modeled:
+
+* :class:`LfsrPatternSource` -- pseudo-random patterns from an LFSR (logic
+  BIST),
+* :class:`DeterministicPatternSource` -- pre-computed deterministic patterns
+  (stored in the ATE or on chip),
+* :class:`CompressedPatternSource` -- deterministic patterns stored in
+  compressed form, to be expanded by a decompressor.
+
+All sources expose the same volume-oriented API used by the timed test flows
+(bits per pattern, number of patterns) plus an optional bit-accurate mode used
+for validation against the small synthetic netlists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Union
+
+from repro.kernel.channel import Channel
+from repro.kernel.module import Module
+from repro.kernel.simulator import Simulator
+from repro.rtl.lfsr import LFSR
+from repro.dft.payload import TamCommand, TamPayload, TamResponse
+
+
+class PatternSource(Channel):
+    """Base class of pattern sources.
+
+    Pattern sources implement the TAM slave interface so that a test
+    controller or EBI can fetch pattern data from them through the TAM, as in
+    the paper's Figure 2.
+    """
+
+    def __init__(self, parent: Union[Simulator, Module], name: str,
+                 pattern_count: int, bits_per_pattern: int):
+        super().__init__(parent, name)
+        if pattern_count <= 0:
+            raise ValueError("pattern_count must be positive")
+        if bits_per_pattern <= 0:
+            raise ValueError("bits_per_pattern must be positive")
+        self.pattern_count = pattern_count
+        self.bits_per_pattern = bits_per_pattern
+        self.patterns_supplied = 0
+
+    # -- volume-oriented API ---------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Total stimulus volume of the full pattern set."""
+        return self.pattern_count * self.bits_per_pattern
+
+    @property
+    def remaining_patterns(self) -> int:
+        return self.pattern_count - self.patterns_supplied
+
+    @property
+    def exhausted(self) -> bool:
+        return self.patterns_supplied >= self.pattern_count
+
+    def supply(self, count: int) -> int:
+        """Account the supply of *count* patterns; returns the granted count."""
+        if count <= 0:
+            return 0
+        granted = min(count, self.remaining_patterns)
+        self.patterns_supplied += granted
+        return granted
+
+    def reset(self) -> None:
+        self.patterns_supplied = 0
+
+    # -- TAM slave interface ---------------------------------------------------------
+    def tam_access(self, payload: TamPayload) -> TamPayload:
+        """A TAM read fetches pattern data from the source."""
+        if payload.command in (TamCommand.READ, TamCommand.WRITE_READ):
+            patterns = int(payload.attributes.get("patterns", 1))
+            granted = self.supply(patterns)
+            payload.response_data = {"patterns": granted,
+                                     "bits": granted * self.bits_per_pattern}
+            payload.attributes["granted_patterns"] = granted
+        return payload.complete(TamResponse.OK)
+
+    def __repr__(self):
+        return (
+            f"{type(self).__name__}({self.name!r}, patterns={self.pattern_count}, "
+            f"bits_per_pattern={self.bits_per_pattern})"
+        )
+
+
+class LfsrPatternSource(PatternSource):
+    """Pseudo-random pattern source backed by a real LFSR."""
+
+    def __init__(self, parent, name: str, pattern_count: int,
+                 bits_per_pattern: int, lfsr_width: int = 32, seed: int = 1):
+        super().__init__(parent, name, pattern_count, bits_per_pattern)
+        self.lfsr = LFSR(lfsr_width, seed=seed)
+
+    def next_pattern_bits(self) -> List[int]:
+        """Generate the actual bits of the next pattern (validation use)."""
+        self.supply(1)
+        return self.lfsr.next_pattern(self.bits_per_pattern)
+
+    def pattern_stream(self, count: Optional[int] = None) -> Iterator[List[int]]:
+        """Iterate over generated patterns (validation use)."""
+        remaining = self.remaining_patterns if count is None else count
+        for _ in range(remaining):
+            yield self.next_pattern_bits()
+
+
+class DeterministicPatternSource(PatternSource):
+    """Pre-computed deterministic patterns (e.g. ATPG patterns in ATE memory)."""
+
+    def __init__(self, parent, name: str, pattern_count: int,
+                 bits_per_pattern: int,
+                 patterns: Optional[List[List[int]]] = None):
+        super().__init__(parent, name, pattern_count, bits_per_pattern)
+        if patterns is not None and len(patterns) != pattern_count:
+            raise ValueError("explicit pattern list must match pattern_count")
+        self._patterns = patterns
+
+    def pattern_bits(self, index: int) -> List[int]:
+        """Return the bits of pattern *index* (validation use).
+
+        When no explicit pattern list was supplied, a reproducible
+        pseudo-deterministic pattern derived from the index is returned, which
+        stands in for ATPG data we do not have.
+        """
+        if not 0 <= index < self.pattern_count:
+            raise IndexError(f"pattern index {index} out of range")
+        if self._patterns is not None:
+            return list(self._patterns[index])
+        lfsr = LFSR(32, seed=index + 1)
+        return lfsr.next_pattern(self.bits_per_pattern)
+
+
+class CompressedPatternSource(DeterministicPatternSource):
+    """Deterministic patterns stored in compressed form.
+
+    ``bits_per_pattern`` still describes the *expanded* stimulus volume;
+    :meth:`compressed_bits_per_pattern` gives the volume actually transported
+    from the source (over the ATE link and to the decompressor).
+    """
+
+    def __init__(self, parent, name: str, pattern_count: int,
+                 bits_per_pattern: int, compression_ratio: float,
+                 patterns: Optional[List[List[int]]] = None):
+        super().__init__(parent, name, pattern_count, bits_per_pattern, patterns)
+        if compression_ratio < 1:
+            raise ValueError("compression ratio must be >= 1")
+        self.compression_ratio = compression_ratio
+
+    def compressed_bits_per_pattern(self) -> int:
+        """Stimulus bits per pattern after compression (at least one word)."""
+        return max(1, round(self.bits_per_pattern / self.compression_ratio))
+
+    @property
+    def total_compressed_bits(self) -> int:
+        return self.pattern_count * self.compressed_bits_per_pattern()

@@ -1,0 +1,91 @@
+"""Transaction payload for test access mechanisms.
+
+The TLM2.0 generic payload models memory-mapped bus transfers; the paper notes
+that TAMs need properties beyond those of SoC buses (combined write/read scan
+accesses, data volumes expressed in bits rather than bus words, compression
+attributes).  :class:`TamPayload` is the test-domain payload used by every TAM
+channel and infrastructure block in this package.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class TamCommand(enum.Enum):
+    """Commands of the TAM interface (paper, Section III-A)."""
+
+    READ = "read"
+    WRITE = "write"
+    #: Combined access, e.g. scan chains shifting stimuli in while responses
+    #: shift out concurrently.
+    WRITE_READ = "write_read"
+
+
+class TamResponse(enum.Enum):
+    """Completion status of a TAM transaction."""
+
+    OK = "ok"
+    ADDRESS_ERROR = "address_error"
+    MODE_ERROR = "mode_error"
+    INCOMPLETE = "incomplete"
+
+
+@dataclass
+class TamPayload:
+    """A single TAM transaction.
+
+    The payload is deliberately data-volume oriented: ``data_bits`` carries the
+    stimulus volume and ``response_bits`` the response volume, while ``data``
+    may optionally carry actual values (used by the functional bus transfers
+    and the memory-mapped accesses of the SoC model).
+    """
+
+    command: TamCommand
+    address: int = 0
+    data_bits: int = 0
+    response_bits: int = 0
+    data: Optional[object] = None
+    response_data: Optional[object] = None
+    initiator: str = ""
+    #: Free-form attributes (compression ratio, pattern index, burst size ...).
+    attributes: Dict[str, object] = field(default_factory=dict)
+    status: TamResponse = TamResponse.INCOMPLETE
+
+    def __post_init__(self):
+        if self.data_bits < 0 or self.response_bits < 0:
+            raise ValueError("payload bit counts cannot be negative")
+        if self.command is TamCommand.READ and self.response_bits == 0:
+            self.response_bits = self.data_bits
+
+    @property
+    def total_bits(self) -> int:
+        """Bits moved over the TAM by this transaction (both directions)."""
+        if self.command is TamCommand.WRITE:
+            return self.data_bits
+        if self.command is TamCommand.READ:
+            return self.response_bits
+        return max(self.data_bits, self.response_bits)
+
+    def complete(self, status: TamResponse = TamResponse.OK) -> "TamPayload":
+        self.status = status
+        return self
+
+    @classmethod
+    def write(cls, address: int, data_bits: int, data=None, **attributes) -> "TamPayload":
+        return cls(TamCommand.WRITE, address=address, data_bits=data_bits,
+                   data=data, attributes=dict(attributes))
+
+    @classmethod
+    def read(cls, address: int, response_bits: int, **attributes) -> "TamPayload":
+        return cls(TamCommand.READ, address=address, data_bits=0,
+                   response_bits=response_bits, attributes=dict(attributes))
+
+    @classmethod
+    def write_read(cls, address: int, data_bits: int, response_bits: Optional[int] = None,
+                   data=None, **attributes) -> "TamPayload":
+        return cls(TamCommand.WRITE_READ, address=address, data_bits=data_bits,
+                   response_bits=data_bits if response_bits is None else response_bits,
+                   data=data, attributes=dict(attributes))

@@ -1,0 +1,30 @@
+"""Experiment runners reproducing the paper's evaluation.
+
+* :mod:`repro.explore.experiments` -- Table I (the four test schedules)
+* :mod:`repro.explore.speedup` -- the TLM vs RTL/gate-level simulation speed
+  comparison quoted in Section IV
+* :mod:`repro.explore.sweeps` -- design-space sweeps (compression ratio, TAM
+  width, schedule exploration) that the paper's methodology enables
+* :mod:`repro.explore.report` -- plain-text table formatting
+"""
+
+from repro.explore.experiments import ScenarioResult, run_table1
+from repro.explore.report import format_table, format_table1
+from repro.explore.speedup import SpeedupResult, run_speed_comparison
+from repro.explore.sweeps import (
+    compression_ratio_sweep,
+    tam_width_sweep,
+    schedule_exploration,
+)
+
+__all__ = [
+    "ScenarioResult",
+    "SpeedupResult",
+    "compression_ratio_sweep",
+    "format_table",
+    "format_table1",
+    "run_speed_comparison",
+    "run_table1",
+    "schedule_exploration",
+    "tam_width_sweep",
+]

@@ -1,0 +1,119 @@
+"""Command line interface for the exploration experiments.
+
+Usage::
+
+    python -m repro.explore table1            # reproduce Table I
+    python -m repro.explore speedup           # TLM vs gate-level comparison
+    python -m repro.explore sweep-compression # compression-ratio sweep
+    python -m repro.explore sweep-tam-width   # TAM-width sweep
+    python -m repro.explore schedules         # schedule exploration
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.explore.experiments import run_table1
+from repro.explore.report import format_table, format_table1
+from repro.explore.speedup import run_speed_comparison
+from repro.explore.sweeps import (
+    compression_ratio_sweep,
+    schedule_exploration,
+    tam_width_sweep,
+)
+
+
+def _print_sweep(points, value_label: str) -> None:
+    rows = [{
+        value_label: point.value,
+        "length_mcycles": point.metrics.test_length_mcycles,
+        "peak_tam": f"{point.metrics.peak_tam_utilization:.0%}",
+        "avg_tam": f"{point.metrics.avg_tam_utilization:.0%}",
+    } for point in points]
+    print(format_table(rows, [value_label, "length_mcycles", "peak_tam", "avg_tam"]))
+
+
+def _run_table1(args) -> None:
+    results = run_table1(schedule_names=args.schedules or None)
+    print(format_table1(results))
+    if args.validate:
+        print()
+        for result in results:
+            print(result.validation.summary())
+            print()
+
+
+def _run_speedup(args) -> None:
+    result = run_speed_comparison(gate_level_cycles=args.gate_cycles)
+    print(result.summary())
+
+
+def _run_compression(args) -> None:
+    _print_sweep(compression_ratio_sweep(tuple(args.ratios)), "compression_ratio")
+
+
+def _run_tam_width(args) -> None:
+    _print_sweep(tam_width_sweep(tuple(args.widths)), "tam_width_bits")
+
+
+def _run_schedules(args) -> None:
+    comparisons = schedule_exploration(power_budget=args.power_budget)
+    rows = [{
+        "schedule": comparison.schedule.name,
+        "estimated_mcycles": comparison.estimated_cycles / 1e6,
+        "simulated_mcycles": comparison.metrics.test_length_mcycles,
+        "peak_power": comparison.metrics.peak_power,
+    } for comparison in comparisons]
+    print(format_table(rows, ["schedule", "estimated_mcycles",
+                              "simulated_mcycles", "peak_power"]))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.explore",
+        description="Test design space exploration experiments "
+                    "(DATE 2009 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser("table1", help="reproduce Table I")
+    table1.add_argument("--schedules", nargs="*", default=None,
+                        help="subset of schedule names to simulate")
+    table1.add_argument("--validate", action="store_true",
+                        help="also print the schedule validation reports")
+    table1.set_defaults(handler=_run_table1)
+
+    speedup = subparsers.add_parser("speedup",
+                                    help="TLM vs gate-level speed comparison")
+    speedup.add_argument("--gate-cycles", type=int, default=400,
+                         help="gate-level cycles to simulate for calibration")
+    speedup.set_defaults(handler=_run_speedup)
+
+    compression = subparsers.add_parser("sweep-compression",
+                                        help="compression-ratio sweep")
+    compression.add_argument("--ratios", nargs="*", type=float,
+                             default=[1, 2, 5, 10, 50, 100, 1000])
+    compression.set_defaults(handler=_run_compression)
+
+    width = subparsers.add_parser("sweep-tam-width", help="TAM width sweep")
+    width.add_argument("--widths", nargs="*", type=int, default=[8, 16, 32, 64])
+    width.set_defaults(handler=_run_tam_width)
+
+    schedules = subparsers.add_parser("schedules",
+                                      help="hand-written vs generated schedules")
+    schedules.add_argument("--power-budget", type=float, default=6.0)
+    schedules.set_defaults(handler=_run_schedules)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.handler(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

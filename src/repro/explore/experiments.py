@@ -1,0 +1,96 @@
+"""Reproduction of Table I: the four test schedules of the JPEG encoder SoC."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.schedule.estimator import TestTimeEstimator
+from repro.schedule.model import TestSchedule, TestTask
+from repro.schedule.validation import ScheduleValidationReport, validate_schedule
+from repro.soc.system import JpegSocTlm, SocConfiguration, TestRunMetrics
+from repro.soc.testplan import (
+    MEMORY,
+    MEMORY_WORDS,
+    build_core_descriptions,
+    build_platform_parameters,
+    build_test_schedules,
+    build_test_tasks,
+)
+
+#: Values reported in the paper's Table I, for side-by-side comparison.
+PAPER_TABLE1 = {
+    "schedule_1": {"peak_tam_utilization": 0.67, "avg_tam_utilization": 0.45,
+                   "test_length_mcycles": 281.0, "cpu_seconds": 418.0},
+    "schedule_2": {"peak_tam_utilization": 0.67, "avg_tam_utilization": 0.58,
+                   "test_length_mcycles": 184.0, "cpu_seconds": 271.0},
+    "schedule_3": {"peak_tam_utilization": 0.80, "avg_tam_utilization": 0.47,
+                   "test_length_mcycles": 263.0, "cpu_seconds": 390.0},
+    "schedule_4": {"peak_tam_utilization": 1.00, "avg_tam_utilization": 0.64,
+                   "test_length_mcycles": 167.0, "cpu_seconds": 261.0},
+}
+
+
+@dataclass
+class ScenarioResult:
+    """One row of the reproduced Table I plus the validation report."""
+
+    metrics: TestRunMetrics
+    validation: ScheduleValidationReport
+
+    @property
+    def name(self) -> str:
+        return self.metrics.schedule_name
+
+    def paper_row(self) -> Optional[Dict[str, float]]:
+        return PAPER_TABLE1.get(self.name)
+
+
+def run_scenario(schedule: TestSchedule, tasks: Mapping[str, TestTask],
+                 config: Optional[SocConfiguration] = None) -> ScenarioResult:
+    """Build a fresh SoC model, simulate *schedule* on it and validate it."""
+    soc = JpegSocTlm(config)
+    wall_start = time.perf_counter()
+    metrics = soc.run_test_schedule(schedule, tasks)
+    metrics.cpu_seconds = time.perf_counter() - wall_start
+
+    estimator = TestTimeEstimator(
+        build_core_descriptions(), build_platform_parameters(),
+        memory_words={MEMORY: soc.config.memory_words},
+    )
+    validation = validate_schedule(
+        schedule, tasks, estimator,
+        simulated_cycles=metrics.test_length_cycles,
+        simulated_peak_tam_utilization=metrics.peak_tam_utilization,
+        simulated_avg_tam_utilization=metrics.avg_tam_utilization,
+        simulated_peak_power=metrics.peak_power,
+    )
+    return ScenarioResult(metrics=metrics, validation=validation)
+
+
+def run_table1(schedule_names: Optional[Sequence[str]] = None,
+               config: Optional[SocConfiguration] = None) -> List[ScenarioResult]:
+    """Reproduce Table I: simulate the paper's four test schedules.
+
+    Returns one :class:`ScenarioResult` per schedule, in the paper's order.
+    """
+    tasks = build_test_tasks()
+    schedules = build_test_schedules()
+    names = list(schedule_names) if schedule_names is not None else sorted(schedules)
+    results = []
+    for name in names:
+        results.append(run_scenario(schedules[name], tasks, config))
+    return results
+
+
+def table1_rows(results: Sequence[ScenarioResult]) -> List[Dict[str, object]]:
+    """Rows (dicts) combining measured and paper values for reporting."""
+    rows = []
+    for result in results:
+        row = result.metrics.as_row()
+        paper = result.paper_row()
+        if paper is not None:
+            row.update({f"paper_{key}": value for key, value in paper.items()})
+        rows.append(row)
+    return rows

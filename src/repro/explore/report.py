@@ -1,0 +1,72 @@
+"""Plain-text reporting of experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str],
+                 headers: Mapping[str, str] = None,
+                 float_format: str = "{:.2f}") -> str:
+    """Format *rows* as a fixed-width text table with the given *columns*."""
+    headers = dict(headers or {})
+    titles = [headers.get(column, column) for column in columns]
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(titles[i]), *(len(r[i]) for r in rendered)) if rendered else len(titles[i])
+        for i in range(len(columns))
+    ]
+    lines = []
+    lines.append("  ".join(title.ljust(widths[i]) for i, title in enumerate(titles)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_table1(results) -> str:
+    """Format the Table I reproduction: measured values next to paper values."""
+    rows: List[Dict[str, object]] = []
+    for result in results:
+        metrics = result.metrics
+        paper = result.paper_row() or {}
+        rows.append({
+            "scenario": metrics.schedule_name,
+            "peak_util": f"{metrics.peak_tam_utilization:.0%}",
+            "paper_peak": _percent(paper.get("peak_tam_utilization")),
+            "avg_util": f"{metrics.avg_tam_utilization:.0%}",
+            "paper_avg": _percent(paper.get("avg_tam_utilization")),
+            "length_mcycles": f"{metrics.test_length_mcycles:.0f}",
+            "paper_length": _number(paper.get("test_length_mcycles")),
+            "cpu_s": f"{metrics.cpu_seconds:.1f}",
+            "paper_cpu_s": _number(paper.get("cpu_seconds")),
+        })
+    columns = ["scenario", "peak_util", "paper_peak", "avg_util", "paper_avg",
+               "length_mcycles", "paper_length", "cpu_s", "paper_cpu_s"]
+    headers = {
+        "scenario": "Test scenario",
+        "peak_util": "Peak TAM",
+        "paper_peak": "(paper)",
+        "avg_util": "Avg TAM",
+        "paper_avg": "(paper)",
+        "length_mcycles": "Length [Mcycles]",
+        "paper_length": "(paper)",
+        "cpu_s": "CPU [s]",
+        "paper_cpu_s": "(paper)",
+    }
+    return format_table(rows, columns, headers)
+
+
+def _percent(value) -> str:
+    return f"{value:.0%}" if isinstance(value, (int, float)) else ""
+
+
+def _number(value) -> str:
+    return f"{value:.0f}" if isinstance(value, (int, float)) else ""

@@ -1,0 +1,108 @@
+"""TLM versus RTL/gate-level simulation speed (paper, Section IV).
+
+The paper reports that simulating ~300 million clock cycles of the complete
+test at transaction level takes less than seven minutes, while RTL simulation
+of the processor core alone for the same cycle count exceeds two days (and
+gate level is another order of magnitude slower) — three-plus orders of
+magnitude between the abstraction levels.
+
+We reproduce the *comparison* rather than the absolute numbers: a synthetic
+gate-level model of a scan core is simulated cycle by cycle to measure the
+achievable cycles-per-second at "RTL/gate level" in this code base, the
+JPEG SoC TLM is simulated to measure cycles-per-second at transaction level,
+and both are extrapolated to the paper's 300-million-cycle test program.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.rtl.generate import SyntheticCoreSpec, generate_netlist
+from repro.rtl.simulation import LogicSimulator
+from repro.soc.system import JpegSocTlm
+from repro.soc.testplan import build_test_tasks, build_test_schedules
+
+
+@dataclass
+class SpeedupResult:
+    """Outcome of the abstraction-level speed comparison."""
+
+    gate_level_cycles_simulated: int
+    gate_level_seconds: float
+    tlm_cycles_simulated: int
+    tlm_seconds: float
+    reference_cycles: int = 300_000_000
+
+    @property
+    def gate_level_cycles_per_second(self) -> float:
+        return self.gate_level_cycles_simulated / max(self.gate_level_seconds, 1e-12)
+
+    @property
+    def tlm_cycles_per_second(self) -> float:
+        return self.tlm_cycles_simulated / max(self.tlm_seconds, 1e-12)
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the TLM simulates one SoC clock cycle."""
+        return self.tlm_cycles_per_second / max(self.gate_level_cycles_per_second, 1e-12)
+
+    @property
+    def gate_level_projection_seconds(self) -> float:
+        """Projected wall-clock time for the reference cycle count at gate level."""
+        return self.reference_cycles / max(self.gate_level_cycles_per_second, 1e-12)
+
+    @property
+    def tlm_projection_seconds(self) -> float:
+        """Projected wall-clock time for the reference cycle count at TLM level."""
+        return self.reference_cycles / max(self.tlm_cycles_per_second, 1e-12)
+
+    def summary(self) -> str:
+        return "\n".join([
+            "abstraction-level speed comparison "
+            f"(reference: {self.reference_cycles / 1e6:.0f} Mcycles)",
+            f"  gate level : {self.gate_level_cycles_per_second:12,.0f} cycles/s "
+            f"-> {self.gate_level_projection_seconds / 3600.0:8.1f} h projected",
+            f"  TLM        : {self.tlm_cycles_per_second:12,.0f} cycles/s "
+            f"-> {self.tlm_projection_seconds:8.1f} s projected",
+            f"  speedup    : {self.speedup:12,.0f}x",
+        ])
+
+
+def run_speed_comparison(gate_level_cycles: int = 400,
+                         core_flip_flops: int = 600,
+                         core_gates: int = 3_000,
+                         schedule_name: str = "schedule_4",
+                         reference_cycles: int = 300_000_000) -> SpeedupResult:
+    """Measure gate-level and TLM simulation speed and extrapolate.
+
+    *gate_level_cycles* free-running clock cycles of a synthetic scan core
+    (default 1 000 flip-flops / 5 000 gates) are simulated gate by gate; the
+    TLM side simulates one complete test schedule of the JPEG SoC.  Both
+    figures are converted into simulated-cycles-per-wall-clock-second and
+    extrapolated to *reference_cycles*.
+    """
+    if gate_level_cycles <= 0:
+        raise ValueError("gate_level_cycles must be positive")
+    spec = SyntheticCoreSpec(name="speedup_core", flip_flops=core_flip_flops,
+                             gates=core_gates, seed=3)
+    netlist = generate_netlist(spec)
+    simulator = LogicSimulator(netlist)
+    gate_start = time.perf_counter()
+    simulator.run_cycles(gate_level_cycles)
+    gate_seconds = time.perf_counter() - gate_start
+
+    soc = JpegSocTlm()
+    tasks = build_test_tasks()
+    schedule = build_test_schedules()[schedule_name]
+    tlm_start = time.perf_counter()
+    metrics = soc.run_test_schedule(schedule, tasks)
+    tlm_seconds = time.perf_counter() - tlm_start
+
+    return SpeedupResult(
+        gate_level_cycles_simulated=gate_level_cycles,
+        gate_level_seconds=gate_seconds,
+        tlm_cycles_simulated=metrics.test_length_cycles,
+        tlm_seconds=tlm_seconds,
+        reference_cycles=reference_cycles,
+    )

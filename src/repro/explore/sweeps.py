@@ -1,0 +1,135 @@
+"""Design-space sweeps enabled by the test-infrastructure TLM.
+
+These are the exploration studies the paper motivates but does not tabulate:
+how does the compressed processor test react to the compression ratio, how
+does the TAM width shift the bottleneck, and how do machine-generated
+schedules compare against the paper's hand-written ones.  Each sweep runs the
+same simulation flow as the Table I reproduction, just with one parameter
+varied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.schedule.estimator import TestTimeEstimator
+from repro.schedule.model import TestSchedule
+from repro.schedule.power import PowerModel
+from repro.schedule.scheduler import greedy_concurrent_schedule, sequential_schedule
+from repro.soc.system import JpegSocTlm, SocConfiguration, TestRunMetrics
+from repro.soc.testplan import (
+    MEMORY,
+    build_core_descriptions,
+    build_platform_parameters,
+    build_test_schedules,
+    build_test_tasks,
+)
+
+
+@dataclass
+class SweepPoint:
+    """One simulated design point of a sweep."""
+
+    parameter: str
+    value: float
+    metrics: TestRunMetrics
+
+    def as_row(self) -> Dict[str, object]:
+        row = {"parameter": self.parameter, "value": self.value}
+        row.update(self.metrics.as_row())
+        return row
+
+
+def _compressed_only_schedule() -> TestSchedule:
+    """A schedule containing only the compressed processor test (test 3)."""
+    return TestSchedule.sequential("compressed_only", ["t3_processor_compressed"])
+
+
+def compression_ratio_sweep(ratios: Sequence[float] = (1, 2, 5, 10, 50, 100, 1000),
+                            config: Optional[SocConfiguration] = None) -> List[SweepPoint]:
+    """Sweep the test data compression ratio of the processor test.
+
+    The paper notes compression schemes of up to 1000x; this sweep shows where
+    the bottleneck moves from the ATE link to the TAM and finally to the
+    core-internal scan chains.
+    """
+    tasks = build_test_tasks()
+    points = []
+    for ratio in ratios:
+        point_config = config or SocConfiguration()
+        point_config = SocConfiguration(**{**point_config.__dict__,
+                                           "compression_ratio": float(ratio)})
+        point_tasks = dict(tasks)
+        task = point_tasks["t3_processor_compressed"]
+        point_tasks["t3_processor_compressed"] = type(task)(
+            name=task.name, kind=task.kind, core=task.core,
+            pattern_count=task.pattern_count, compression_ratio=float(ratio),
+            power=task.power, attributes=dict(task.attributes),
+        )
+        soc = JpegSocTlm(point_config)
+        metrics = soc.run_test_schedule(_compressed_only_schedule(), point_tasks)
+        points.append(SweepPoint("compression_ratio", float(ratio), metrics))
+    return points
+
+
+def tam_width_sweep(widths: Sequence[int] = (8, 16, 32, 64),
+                    schedule_name: str = "schedule_4") -> List[SweepPoint]:
+    """Sweep the width of the system bus / TAM for one schedule."""
+    tasks = build_test_tasks()
+    schedule = build_test_schedules()[schedule_name]
+    points = []
+    for width in widths:
+        config = SocConfiguration(tam_width_bits=int(width))
+        soc = JpegSocTlm(config)
+        metrics = soc.run_test_schedule(schedule, tasks)
+        points.append(SweepPoint("tam_width_bits", float(width), metrics))
+    return points
+
+
+@dataclass
+class ScheduleComparison:
+    """Simulated comparison of hand-written and generated schedules."""
+
+    schedule: TestSchedule
+    estimated_cycles: int
+    metrics: TestRunMetrics
+
+
+def schedule_exploration(power_budget: float = 6.0) -> List[ScheduleComparison]:
+    """Compare the paper's schedules against automatically generated ones.
+
+    A sequential baseline and a greedy concurrent schedule (built from the
+    coarse estimates, under a peak power budget) are simulated alongside the
+    paper's four hand-written schedules.
+    """
+    tasks = build_test_tasks()
+    descriptions = build_core_descriptions()
+    platform = build_platform_parameters()
+    estimator = TestTimeEstimator(descriptions, platform,
+                                  memory_words={MEMORY: SocConfiguration().memory_words})
+    estimates = estimator.estimate_all(tasks)
+    power_model = PowerModel(budget=power_budget)
+
+    candidates: Dict[str, TestSchedule] = dict(build_test_schedules())
+    candidates["generated_sequential"] = sequential_schedule(
+        "generated_sequential", tasks,
+        order=sorted(tasks, key=lambda name: estimates[name], reverse=True),
+        description="auto-generated sequential baseline (longest first)",
+    )
+    candidates["generated_greedy"] = greedy_concurrent_schedule(
+        "generated_greedy", tasks, estimates, power_model=power_model,
+        description="auto-generated greedy concurrent schedule",
+    )
+
+    comparisons = []
+    for name in sorted(candidates):
+        schedule = candidates[name]
+        soc = JpegSocTlm()
+        metrics = soc.run_test_schedule(schedule, tasks)
+        comparisons.append(ScheduleComparison(
+            schedule=schedule,
+            estimated_cycles=estimator.estimate_schedule_cycles(schedule, tasks),
+            metrics=metrics,
+        ))
+    return comparisons

@@ -1,0 +1,116 @@
+"""Events and waitable condition objects.
+
+Processes suspend themselves by ``yield``-ing one of the objects defined in
+this module:
+
+* :class:`Timeout` -- resume after a fixed amount of simulated time,
+* :class:`Event` -- resume when the event is notified,
+* :class:`AnyOf` / :class:`AllOf` -- composite waits on several events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Union
+
+from repro.kernel.exceptions import SchedulingError
+from repro.kernel.simtime import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.process import Process
+    from repro.kernel.simulator import Simulator
+
+
+class Timeout:
+    """A relative wait for a fixed duration of simulated time."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: Union[SimTime, int]):
+        self.duration = SimTime.coerce(duration)
+
+    def __repr__(self):
+        return f"Timeout({self.duration})"
+
+
+class Event:
+    """A notifiable event, analogous to ``sc_event``.
+
+    Processes wait on an event by yielding it; :meth:`notify` wakes every
+    process that is waiting at the moment the notification matures.  A
+    notification can be immediate (same timestamp, next delta) or delayed.
+    """
+
+    def __init__(self, sim: Optional["Simulator"] = None, name: str = ""):
+        self.sim = sim
+        self.name = name or f"event_{id(self):x}"
+        self._waiters: List["Process"] = []
+        self._callbacks = []
+        #: Value passed to waiters by the most recent notification.
+        self.last_value = None
+
+    # -- registration ------------------------------------------------------
+    def add_waiter(self, process: "Process") -> None:
+        """Register *process* to be resumed on the next notification."""
+        if self.sim is None:
+            self.sim = process.sim
+        self._waiters.append(process)
+
+    def remove_waiter(self, process: "Process") -> None:
+        """Remove *process* if it is registered (no-op otherwise)."""
+        try:
+            self._waiters.remove(process)
+        except ValueError:
+            pass
+
+    def add_callback(self, callback) -> None:
+        """Register a plain callable invoked (with the notification value)
+        every time the event fires.  Callbacks are persistent."""
+        self._callbacks.append(callback)
+
+    # -- notification ------------------------------------------------------
+    def notify(self, delay: Union[SimTime, int] = 0, value=None) -> None:
+        """Notify the event after *delay* (default: next delta cycle)."""
+        delay = SimTime.coerce(delay)
+        if self.sim is None:
+            raise SchedulingError(
+                f"event {self.name!r} cannot be notified: it is not attached "
+                "to a simulator and has never been waited on"
+            )
+        self.sim.schedule_callback(lambda: self._fire(value), delay)
+
+    def _fire(self, value) -> None:
+        self.last_value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process.unsubscribe_all()
+            self.sim.schedule_process(process, 0, value)
+        for callback in list(self._callbacks):
+            callback(value)
+
+    @property
+    def waiter_count(self) -> int:
+        """Number of processes currently waiting on the event."""
+        return len(self._waiters)
+
+    def __repr__(self):
+        return f"Event({self.name!r}, waiters={len(self._waiters)})"
+
+
+class _Composite:
+    """Base class of :class:`AnyOf` and :class:`AllOf`."""
+
+    def __init__(self, events: Iterable[Event]):
+        self.events = list(events)
+        if not self.events:
+            raise SchedulingError("composite wait requires at least one event")
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.events!r})"
+
+
+class AnyOf(_Composite):
+    """Wait until *any* of the given events has been notified."""
+
+
+class AllOf(_Composite):
+    """Wait until *all* of the given events have been notified."""

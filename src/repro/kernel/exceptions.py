@@ -1,0 +1,33 @@
+"""Exception hierarchy of the simulation kernel."""
+
+
+class KernelError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class BindingError(KernelError):
+    """Raised when a port is used before it has been bound, is bound twice,
+    or is bound to a channel that does not implement its interface."""
+
+
+class ElaborationError(KernelError):
+    """Raised when the module hierarchy cannot be elaborated."""
+
+
+class SchedulingError(KernelError):
+    """Raised when an event or process is scheduled inconsistently
+    (for example a negative delay)."""
+
+
+class SimulationFinished(KernelError):
+    """Raised inside a process when the simulation is stopped while the
+    process is still waiting."""
+
+
+class ProcessKilled(KernelError):
+    """Raised inside a process generator when it is killed explicitly."""
+
+
+class DeadlockError(KernelError):
+    """Raised by :meth:`repro.kernel.simulator.Simulator.run` when
+    ``run(until=...)`` is asked to make progress but no event is pending."""

@@ -1,0 +1,93 @@
+"""A bounded FIFO channel with blocking access (``sc_fifo`` analogue)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Union
+
+from repro.kernel.channel import Channel
+from repro.kernel.interface import Interface
+from repro.kernel.module import Module
+from repro.kernel.simulator import Simulator
+
+
+class FifoPutInterface(Interface):
+    """Blocking/non-blocking write side of a FIFO."""
+
+    def put(self, item):  # pragma: no cover - interface declaration
+        raise NotImplementedError
+
+    def try_put(self, item) -> bool:  # pragma: no cover - interface declaration
+        raise NotImplementedError
+
+
+class FifoGetInterface(Interface):
+    """Blocking/non-blocking read side of a FIFO."""
+
+    def get(self):  # pragma: no cover - interface declaration
+        raise NotImplementedError
+
+    def try_get(self):  # pragma: no cover - interface declaration
+        raise NotImplementedError
+
+
+class Fifo(Channel, FifoPutInterface, FifoGetInterface):
+    """Bounded FIFO.
+
+    ``put`` and ``get`` are generators (blocking calls) and must be invoked
+    with ``yield from``; ``try_put``/``try_get`` are plain non-blocking calls.
+    """
+
+    def __init__(self, parent: Union[Simulator, Module], name: str,
+                 capacity: int = 16):
+        super().__init__(parent, name)
+        if capacity <= 0:
+            raise ValueError("FIFO capacity must be positive")
+        self.capacity = capacity
+        self._items = deque()
+        self._data_written = self.sim.event(f"{self.name}.data_written")
+        self._data_read = self.sim.event(f"{self.name}.data_read")
+
+    # -- write side -------------------------------------------------------------
+    def put(self, item):
+        """Blocking put: waits while the FIFO is full."""
+        while len(self._items) >= self.capacity:
+            yield self._data_read
+        self._items.append(item)
+        self._data_written.notify(0)
+
+    def try_put(self, item) -> bool:
+        """Non-blocking put: returns ``False`` when the FIFO is full."""
+        if len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        self._data_written.notify(0)
+        return True
+
+    # -- read side -----------------------------------------------------------------
+    def get(self):
+        """Blocking get: waits while the FIFO is empty, returns the item."""
+        while not self._items:
+            yield self._data_written
+        item = self._items.popleft()
+        self._data_read.notify(0)
+        return item
+
+    def try_get(self):
+        """Non-blocking get: returns ``(True, item)`` or ``(False, None)``."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self._data_read.notify(0)
+        return True, item
+
+    # -- introspection ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self._items)
+
+    def __repr__(self):
+        return f"Fifo({self.name!r}, {len(self)}/{self.capacity})"

@@ -1,0 +1,41 @@
+"""Abstract interfaces, the equivalent of ``sc_interface``.
+
+The paper's Figure 2 derives the TAM interface from the generic SystemC
+interface; this module provides that generic base.  An interface is a plain
+Python class whose abstract methods describe the services a channel offers;
+ports are parameterised with an interface class and refuse to bind to
+channels that do not implement it.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import List
+
+
+class Interface:
+    """Base class for all channel interfaces."""
+
+    @classmethod
+    def required_methods(cls) -> List[str]:
+        """Names of the methods an implementation must provide.
+
+        Every public method declared on the interface subclass (excluding the
+        ones inherited from :class:`Interface` itself) is considered part of
+        the contract.
+        """
+        methods = []
+        for name, member in inspect.getmembers(cls, predicate=callable):
+            if name.startswith("_"):
+                continue
+            if hasattr(Interface, name):
+                continue
+            methods.append(name)
+        return sorted(methods)
+
+    @classmethod
+    def is_implemented_by(cls, obj) -> bool:
+        """Return ``True`` if *obj* provides every method of the interface."""
+        if isinstance(obj, cls):
+            return True
+        return all(callable(getattr(obj, name, None)) for name in cls.required_methods())

@@ -1,0 +1,80 @@
+"""Ports and exports.
+
+A :class:`Port` is the point through which a module calls into a channel.  It
+is parameterised with an :class:`~repro.kernel.interface.Interface` subclass
+and must be *bound* to an object implementing that interface before use
+(mirroring the SystemC bind mechanism referenced in the paper's Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, Type, TypeVar
+
+from repro.kernel.exceptions import BindingError
+from repro.kernel.interface import Interface
+
+InterfaceT = TypeVar("InterfaceT", bound=Interface)
+
+
+class Port(Generic[InterfaceT]):
+    """A typed reference to a channel, resolved by :meth:`bind`."""
+
+    def __init__(self, interface: Type[InterfaceT], name: str = "port",
+                 owner=None):
+        if not (isinstance(interface, type) and issubclass(interface, Interface)):
+            raise TypeError("Port expects an Interface subclass")
+        self.interface = interface
+        self.name = name
+        self.owner = owner
+        self._channel: Optional[InterfaceT] = None
+
+    # -- binding -------------------------------------------------------------
+    def bind(self, channel: InterfaceT) -> None:
+        """Bind the port to *channel* (which must implement the interface)."""
+        if self._channel is not None:
+            raise BindingError(f"port {self.qualified_name!r} is already bound")
+        if not self.interface.is_implemented_by(channel):
+            raise BindingError(
+                f"cannot bind port {self.qualified_name!r}: "
+                f"{type(channel).__name__} does not implement "
+                f"{self.interface.__name__}"
+            )
+        self._channel = channel
+
+    @property
+    def is_bound(self) -> bool:
+        return self._channel is not None
+
+    @property
+    def channel(self) -> InterfaceT:
+        """The bound channel; raises :class:`BindingError` if unbound."""
+        if self._channel is None:
+            raise BindingError(f"port {self.qualified_name!r} is not bound")
+        return self._channel
+
+    @property
+    def qualified_name(self) -> str:
+        if self.owner is not None and getattr(self.owner, "name", None):
+            return f"{self.owner.name}.{self.name}"
+        return self.name
+
+    # -- convenience ----------------------------------------------------------
+    def __call__(self) -> InterfaceT:
+        """Shorthand used in models: ``self.tam_port().write(...)``."""
+        return self.channel
+
+    def __getattr__(self, item):
+        # Delegate interface method lookups to the bound channel so models can
+        # write ``port.write(...)`` exactly like SystemC's ``port->write(...)``.
+        if item.startswith("_"):
+            raise AttributeError(item)
+        return getattr(self.channel, item)
+
+    def __repr__(self):
+        target = type(self._channel).__name__ if self._channel else "<unbound>"
+        return f"Port({self.qualified_name!r} -> {target})"
+
+
+class ExportPort(Port):
+    """An export: a port bound by the *providing* module to publish one of its
+    own channels to the parent level (``sc_export`` analogue)."""

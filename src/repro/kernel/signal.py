@@ -1,0 +1,53 @@
+"""Signals with evaluate/update semantics (``sc_signal`` analogue)."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.kernel.channel import PrimitiveChannel
+from repro.kernel.interface import Interface
+from repro.kernel.module import Module
+from repro.kernel.simulator import Simulator
+
+
+class SignalReadInterface(Interface):
+    def read(self):  # pragma: no cover - interface declaration
+        raise NotImplementedError
+
+
+class SignalWriteInterface(Interface):
+    def write(self, value):  # pragma: no cover - interface declaration
+        raise NotImplementedError
+
+
+class Signal(PrimitiveChannel, SignalReadInterface, SignalWriteInterface):
+    """A single-driver signal.
+
+    Writes take effect in the update phase of the current delta cycle, so all
+    processes that read the signal during the evaluate phase observe the old
+    value — the standard RTL-style semantics.
+    """
+
+    def __init__(self, parent: Union[Simulator, Module], name: str, initial=0):
+        super().__init__(parent, name)
+        self._current = initial
+        self._next = initial
+        self.value_changed = self.sim.event(f"{self.name}.value_changed")
+
+    def read(self):
+        """Current (settled) value of the signal."""
+        return self._current
+
+    def write(self, value) -> None:
+        """Schedule *value* to become visible in the next delta cycle."""
+        self._next = value
+        self.request_update()
+
+    def update(self) -> None:
+        self._update_requested = False
+        if self._next != self._current:
+            self._current = self._next
+            self.value_changed.notify(0, value=self._current)
+
+    def __repr__(self):
+        return f"Signal({self.name!r}, value={self._current!r})"

@@ -1,0 +1,138 @@
+"""Simulated time.
+
+Time is represented as an integer number of femtoseconds wrapped in
+:class:`SimTime`.  Integer femtoseconds give exact arithmetic for every clock
+period that appears in the models (the paper's SoC runs in the hundreds of MHz
+range) while still covering multi-second simulations within 64-bit-friendly
+magnitudes.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Union
+
+#: Number of femtoseconds per unit.
+FS = 1
+PS = 1_000
+NS = 1_000_000
+US = 1_000_000_000
+MS = 1_000_000_000_000
+SEC = 1_000_000_000_000_000
+
+_UNIT_NAMES = {
+    FS: "fs",
+    PS: "ps",
+    NS: "ns",
+    US: "us",
+    MS: "ms",
+    SEC: "s",
+}
+
+
+@functools.total_ordering
+class SimTime:
+    """A point in (or duration of) simulated time.
+
+    ``SimTime`` values are immutable and support addition, subtraction,
+    integer multiplication and comparison.  Plain integers are accepted
+    wherever a ``SimTime`` is expected and are interpreted as femtoseconds.
+    """
+
+    __slots__ = ("femtoseconds",)
+
+    def __init__(self, value: Union[int, float] = 0, unit: int = FS):
+        if unit not in _UNIT_NAMES:
+            raise ValueError(f"unknown time unit factor: {unit!r}")
+        femtoseconds = round(value * unit)
+        if femtoseconds < 0:
+            raise ValueError("simulated time cannot be negative")
+        object.__setattr__(self, "femtoseconds", int(femtoseconds))
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("SimTime is immutable")
+
+    # -- conversions -------------------------------------------------------
+    @classmethod
+    def coerce(cls, value: Union["SimTime", int, float]) -> "SimTime":
+        """Return *value* as a :class:`SimTime` (integers are femtoseconds)."""
+        if isinstance(value, SimTime):
+            return value
+        return cls(value, FS)
+
+    def to(self, unit: int) -> float:
+        """Return the time expressed in *unit* (e.g. ``NS``) as a float."""
+        if unit not in _UNIT_NAMES:
+            raise ValueError(f"unknown time unit factor: {unit!r}")
+        return self.femtoseconds / unit
+
+    # -- arithmetic --------------------------------------------------------
+    def __add__(self, other):
+        other = SimTime.coerce(other)
+        return SimTime(self.femtoseconds + other.femtoseconds, FS)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = SimTime.coerce(other)
+        return SimTime(self.femtoseconds - other.femtoseconds, FS)
+
+    def __mul__(self, factor: int):
+        if not isinstance(factor, int):
+            raise TypeError("SimTime can only be multiplied by an integer")
+        return SimTime(self.femtoseconds * factor, FS)
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other):
+        other = SimTime.coerce(other)
+        if other.femtoseconds == 0:
+            raise ZeroDivisionError("division by zero SimTime")
+        return self.femtoseconds // other.femtoseconds
+
+    # -- comparisons -------------------------------------------------------
+    def __eq__(self, other):
+        if isinstance(other, (SimTime, int, float)):
+            return self.femtoseconds == SimTime.coerce(other).femtoseconds
+        return NotImplemented
+
+    def __lt__(self, other):
+        return self.femtoseconds < SimTime.coerce(other).femtoseconds
+
+    def __hash__(self):
+        return hash(self.femtoseconds)
+
+    def __bool__(self):
+        return self.femtoseconds != 0
+
+    # -- display -----------------------------------------------------------
+    def __repr__(self):
+        return f"SimTime({self.femtoseconds} fs)"
+
+    def __str__(self):
+        value = self.femtoseconds
+        for unit in (SEC, MS, US, NS, PS):
+            if value >= unit and value % unit == 0:
+                return f"{value // unit} {_UNIT_NAMES[unit]}"
+        return f"{value} fs"
+
+
+#: The zero duration, reused all over the kernel.
+ZERO_TIME = SimTime(0)
+
+
+def cycles_to_time(cycles: int, period: Union[SimTime, int]) -> SimTime:
+    """Return the duration of *cycles* clock cycles of the given *period*."""
+    if cycles < 0:
+        raise ValueError("cycle count cannot be negative")
+    period = SimTime.coerce(period)
+    return SimTime(cycles * period.femtoseconds, FS)
+
+
+def time_to_cycles(duration: Union[SimTime, int], period: Union[SimTime, int]) -> int:
+    """Return how many full clock cycles of *period* fit into *duration*."""
+    duration = SimTime.coerce(duration)
+    period = SimTime.coerce(period)
+    if period.femtoseconds <= 0:
+        raise ValueError("clock period must be positive")
+    return duration.femtoseconds // period.femtoseconds

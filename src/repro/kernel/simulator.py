@@ -1,0 +1,184 @@
+"""The discrete-event scheduler."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Union
+
+from repro.kernel.event import Event
+from repro.kernel.exceptions import DeadlockError, SchedulingError
+from repro.kernel.process import Process
+from repro.kernel.simtime import SimTime
+
+
+class _QueueEntry:
+    """An entry in the central event queue.
+
+    Entries are ordered by time first and by insertion order second so that
+    simultaneous activations run in a deterministic (FIFO) order.
+    """
+
+    __slots__ = ("time_fs", "sequence", "action", "value", "cancelled")
+
+    def __init__(self, time_fs: int, sequence: int, action, value):
+        self.time_fs = time_fs
+        self.sequence = sequence
+        self.action = action
+        self.value = value
+        self.cancelled = False
+
+    def __lt__(self, other):
+        if self.time_fs != other.time_fs:
+            return self.time_fs < other.time_fs
+        return self.sequence < other.sequence
+
+
+class Simulator:
+    """Event-driven simulation kernel.
+
+    The kernel keeps a single binary-heap event queue.  Two kinds of actions
+    are scheduled on it: process resumptions and plain callbacks (used for
+    delayed event notifications and primitive updates).  An *update phase*
+    modelled after SystemC's evaluate/update delta cycle is run whenever all
+    activations at the current timestamp have been processed.
+    """
+
+    def __init__(self, name: str = "sim"):
+        self.name = name
+        self._queue: List[_QueueEntry] = []
+        self._sequence = 0
+        self._now_fs = 0
+        self._running = False
+        self._processes: List[Process] = []
+        self._update_requests = []
+        self._failures = []
+        self.trace_hooks: List[Callable] = []
+        #: Number of queue entries processed so far (for performance studies).
+        self.dispatched_activations = 0
+
+    # -- time ----------------------------------------------------------------
+    @property
+    def now(self) -> SimTime:
+        """Current simulated time."""
+        return SimTime(self._now_fs)
+
+    @property
+    def now_fs(self) -> int:
+        """Current simulated time in femtoseconds (fast path for channels)."""
+        return self._now_fs
+
+    # -- scheduling ------------------------------------------------------------
+    def _push(self, delay, action, value=None) -> _QueueEntry:
+        delay = SimTime.coerce(delay)
+        entry = _QueueEntry(
+            self._now_fs + delay.femtoseconds, self._sequence, action, value
+        )
+        self._sequence += 1
+        heapq.heappush(self._queue, entry)
+        return entry
+
+    def schedule_process(self, process: Process, delay=0, value=None) -> _QueueEntry:
+        """Schedule *process* to resume after *delay*."""
+        return self._push(delay, process, value)
+
+    def schedule_callback(self, callback: Callable, delay=0) -> _QueueEntry:
+        """Schedule a plain callable to run after *delay*."""
+        if not callable(callback):
+            raise SchedulingError("schedule_callback expects a callable")
+        return self._push(delay, callback)
+
+    def request_update(self, primitive) -> None:
+        """Request that ``primitive.update()`` runs in the next update phase."""
+        self._update_requests.append(primitive)
+
+    # -- processes -------------------------------------------------------------
+    def spawn(self, generator, name: str = "") -> Process:
+        """Create a process from *generator* and schedule its first activation."""
+        process = Process(self, generator, name=name)
+        self._processes.append(process)
+        self.schedule_process(process, 0)
+        return process
+
+    def event(self, name: str = "") -> Event:
+        """Create an event attached to this simulator."""
+        return Event(self, name=name)
+
+    def process_terminated(self, process: Process) -> None:
+        """Hook called by :class:`Process` when it finishes."""
+        # Processes stay in the list for introspection; nothing to do here.
+
+    def report_process_failure(self, process: Process, exc: Exception) -> None:
+        """Record an exception escaping a process and re-raise it at run()."""
+        self._failures.append((process, exc))
+
+    @property
+    def processes(self) -> List[Process]:
+        return list(self._processes)
+
+    # -- execution ---------------------------------------------------------------
+    def _dispatch(self, entry: _QueueEntry) -> None:
+        self.dispatched_activations += 1
+        action = entry.action
+        if isinstance(action, Process):
+            action.resume(entry.value)
+        else:
+            action()
+
+    def _run_update_phase(self) -> None:
+        requests, self._update_requests = self._update_requests, []
+        for primitive in requests:
+            primitive.update()
+
+    def run(self, until: Optional[Union[SimTime, int]] = None) -> SimTime:
+        """Run the simulation.
+
+        Without *until* the simulation runs until the event queue drains.
+        With *until* it runs up to and including that absolute time and raises
+        :class:`DeadlockError` if asked to reach a time for which no activity
+        is pending at all.
+        """
+        limit_fs = None if until is None else SimTime.coerce(until).femtoseconds
+        if limit_fs is not None and not self._queue and not self._update_requests:
+            raise DeadlockError("nothing is scheduled; simulation cannot advance")
+        self._running = True
+        try:
+            while self._queue or self._update_requests:
+                if self._queue:
+                    next_time = self._queue[0].time_fs
+                else:
+                    next_time = self._now_fs
+                if limit_fs is not None and next_time > limit_fs:
+                    self._now_fs = limit_fs
+                    break
+                self._now_fs = next_time
+                # Evaluate phase: all activations at the current timestamp.
+                while self._queue and self._queue[0].time_fs == self._now_fs:
+                    entry = heapq.heappop(self._queue)
+                    if not entry.cancelled:
+                        self._dispatch(entry)
+                    self._raise_pending_failure()
+                # Update phase (may schedule new delta activations at now).
+                if self._update_requests:
+                    self._run_update_phase()
+                    self._raise_pending_failure()
+        finally:
+            self._running = False
+        return self.now
+
+    def _raise_pending_failure(self) -> None:
+        if self._failures:
+            process, exc = self._failures.pop(0)
+            raise RuntimeError(
+                f"process {process.name!r} raised {type(exc).__name__}: {exc}"
+            ) from exc
+
+    @property
+    def pending_activations(self) -> int:
+        """Number of not-yet-dispatched entries in the event queue."""
+        return sum(1 for entry in self._queue if not entry.cancelled)
+
+    def __repr__(self):
+        return (
+            f"Simulator({self.name!r}, now={self.now}, "
+            f"pending={self.pending_activations})"
+        )

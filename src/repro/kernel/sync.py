@@ -1,0 +1,96 @@
+"""Synchronisation primitives built on events."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.kernel.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.simulator import Simulator
+
+
+class Mutex:
+    """A FIFO-fair mutual-exclusion lock.
+
+    ``acquire`` is a blocking call (generator, use ``yield from``); ``release``
+    is immediate.  Used by channels to arbitrate exclusive resources such as
+    the TAM or the ATE link.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "mutex"):
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self._waiters = deque()
+        #: Total number of acquisitions (arbitration statistics).
+        self.acquisitions = 0
+        #: Number of acquisitions that had to wait.
+        self.contentions = 0
+
+    def acquire(self):
+        """Blocking acquire; returns once the lock is held by the caller."""
+        if self._locked or self._waiters:
+            # Queue up; ownership is handed over directly by release().
+            self.contentions += 1
+            ticket = Event(self.sim, name=f"{self.name}.ticket")
+            self._waiters.append(ticket)
+            yield ticket
+        else:
+            self._locked = True
+        self.acquisitions += 1
+        return self
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; returns ``True`` on success."""
+        if self._locked or self._waiters:
+            return False
+        self._locked = True
+        self.acquisitions += 1
+        return True
+
+    def release(self) -> None:
+        """Release the lock and wake the next waiter (FIFO order).
+
+        When waiters are queued, ownership is handed over directly (the lock
+        stays held) so a late-arriving process cannot sneak in between the
+        release and the waiter's resumption.
+        """
+        if not self._locked:
+            raise RuntimeError(f"mutex {self.name!r} released while not held")
+        if self._waiters:
+            ticket = self._waiters.popleft()
+            ticket.notify(0)
+        else:
+            self._locked = False
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+
+class Semaphore:
+    """A counting semaphore with blocking ``acquire``."""
+
+    def __init__(self, sim: "Simulator", initial: int, name: str = "semaphore"):
+        if initial < 0:
+            raise ValueError("initial semaphore count cannot be negative")
+        self.sim = sim
+        self.name = name
+        self._count = initial
+        self._released = Event(sim, name=f"{name}.released")
+
+    def acquire(self):
+        """Blocking acquire of one unit."""
+        while self._count == 0:
+            yield self._released
+        self._count -= 1
+
+    def release(self) -> None:
+        self._count += 1
+        self._released.notify(0)
+
+    @property
+    def available(self) -> int:
+        return self._count

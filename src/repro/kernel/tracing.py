@@ -1,0 +1,133 @@
+"""Transaction recording.
+
+The monitors in :mod:`repro.dft` derive TAM utilization and power profiles
+from the transaction stream, which is exactly the simulation-based evaluation
+of schedules the paper advocates.  The tracer is deliberately generic: any
+channel can record the begin/end of a transaction together with free-form
+attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.kernel.simtime import SimTime
+
+
+@dataclass
+class TransactionRecord:
+    """A completed transaction on some channel."""
+
+    channel: str
+    kind: str
+    start: SimTime
+    end: SimTime
+    initiator: str = ""
+    address: Optional[int] = None
+    data_bits: int = 0
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> SimTime:
+        return self.end - self.start
+
+    def overlaps(self, start: SimTime, end: SimTime) -> bool:
+        """True if the transaction overlaps the half-open window [start, end)."""
+        return self.start < end and self.end > start
+
+
+class TransactionTracer:
+    """Collects :class:`TransactionRecord` objects during a simulation."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: List[TransactionRecord] = []
+
+    def record(self, record: TransactionRecord) -> None:
+        if self.enabled:
+            self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    # -- queries ------------------------------------------------------------
+    def for_channel(self, channel: str) -> List[TransactionRecord]:
+        return [r for r in self.records if r.channel == channel]
+
+    def channels(self) -> List[str]:
+        return sorted({r.channel for r in self.records})
+
+    def total_busy_time(self, channel: str) -> SimTime:
+        """Total busy duration of *channel*, merging overlapping transactions."""
+        intervals = sorted(
+            ((r.start.femtoseconds, r.end.femtoseconds) for r in self.for_channel(channel))
+        )
+        busy = 0
+        current_start = current_end = None
+        for start, end in intervals:
+            if current_end is None or start > current_end:
+                if current_end is not None:
+                    busy += current_end - current_start
+                current_start, current_end = start, end
+            else:
+                current_end = max(current_end, end)
+        if current_end is not None:
+            busy += current_end - current_start
+        return SimTime(busy)
+
+    def utilization(self, channel: str, window_start: SimTime,
+                    window_end: SimTime) -> float:
+        """Fraction of the window during which *channel* was busy."""
+        window = window_end - window_start
+        if window.femtoseconds == 0:
+            return 0.0
+        busy = 0
+        ws, we = window_start.femtoseconds, window_end.femtoseconds
+        intervals = sorted(
+            (max(r.start.femtoseconds, ws), min(r.end.femtoseconds, we))
+            for r in self.for_channel(channel)
+            if r.overlaps(window_start, window_end)
+        )
+        current_start = current_end = None
+        for start, end in intervals:
+            if current_end is None or start > current_end:
+                if current_end is not None:
+                    busy += current_end - current_start
+                current_start, current_end = start, end
+            else:
+                current_end = max(current_end, end)
+        if current_end is not None:
+            busy += current_end - current_start
+        return busy / window.femtoseconds
+
+    def utilization_profile(self, channel: str, window: SimTime,
+                            start: Optional[SimTime] = None,
+                            end: Optional[SimTime] = None) -> List[float]:
+        """Utilization per fixed-size window across [start, end).
+
+        Used to compute the *peak* TAM utilization of Table I: the peak is the
+        maximum over the per-window utilizations.
+        """
+        records = self.for_channel(channel)
+        if not records:
+            return []
+        if start is None:
+            start = min(r.start for r in records)
+        if end is None:
+            end = max(r.end for r in records)
+        if window.femtoseconds <= 0:
+            raise ValueError("window must be a positive duration")
+        profile = []
+        cursor = start
+        while cursor < end:
+            upper = cursor + window
+            profile.append(self.utilization(channel, cursor, min(upper, end)))
+            cursor = upper
+        return profile
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterable[TransactionRecord]:
+        return iter(self.records)

@@ -1,0 +1,53 @@
+"""Memory substrate: arrays, fault models and march tests.
+
+The paper's SoC contains a 1 MByte embedded memory core tested with a MATS+
+march and pattern tests, either by a BIST controller (test sequence 6) or by
+the embedded processor (test sequence 7).  This package provides the
+algorithmic substance behind both: a fault-injectable memory-array model, the
+classic memory fault models, and a library of march tests plus data-background
+pattern tests.
+"""
+
+from repro.memory.array import MemoryArray
+from repro.memory.faults import (
+    CouplingFault,
+    MemoryFault,
+    StuckAtCellFault,
+    TransitionFault,
+)
+from repro.memory.march import (
+    AddressOrder,
+    MarchElement,
+    MarchOperation,
+    MarchTest,
+    MATS,
+    MATS_PLUS,
+    MATS_PLUS_PLUS,
+    MARCH_C_MINUS,
+    MARCH_X,
+    MARCH_Y,
+    CHECKERBOARD,
+    run_march_test,
+    run_pattern_test,
+)
+
+__all__ = [
+    "AddressOrder",
+    "CHECKERBOARD",
+    "CouplingFault",
+    "MATS",
+    "MATS_PLUS",
+    "MATS_PLUS_PLUS",
+    "MARCH_C_MINUS",
+    "MARCH_X",
+    "MARCH_Y",
+    "MarchElement",
+    "MarchOperation",
+    "MarchTest",
+    "MemoryArray",
+    "MemoryFault",
+    "StuckAtCellFault",
+    "TransitionFault",
+    "run_march_test",
+    "run_pattern_test",
+]

@@ -1,0 +1,155 @@
+"""Classic memory fault models.
+
+Three families are provided, enough to differentiate the detection power of
+the march tests in :mod:`repro.memory.march`:
+
+* stuck-at cell faults (a cell, or one of its bits, cannot change),
+* transition faults (a cell cannot make a particular 0->1 or 1->0 transition),
+* idempotent coupling faults (a write on an aggressor cell forces a value
+  into a victim cell).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memory.array import MemoryArray
+
+
+class MemoryFault:
+    """Base class of memory fault models.
+
+    Fault models hook into the read/write path of
+    :class:`~repro.memory.array.MemoryArray`:
+
+    * :meth:`on_read` may corrupt the value returned by a read,
+    * :meth:`on_write` may corrupt the value about to be stored,
+    * :meth:`after_write` may corrupt *other* cells (coupling faults).
+    """
+
+    def validate(self, memory: "MemoryArray") -> None:
+        """Check the fault parameters against the target array."""
+
+    def on_read(self, memory: "MemoryArray", address: int, value: int) -> int:
+        return value
+
+    def on_write(self, memory: "MemoryArray", address: int, value: int) -> int:
+        return value
+
+    def after_write(self, memory: "MemoryArray", address: int, value: int) -> None:
+        return None
+
+
+class StuckAtCellFault(MemoryFault):
+    """Bit *bit* of cell *address* is stuck at *value*."""
+
+    def __init__(self, address: int, bit: int, value: int):
+        if value not in (0, 1):
+            raise ValueError("stuck-at value must be 0 or 1")
+        if bit < 0:
+            raise ValueError("bit index must be non-negative")
+        self.address = address
+        self.bit = bit
+        self.value = value
+
+    def validate(self, memory: "MemoryArray") -> None:
+        if not 0 <= self.address < memory.words:
+            raise ValueError(f"fault address {self.address:#x} out of range")
+        if self.bit >= memory.word_bits:
+            raise ValueError(f"fault bit {self.bit} exceeds word width")
+
+    def _force(self, value: int) -> int:
+        if self.value:
+            return value | (1 << self.bit)
+        return value & ~(1 << self.bit)
+
+    def on_read(self, memory, address, value):
+        if address == self.address:
+            return self._force(value)
+        return value
+
+    def on_write(self, memory, address, value):
+        if address == self.address:
+            return self._force(value)
+        return value
+
+    def __repr__(self):
+        return f"StuckAtCellFault(addr={self.address:#x}, bit={self.bit}, value={self.value})"
+
+
+class TransitionFault(MemoryFault):
+    """Bit *bit* of cell *address* cannot make the *rising* (0->1) or falling
+    (1->0) transition."""
+
+    def __init__(self, address: int, bit: int, rising: bool):
+        self.address = address
+        self.bit = bit
+        self.rising = rising
+
+    def validate(self, memory: "MemoryArray") -> None:
+        if not 0 <= self.address < memory.words:
+            raise ValueError(f"fault address {self.address:#x} out of range")
+        if self.bit >= memory.word_bits:
+            raise ValueError(f"fault bit {self.bit} exceeds word width")
+
+    def on_write(self, memory, address, value):
+        if address != self.address:
+            return value
+        old_bit = (memory.raw_read(address) >> self.bit) & 1
+        new_bit = (value >> self.bit) & 1
+        blocked = (self.rising and old_bit == 0 and new_bit == 1) or (
+            not self.rising and old_bit == 1 and new_bit == 0
+        )
+        if blocked:
+            if old_bit:
+                return value | (1 << self.bit)
+            return value & ~(1 << self.bit)
+        return value
+
+    def __repr__(self):
+        kind = "rising" if self.rising else "falling"
+        return f"TransitionFault(addr={self.address:#x}, bit={self.bit}, {kind})"
+
+
+class CouplingFault(MemoryFault):
+    """Idempotent coupling fault: a write of *trigger_value* to bit *bit* of the
+    aggressor cell forces *forced_value* into the same bit of the victim cell."""
+
+    def __init__(self, aggressor: int, victim: int, bit: int = 0,
+                 trigger_value: int = 1, forced_value: int = 1):
+        if aggressor == victim:
+            raise ValueError("aggressor and victim must be different cells")
+        if trigger_value not in (0, 1) or forced_value not in (0, 1):
+            raise ValueError("trigger and forced values must be 0 or 1")
+        self.aggressor = aggressor
+        self.victim = victim
+        self.bit = bit
+        self.trigger_value = trigger_value
+        self.forced_value = forced_value
+
+    def validate(self, memory: "MemoryArray") -> None:
+        for address in (self.aggressor, self.victim):
+            if not 0 <= address < memory.words:
+                raise ValueError(f"fault address {address:#x} out of range")
+        if self.bit >= memory.word_bits:
+            raise ValueError(f"fault bit {self.bit} exceeds word width")
+
+    def after_write(self, memory, address, value):
+        if address != self.aggressor:
+            return
+        written_bit = (value >> self.bit) & 1
+        if written_bit != self.trigger_value:
+            return
+        victim_value = memory.raw_read(self.victim)
+        if self.forced_value:
+            victim_value |= 1 << self.bit
+        else:
+            victim_value &= ~(1 << self.bit)
+        memory.raw_write(self.victim, victim_value)
+
+    def __repr__(self):
+        return (
+            f"CouplingFault(aggressor={self.aggressor:#x}, victim={self.victim:#x}, "
+            f"bit={self.bit}, trigger={self.trigger_value}, forces={self.forced_value})"
+        )

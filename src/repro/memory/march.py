@@ -1,0 +1,228 @@
+"""March tests and data-background pattern tests.
+
+A march test is a sequence of *march elements*; each element walks over all
+addresses in a fixed order and applies a short sequence of read/write
+operations per address.  The classic algorithms used in the paper's case study
+(MATS+ plus "pattern tests") and several others are provided, together with a
+runner that applies them to a :class:`~repro.memory.array.MemoryArray` and
+reports detected failures and the exact operation count (from which the test
+length in cycles is derived).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+class AddressOrder(enum.Enum):
+    """Address order of a march element."""
+
+    UP = "up"          # ascending addresses
+    DOWN = "down"      # descending addresses
+    ANY = "any"        # order irrelevant (implemented as ascending)
+
+
+@dataclass(frozen=True)
+class MarchOperation:
+    """A single read or write within a march element.
+
+    ``kind`` is ``"r"`` or ``"w"``; ``value`` is the data background index
+    (0 -> background, 1 -> inverted background).
+    """
+
+    kind: str
+    value: int
+
+    def __post_init__(self):
+        if self.kind not in ("r", "w"):
+            raise ValueError("march operation kind must be 'r' or 'w'")
+        if self.value not in (0, 1):
+            raise ValueError("march operation value must be 0 or 1")
+
+    def __str__(self):
+        return f"{self.kind}{self.value}"
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """One element of a march test: an address order plus operations."""
+
+    order: AddressOrder
+    operations: Tuple[MarchOperation, ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "MarchElement":
+        """Parse e.g. ``"up(r0,w1)"`` or ``"down(r1,w0,r0)"``."""
+        text = text.strip()
+        open_paren = text.index("(")
+        order_name = text[:open_paren].strip().lower()
+        order = {"up": AddressOrder.UP, "down": AddressOrder.DOWN,
+                 "any": AddressOrder.ANY}[order_name]
+        body = text[open_paren + 1:text.rindex(")")]
+        operations = []
+        for token in body.split(","):
+            token = token.strip()
+            operations.append(MarchOperation(token[0], int(token[1])))
+        return cls(order=order, operations=tuple(operations))
+
+    @property
+    def operation_count(self) -> int:
+        return len(self.operations)
+
+    def __str__(self):
+        symbol = {"up": "⇑", "down": "⇓", "any": "⇕"}[self.order.value]
+        ops = ",".join(str(op) for op in self.operations)
+        return f"{symbol}({ops})"
+
+
+@dataclass(frozen=True)
+class MarchTest:
+    """A complete march algorithm."""
+
+    name: str
+    elements: Tuple[MarchElement, ...]
+
+    @classmethod
+    def from_notation(cls, name: str, elements: Sequence[str]) -> "MarchTest":
+        return cls(name=name, elements=tuple(MarchElement.parse(e) for e in elements))
+
+    @property
+    def operations_per_cell(self) -> int:
+        """Total operations applied to each cell (the "xN" complexity factor)."""
+        return sum(element.operation_count for element in self.elements)
+
+    def operation_count(self, words: int) -> int:
+        """Total number of memory operations for an array of *words* cells."""
+        return self.operations_per_cell * words
+
+    def __str__(self):
+        return f"{self.name}: " + " ".join(str(e) for e in self.elements)
+
+
+# -- classic algorithms ---------------------------------------------------------------
+
+MATS = MarchTest.from_notation("MATS", ["any(w0)", "any(r0,w1)", "any(r1)"])
+MATS_PLUS = MarchTest.from_notation(
+    "MATS+", ["any(w0)", "up(r0,w1)", "down(r1,w0)"]
+)
+MATS_PLUS_PLUS = MarchTest.from_notation(
+    "MATS++", ["any(w0)", "up(r0,w1)", "down(r1,w0,r0)"]
+)
+MARCH_X = MarchTest.from_notation(
+    "MARCH X", ["any(w0)", "up(r0,w1)", "down(r1,w0)", "any(r0)"]
+)
+MARCH_Y = MarchTest.from_notation(
+    "MARCH Y", ["any(w0)", "up(r0,w1,r1)", "down(r1,w0,r0)", "any(r0)"]
+)
+MARCH_C_MINUS = MarchTest.from_notation(
+    "MARCH C-",
+    ["any(w0)", "up(r0,w1)", "up(r1,w0)", "down(r0,w1)", "down(r1,w0)", "any(r0)"],
+)
+
+#: Data backgrounds used by the checkerboard pattern test.
+CHECKERBOARD = ("checkerboard", "inverse checkerboard")
+
+
+@dataclass
+class MarchTestResult:
+    """Outcome of running a march test against a memory array."""
+
+    test_name: str
+    words: int
+    operations: int
+    failures: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: Reads and writes actually issued (cross-check against ``operations``).
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    @property
+    def failing_addresses(self) -> List[int]:
+        return sorted({address for address, _, _ in self.failures})
+
+
+def _addresses(words: int, order: AddressOrder, stride: int = 1):
+    """Addresses visited by one march element.
+
+    With a *stride* the same subsampled address set must be visited by
+    ascending and descending elements, so the descending walk starts at the
+    highest multiple of the stride rather than at ``words - 1``.
+    """
+    if order is AddressOrder.DOWN:
+        highest = ((words - 1) // stride) * stride
+        return range(highest, -1, -stride)
+    return range(0, words, stride)
+
+
+def run_march_test(memory, march: MarchTest, background: int = 0,
+                   stride: int = 1,
+                   max_failures: Optional[int] = None) -> MarchTestResult:
+    """Run *march* against *memory* and collect mismatching reads.
+
+    *background* is the all-zero data value (value index 0); value index 1 is
+    its bitwise complement.  *stride* subsamples the address space, which the
+    TLM models use to keep simulations of megabyte arrays fast while
+    preserving the operation-per-cell structure (the reported operation count
+    is always the full-array count).
+    """
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    data = {0: background & memory.word_mask,
+            1: ~background & memory.word_mask}
+    result = MarchTestResult(
+        test_name=march.name,
+        words=memory.words,
+        operations=march.operation_count(memory.words),
+    )
+    for element in march.elements:
+        for address in _addresses(memory.words, element.order, stride):
+            for operation in element.operations:
+                expected = data[operation.value]
+                if operation.kind == "w":
+                    memory.write(address, expected)
+                    result.writes += 1
+                else:
+                    observed = memory.read(address)
+                    result.reads += 1
+                    if observed != expected:
+                        if max_failures is None or len(result.failures) < max_failures:
+                            result.failures.append((address, expected, observed))
+    return result
+
+
+def run_pattern_test(memory, patterns: Sequence[int] = (0x55, 0xAA),
+                     stride: int = 1,
+                     max_failures: Optional[int] = None) -> MarchTestResult:
+    """Run a data-background (checkerboard style) pattern test.
+
+    Each pattern is written to every cell and read back; alternating cells get
+    the inverted pattern so that neighbouring cells hold opposite data, the
+    classic checkerboard background.
+    """
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    result = MarchTestResult(
+        test_name="PATTERN",
+        words=memory.words,
+        operations=2 * len(patterns) * memory.words,
+    )
+    for pattern in patterns:
+        pattern &= memory.word_mask
+        inverse = ~pattern & memory.word_mask
+        for address in range(0, memory.words, stride):
+            value = pattern if address % 2 == 0 else inverse
+            memory.write(address, value)
+            result.writes += 1
+        for address in range(0, memory.words, stride):
+            expected = pattern if address % 2 == 0 else inverse
+            observed = memory.read(address)
+            result.reads += 1
+            if observed != expected:
+                if max_failures is None or len(result.failures) < max_failures:
+                    result.failures.append((address, expected, observed))
+    return result

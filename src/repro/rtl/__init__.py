@@ -1,0 +1,44 @@
+"""Gate-level substrate.
+
+The paper compares transaction-level simulation of complete test schedules
+against RTL/gate-level simulation and uses real cores with scan chains.  This
+package provides the equivalent substrate in Python:
+
+* combinational/sequential gate-level netlists (:mod:`repro.rtl.netlist`),
+* a synthetic netlist generator used to size cores like the paper's processor
+  and DCT cores (:mod:`repro.rtl.generate`),
+* scan-chain insertion and configuration (:mod:`repro.rtl.scan`),
+* a bit-parallel logic simulator and stuck-at fault simulator
+  (:mod:`repro.rtl.simulation`, :mod:`repro.rtl.faults`),
+* bit-level LFSR/MISR primitives used by the BIST pattern sources
+  (:mod:`repro.rtl.lfsr`).
+"""
+
+from repro.rtl.gates import Gate, GateType
+from repro.rtl.netlist import Net, Netlist, FlipFlop
+from repro.rtl.generate import SyntheticCoreSpec, generate_netlist
+from repro.rtl.scan import ScanCell, ScanChain, ScanConfiguration, insert_scan
+from repro.rtl.faults import StuckAtFault, enumerate_faults
+from repro.rtl.simulation import FaultSimulator, LogicSimulator
+from repro.rtl.lfsr import LFSR, MISR, STANDARD_POLYNOMIALS
+
+__all__ = [
+    "FaultSimulator",
+    "FlipFlop",
+    "Gate",
+    "GateType",
+    "LFSR",
+    "LogicSimulator",
+    "MISR",
+    "Net",
+    "Netlist",
+    "STANDARD_POLYNOMIALS",
+    "ScanCell",
+    "ScanChain",
+    "ScanConfiguration",
+    "StuckAtFault",
+    "SyntheticCoreSpec",
+    "enumerate_faults",
+    "generate_netlist",
+    "insert_scan",
+]

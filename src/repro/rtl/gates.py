@@ -1,0 +1,77 @@
+"""Gate primitives.
+
+Gates operate on integer bit-vectors so that the simulators can evaluate many
+patterns in parallel (bit-parallel simulation): bit *i* of every net value
+belongs to pattern *i* of the current batch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+
+class GateType(enum.Enum):
+    """Supported combinational gate types."""
+
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    NOT = "not"
+    BUF = "buf"
+
+
+def evaluate_gate(gate_type: GateType, inputs: List[int], mask: int) -> int:
+    """Evaluate *gate_type* on bit-parallel input words.
+
+    *mask* selects the valid pattern bits (e.g. ``(1 << batch) - 1``); it is
+    applied to inverting gates so that unused high bits stay zero.
+    """
+    if not inputs:
+        raise ValueError("gate evaluation requires at least one input")
+    if gate_type is GateType.BUF:
+        return inputs[0] & mask
+    if gate_type is GateType.NOT:
+        return ~inputs[0] & mask
+    if gate_type in (GateType.AND, GateType.NAND):
+        value = inputs[0]
+        for word in inputs[1:]:
+            value &= word
+        if gate_type is GateType.NAND:
+            value = ~value
+        return value & mask
+    if gate_type in (GateType.OR, GateType.NOR):
+        value = inputs[0]
+        for word in inputs[1:]:
+            value |= word
+        if gate_type is GateType.NOR:
+            value = ~value
+        return value & mask
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        value = inputs[0]
+        for word in inputs[1:]:
+            value ^= word
+        if gate_type is GateType.XNOR:
+            value = ~value
+        return value & mask
+    raise ValueError(f"unsupported gate type: {gate_type!r}")
+
+
+@dataclass
+class Gate:
+    """A combinational gate instance in a netlist."""
+
+    name: str
+    gate_type: GateType
+    inputs: List[str] = field(default_factory=list)
+    output: str = ""
+
+    def evaluate(self, values: dict, mask: int) -> int:
+        """Evaluate the gate given a net-name -> word mapping."""
+        return evaluate_gate(
+            self.gate_type, [values[net] for net in self.inputs], mask
+        )

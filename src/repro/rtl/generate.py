@@ -1,0 +1,97 @@
+"""Synthetic core generation.
+
+The paper's SoC contains real IP cores (an embedded processor, a DCT core,
+a color-conversion core).  Their netlists are not available, so this module
+generates synthetic-but-structured scan cores with a requested number of
+flip-flops and combinational gates.  The generated circuits are deterministic
+for a given seed, acyclic, and every flip-flop input depends on a cone of
+other state bits and primary inputs, which is enough for the stuck-at fault
+simulation and the RTL-vs-TLM speed comparison to be meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.rtl.gates import GateType
+from repro.rtl.netlist import Netlist
+
+_COMBINATIONAL_TYPES = [
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.NOT,
+]
+
+
+@dataclass(frozen=True)
+class SyntheticCoreSpec:
+    """Parameters of a synthetic scan core."""
+
+    name: str
+    flip_flops: int
+    gates: int
+    primary_inputs: int = 8
+    primary_outputs: int = 8
+    seed: int = 1
+    #: Maximum number of inputs per generated gate.
+    max_fanin: int = 3
+
+    def __post_init__(self):
+        if self.flip_flops <= 0:
+            raise ValueError("a synthetic core needs at least one flip-flop")
+        if self.gates < self.flip_flops:
+            raise ValueError("need at least one gate per flip-flop")
+        if self.primary_inputs <= 0 or self.primary_outputs <= 0:
+            raise ValueError("primary input/output counts must be positive")
+        if self.max_fanin < 2:
+            raise ValueError("max_fanin must be at least 2")
+
+
+def generate_netlist(spec: SyntheticCoreSpec) -> Netlist:
+    """Generate a deterministic synthetic netlist from *spec*."""
+    rng = random.Random(spec.seed)
+    netlist = Netlist(spec.name)
+
+    input_nets = [f"pi_{i}" for i in range(spec.primary_inputs)]
+    for net in input_nets:
+        netlist.add_primary_input(net)
+
+    state_nets = [f"ff_{i}_q" for i in range(spec.flip_flops)]
+
+    # Pool of nets a new gate may read: primary inputs, state outputs and the
+    # outputs of previously created gates (guarantees acyclicity).
+    available = list(input_nets) + list(state_nets)
+    gate_outputs = []
+
+    for index in range(spec.gates):
+        gate_type = rng.choice(_COMBINATIONAL_TYPES)
+        if gate_type is GateType.NOT:
+            fanin = 1
+        else:
+            fanin = rng.randint(2, spec.max_fanin)
+        inputs = [rng.choice(available) for _ in range(fanin)]
+        output = f"g_{index}_out"
+        netlist.add_gate(f"g_{index}", gate_type, inputs, output)
+        available.append(output)
+        gate_outputs.append(output)
+
+    # Every flip-flop samples one of the later gate outputs so that the state
+    # actually depends on the combinational logic.
+    for index in range(spec.flip_flops):
+        source = gate_outputs[-1 - (index % max(1, len(gate_outputs) // 2))]
+        if rng.random() < 0.75 and gate_outputs:
+            source = rng.choice(gate_outputs)
+        netlist.add_flip_flop(f"ff_{index}", data_in=source,
+                              data_out=f"ff_{index}_q")
+
+    # Primary outputs observe a sample of gate outputs and state bits.
+    observable = gate_outputs + state_nets
+    for index in range(spec.primary_outputs):
+        netlist.add_primary_output(rng.choice(observable))
+
+    netlist.validate()
+    return netlist

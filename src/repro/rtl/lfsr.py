@@ -1,0 +1,100 @@
+"""Bit-level LFSR and MISR primitives.
+
+These are the structures behind the BIST pattern sources and response
+compactors of the paper: a pseudo-random pattern generator (LFSR) feeding the
+scan chains and a multiple-input signature register (MISR) compacting the
+responses into a signature word.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: Primitive characteristic polynomials (tap positions, 1-based from the LSB)
+#: for common register widths.  Taken from standard LFSR tap tables.
+STANDARD_POLYNOMIALS: Dict[int, Sequence[int]] = {
+    8: (8, 6, 5, 4),
+    16: (16, 15, 13, 4),
+    24: (24, 23, 22, 17),
+    32: (32, 22, 2, 1),
+    48: (48, 47, 21, 20),
+    64: (64, 63, 61, 60),
+}
+
+
+class LFSR:
+    """A Fibonacci linear-feedback shift register."""
+
+    def __init__(self, width: int, seed: int = 1,
+                 taps: Sequence[int] = None):
+        if width <= 0:
+            raise ValueError("LFSR width must be positive")
+        if taps is None:
+            if width not in STANDARD_POLYNOMIALS:
+                raise ValueError(
+                    f"no standard polynomial for width {width}; pass taps="
+                )
+            taps = STANDARD_POLYNOMIALS[width]
+        if any(tap < 1 or tap > width for tap in taps):
+            raise ValueError("tap positions must be within 1..width")
+        if seed % (1 << width) == 0:
+            raise ValueError("LFSR seed must be non-zero modulo 2**width")
+        self.width = width
+        self.taps = tuple(taps)
+        self.state = seed & ((1 << width) - 1)
+
+    def step(self) -> int:
+        """Advance by one clock; returns the new least-significant bit."""
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (tap - 1)) & 1
+        self.state = ((self.state << 1) | feedback) & ((1 << self.width) - 1)
+        return feedback
+
+    def next_word(self, bits: int) -> int:
+        """Produce *bits* pseudo-random bits as an integer (LSB first)."""
+        word = 0
+        for position in range(bits):
+            word |= self.step() << position
+        return word
+
+    def next_pattern(self, bits: int) -> List[int]:
+        """Produce *bits* pseudo-random bits as a list of 0/1 values."""
+        return [self.step() for _ in range(bits)]
+
+
+class MISR:
+    """A multiple-input signature register compacting response words."""
+
+    def __init__(self, width: int, seed: int = 0,
+                 taps: Sequence[int] = None):
+        if width <= 0:
+            raise ValueError("MISR width must be positive")
+        if taps is None:
+            if width not in STANDARD_POLYNOMIALS:
+                raise ValueError(
+                    f"no standard polynomial for width {width}; pass taps="
+                )
+            taps = STANDARD_POLYNOMIALS[width]
+        self.width = width
+        self.taps = tuple(taps)
+        self.state = seed & ((1 << width) - 1)
+
+    def compact(self, word: int) -> int:
+        """Fold one response word into the signature; returns the new state."""
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (tap - 1)) & 1
+        self.state = ((self.state << 1) | feedback) & ((1 << self.width) - 1)
+        self.state ^= word & ((1 << self.width) - 1)
+        return self.state
+
+    def compact_sequence(self, words) -> int:
+        """Fold a sequence of response words; returns the final signature."""
+        for word in words:
+            self.compact(word)
+        return self.state
+
+    @property
+    def signature(self) -> int:
+        return self.state

@@ -1,0 +1,167 @@
+"""Gate-level netlists with flip-flops.
+
+A :class:`Netlist` is a named collection of nets, combinational gates and
+D-flip-flops.  It knows how to order its gates topologically so the logic
+simulator can evaluate the combinational part in a single pass per cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.rtl.gates import Gate, GateType
+
+
+@dataclass
+class Net:
+    """A named wire."""
+
+    name: str
+    driver: Optional[str] = None  # name of the driving gate/flip-flop/input
+
+
+@dataclass
+class FlipFlop:
+    """A D-flip-flop: samples ``data_in`` at the clock edge onto ``data_out``."""
+
+    name: str
+    data_in: str
+    data_out: str
+
+
+class NetlistError(Exception):
+    """Raised for structural problems (duplicate drivers, missing nets, cycles)."""
+
+
+class Netlist:
+    """A sequential gate-level netlist."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.nets: Dict[str, Net] = {}
+        self.gates: Dict[str, Gate] = {}
+        self.flip_flops: Dict[str, FlipFlop] = {}
+        self.primary_inputs: List[str] = []
+        self.primary_outputs: List[str] = []
+        self._topological_order: Optional[List[Gate]] = None
+
+    # -- construction -----------------------------------------------------------
+    def add_net(self, name: str) -> Net:
+        if name in self.nets:
+            return self.nets[name]
+        net = Net(name)
+        self.nets[name] = net
+        return net
+
+    def add_primary_input(self, name: str) -> Net:
+        net = self.add_net(name)
+        if name not in self.primary_inputs:
+            self.primary_inputs.append(name)
+            net.driver = f"PI:{name}"
+        self._topological_order = None
+        return net
+
+    def add_primary_output(self, name: str) -> Net:
+        net = self.add_net(name)
+        if name not in self.primary_outputs:
+            self.primary_outputs.append(name)
+        return net
+
+    def add_gate(self, name: str, gate_type: GateType, inputs: Sequence[str],
+                 output: str) -> Gate:
+        if name in self.gates or name in self.flip_flops:
+            raise NetlistError(f"duplicate instance name: {name!r}")
+        for net in inputs:
+            self.add_net(net)
+        out_net = self.add_net(output)
+        if out_net.driver is not None:
+            raise NetlistError(f"net {output!r} already has driver {out_net.driver!r}")
+        gate = Gate(name=name, gate_type=gate_type, inputs=list(inputs), output=output)
+        self.gates[name] = gate
+        out_net.driver = name
+        self._topological_order = None
+        return gate
+
+    def add_flip_flop(self, name: str, data_in: str, data_out: str) -> FlipFlop:
+        if name in self.gates or name in self.flip_flops:
+            raise NetlistError(f"duplicate instance name: {name!r}")
+        self.add_net(data_in)
+        out_net = self.add_net(data_out)
+        if out_net.driver is not None:
+            raise NetlistError(f"net {data_out!r} already has driver {out_net.driver!r}")
+        flip_flop = FlipFlop(name=name, data_in=data_in, data_out=data_out)
+        self.flip_flops[name] = flip_flop
+        out_net.driver = name
+        self._topological_order = None
+        return flip_flop
+
+    # -- structure queries ----------------------------------------------------
+    @property
+    def gate_count(self) -> int:
+        return len(self.gates)
+
+    @property
+    def flip_flop_count(self) -> int:
+        return len(self.flip_flops)
+
+    def topological_gates(self) -> List[Gate]:
+        """Gates ordered so every gate appears after its input drivers."""
+        if self._topological_order is not None:
+            return self._topological_order
+        # Sources: primary inputs and flip-flop outputs.
+        ready_nets = set(self.primary_inputs)
+        ready_nets.update(ff.data_out for ff in self.flip_flops.values())
+        # Also treat undriven nets as sources (tie-offs / dangling inputs).
+        for net in self.nets.values():
+            if net.driver is None:
+                ready_nets.add(net.name)
+
+        consumers: Dict[str, List[Gate]] = {}
+        missing: Dict[str, int] = {}
+        for gate in self.gates.values():
+            count = 0
+            for net in gate.inputs:
+                if net not in ready_nets:
+                    consumers.setdefault(net, []).append(gate)
+                    count += 1
+            missing[gate.name] = count
+
+        order: List[Gate] = []
+        queue = deque(g for g in self.gates.values() if missing[g.name] == 0)
+        while queue:
+            gate = queue.popleft()
+            order.append(gate)
+            for consumer in consumers.get(gate.output, []):
+                missing[consumer.name] -= 1
+                if missing[consumer.name] == 0:
+                    queue.append(consumer)
+        if len(order) != len(self.gates):
+            unresolved = sorted(set(self.gates) - {g.name for g in order})
+            raise NetlistError(
+                f"netlist {self.name!r} has a combinational cycle involving "
+                f"{unresolved[:5]}"
+            )
+        self._topological_order = order
+        return order
+
+    def validate(self) -> None:
+        """Check structural sanity; raises :class:`NetlistError` on problems."""
+        self.topological_gates()
+        for output in self.primary_outputs:
+            if output not in self.nets:
+                raise NetlistError(f"primary output {output!r} is not a net")
+        for gate in self.gates.values():
+            for net in gate.inputs:
+                if net not in self.nets:
+                    raise NetlistError(
+                        f"gate {gate.name!r} reads unknown net {net!r}"
+                    )
+
+    def __repr__(self):
+        return (
+            f"Netlist({self.name!r}, gates={self.gate_count}, "
+            f"flip_flops={self.flip_flop_count}, "
+            f"pis={len(self.primary_inputs)}, pos={len(self.primary_outputs)})"
+        )

@@ -1,0 +1,128 @@
+"""Scan-chain insertion and configuration.
+
+The test wrapper TLM of the paper is constructed from the scan configuration
+of a core (for example "32 scan chains" for the processor core, "8 scan
+chains" for the DCT core).  This module derives such configurations from a
+netlist by partitioning its flip-flops into balanced chains, and also allows
+purely descriptive configurations for cores whose netlist is not modeled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.rtl.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class ScanCell:
+    """A scan-enabled flip-flop: position in a chain plus the state bit name."""
+
+    name: str
+    chain_index: int
+    position: int
+
+
+@dataclass
+class ScanChain:
+    """An ordered list of scan cells sharing one scan-in/scan-out pair."""
+
+    index: int
+    cells: List[ScanCell] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+
+@dataclass
+class ScanConfiguration:
+    """The scan structure of a core as seen by the test infrastructure."""
+
+    core_name: str
+    chains: List[ScanChain] = field(default_factory=list)
+
+    @property
+    def chain_count(self) -> int:
+        return len(self.chains)
+
+    @property
+    def total_cells(self) -> int:
+        return sum(chain.length for chain in self.chains)
+
+    @property
+    def max_chain_length(self) -> int:
+        """Longest chain; the number of shift cycles per scan load/unload."""
+        if not self.chains:
+            return 0
+        return max(chain.length for chain in self.chains)
+
+    def shift_cycles_per_pattern(self) -> int:
+        """Shift cycles needed to load one pattern (and unload the previous
+        response concurrently), excluding the capture cycle."""
+        return self.max_chain_length
+
+    def cycles_for_patterns(self, pattern_count: int,
+                            capture_cycles: int = 1) -> int:
+        """Total scan-test cycles for *pattern_count* patterns.
+
+        Loading pattern *i+1* overlaps with unloading response *i*; one final
+        unload is required after the last capture.
+        """
+        if pattern_count <= 0:
+            return 0
+        shift = self.shift_cycles_per_pattern()
+        return pattern_count * (shift + capture_cycles) + shift
+
+    @classmethod
+    def describe(cls, core_name: str, chain_count: int,
+                 total_cells: int) -> "ScanConfiguration":
+        """Create a descriptive configuration without an underlying netlist.
+
+        Cells are distributed over the chains as evenly as possible, exactly
+        like :func:`insert_scan` does for real netlists.
+        """
+        if chain_count <= 0:
+            raise ValueError("chain_count must be positive")
+        if total_cells < chain_count:
+            raise ValueError("need at least one cell per chain")
+        chains = []
+        base = total_cells // chain_count
+        remainder = total_cells % chain_count
+        cell_index = 0
+        for index in range(chain_count):
+            length = base + (1 if index < remainder else 0)
+            cells = [
+                ScanCell(name=f"{core_name}_sff_{cell_index + position}",
+                         chain_index=index, position=position)
+                for position in range(length)
+            ]
+            cell_index += length
+            chains.append(ScanChain(index=index, cells=cells))
+        return cls(core_name=core_name, chains=chains)
+
+
+def insert_scan(netlist: Netlist, chain_count: int,
+                core_name: Optional[str] = None) -> ScanConfiguration:
+    """Partition the flip-flops of *netlist* into *chain_count* balanced chains."""
+    if chain_count <= 0:
+        raise ValueError("chain_count must be positive")
+    flip_flop_names = sorted(netlist.flip_flops)
+    if not flip_flop_names:
+        raise ValueError(f"netlist {netlist.name!r} has no flip-flops to scan")
+    if chain_count > len(flip_flop_names):
+        raise ValueError(
+            f"cannot build {chain_count} chains from "
+            f"{len(flip_flop_names)} flip-flops"
+        )
+    chains = [ScanChain(index=i) for i in range(chain_count)]
+    for index, name in enumerate(flip_flop_names):
+        chain = chains[index % chain_count]
+        chain.cells.append(
+            ScanCell(name=name, chain_index=chain.index, position=len(chain.cells))
+        )
+    return ScanConfiguration(core_name=core_name or netlist.name, chains=chains)

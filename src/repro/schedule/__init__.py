@@ -1,0 +1,32 @@
+"""Test planning: tasks, schedules, coarse estimation and validation.
+
+The paper's workflow is: a scheduler builds test schedules from *coarse*
+information (estimated test lengths, resource conflicts, power budgets); the
+resulting schedule is then *validated* by simulating it on the test
+infrastructure TLM, which yields accurate test length, TAM utilization and
+power figures.  This package provides the planning side of that workflow.
+"""
+
+from repro.schedule.model import TestKind, TestSchedule, TestTask
+from repro.schedule.estimator import PlatformParameters, TestTimeEstimator
+from repro.schedule.power import PowerModel
+from repro.schedule.scheduler import (
+    greedy_concurrent_schedule,
+    sequential_schedule,
+    schedule_makespan_estimate,
+)
+from repro.schedule.validation import ScheduleValidationReport, validate_schedule
+
+__all__ = [
+    "PlatformParameters",
+    "PowerModel",
+    "ScheduleValidationReport",
+    "TestKind",
+    "TestSchedule",
+    "TestTask",
+    "TestTimeEstimator",
+    "greedy_concurrent_schedule",
+    "schedule_makespan_estimate",
+    "sequential_schedule",
+    "validate_schedule",
+]

@@ -1,0 +1,58 @@
+"""Test power modeling for scheduling decisions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from repro.schedule.model import TestSchedule, TestTask
+
+
+@dataclass
+class PowerModel:
+    """Coarse test power model used by the scheduler.
+
+    Each task declares the power it draws while active (``TestTask.power``);
+    a schedule phase draws the sum of its active tasks plus a static baseline.
+    The model checks schedules against a peak power *budget* — exceeding the
+    budget during manufacturing test is a classic cause of test escapes and
+    over-conservative schedules, which is why the paper lists power as one of
+    the quantities to evaluate by simulation.
+    """
+
+    budget: float = float("inf")
+    static_power: float = 0.0
+    #: Optional per-core idle power added while a core is not under test.
+    idle_power: Dict[str, float] = field(default_factory=dict)
+
+    def phase_power(self, phase: Sequence[str], tasks: Mapping[str, TestTask]) -> float:
+        """Peak power of one schedule phase (all tasks active simultaneously)."""
+        active = sum(tasks[name].power for name in phase)
+        active_cores = {tasks[name].core for name in phase}
+        idle = sum(power for core, power in self.idle_power.items()
+                   if core not in active_cores)
+        return self.static_power + active + idle
+
+    def schedule_peak_power(self, schedule: TestSchedule,
+                            tasks: Mapping[str, TestTask]) -> float:
+        """Peak power over all phases of the schedule."""
+        if not schedule.phases:
+            return self.static_power + sum(self.idle_power.values())
+        return max(self.phase_power(phase, tasks) for phase in schedule.phases)
+
+    def phase_fits_budget(self, phase: Sequence[str],
+                          tasks: Mapping[str, TestTask]) -> bool:
+        return self.phase_power(phase, tasks) <= self.budget
+
+    def validate_schedule(self, schedule: TestSchedule,
+                          tasks: Mapping[str, TestTask]) -> List[str]:
+        """Return a list of violations (empty when the schedule fits)."""
+        violations = []
+        for index, phase in enumerate(schedule.phases):
+            power = self.phase_power(phase, tasks)
+            if power > self.budget:
+                violations.append(
+                    f"phase {index} ({', '.join(phase)}) draws {power:.2f} "
+                    f"which exceeds the budget of {self.budget:.2f}"
+                )
+        return violations

@@ -1,0 +1,97 @@
+"""Test schedulers.
+
+Two classic strategies are provided:
+
+* :func:`sequential_schedule` -- run every test one after another (the
+  baseline the paper's schedules 1 and 2 correspond to),
+* :func:`greedy_concurrent_schedule` -- a longest-task-first list scheduler
+  that packs compatible tests into concurrent phases subject to resource
+  conflicts and a power budget (the strategy behind schedules 3 and 4).
+
+Both work on the same coarse information as the estimator; the point of the
+paper is that the resulting schedules should then be validated by simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.schedule.model import TestSchedule, TestTask
+from repro.schedule.power import PowerModel
+
+
+def sequential_schedule(name: str, tasks: Mapping[str, TestTask],
+                        order: Optional[Sequence[str]] = None,
+                        description: str = "") -> TestSchedule:
+    """Build a schedule that runs the given tasks strictly one at a time."""
+    task_order = list(order) if order is not None else sorted(tasks)
+    for task_name in task_order:
+        if task_name not in tasks:
+            raise KeyError(f"unknown task {task_name!r}")
+    schedule = TestSchedule.sequential(name, task_order, description=description)
+    schedule.validate(dict(tasks))
+    return schedule
+
+
+def greedy_concurrent_schedule(name: str, tasks: Mapping[str, TestTask],
+                               estimates: Mapping[str, int],
+                               power_model: Optional[PowerModel] = None,
+                               max_concurrency: Optional[int] = None,
+                               description: str = "") -> TestSchedule:
+    """Longest-task-first list scheduling into concurrent phases.
+
+    Tasks are considered in order of decreasing estimated length; each task is
+    placed into the first phase where it conflicts with nobody, stays within
+    the power budget and does not exceed *max_concurrency*.  If no phase fits,
+    a new phase is opened.  Phases are finally ordered by decreasing length so
+    the longest work starts first (matching the structure of the paper's
+    schedules 3 and 4, which front-load the two long core tests).
+    """
+    for task_name in tasks:
+        if task_name not in estimates:
+            raise KeyError(f"no estimate for task {task_name!r}")
+    power_model = power_model or PowerModel()
+    ordered = sorted(tasks, key=lambda task_name: estimates[task_name], reverse=True)
+    phases: List[List[str]] = []
+
+    for task_name in ordered:
+        task = tasks[task_name]
+        placed = False
+        for phase in phases:
+            if max_concurrency is not None and len(phase) >= max_concurrency:
+                continue
+            if any(task.conflicts_with(tasks[existing]) for existing in phase):
+                continue
+            if not power_model.phase_fits_budget(phase + [task_name], tasks):
+                continue
+            phase.append(task_name)
+            placed = True
+            break
+        if not placed:
+            phases.append([task_name])
+
+    phases.sort(
+        key=lambda phase: max(estimates[task_name] for task_name in phase),
+        reverse=True,
+    )
+    schedule = TestSchedule(name=name, phases=phases, description=description)
+    schedule.validate(dict(tasks))
+    return schedule
+
+
+def schedule_makespan_estimate(schedule: TestSchedule,
+                               estimates: Mapping[str, int]) -> int:
+    """Coarse makespan: sum over phases of the longest task in the phase."""
+    total = 0
+    for phase in schedule.phases:
+        total += max(estimates[task_name] for task_name in phase)
+    return total
+
+
+def compare_schedules(schedules: Sequence[TestSchedule],
+                      estimates: Mapping[str, int]) -> Dict[str, int]:
+    """Return the estimated makespan of every schedule, keyed by name."""
+    return {
+        schedule.name: schedule_makespan_estimate(schedule, estimates)
+        for schedule in schedules
+    }

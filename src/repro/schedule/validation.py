@@ -1,0 +1,111 @@
+"""Schedule validation: coarse estimates versus simulated reality.
+
+The paper argues that only simulation of the complete schedule on the test
+infrastructure TLM gives accurate test length, TAM utilization and power
+figures.  :func:`validate_schedule` packages that comparison: it takes the
+scheduler's coarse makespan estimate and the simulated result and reports the
+deviation, flagging schedules whose estimate is off by more than a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.schedule.estimator import TestTimeEstimator
+from repro.schedule.model import TestSchedule, TestTask
+from repro.schedule.power import PowerModel
+
+
+@dataclass
+class ScheduleValidationReport:
+    """Outcome of validating one schedule against simulation results."""
+
+    schedule_name: str
+    estimated_cycles: int
+    simulated_cycles: int
+    power_violations: List[str] = field(default_factory=list)
+    simulated_peak_tam_utilization: Optional[float] = None
+    simulated_avg_tam_utilization: Optional[float] = None
+    simulated_peak_power: Optional[float] = None
+    tolerance: float = 0.15
+
+    @property
+    def deviation(self) -> float:
+        """Relative deviation of the estimate from the simulated length."""
+        if self.simulated_cycles == 0:
+            return 0.0
+        return (self.estimated_cycles - self.simulated_cycles) / self.simulated_cycles
+
+    @property
+    def estimate_is_accurate(self) -> bool:
+        return abs(self.deviation) <= self.tolerance
+
+    @property
+    def passed(self) -> bool:
+        return self.estimate_is_accurate and not self.power_violations
+
+    def summary(self) -> str:
+        lines = [
+            f"schedule {self.schedule_name!r}:",
+            f"  estimated length : {self.estimated_cycles:>12,} cycles",
+            f"  simulated length : {self.simulated_cycles:>12,} cycles",
+            f"  deviation        : {self.deviation:+.1%}"
+            f" ({'ok' if self.estimate_is_accurate else 'exceeds tolerance'})",
+        ]
+        if self.simulated_peak_tam_utilization is not None:
+            lines.append(
+                f"  peak TAM util.   : {self.simulated_peak_tam_utilization:.0%}"
+            )
+        if self.simulated_avg_tam_utilization is not None:
+            lines.append(
+                f"  avg TAM util.    : {self.simulated_avg_tam_utilization:.0%}"
+            )
+        if self.simulated_peak_power is not None:
+            lines.append(f"  peak test power  : {self.simulated_peak_power:.2f}")
+        for violation in self.power_violations:
+            lines.append(f"  POWER VIOLATION  : {violation}")
+        return "\n".join(lines)
+
+
+def validate_schedule(schedule: TestSchedule, tasks: Mapping[str, TestTask],
+                      estimator: TestTimeEstimator,
+                      simulated_cycles: int,
+                      power_model: Optional[PowerModel] = None,
+                      simulated_peak_tam_utilization: Optional[float] = None,
+                      simulated_avg_tam_utilization: Optional[float] = None,
+                      simulated_peak_power: Optional[float] = None,
+                      tolerance: float = 0.15) -> ScheduleValidationReport:
+    """Compare the coarse estimate of *schedule* with its simulated length."""
+    estimated = estimator.estimate_schedule_cycles(schedule, tasks)
+    power_model = power_model or PowerModel()
+    violations = power_model.validate_schedule(schedule, tasks)
+    if simulated_peak_power is not None and simulated_peak_power > power_model.budget:
+        violations.append(
+            f"simulated peak power {simulated_peak_power:.2f} exceeds budget "
+            f"{power_model.budget:.2f}"
+        )
+    return ScheduleValidationReport(
+        schedule_name=schedule.name,
+        estimated_cycles=estimated,
+        simulated_cycles=simulated_cycles,
+        power_violations=violations,
+        simulated_peak_tam_utilization=simulated_peak_tam_utilization,
+        simulated_avg_tam_utilization=simulated_avg_tam_utilization,
+        simulated_peak_power=simulated_peak_power,
+        tolerance=tolerance,
+    )
+
+
+def validate_schedules(schedules: Mapping[str, TestSchedule],
+                       tasks: Mapping[str, TestTask],
+                       estimator: TestTimeEstimator,
+                       simulated_cycles: Mapping[str, int],
+                       **kwargs) -> Dict[str, ScheduleValidationReport]:
+    """Validate several schedules at once (convenience wrapper)."""
+    reports = {}
+    for name, schedule in schedules.items():
+        reports[name] = validate_schedule(
+            schedule, tasks, estimator, simulated_cycles[name], **kwargs
+        )
+    return reports

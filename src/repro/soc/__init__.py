@@ -1,0 +1,42 @@
+"""The JPEG encoder SoC case study (paper, Section IV).
+
+* :mod:`repro.soc.jpeg` -- the functional JPEG encoding pipeline
+* :mod:`repro.soc.cores` -- functional TLMs of the four cores (processor,
+  memory, color conversion, DCT)
+* :mod:`repro.soc.bus` -- the system bus, reused as TAM
+* :mod:`repro.soc.system` -- the complete SoC model including the test
+  infrastructure of Figure 4
+* :mod:`repro.soc.testplan` -- the seven test sequences and four test
+  schedules of the evaluation
+"""
+
+from repro.soc.bus import SystemBus
+from repro.soc.cores import (
+    ColorConversionCore,
+    DctCore,
+    MemoryCore,
+    ProcessorCore,
+)
+from repro.soc.system import JpegSocTlm, SocConfiguration
+from repro.soc.testplan import (
+    build_core_descriptions,
+    build_platform_parameters,
+    build_test_schedules,
+    build_test_tasks,
+    MEMORY_WORDS,
+)
+
+__all__ = [
+    "ColorConversionCore",
+    "DctCore",
+    "JpegSocTlm",
+    "MEMORY_WORDS",
+    "MemoryCore",
+    "ProcessorCore",
+    "SocConfiguration",
+    "SystemBus",
+    "build_core_descriptions",
+    "build_platform_parameters",
+    "build_test_schedules",
+    "build_test_tasks",
+]

@@ -1,0 +1,43 @@
+"""Functional JPEG encoding pipeline.
+
+The mission mode of the case-study SoC is JPEG encoding; this package
+implements the algorithmic substance (color conversion, 8x8 DCT, quantization,
+zigzag/run-length coding and Huffman entropy coding) so that the TLM cores in
+:mod:`repro.soc.cores` perform real work and the functional example produces a
+real, decodable bitstream representation.
+"""
+
+from repro.soc.jpeg.color import rgb_to_ycbcr, ycbcr_to_rgb
+from repro.soc.jpeg.dct import dct_2d, idct_2d, blockwise
+from repro.soc.jpeg.quantize import (
+    LUMINANCE_TABLE,
+    CHROMINANCE_TABLE,
+    quality_scaled_table,
+    quantize_block,
+    dequantize_block,
+)
+from repro.soc.jpeg.zigzag import zigzag_order, to_zigzag, from_zigzag, run_length_encode, run_length_decode
+from repro.soc.jpeg.huffman import HuffmanCodec
+from repro.soc.jpeg.encoder import EncodedImage, JpegEncoder, psnr
+
+__all__ = [
+    "CHROMINANCE_TABLE",
+    "EncodedImage",
+    "HuffmanCodec",
+    "JpegEncoder",
+    "LUMINANCE_TABLE",
+    "blockwise",
+    "dct_2d",
+    "dequantize_block",
+    "from_zigzag",
+    "idct_2d",
+    "psnr",
+    "quality_scaled_table",
+    "quantize_block",
+    "rgb_to_ycbcr",
+    "run_length_decode",
+    "run_length_encode",
+    "to_zigzag",
+    "ycbcr_to_rgb",
+    "zigzag_order",
+]

@@ -1,0 +1,42 @@
+"""RGB <-> YCbCr color conversion (ITU-R BT.601, as used by JPEG)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: BT.601 conversion matrix from RGB to YCbCr.
+_RGB_TO_YCBCR = np.array(
+    [
+        [0.299, 0.587, 0.114],
+        [-0.168736, -0.331264, 0.5],
+        [0.5, -0.418688, -0.081312],
+    ]
+)
+
+_YCBCR_TO_RGB = np.linalg.inv(_RGB_TO_YCBCR)
+
+
+def rgb_to_ycbcr(image: np.ndarray) -> np.ndarray:
+    """Convert an ``HxWx3`` RGB image (0..255) to YCbCr (0..255).
+
+    The result is float64; Y occupies channel 0, Cb channel 1, Cr channel 2,
+    with the chroma channels offset by 128 as in JFIF.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError("expected an HxWx3 RGB image")
+    flat = image.reshape(-1, 3)
+    converted = flat @ _RGB_TO_YCBCR.T
+    converted[:, 1:] += 128.0
+    return converted.reshape(image.shape)
+
+
+def ycbcr_to_rgb(image: np.ndarray) -> np.ndarray:
+    """Convert an ``HxWx3`` YCbCr image back to RGB (clipped to 0..255)."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError("expected an HxWx3 YCbCr image")
+    flat = image.reshape(-1, 3).copy()
+    flat[:, 1:] -= 128.0
+    converted = flat @ _YCBCR_TO_RGB.T
+    return np.clip(converted.reshape(image.shape), 0.0, 255.0)

@@ -1,0 +1,59 @@
+"""8x8 forward and inverse discrete cosine transform."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+BLOCK_SIZE = 8
+
+
+def _dct_matrix(size: int = BLOCK_SIZE) -> np.ndarray:
+    """Orthonormal DCT-II matrix."""
+    matrix = np.zeros((size, size))
+    for k in range(size):
+        for n in range(size):
+            matrix[k, n] = np.cos(np.pi * (2 * n + 1) * k / (2 * size))
+    matrix[0, :] *= np.sqrt(1.0 / size)
+    matrix[1:, :] *= np.sqrt(2.0 / size)
+    return matrix
+
+
+_DCT = _dct_matrix()
+_IDCT = _DCT.T
+
+
+def dct_2d(block: np.ndarray) -> np.ndarray:
+    """Forward 8x8 2-D DCT of a block (values centred around zero)."""
+    block = np.asarray(block, dtype=np.float64)
+    if block.shape != (BLOCK_SIZE, BLOCK_SIZE):
+        raise ValueError(f"expected an {BLOCK_SIZE}x{BLOCK_SIZE} block")
+    return _DCT @ block @ _DCT.T
+
+
+def idct_2d(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse 8x8 2-D DCT."""
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if coefficients.shape != (BLOCK_SIZE, BLOCK_SIZE):
+        raise ValueError(f"expected an {BLOCK_SIZE}x{BLOCK_SIZE} coefficient block")
+    return _IDCT @ coefficients @ _IDCT.T
+
+
+def blockwise(plane: np.ndarray,
+              block_size: int = BLOCK_SIZE) -> Iterator[Tuple[int, int, np.ndarray]]:
+    """Iterate over *plane* in ``block_size`` x ``block_size`` tiles.
+
+    The plane is padded by edge replication when its dimensions are not
+    multiples of the block size (the standard JPEG behaviour).
+    """
+    plane = np.asarray(plane, dtype=np.float64)
+    height, width = plane.shape
+    padded_h = (height + block_size - 1) // block_size * block_size
+    padded_w = (width + block_size - 1) // block_size * block_size
+    if (padded_h, padded_w) != (height, width):
+        plane = np.pad(plane, ((0, padded_h - height), (0, padded_w - width)),
+                       mode="edge")
+    for row in range(0, padded_h, block_size):
+        for col in range(0, padded_w, block_size):
+            yield row, col, plane[row:row + block_size, col:col + block_size]

@@ -1,0 +1,151 @@
+"""Baseline JPEG-style encoder built from the pipeline stages.
+
+This is the pure-software reference implementation of the mission function of
+the case-study SoC.  The TLM cores perform the same stages (color conversion
+and DCT/quantization) in "hardware"; the processor core runs the entropy
+coding in "software".  Encoding is lossy exactly like JPEG; a decoder is
+provided so tests can check the reconstruction error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.soc.jpeg.color import rgb_to_ycbcr, ycbcr_to_rgb
+from repro.soc.jpeg.dct import BLOCK_SIZE, blockwise, dct_2d, idct_2d
+from repro.soc.jpeg.huffman import HuffmanCodec
+from repro.soc.jpeg.quantize import (
+    CHROMINANCE_TABLE,
+    LUMINANCE_TABLE,
+    dequantize_block,
+    quality_scaled_table,
+    quantize_block,
+)
+from repro.soc.jpeg.zigzag import run_length_encode, run_length_decode, to_zigzag, from_zigzag
+
+#: Channel index -> human readable name.
+CHANNEL_NAMES = ("Y", "Cb", "Cr")
+
+
+@dataclass
+class EncodedImage:
+    """The result of encoding an image."""
+
+    width: int
+    height: int
+    quality: int
+    #: Per channel: list of (block_row, block_col, run-length pairs).
+    channel_blocks: Dict[str, List[Tuple[int, int, List[Tuple[int, int]]]]]
+    #: Huffman bitstream over all run-length pairs.
+    bitstream: str
+    #: The Huffman code table used for the bitstream.
+    code_table: Dict[Tuple[int, int], str]
+    quant_tables: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def compressed_bits(self) -> int:
+        return len(self.bitstream)
+
+    @property
+    def raw_bits(self) -> int:
+        return self.width * self.height * 3 * 8
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.compressed_bits == 0:
+            return float("inf")
+        return self.raw_bits / self.compressed_bits
+
+
+class JpegEncoder:
+    """Encode/decode RGB images with a baseline-JPEG style pipeline."""
+
+    def __init__(self, quality: int = 75):
+        if not 1 <= quality <= 100:
+            raise ValueError("quality must be between 1 and 100")
+        self.quality = quality
+        self.luminance_table = quality_scaled_table(LUMINANCE_TABLE, quality)
+        self.chrominance_table = quality_scaled_table(CHROMINANCE_TABLE, quality)
+
+    def _table_for(self, channel: int) -> np.ndarray:
+        return self.luminance_table if channel == 0 else self.chrominance_table
+
+    # -- encoding ---------------------------------------------------------------
+    def encode_blocks(self, image: np.ndarray) -> Dict[str, List[Tuple[int, int, List[Tuple[int, int]]]]]:
+        """Run the pipeline up to run-length coding (no entropy coding)."""
+        image = np.asarray(image)
+        if image.ndim != 3 or image.shape[2] != 3:
+            raise ValueError("expected an HxWx3 RGB image")
+        ycbcr = rgb_to_ycbcr(image)
+        channel_blocks: Dict[str, List[Tuple[int, int, List[Tuple[int, int]]]]] = {}
+        for channel in range(3):
+            plane = ycbcr[:, :, channel] - 128.0
+            table = self._table_for(channel)
+            blocks = []
+            for row, col, block in blockwise(plane):
+                coefficients = dct_2d(block)
+                quantized = quantize_block(coefficients, table)
+                pairs = run_length_encode(to_zigzag(quantized))
+                blocks.append((row, col, pairs))
+            channel_blocks[CHANNEL_NAMES[channel]] = blocks
+        return channel_blocks
+
+    def encode(self, image: np.ndarray) -> EncodedImage:
+        """Encode an RGB image; returns the full :class:`EncodedImage`."""
+        image = np.asarray(image)
+        channel_blocks = self.encode_blocks(image)
+        symbols: List[Tuple[int, int]] = []
+        for channel_name in CHANNEL_NAMES:
+            for _, _, pairs in channel_blocks[channel_name]:
+                symbols.extend(pairs)
+        codec = HuffmanCodec.from_symbols(symbols)
+        bitstream = codec.encode(symbols)
+        return EncodedImage(
+            width=image.shape[1], height=image.shape[0], quality=self.quality,
+            channel_blocks=channel_blocks, bitstream=bitstream,
+            code_table=codec.code_table,
+            quant_tables={"Y": self.luminance_table,
+                          "Cb": self.chrominance_table,
+                          "Cr": self.chrominance_table},
+        )
+
+    # -- decoding -------------------------------------------------------------------
+    def decode(self, encoded: EncodedImage) -> np.ndarray:
+        """Reconstruct an RGB image from an :class:`EncodedImage`."""
+        height, width = encoded.height, encoded.width
+        padded_h = (height + BLOCK_SIZE - 1) // BLOCK_SIZE * BLOCK_SIZE
+        padded_w = (width + BLOCK_SIZE - 1) // BLOCK_SIZE * BLOCK_SIZE
+        planes = np.zeros((padded_h, padded_w, 3))
+        for channel, channel_name in enumerate(CHANNEL_NAMES):
+            table = self._table_for(channel)
+            for row, col, pairs in encoded.channel_blocks[channel_name]:
+                zigzag_values = run_length_decode(pairs)
+                quantized = from_zigzag(zigzag_values)
+                coefficients = dequantize_block(quantized, table)
+                planes[row:row + BLOCK_SIZE, col:col + BLOCK_SIZE, channel] = (
+                    idct_2d(coefficients) + 128.0
+                )
+        ycbcr = planes[:height, :width, :]
+        return ycbcr_to_rgb(ycbcr)
+
+    def roundtrip_error(self, image: np.ndarray) -> float:
+        """PSNR of encoding followed by decoding (higher is better)."""
+        encoded = self.encode(image)
+        decoded = self.decode(encoded)
+        return psnr(np.asarray(image, dtype=np.float64), decoded)
+
+
+def psnr(reference: np.ndarray, reconstruction: np.ndarray,
+         peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB between two images."""
+    reference = np.asarray(reference, dtype=np.float64)
+    reconstruction = np.asarray(reconstruction, dtype=np.float64)
+    if reference.shape != reconstruction.shape:
+        raise ValueError("images must have identical shapes")
+    mse = float(np.mean((reference - reconstruction) ** 2))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(peak * peak / mse)

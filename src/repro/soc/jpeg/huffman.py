@@ -1,0 +1,111 @@
+"""Huffman entropy coding.
+
+A self-contained Huffman codec used by the JPEG encoder model: code tables
+are built from the symbol statistics of the image being encoded (the JPEG
+standard permits custom tables), the encoder emits a bitstring, and the
+decoder reproduces the exact symbol sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+
+class HuffmanCodec:
+    """Huffman encoder/decoder for an arbitrary (hashable) symbol alphabet."""
+
+    def __init__(self, code_table: Dict[Hashable, str]):
+        if not code_table:
+            raise ValueError("code table cannot be empty")
+        self.code_table = dict(code_table)
+        self._decode_table = {code: symbol for symbol, code in code_table.items()}
+        if len(self._decode_table) != len(self.code_table):
+            raise ValueError("code table contains duplicate codes")
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_symbols(cls, symbols: Iterable[Hashable]) -> "HuffmanCodec":
+        """Build a codec from the frequency statistics of *symbols*."""
+        frequencies = Counter(symbols)
+        if not frequencies:
+            raise ValueError("cannot build a Huffman code from no symbols")
+        return cls.from_frequencies(frequencies)
+
+    @classmethod
+    def from_frequencies(cls, frequencies: Dict[Hashable, int]) -> "HuffmanCodec":
+        """Build a codec from a symbol -> count mapping."""
+        items = sorted(frequencies.items(), key=lambda item: repr(item[0]))
+        if len(items) == 1:
+            symbol = items[0][0]
+            return cls({symbol: "0"})
+        heap: List[Tuple[int, int, object]] = []
+        for order, (symbol, count) in enumerate(items):
+            if count <= 0:
+                raise ValueError("symbol frequencies must be positive")
+            heapq.heappush(heap, (count, order, symbol))
+        next_order = len(items)
+        # Internal tree nodes are represented as two-element lists so they can
+        # never be confused with symbols (which may themselves be tuples,
+        # e.g. the (run, value) pairs of the JPEG run-length coder).
+        while len(heap) > 1:
+            count_a, _, node_a = heapq.heappop(heap)
+            count_b, _, node_b = heapq.heappop(heap)
+            merged = [node_a, node_b]
+            heapq.heappush(heap, (count_a + count_b, next_order, merged))
+            next_order += 1
+        _, _, root = heap[0]
+        table: Dict[Hashable, str] = {}
+
+        def walk(node, prefix: str) -> None:
+            if isinstance(node, list):
+                walk(node[0], prefix + "0")
+                walk(node[1], prefix + "1")
+            else:
+                table[node] = prefix or "0"
+
+        walk(root, "")
+        return cls(table)
+
+    # -- coding ------------------------------------------------------------------
+    def encode(self, symbols: Sequence[Hashable]) -> str:
+        """Encode a symbol sequence into a bitstring ('0'/'1' characters)."""
+        try:
+            return "".join(self.code_table[symbol] for symbol in symbols)
+        except KeyError as error:
+            raise KeyError(f"symbol {error.args[0]!r} is not in the code table")
+
+    def decode(self, bits: str) -> List[Hashable]:
+        """Decode a bitstring produced by :meth:`encode`."""
+        symbols = []
+        current = ""
+        for bit in bits:
+            if bit not in "01":
+                raise ValueError(f"invalid bit {bit!r} in Huffman bitstream")
+            current += bit
+            symbol = self._decode_table.get(current)
+            if symbol is not None:
+                symbols.append(symbol)
+                current = ""
+        if current:
+            raise ValueError("bitstream ends in the middle of a code word")
+        return symbols
+
+    # -- statistics -----------------------------------------------------------------
+    def encoded_length(self, symbols: Sequence[Hashable]) -> int:
+        """Length in bits of the encoded sequence."""
+        return sum(len(self.code_table[symbol]) for symbol in symbols)
+
+    def average_code_length(self, frequencies: Dict[Hashable, int]) -> float:
+        """Average code length in bits per symbol for the given statistics."""
+        total = sum(frequencies.values())
+        if total == 0:
+            return 0.0
+        return sum(
+            len(self.code_table[symbol]) * count
+            for symbol, count in frequencies.items()
+        ) / total
+
+    def __len__(self) -> int:
+        return len(self.code_table)

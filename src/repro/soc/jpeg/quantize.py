@@ -1,0 +1,52 @@
+"""JPEG quantization tables and block quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Annex K luminance quantization table.
+LUMINANCE_TABLE = np.array([
+    [16, 11, 10, 16, 24, 40, 51, 61],
+    [12, 12, 14, 19, 26, 58, 60, 55],
+    [14, 13, 16, 24, 40, 57, 69, 56],
+    [14, 17, 22, 29, 51, 87, 80, 62],
+    [18, 22, 37, 56, 68, 109, 103, 77],
+    [24, 35, 55, 64, 81, 104, 113, 92],
+    [49, 64, 78, 87, 103, 121, 120, 101],
+    [72, 92, 95, 98, 112, 100, 103, 99],
+], dtype=np.float64)
+
+#: Annex K chrominance quantization table.
+CHROMINANCE_TABLE = np.array([
+    [17, 18, 24, 47, 99, 99, 99, 99],
+    [18, 21, 26, 66, 99, 99, 99, 99],
+    [24, 26, 56, 99, 99, 99, 99, 99],
+    [47, 66, 99, 99, 99, 99, 99, 99],
+    [99, 99, 99, 99, 99, 99, 99, 99],
+    [99, 99, 99, 99, 99, 99, 99, 99],
+    [99, 99, 99, 99, 99, 99, 99, 99],
+    [99, 99, 99, 99, 99, 99, 99, 99],
+], dtype=np.float64)
+
+
+def quality_scaled_table(base_table: np.ndarray, quality: int) -> np.ndarray:
+    """Scale a quantization table for a quality factor of 1..100 (IJG rule)."""
+    if not 1 <= quality <= 100:
+        raise ValueError("quality must be between 1 and 100")
+    if quality < 50:
+        scale = 5000 / quality
+    else:
+        scale = 200 - 2 * quality
+    table = np.floor((base_table * scale + 50) / 100)
+    return np.clip(table, 1, 255)
+
+
+def quantize_block(coefficients: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Quantize a DCT coefficient block to integers."""
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    return np.round(coefficients / table).astype(np.int32)
+
+
+def dequantize_block(quantized: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Reconstruct approximate DCT coefficients from quantized values."""
+    return np.asarray(quantized, dtype=np.float64) * table

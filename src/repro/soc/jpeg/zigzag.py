@@ -1,0 +1,88 @@
+"""Zigzag scan and run-length coding of quantized DCT blocks."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+BLOCK_SIZE = 8
+
+
+def zigzag_order(size: int = BLOCK_SIZE) -> List[Tuple[int, int]]:
+    """The (row, col) visit order of the zigzag scan for a size x size block."""
+    order = []
+    for diagonal in range(2 * size - 1):
+        indices = []
+        for row in range(size):
+            col = diagonal - row
+            if 0 <= col < size:
+                indices.append((row, col))
+        if diagonal % 2 == 0:
+            indices.reverse()
+        order.extend(indices)
+    return order
+
+
+_ZIGZAG = zigzag_order()
+
+
+def to_zigzag(block: np.ndarray) -> List[int]:
+    """Flatten an 8x8 block into zigzag order."""
+    block = np.asarray(block)
+    if block.shape != (BLOCK_SIZE, BLOCK_SIZE):
+        raise ValueError("expected an 8x8 block")
+    return [int(block[row, col]) for row, col in _ZIGZAG]
+
+
+def from_zigzag(values: Sequence[int]) -> np.ndarray:
+    """Rebuild an 8x8 block from zigzag-ordered values."""
+    if len(values) != BLOCK_SIZE * BLOCK_SIZE:
+        raise ValueError("expected 64 zigzag values")
+    block = np.zeros((BLOCK_SIZE, BLOCK_SIZE), dtype=np.int32)
+    for value, (row, col) in zip(values, _ZIGZAG):
+        block[row, col] = value
+    return block
+
+
+def run_length_encode(zigzag_values: Sequence[int]) -> List[Tuple[int, int]]:
+    """Run-length encode the AC part of a zigzag sequence.
+
+    The first value (DC) is emitted as ``(0, dc)``; every following entry is
+    ``(zero_run, value)`` and the special pair ``(0, 0)`` terminates the block
+    (end-of-block), as in baseline JPEG.
+    """
+    if not zigzag_values:
+        raise ValueError("cannot encode an empty sequence")
+    encoded: List[Tuple[int, int]] = [(0, int(zigzag_values[0]))]
+    run = 0
+    for value in zigzag_values[1:]:
+        value = int(value)
+        if value == 0:
+            run += 1
+            continue
+        while run > 15:
+            encoded.append((15, 0))  # ZRL: run of sixteen zeros
+            run -= 16
+        encoded.append((run, value))
+        run = 0
+    encoded.append((0, 0))  # end of block
+    return encoded
+
+
+def run_length_decode(pairs: Sequence[Tuple[int, int]],
+                      length: int = BLOCK_SIZE * BLOCK_SIZE) -> List[int]:
+    """Invert :func:`run_length_encode`."""
+    if not pairs:
+        raise ValueError("cannot decode an empty sequence")
+    values = [int(pairs[0][1])]
+    for run, value in pairs[1:]:
+        if (run, value) == (0, 0):
+            break
+        if (run, value) == (15, 0):
+            values.extend([0] * 16)
+            continue
+        values.extend([0] * run)
+        values.append(int(value))
+    values.extend([0] * (length - len(values)))
+    return values[:length]

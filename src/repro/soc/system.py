@@ -1,0 +1,273 @@
+"""The complete JPEG encoder SoC TLM including test infrastructure (Figure 4).
+
+:class:`JpegSocTlm` assembles the functional cores, the system bus reused as
+TAM, and the full test infrastructure (test wrappers, decompressor/compactor,
+EBI, test controller, configuration scan bus, ATE).  The same model instance
+supports both mission-mode simulation (JPEG encoding) and test-mode simulation
+(executing a complete test schedule), which is the central claim of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.kernel.clock import Clock
+from repro.kernel.simtime import NS, SimTime
+from repro.kernel.simulator import Simulator
+from repro.kernel.tracing import TransactionTracer
+from repro.dft.ate import (
+    AutomatedTestEquipment,
+    ScheduleExecutionResult,
+    TestArchitecture,
+)
+from repro.dft.compression import Compactor, Decompressor
+from repro.dft.config_bus import ConfigurationScanBus
+from repro.dft.controller import TestController
+from repro.dft.ctl import generate_wrapper
+from repro.dft.ebi import ExternalBusInterface
+from repro.dft.monitor import ActivityLog, PowerMonitor, TamUtilizationMonitor
+from repro.dft.tam import AteLink
+from repro.schedule.model import TestSchedule, TestTask
+from repro.soc.bus import SystemBus
+from repro.soc.cores import ColorConversionCore, DctCore, MemoryCore, ProcessorCore
+from repro.soc.jpeg.encoder import EncodedImage
+from repro.soc.testplan import (
+    ADDRESS_MAP,
+    ADDRESS_WINDOW,
+    COLOR_CONVERSION,
+    DCT,
+    MEMORY,
+    MEMORY_WORD_BITS,
+    MEMORY_WORDS,
+    PROCESSOR,
+    build_core_descriptions,
+    build_test_schedules,
+    build_test_tasks,
+)
+
+
+@dataclass
+class SocConfiguration:
+    """Tunable parameters of the SoC and its test infrastructure."""
+
+    tam_width_bits: int = 32
+    ate_width_bits: int = 16
+    clock_period: SimTime = field(default_factory=lambda: SimTime(10, NS))
+    memory_words: int = MEMORY_WORDS
+    memory_word_bits: int = MEMORY_WORD_BITS
+    compression_ratio: float = 50.0
+    burst_patterns: int = 64
+    peak_window_cycles: int = 1_000_000
+    status_poll_fraction: float = 0.05
+    jpeg_quality: int = 75
+    with_validation_netlists: bool = False
+
+
+@dataclass
+class TestRunMetrics:
+    """The Table-I row produced by simulating one test schedule."""
+
+    schedule_name: str
+    test_length_cycles: int
+    peak_tam_utilization: float
+    avg_tam_utilization: float
+    peak_power: float
+    avg_power: float
+    cpu_seconds: float = 0.0
+    simulated_activations: int = 0
+    execution: Optional[ScheduleExecutionResult] = None
+
+    @property
+    def test_length_mcycles(self) -> float:
+        return self.test_length_cycles / 1e6
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "scenario": self.schedule_name,
+            "peak_tam_utilization": self.peak_tam_utilization,
+            "avg_tam_utilization": self.avg_tam_utilization,
+            "test_length_mcycles": self.test_length_mcycles,
+            "cpu_seconds": self.cpu_seconds,
+        }
+
+
+class JpegSocTlm:
+    """Approximately-timed TLM of the bus-based JPEG encoder SoC."""
+
+    def __init__(self, config: Optional[SocConfiguration] = None):
+        self.config = config or SocConfiguration()
+        config = self.config
+
+        self.sim = Simulator("jpeg_soc")
+        self.clock = Clock(self.sim, "clk", config.clock_period)
+        self.tracer = TransactionTracer()
+        self.activity_log = ActivityLog()
+
+        # -- functional platform -------------------------------------------------
+        self.bus = SystemBus(self.sim, "system_bus",
+                             width_bits=config.tam_width_bits, clock=self.clock,
+                             tracer=self.tracer)
+        self.memory = MemoryCore(self.sim, MEMORY, words=config.memory_words,
+                                 word_bits=config.memory_word_bits,
+                                 base_address=ADDRESS_MAP[MEMORY])
+        self.processor = ProcessorCore(self.sim, PROCESSOR, bus=self.bus)
+        self.color_conversion = ColorConversionCore(self.sim, COLOR_CONVERSION)
+        self.dct = DctCore(self.sim, DCT, quality=config.jpeg_quality)
+
+        # -- test infrastructure (gray blocks of Figure 4) ------------------------------
+        self.descriptions = build_core_descriptions(
+            with_validation_netlists=config.with_validation_netlists
+        )
+        self.config_bus = ConfigurationScanBus(self.sim, "config_scan_bus",
+                                               clock=self.clock,
+                                               tracer=self.tracer)
+        self.ate_link = AteLink(self.sim, "ate_link",
+                                width_bits=config.ate_width_bits,
+                                clock=self.clock, tracer=self.tracer)
+
+        cores = {
+            PROCESSOR: self.processor,
+            COLOR_CONVERSION: self.color_conversion,
+            DCT: self.dct,
+            MEMORY: self.memory,
+        }
+        self.wrappers = {}
+        for core_name, core in cores.items():
+            wrapper = generate_wrapper(
+                self.sim, self.descriptions[core_name], core=core,
+                config_bus=self.config_bus, tracer=self.tracer,
+            )
+            self.wrappers[core_name] = wrapper
+            self.bus.bind_slave(wrapper, ADDRESS_MAP[core_name], ADDRESS_WINDOW)
+
+        self.decompressor = Decompressor(
+            self.sim, "decompressor",
+            compression_ratio=config.compression_ratio,
+            target_wrapper=self.wrappers[PROCESSOR],
+            internal_chain_count=self.descriptions[PROCESSOR].internal_chain_count,
+        )
+        self.compactor = Compactor(self.sim, "compactor", compaction_ratio=1000.0)
+        self.config_bus.register(self.decompressor.config_register)
+        self.config_bus.register(self.compactor.config_register)
+        self.bus.bind_slave(self.decompressor, ADDRESS_MAP["decompressor"],
+                            ADDRESS_WINDOW)
+        self.bus.bind_slave(self.compactor, ADDRESS_MAP["compactor"],
+                            ADDRESS_WINDOW)
+
+        self.controller = TestController(self.sim, "test_controller",
+                                         tam=self.bus,
+                                         activity_log=self.activity_log)
+        self.config_bus.register(self.controller.config_register)
+        self.bus.bind_slave(self.controller, ADDRESS_MAP["test_controller"],
+                            ADDRESS_WINDOW)
+
+        self.ebi = ExternalBusInterface(self.sim, "ebi", ate_link=self.ate_link,
+                                        tam=self.bus,
+                                        buffer_patterns=config.burst_patterns)
+        self.config_bus.register(self.ebi.config_register)
+
+        self.architecture = TestArchitecture(
+            tam=self.bus, ate_link=self.ate_link, ebi=self.ebi,
+            config_bus=self.config_bus, controller=self.controller,
+            wrappers=dict(self.wrappers),
+            decompressors={PROCESSOR: self.decompressor},
+            compactors={PROCESSOR: self.compactor, DCT: self.compactor,
+                        COLOR_CONVERSION: self.compactor},
+            memory_cores={MEMORY: self.memory},
+            processor_cores={PROCESSOR: self.processor},
+            addresses=dict(ADDRESS_MAP),
+            activity_log=self.activity_log,
+        )
+        self.ate = AutomatedTestEquipment(
+            self.sim, "ate", architecture=self.architecture,
+            status_poll_fraction=config.status_poll_fraction,
+            burst_patterns=config.burst_patterns,
+        )
+
+        # -- monitors ---------------------------------------------------------------------
+        self.tam_monitor = TamUtilizationMonitor(self.tracer, self.bus.name,
+                                                 self.clock)
+        self.power_monitor = PowerMonitor(self.activity_log)
+
+    # -- mission mode ------------------------------------------------------------------------
+    def run_functional_encode(self, image: np.ndarray,
+                              quality: Optional[int] = None):
+        """Encode *image* through the SoC (TLM simulation of mission mode).
+
+        Returns ``(encoded_image, cycles)`` where *encoded_image* is the
+        :class:`EncodedImage` produced by the processor and *cycles* the
+        number of simulated clock cycles the encoding took.
+        """
+        quality = quality if quality is not None else self.config.jpeg_quality
+        self.dct.set_quality(quality)
+        start = self.sim.now
+        holder = {}
+
+        def mission():
+            encoded = yield from self.processor.encode_image(
+                image,
+                memory_address=ADDRESS_MAP[MEMORY],
+                colorconv_address=ADDRESS_MAP[COLOR_CONVERSION],
+                dct_address=ADDRESS_MAP[DCT],
+                quality=quality,
+            )
+            holder["encoded"] = encoded
+
+        self.sim.spawn(mission(), name="mission_encode")
+        self.sim.run()
+        cycles = self.clock.cycles_between(start, self.sim.now)
+        encoded: EncodedImage = holder["encoded"]
+        return encoded, cycles
+
+    # -- test mode ----------------------------------------------------------------------------
+    def run_test_schedule(self, schedule: Union[str, TestSchedule],
+                          tasks: Optional[Mapping[str, TestTask]] = None) -> TestRunMetrics:
+        """Simulate the execution of a complete test schedule.
+
+        Returns the :class:`TestRunMetrics` corresponding to one row of the
+        paper's Table I (CPU time is filled in by the experiment runner).
+        """
+        if tasks is None:
+            tasks = build_test_tasks()
+        if isinstance(schedule, str):
+            schedule = build_test_schedules()[schedule]
+        schedule.validate(dict(tasks))
+
+        start = self.sim.now
+        activations_before = self.sim.dispatched_activations
+        holder = {}
+
+        def test_flow():
+            result = yield from self.ate.execute_schedule(schedule, tasks)
+            holder["result"] = result
+
+        self.sim.spawn(test_flow(), name=f"ate_{schedule.name}")
+        self.sim.run()
+        end = self.sim.now
+        execution: ScheduleExecutionResult = holder["result"]
+
+        peak = self.tam_monitor.peak_utilization(
+            window_cycles=self.config.peak_window_cycles, start=start, end=end,
+        )
+        average = self.tam_monitor.average_utilization(start=start, end=end)
+        return TestRunMetrics(
+            schedule_name=schedule.name,
+            test_length_cycles=execution.cycles,
+            peak_tam_utilization=peak,
+            avg_tam_utilization=average,
+            peak_power=self.power_monitor.peak_power(),
+            avg_power=self.power_monitor.average_power(),
+            simulated_activations=(self.sim.dispatched_activations
+                                   - activations_before),
+            execution=execution,
+        )
+
+    # -- convenience ------------------------------------------------------------------------------
+    def wrapper(self, core_name: str):
+        return self.wrappers[core_name]
+
+    def __repr__(self):
+        return f"JpegSocTlm(clock={self.clock.period}, tam_width={self.bus.width_bits})"

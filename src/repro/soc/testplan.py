@@ -1,0 +1,204 @@
+"""The paper's test plan: core descriptions, test sequences and schedules.
+
+Section IV of the paper defines seven test sequences and four test schedules
+for the JPEG encoder SoC.  The exact core sizes (scan cell counts, memory
+word width) are not given in the paper, so they are calibrated here such that
+the simulated test lengths fall into the same range as Table I; the
+calibration is documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dft.ctl import CoreTestDescription
+from repro.memory.march import MATS_PLUS
+from repro.schedule.estimator import PlatformParameters
+from repro.schedule.model import TestKind, TestSchedule, TestTask
+
+#: Embedded memory: 1 MByte organised as byte-addressable words (paper: 1 MByte).
+MEMORY_WORDS = 1 << 20
+MEMORY_WORD_BITS = 8
+
+#: Core names used throughout the SoC model.
+PROCESSOR = "processor"
+COLOR_CONVERSION = "color_conversion"
+DCT = "dct"
+MEMORY = "memory"
+
+#: TAM base addresses of the wrapped cores and infrastructure blocks.
+ADDRESS_MAP: Dict[str, int] = {
+    MEMORY: 0x0000_0000,
+    PROCESSOR: 0x1000_0000,
+    COLOR_CONVERSION: 0x2000_0000,
+    DCT: 0x3000_0000,
+    "test_controller": 0x4000_0000,
+    "decompressor": 0x5000_0000,
+    "compactor": 0x6000_0000,
+}
+
+#: Size of each slave's address window.
+ADDRESS_WINDOW = 0x1000_0000
+
+
+def build_platform_parameters() -> PlatformParameters:
+    """Bandwidths of the case-study platform (100 MHz, 32-bit bus TAM,
+    16-bit ATE interface)."""
+    return PlatformParameters(
+        tam_width_bits=32,
+        ate_width_bits=16,
+        clock_mhz=100.0,
+        controller_cycles_per_memory_op=1.15,
+        processor_cycles_per_memory_op=6.0,
+        tam_overhead_cycles=1,
+        configuration_cycles=64,
+        setup_transactions=4,
+    )
+
+
+def build_core_descriptions(with_validation_netlists: bool = False) -> Dict[str, CoreTestDescription]:
+    """CTL-style test descriptions of the four cores.
+
+    Scan-cell counts are calibrated so that the paper's pattern counts produce
+    test lengths in the range of Table I:
+
+    * processor: 32 scan chains x 1450 cells = 46 400 scan cells, logic BIST
+      and a 64-chain internal configuration behind the decompressor,
+    * color conversion: 4 chains x 400 cells, logic BIST,
+    * DCT: 8 chains x 1300 cells = 10 400 cells, external test only,
+    * memory: wrapped for functional isolation only (array BIST is used).
+    """
+    descriptions = {
+        PROCESSOR: CoreTestDescription.describe(
+            PROCESSOR, chain_count=32, scan_cells=32 * 1450,
+            has_logic_bist=True, internal_chain_count=64,
+            test_power=3.0, idle_power=0.3,
+        ),
+        COLOR_CONVERSION: CoreTestDescription.describe(
+            COLOR_CONVERSION, chain_count=4, scan_cells=4 * 400,
+            has_logic_bist=True, test_power=1.0, idle_power=0.1,
+        ),
+        DCT: CoreTestDescription.describe(
+            DCT, chain_count=8, scan_cells=8 * 1300,
+            has_logic_bist=False, test_power=1.5, idle_power=0.15,
+        ),
+        MEMORY: CoreTestDescription.describe(
+            MEMORY, chain_count=2, scan_cells=128,
+            has_logic_bist=False, test_power=1.5, idle_power=0.2,
+        ),
+    }
+    if with_validation_netlists:
+        descriptions[PROCESSOR].attach_synthetic_validation(
+            flip_flops=128, gates=640, seed=11, chain_count=8)
+        descriptions[COLOR_CONVERSION].attach_synthetic_validation(
+            flip_flops=64, gates=320, seed=12, chain_count=4)
+        descriptions[DCT].attach_synthetic_validation(
+            flip_flops=96, gates=480, seed=13, chain_count=8)
+    return descriptions
+
+
+def build_test_tasks() -> Dict[str, TestTask]:
+    """The seven test sequences of the paper (Section IV)."""
+    tasks = {
+        "t1_processor_bist": TestTask(
+            name="t1_processor_bist", kind=TestKind.LOGIC_BIST, core=PROCESSOR,
+            pattern_count=100_000, power=3.0,
+            attributes={"paper_sequence": 1,
+                        "description": "BIST of the full-scan processor core "
+                                       "with 32 scan chains using 100,000 "
+                                       "pseudo-random patterns"},
+        ),
+        "t2_processor_external": TestTask(
+            name="t2_processor_external", kind=TestKind.EXTERNAL_SCAN,
+            core=PROCESSOR, pattern_count=20_000, power=2.5,
+            attributes={"paper_sequence": 2,
+                        "description": "Deterministic logic test of the "
+                                       "processor core using 20,000 patterns "
+                                       "stored in the ATE"},
+        ),
+        "t3_processor_compressed": TestTask(
+            name="t3_processor_compressed",
+            kind=TestKind.EXTERNAL_SCAN_COMPRESSED, core=PROCESSOR,
+            pattern_count=20_000, compression_ratio=50.0, power=2.5,
+            attributes={"paper_sequence": 3,
+                        "description": "Deterministic logic test of the "
+                                       "processor core using compressed test "
+                                       "data with a compression ratio of 50X"},
+        ),
+        "t4_colorconv_bist": TestTask(
+            name="t4_colorconv_bist", kind=TestKind.LOGIC_BIST,
+            core=COLOR_CONVERSION, pattern_count=10_000, power=1.0,
+            attributes={"paper_sequence": 4,
+                        "description": "BIST of the color conversion core "
+                                       "using 10,000 pseudo-random patterns"},
+        ),
+        "t5_dct_external": TestTask(
+            name="t5_dct_external", kind=TestKind.EXTERNAL_SCAN, core=DCT,
+            pattern_count=10_000, power=1.5,
+            attributes={"paper_sequence": 5,
+                        "description": "Deterministic logic test of the "
+                                       "full-scan DCT core with 8 scan chains "
+                                       "using 10,000 patterns stored in the ATE"},
+        ),
+        "t6_memory_bist": TestTask(
+            name="t6_memory_bist", kind=TestKind.MEMORY_BIST_CONTROLLER,
+            core=MEMORY, march=MATS_PLUS, pattern_backgrounds=2, power=1.5,
+            attributes={"paper_sequence": 6,
+                        "description": "Test controller driven array BIST of "
+                                       "the embedded memory core (1 MByte) "
+                                       "using a MATS+ march and pattern tests"},
+        ),
+        "t7_memory_march_processor": TestTask(
+            name="t7_memory_march_processor",
+            kind=TestKind.MEMORY_MARCH_PROCESSOR, core=MEMORY,
+            march=MATS_PLUS, pattern_backgrounds=2, power=2.0,
+            attributes={"paper_sequence": 7, "processor_core": PROCESSOR,
+                        "description": "The processor drives the same array "
+                                       "tests of the embedded memory core as "
+                                       "in test 6 using a program stored in "
+                                       "L1 cache"},
+        ),
+    }
+    return tasks
+
+
+def build_test_schedules() -> Dict[str, TestSchedule]:
+    """The four test schedules of the paper (Section IV)."""
+    schedules = {
+        "schedule_1": TestSchedule.sequential(
+            "schedule_1",
+            ["t1_processor_bist", "t2_processor_external", "t4_colorconv_bist",
+             "t5_dct_external", "t7_memory_march_processor"],
+            description="Sequential execution of the core tests 1, 2, 4, 5 and 7",
+        ),
+        "schedule_2": TestSchedule.sequential(
+            "schedule_2",
+            ["t1_processor_bist", "t3_processor_compressed", "t4_colorconv_bist",
+             "t5_dct_external", "t6_memory_bist"],
+            description="Sequential execution of the core tests 1, 3, 4, 5 and 6",
+        ),
+        "schedule_3": TestSchedule(
+            name="schedule_3",
+            phases=[
+                ["t1_processor_bist", "t5_dct_external"],
+                ["t2_processor_external", "t4_colorconv_bist"],
+                ["t7_memory_march_processor"],
+            ],
+            description="Concurrent execution of core tests 1 and 5, followed "
+                        "by concurrent execution of tests 2 and 4 and finally "
+                        "execution of memory test 7",
+        ),
+        "schedule_4": TestSchedule(
+            name="schedule_4",
+            phases=[
+                ["t1_processor_bist", "t5_dct_external"],
+                ["t3_processor_compressed", "t4_colorconv_bist", "t6_memory_bist"],
+            ],
+            description="Concurrent execution of core tests 1 and 5, followed "
+                        "by concurrent execution of tests 3, 4 and 6",
+        ),
+    }
+    tasks = build_test_tasks()
+    for schedule in schedules.values():
+        schedule.validate(tasks)
+    return schedules

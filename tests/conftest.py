@@ -1,0 +1,60 @@
+"""Shared pytest fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.kernel import NS, Clock, SimTime, Simulator, TransactionTracer
+from repro.rtl import SyntheticCoreSpec, generate_netlist, insert_scan
+from repro.soc import build_test_schedules, build_test_tasks
+from repro.soc.testplan import build_core_descriptions
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator."""
+    return Simulator("test")
+
+
+@pytest.fixture
+def clock(sim):
+    """A 100 MHz clock on the fresh simulator."""
+    return Clock(sim, "clk", SimTime(10, NS))
+
+
+@pytest.fixture
+def tracer():
+    return TransactionTracer()
+
+
+@pytest.fixture(scope="session")
+def small_netlist():
+    """A small synthetic scan core shared by RTL tests (read-only)."""
+    spec = SyntheticCoreSpec(name="small_core", flip_flops=48, gates=240, seed=9)
+    return generate_netlist(spec)
+
+
+@pytest.fixture(scope="session")
+def small_scan_config(small_netlist):
+    return insert_scan(small_netlist, 4)
+
+
+@pytest.fixture(scope="session")
+def paper_tasks():
+    return build_test_tasks()
+
+
+@pytest.fixture(scope="session")
+def paper_schedules():
+    return build_test_schedules()
+
+
+@pytest.fixture(scope="session")
+def core_descriptions():
+    return build_core_descriptions()
+
+
+@pytest.fixture
+def test_image():
+    """A deterministic 16x16 RGB test image."""
+    rng = np.random.default_rng(3)
+    return rng.integers(0, 256, size=(16, 16, 3), dtype=np.uint8)

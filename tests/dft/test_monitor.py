@@ -1,0 +1,116 @@
+"""Unit tests for the TAM utilization and power monitors."""
+
+import pytest
+
+from repro.kernel import NS, SimTime, TransactionRecord, TransactionTracer
+from repro.kernel.simtime import US
+from repro.dft.monitor import ActivityLog, PowerMonitor, TamUtilizationMonitor
+
+
+def tam_record(start_ns, end_ns, bits=0):
+    return TransactionRecord(channel="tam", kind="burst", start=SimTime(start_ns, NS),
+                             end=SimTime(end_ns, NS), data_bits=bits)
+
+
+class TestTamUtilizationMonitor:
+    @pytest.fixture
+    def monitor(self, clock, tracer):
+        return TamUtilizationMonitor(tracer, "tam", clock)
+
+    def test_empty_trace(self, monitor):
+        assert monitor.average_utilization() == 0.0
+        assert monitor.peak_utilization() == 0.0
+        assert monitor.utilization_profile() == []
+        assert monitor.busy_time() == SimTime(0)
+
+    def test_average_over_recorded_span(self, monitor, tracer):
+        tracer.record(tam_record(0, 500))
+        tracer.record(tam_record(500, 1000))
+        tracer.record(tam_record(1500, 2000))
+        assert monitor.average_utilization() == pytest.approx(0.75)
+
+    def test_average_over_explicit_window(self, monitor, tracer):
+        tracer.record(tam_record(0, 1000))
+        value = monitor.average_utilization(start=SimTime(0), end=SimTime(4, US))
+        assert value == pytest.approx(0.25)
+
+    def test_peak_utilization_windows(self, monitor, tracer):
+        # 100 cycles = 1 us windows; first window fully busy, second idle.
+        tracer.record(tam_record(0, 1000))
+        tracer.record(tam_record(2000, 2100))
+        peak = monitor.peak_utilization(window_cycles=100, start=SimTime(0),
+                                        end=SimTime(3, US))
+        assert peak == pytest.approx(1.0)
+
+    def test_busy_time_and_bits(self, monitor, tracer):
+        tracer.record(tam_record(0, 300, bits=320))
+        tracer.record(tam_record(100, 400, bits=64))
+        assert monitor.busy_time() == SimTime(400, NS)
+        assert monitor.transferred_bits() == 384
+
+    def test_profile_length(self, monitor, tracer):
+        tracer.record(tam_record(0, 5000))
+        profile = monitor.utilization_profile(window_cycles=100,
+                                              start=SimTime(0),
+                                              end=SimTime(10, US))
+        assert len(profile) == 10
+        assert profile[0] == pytest.approx(1.0)
+        assert profile[-1] == pytest.approx(0.0)
+
+
+class TestActivityLog:
+    def test_record_and_query(self):
+        log = ActivityLog()
+        log.record("cpu", "bist", SimTime(0), SimTime(100, NS), power=2.0)
+        log.record("dct", "scan", SimTime(50, NS), SimTime(150, NS), power=1.0)
+        assert len(log) == 2
+        assert log.cores() == ["cpu", "dct"]
+        log.clear()
+        assert len(log) == 0
+
+    def test_invalid_interval_rejected(self):
+        log = ActivityLog()
+        with pytest.raises(ValueError):
+            log.record("cpu", "bist", SimTime(100, NS), SimTime(50, NS), power=1.0)
+
+
+class TestPowerMonitor:
+    @pytest.fixture
+    def log(self):
+        log = ActivityLog()
+        log.record("cpu", "bist", SimTime(0), SimTime(100, NS), power=3.0)
+        log.record("dct", "scan", SimTime(50, NS), SimTime(150, NS), power=1.5)
+        log.record("mem", "march", SimTime(200, NS), SimTime(300, NS), power=1.0)
+        return log
+
+    def test_power_at(self, log):
+        monitor = PowerMonitor(log)
+        assert monitor.power_at(SimTime(10, NS)) == pytest.approx(3.0)
+        assert monitor.power_at(SimTime(75, NS)) == pytest.approx(4.5)
+        assert monitor.power_at(SimTime(175, NS)) == pytest.approx(0.0)
+
+    def test_peak_power_is_overlap(self, log):
+        assert PowerMonitor(log).peak_power() == pytest.approx(4.5)
+
+    def test_average_power_is_energy_over_makespan(self, log):
+        monitor = PowerMonitor(log)
+        # Energy = 3*100 + 1.5*100 + 1*100 = 550 power*ns over 300 ns.
+        assert monitor.average_power() == pytest.approx(550.0 / 300.0)
+
+    def test_energy_and_per_core_energy(self, log):
+        monitor = PowerMonitor(log)
+        per_core = monitor.per_core_energy()
+        assert per_core["cpu"] == pytest.approx(3.0 * 100e-9)
+        assert sum(per_core.values()) == pytest.approx(monitor.energy())
+
+    def test_profile_windows(self, log):
+        monitor = PowerMonitor(log)
+        profile = monitor.profile(SimTime(100, NS))
+        assert len(profile) == 3
+        assert profile[0][1] == pytest.approx((3.0 * 100 + 1.5 * 50) / 100)
+
+    def test_empty_log(self):
+        monitor = PowerMonitor(ActivityLog())
+        assert monitor.peak_power() == 0.0
+        assert monitor.average_power() == 0.0
+        assert monitor.profile(SimTime(1, US)) == []

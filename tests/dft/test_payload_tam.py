@@ -1,0 +1,230 @@
+"""Unit tests for the TAM payload and TAM/ATE channel models."""
+
+import pytest
+
+from repro.kernel import NS, SimTime, Timeout
+from repro.dft import TamChannel, TamCommand, TamPayload, TamResponse
+from repro.dft.tam import AteLink, TamInterface, TamSlaveInterface
+
+
+class RecordingSlave:
+    """Minimal TAM slave used to observe deliveries."""
+
+    def __init__(self):
+        self.payloads = []
+
+    def tam_access(self, payload):
+        self.payloads.append(payload)
+        payload.response_data = "slave_data"
+        return payload.complete(TamResponse.OK)
+
+
+class TestTamPayload:
+    def test_write_factory(self):
+        payload = TamPayload.write(0x100, data_bits=64, data="stimuli", tag=1)
+        assert payload.command is TamCommand.WRITE
+        assert payload.total_bits == 64
+        assert payload.attributes == {"tag": 1}
+        assert payload.status is TamResponse.INCOMPLETE
+
+    def test_read_factory_defaults_response_bits(self):
+        payload = TamPayload.read(0x10, response_bits=32)
+        assert payload.command is TamCommand.READ
+        assert payload.total_bits == 32
+
+    def test_write_read_uses_max_of_directions(self):
+        payload = TamPayload.write_read(0x10, data_bits=100, response_bits=40)
+        assert payload.total_bits == 100
+        symmetric = TamPayload.write_read(0x10, data_bits=100)
+        assert symmetric.response_bits == 100
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            TamPayload(TamCommand.WRITE, data_bits=-1)
+
+    def test_complete_sets_status(self):
+        payload = TamPayload.write(0, data_bits=8)
+        payload.complete()
+        assert payload.status is TamResponse.OK
+
+
+class TestTamChannelStructure:
+    def test_implements_tam_interface(self, sim, clock):
+        tam = TamChannel(sim, "tam", width_bits=32, clock=clock)
+        assert TamInterface.is_implemented_by(tam)
+
+    def test_slave_interface_check_on_bind(self, sim, clock):
+        tam = TamChannel(sim, "tam", width_bits=32, clock=clock)
+        with pytest.raises(TypeError):
+            tam.bind_slave(object(), 0, 0x100)
+
+    def test_overlapping_slave_ranges_rejected(self, sim, clock):
+        tam = TamChannel(sim, "tam", width_bits=32, clock=clock)
+        tam.bind_slave(RecordingSlave(), 0x0, 0x100)
+        with pytest.raises(ValueError):
+            tam.bind_slave(RecordingSlave(), 0x80, 0x100)
+
+    def test_decode(self, sim, clock):
+        tam = TamChannel(sim, "tam", width_bits=32, clock=clock)
+        slave = RecordingSlave()
+        tam.bind_slave(slave, 0x1000, 0x100)
+        found, offset = tam.decode(0x1010)
+        assert found is slave and offset == 0x10
+        assert tam.decode(0x5000) == (None, None)
+
+    def test_transfer_cycles(self, sim, clock):
+        tam = TamChannel(sim, "tam", width_bits=32, clock=clock)
+        assert tam.transfer_cycles(0) == 0
+        assert tam.transfer_cycles(32) == 1
+        assert tam.transfer_cycles(33) == 2
+        assert tam.transfer_cycles(46400) == 1450
+
+    def test_invalid_parameters(self, sim, clock):
+        with pytest.raises(ValueError):
+            TamChannel(sim, "tam", width_bits=0, clock=clock)
+        with pytest.raises(ValueError):
+            TamChannel(sim, "tam2", width_bits=8, clock=clock,
+                       arbitration_overhead_cycles=-1)
+
+
+class TestTamChannelTiming:
+    def test_write_transaction_timing_and_delivery(self, sim, clock):
+        tam = TamChannel(sim, "tam", width_bits=32, clock=clock)
+        slave = RecordingSlave()
+        tam.bind_slave(slave, 0x0, 0x1000)
+        results = {}
+
+        def master():
+            payload = TamPayload.write(0x10, data_bits=64, data="hello")
+            payload.initiator = "tb"
+            result = yield from tam.write(payload)
+            results["status"] = result.status
+            results["time"] = sim.now
+
+        sim.spawn(master())
+        sim.run()
+        # 64 bits on a 32-bit TAM -> 2 beats + 1 overhead cycle = 3 cycles.
+        assert results["time"] == SimTime(30, NS)
+        assert results["status"] is TamResponse.OK
+        assert slave.payloads[0].data == "hello"
+        assert tam.transaction_count == 1
+        assert tam.busy_cycles_total == 3
+
+    def test_read_returns_slave_data(self, sim, clock):
+        tam = TamChannel(sim, "tam", width_bits=32, clock=clock)
+        tam.bind_slave(RecordingSlave(), 0x0, 0x1000)
+        results = {}
+
+        def master():
+            payload = TamPayload.read(0x0, response_bits=32)
+            result = yield from tam.read(payload)
+            results["data"] = result.response_data
+
+        sim.spawn(master())
+        sim.run()
+        assert results["data"] == "slave_data"
+
+    def test_unmapped_address_reports_error(self, sim, clock):
+        tam = TamChannel(sim, "tam", width_bits=32, clock=clock)
+        results = {}
+
+        def master():
+            payload = TamPayload.write(0x9999, data_bits=8)
+            result = yield from tam.write(payload)
+            results["status"] = result.status
+
+        sim.spawn(master())
+        sim.run()
+        assert results["status"] is TamResponse.ADDRESS_ERROR
+
+    def test_arbitration_serialises_masters(self, sim, clock):
+        tam = TamChannel(sim, "tam", width_bits=32, clock=clock)
+        tam.bind_slave(RecordingSlave(), 0x0, 0x1000)
+        completion_times = {}
+
+        def master(tag):
+            payload = TamPayload.write(0x0, data_bits=32 * 9)  # 9+1 cycles
+            payload.initiator = tag
+            yield from tam.write(payload)
+            completion_times[tag] = sim.now
+
+        sim.spawn(master("m0"))
+        sim.spawn(master("m1"))
+        sim.run()
+        assert completion_times["m0"] == SimTime(100, NS)
+        assert completion_times["m1"] == SimTime(200, NS)
+        assert tam.contention_count == 1
+
+    def test_occupy_records_busy_cycles(self, sim, clock, tracer):
+        tam = TamChannel(sim, "tam", width_bits=32, clock=clock, tracer=tracer)
+
+        def master():
+            yield from tam.occupy("tb", busy_cycles=50, kind="burst", data_bits=1600)
+
+        sim.spawn(master())
+        sim.run()
+        assert len(tracer.records) == 1
+        record = tracer.records[0]
+        assert record.attributes["busy_cycles"] == 50
+        assert record.duration == SimTime(500, NS)
+        assert tam.bits_transferred == 1600
+
+    def test_occupy_negative_rejected(self, sim, clock):
+        tam = TamChannel(sim, "tam", width_bits=32, clock=clock)
+
+        def master():
+            yield from tam.occupy("tb", busy_cycles=-1)
+
+        sim.spawn(master())
+        with pytest.raises(Exception):
+            sim.run()
+
+    def test_write_read_command_normalisation(self, sim, clock):
+        tam = TamChannel(sim, "tam", width_bits=32, clock=clock)
+        slave = RecordingSlave()
+        tam.bind_slave(slave, 0x0, 0x1000)
+
+        def master():
+            payload = TamPayload(TamCommand.WRITE, address=0, data_bits=8)
+            yield from tam.write_read(payload)
+
+        sim.spawn(master())
+        sim.run()
+        assert slave.payloads[0].command is TamCommand.WRITE_READ
+
+
+class TestAteLink:
+    def test_transfer_cycles_full_duplex(self, sim, clock):
+        link = AteLink(sim, "ate", width_bits=16, clock=clock)
+        assert link.transfer_cycles(1600, 32) == 100
+        assert link.transfer_cycles(32, 1600) == 100
+        assert link.transfer_cycles(0, 0) == 0
+
+    def test_transfer_records_and_advances_time(self, sim, clock, tracer):
+        link = AteLink(sim, "ate", width_bits=16, clock=clock, tracer=tracer)
+
+        def ate():
+            yield from link.transfer("ate", stimulus_bits=160, response_bits=32)
+
+        sim.spawn(ate())
+        end = sim.run()
+        assert end == SimTime(100, NS)
+        assert link.transaction_count == 1
+        assert tracer.records[0].channel == "ate"
+
+    def test_link_is_exclusive(self, sim, clock):
+        link = AteLink(sim, "ate", width_bits=16, clock=clock)
+        times = {}
+
+        def user(tag):
+            yield from link.transfer(tag, stimulus_bits=160)
+            times[tag] = sim.now
+
+        sim.spawn(user("a"))
+        sim.spawn(user("b"))
+        sim.run()
+        assert times["b"] == times["a"] + SimTime(100, NS)
+
+    def test_invalid_width(self, sim, clock):
+        with pytest.raises(ValueError):
+            AteLink(sim, "ate", width_bits=0, clock=clock)

@@ -1,0 +1,182 @@
+"""Unit tests for pattern sources and the decompressor/compactor adaptors."""
+
+import pytest
+
+from repro.dft import (
+    Compactor,
+    CompressedPatternSource,
+    Decompressor,
+    DeterministicPatternSource,
+    LfsrPatternSource,
+    TamPayload,
+    TamResponse,
+)
+from repro.dft.ctl import CoreTestDescription
+from repro.dft.ctl import generate_wrapper
+from repro.dft.wrapper import WrapperMode
+
+
+class TestPatternSourceBase:
+    def test_volume_accounting(self, sim):
+        source = LfsrPatternSource(sim, "lfsr", pattern_count=100,
+                                   bits_per_pattern=64)
+        assert source.total_bits == 6400
+        assert source.remaining_patterns == 100
+        assert source.supply(30) == 30
+        assert source.supply(90) == 70
+        assert source.exhausted
+        source.reset()
+        assert source.remaining_patterns == 100
+
+    def test_invalid_parameters(self, sim):
+        with pytest.raises(ValueError):
+            LfsrPatternSource(sim, "s", pattern_count=0, bits_per_pattern=8)
+        with pytest.raises(ValueError):
+            LfsrPatternSource(sim, "s", pattern_count=8, bits_per_pattern=0)
+
+    def test_tam_access_supplies_patterns(self, sim):
+        source = LfsrPatternSource(sim, "lfsr", pattern_count=10,
+                                   bits_per_pattern=32)
+        payload = TamPayload.read(0, response_bits=32, patterns=4)
+        source.tam_access(payload)
+        assert payload.status is TamResponse.OK
+        assert payload.response_data == {"patterns": 4, "bits": 128}
+        assert source.patterns_supplied == 4
+
+
+class TestLfsrPatternSource:
+    def test_pattern_bits_are_binary_and_sized(self, sim):
+        source = LfsrPatternSource(sim, "lfsr", pattern_count=5,
+                                   bits_per_pattern=40, seed=3)
+        pattern = source.next_pattern_bits()
+        assert len(pattern) == 40
+        assert set(pattern) <= {0, 1}
+        assert source.patterns_supplied == 1
+
+    def test_stream_is_reproducible(self, sim):
+        first = LfsrPatternSource(sim, "a", pattern_count=4,
+                                  bits_per_pattern=16, seed=9)
+        second = LfsrPatternSource(sim, "b", pattern_count=4,
+                                   bits_per_pattern=16, seed=9)
+        assert list(first.pattern_stream()) == list(second.pattern_stream())
+
+
+class TestDeterministicPatternSource:
+    def test_explicit_patterns(self, sim):
+        patterns = [[0, 1], [1, 1], [1, 0]]
+        source = DeterministicPatternSource(sim, "det", pattern_count=3,
+                                            bits_per_pattern=2,
+                                            patterns=patterns)
+        assert source.pattern_bits(1) == [1, 1]
+
+    def test_mismatched_pattern_list_rejected(self, sim):
+        with pytest.raises(ValueError):
+            DeterministicPatternSource(sim, "det", pattern_count=2,
+                                       bits_per_pattern=2, patterns=[[0, 1]])
+
+    def test_generated_patterns_are_reproducible(self, sim):
+        source = DeterministicPatternSource(sim, "det", pattern_count=4,
+                                            bits_per_pattern=16)
+        assert source.pattern_bits(2) == source.pattern_bits(2)
+        with pytest.raises(IndexError):
+            source.pattern_bits(9)
+
+
+class TestCompressedPatternSource:
+    def test_compressed_volume(self, sim):
+        source = CompressedPatternSource(sim, "cmp", pattern_count=10,
+                                         bits_per_pattern=46_400,
+                                         compression_ratio=50.0)
+        assert source.compressed_bits_per_pattern() == 928
+        assert source.total_compressed_bits == 9280
+
+    def test_ratio_below_one_rejected(self, sim):
+        with pytest.raises(ValueError):
+            CompressedPatternSource(sim, "cmp", pattern_count=1,
+                                    bits_per_pattern=100, compression_ratio=0.5)
+
+
+class TestDecompressor:
+    def test_starts_in_bypass(self, sim):
+        decompressor = Decompressor(sim, "dec", compression_ratio=50.0)
+        assert decompressor.bypass
+        assert decompressor.compressed_bits(1000) == 1000
+
+    def test_activation_via_config_register(self, sim):
+        decompressor = Decompressor(sim, "dec", compression_ratio=50.0)
+        decompressor.config_register.update(Decompressor.MODE_ACTIVE)
+        assert not decompressor.bypass
+        decompressor.config_register.update(Decompressor.MODE_BYPASS)
+        assert decompressor.bypass
+
+    def test_expand_volumes_and_wrapper_forwarding(self, sim):
+        description = CoreTestDescription.describe("cpu", chain_count=4,
+                                                    scan_cells=400)
+        wrapper = generate_wrapper(sim, description)
+        wrapper.set_mode(WrapperMode.INTEST_COMPRESSED)
+        decompressor = Decompressor(sim, "dec", compression_ratio=50.0,
+                                    target_wrapper=wrapper)
+        decompressor.activate()
+        expanded = decompressor.expand(compressed_bits=8, patterns=1)
+        assert expanded == 400
+        assert wrapper.patterns_applied == 1
+        assert decompressor.compressed_bits_in == 8
+        assert decompressor.expanded_bits_out == 400
+
+    def test_variable_ratio(self, sim):
+        decompressor = Decompressor(sim, "dec", compression_ratio=10.0,
+                                    ratio_for_pattern=lambda index: 10.0 + index)
+        decompressor.activate()
+        assert decompressor.ratio(0) == 10.0
+        assert decompressor.ratio(5) == 15.0
+        assert decompressor.compressed_bits(150, pattern_index=5) == 10
+
+    def test_tam_access_expands_written_stimuli(self, sim):
+        decompressor = Decompressor(sim, "dec", compression_ratio=4.0)
+        decompressor.activate()
+        payload = TamPayload.write(0, data_bits=100, patterns=2)
+        decompressor.tam_access(payload)
+        assert payload.attributes["expanded_bits"] == 400
+        assert decompressor.patterns_expanded == 2
+
+    def test_invalid_ratio_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Decompressor(sim, "dec", compression_ratio=0.9)
+        bad = Decompressor(sim, "dec2", compression_ratio=2.0,
+                           ratio_for_pattern=lambda index: 0.1)
+        bad.activate()
+        with pytest.raises(ValueError):
+            bad.expand(10)
+
+
+class TestCompactor:
+    def test_bypass_passes_volume_through(self, sim):
+        compactor = Compactor(sim, "cmp", compaction_ratio=1000.0)
+        assert compactor.compact(4600) == 4600
+
+    def test_active_mode_compacts(self, sim):
+        compactor = Compactor(sim, "cmp", compaction_ratio=1000.0)
+        compactor.activate()
+        assert compactor.compact(46_400) == 47
+        assert compactor.response_bits_in == 46_400
+        assert compactor.compacted_bits_out == 47
+
+    def test_signature_changes_with_responses(self, sim):
+        compactor = Compactor(sim, "cmp", compaction_ratio=10.0)
+        compactor.activate()
+        before = compactor.signature
+        compactor.compact(128, token=1)
+        compactor.compact(128, token=2)
+        assert compactor.signature != before
+
+    def test_tam_read_returns_signature(self, sim):
+        compactor = Compactor(sim, "cmp", compaction_ratio=10.0)
+        compactor.activate()
+        compactor.compact(64, token=5)
+        payload = TamPayload.read(0, response_bits=32)
+        compactor.tam_access(payload)
+        assert payload.response_data == compactor.signature
+
+    def test_invalid_ratio(self, sim):
+        with pytest.raises(ValueError):
+            Compactor(sim, "cmp", compaction_ratio=0.5)

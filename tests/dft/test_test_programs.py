@@ -1,0 +1,100 @@
+"""Tests for hand-written virtual ATE test programs (beyond schedules).
+
+The paper distinguishes exploration (the ATE modeled by its functional
+behaviour) from validation (virtual ATE software executing explicit test
+program instructions).  These tests drive the ATE with hand-written programs
+containing CONFIGURE, WAIT_CYCLES, READ_STATUS and RUN_TASK steps.
+"""
+
+import pytest
+
+from repro.dft.ate import StepKind, TestProgram, TestProgramStep
+from repro.dft.wrapper import WrapperMode
+from repro.schedule.model import TestKind, TestTask
+from repro.soc import JpegSocTlm, SocConfiguration
+from repro.soc.testplan import COLOR_CONVERSION, DCT
+
+
+@pytest.fixture
+def soc():
+    return JpegSocTlm(SocConfiguration(memory_words=8192, burst_patterns=16))
+
+
+@pytest.fixture
+def tasks():
+    return {
+        "bist_cc": TestTask(name="bist_cc", kind=TestKind.LOGIC_BIST,
+                            core=COLOR_CONVERSION, pattern_count=50, power=1.0),
+        "ext_dct": TestTask(name="ext_dct", kind=TestKind.EXTERNAL_SCAN,
+                            core=DCT, pattern_count=16, power=1.5),
+    }
+
+
+def run_program(soc, program, tasks):
+    holder = {}
+
+    def flow():
+        result = yield from soc.ate.run_program(program, tasks)
+        holder["result"] = result
+
+    soc.sim.spawn(flow(), name="virtual_ate")
+    soc.sim.run()
+    return holder["result"]
+
+
+class TestHandWrittenPrograms:
+    def test_configure_step_switches_wrapper_mode(self, soc, tasks):
+        wrapper = soc.wrappers[DCT]
+        program = TestProgram(name="configure_only", steps=[
+            TestProgramStep(kind=StepKind.CONFIGURE,
+                            target=wrapper.wir_register.name,
+                            value=wrapper.wir.encode(WrapperMode.INTEST_SCAN)),
+        ])
+        run_program(soc, program, tasks)
+        assert wrapper.mode is WrapperMode.INTEST_SCAN
+
+    def test_wait_cycles_step_advances_time(self, soc, tasks):
+        program = TestProgram(name="wait_only", steps=[
+            TestProgramStep(kind=StepKind.WAIT_CYCLES, cycles=12_345),
+        ])
+        result = run_program(soc, program, tasks)
+        # Controller enable configuration precedes the wait.
+        assert result.cycles >= 12_345
+
+    def test_read_status_step_issues_tam_transaction(self, soc, tasks):
+        before = soc.bus.transaction_count
+        program = TestProgram(name="status_only", steps=[
+            TestProgramStep(kind=StepKind.READ_STATUS, target=None),
+        ])
+        run_program(soc, program, tasks)
+        assert soc.bus.transaction_count > before
+
+    def test_mixed_program_runs_tasks_and_waits(self, soc, tasks):
+        program = TestProgram(name="mixed", steps=[
+            TestProgramStep(kind=StepKind.RUN_TASK, task="bist_cc"),
+            TestProgramStep(kind=StepKind.RUN_TASK, task="ext_dct"),
+            TestProgramStep(kind=StepKind.BARRIER),
+            TestProgramStep(kind=StepKind.WAIT_CYCLES, cycles=1_000),
+            TestProgramStep(kind=StepKind.READ_STATUS),
+        ])
+        result = run_program(soc, program, tasks)
+        assert set(result.task_results) == {"bist_cc", "ext_dct"}
+        assert soc.wrappers[COLOR_CONVERSION].bist_patterns_applied == 50
+        assert soc.wrappers[DCT].external_patterns_applied == 16
+        # Concurrent tasks plus the trailing wait dominate the duration.
+        longest_task = max(r.cycles for r in result.task_results.values())
+        assert result.cycles >= longest_task + 1_000
+
+    def test_program_without_final_barrier_still_waits_for_tasks(self, soc, tasks):
+        program = TestProgram(name="no_barrier", steps=[
+            TestProgramStep(kind=StepKind.RUN_TASK, task="bist_cc"),
+        ])
+        result = run_program(soc, program, tasks)
+        assert result.task_results["bist_cc"].patterns_applied == 50
+
+    def test_programs_executed_counter(self, soc, tasks):
+        program = TestProgram(name="count", steps=[
+            TestProgramStep(kind=StepKind.WAIT_CYCLES, cycles=10),
+        ])
+        run_program(soc, program, tasks)
+        assert soc.ate.programs_executed == 1

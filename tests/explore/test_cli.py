@@ -1,0 +1,48 @@
+"""Tests for the exploration command line interface."""
+
+import pytest
+
+from repro.explore.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_table1_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--schedules", "schedule_4",
+                                  "--validate"])
+        assert args.schedules == ["schedule_4"]
+        assert args.validate
+
+    def test_all_subcommands_have_handlers(self):
+        parser = build_parser()
+        for command in ("table1", "speedup", "sweep-compression",
+                        "sweep-tam-width", "schedules"):
+            args = parser.parse_args([command])
+            assert callable(args.handler)
+
+
+class TestExecution:
+    def test_table1_single_schedule(self, capsys):
+        exit_code = main(["table1", "--schedules", "schedule_4", "--validate"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "schedule_4" in output
+        assert "Peak TAM" in output
+        assert "estimated length" in output
+
+    def test_speedup_command(self, capsys):
+        exit_code = main(["speedup", "--gate-cycles", "20"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "speedup" in output
+
+    def test_compression_sweep_command(self, capsys):
+        exit_code = main(["sweep-compression", "--ratios", "1", "50"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "compression_ratio" in output

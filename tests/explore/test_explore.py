@@ -1,0 +1,99 @@
+"""Tests for the exploration/reporting layer (Table I, sweeps, speedup)."""
+
+import pytest
+
+from repro.explore.experiments import (
+    PAPER_TABLE1,
+    ScenarioResult,
+    run_scenario,
+    run_table1,
+    table1_rows,
+)
+from repro.explore.report import format_table, format_table1
+from repro.explore.speedup import SpeedupResult, run_speed_comparison
+from repro.soc import SocConfiguration
+
+
+class TestReportFormatting:
+    def test_format_table_basic(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+        text = format_table(rows, ["a", "b"], headers={"a": "Alpha"})
+        lines = text.splitlines()
+        assert lines[0].startswith("Alpha")
+        assert len(lines) == 4
+        assert "2.50" in lines[2]
+
+    def test_format_table_missing_column(self):
+        text = format_table([{"a": 1}], ["a", "missing"])
+        assert "missing" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table([], ["a"])
+        assert "a" in text
+
+
+class TestScenarioRunner:
+    @pytest.fixture(scope="class")
+    def scenario(self, request):
+        # One representative scenario, shared by the assertions below.
+        from repro.soc import build_test_schedules, build_test_tasks
+
+        schedules = build_test_schedules()
+        tasks = build_test_tasks()
+        return run_scenario(schedules["schedule_4"], tasks)
+
+    def test_metrics_filled(self, scenario):
+        metrics = scenario.metrics
+        assert metrics.schedule_name == "schedule_4"
+        assert metrics.cpu_seconds > 0
+        assert metrics.test_length_mcycles > 100
+        assert 0 < metrics.avg_tam_utilization <= metrics.peak_tam_utilization <= 1.0
+
+    def test_validation_report_attached(self, scenario):
+        assert scenario.validation.schedule_name == "schedule_4"
+        assert scenario.validation.simulated_cycles == \
+            scenario.metrics.test_length_cycles
+        assert abs(scenario.validation.deviation) < 0.25
+
+    def test_paper_row_lookup(self, scenario):
+        paper = scenario.paper_row()
+        assert paper["test_length_mcycles"] == 167.0
+
+    def test_table_rows_and_formatting(self, scenario):
+        rows = table1_rows([scenario])
+        assert rows[0]["scenario"] == "schedule_4"
+        assert rows[0]["paper_test_length_mcycles"] == 167.0
+        text = format_table1([scenario])
+        assert "schedule_4" in text
+        assert "167" in text
+
+    def test_paper_table_has_all_scenarios(self):
+        assert set(PAPER_TABLE1) == {"schedule_1", "schedule_2", "schedule_3",
+                                     "schedule_4"}
+
+
+class TestSpeedComparison:
+    def test_speedup_result_arithmetic(self):
+        result = SpeedupResult(
+            gate_level_cycles_simulated=100, gate_level_seconds=10.0,
+            tlm_cycles_simulated=1_000_000, tlm_seconds=1.0,
+            reference_cycles=1_000_000,
+        )
+        assert result.gate_level_cycles_per_second == pytest.approx(10.0)
+        assert result.tlm_cycles_per_second == pytest.approx(1e6)
+        assert result.speedup == pytest.approx(1e5)
+        assert result.tlm_projection_seconds == pytest.approx(1.0)
+        assert result.gate_level_projection_seconds == pytest.approx(1e5)
+        assert "speedup" in result.summary()
+
+    def test_small_speed_comparison_run(self):
+        result = run_speed_comparison(gate_level_cycles=20,
+                                      core_flip_flops=100, core_gates=500,
+                                      schedule_name="schedule_4")
+        assert result.gate_level_cycles_simulated == 20
+        assert result.tlm_cycles_simulated > 100_000_000
+        assert result.speedup > 100
+
+    def test_invalid_cycle_count(self):
+        with pytest.raises(ValueError):
+            run_speed_comparison(gate_level_cycles=0)

@@ -1,0 +1,194 @@
+"""Integration tests: complete flows across the whole stack.
+
+These tests exercise the same paths as the paper's evaluation but at reduced
+scale (fewer patterns, smaller memory) so the whole suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.memory import StuckAtCellFault
+from repro.memory.march import MATS_PLUS
+from repro.schedule import (
+    PowerModel,
+    TestKind,
+    TestSchedule,
+    TestTask,
+    TestTimeEstimator,
+    greedy_concurrent_schedule,
+    validate_schedule,
+)
+from repro.soc import (
+    JpegSocTlm,
+    SocConfiguration,
+    build_core_descriptions,
+    build_platform_parameters,
+)
+from repro.soc.jpeg import JpegEncoder
+from repro.soc.testplan import COLOR_CONVERSION, DCT, MEMORY, PROCESSOR
+
+
+def scaled_tasks(scale: int = 100):
+    """The paper's seven sequences with pattern counts divided by *scale*."""
+    return {
+        "t1": TestTask(name="t1", kind=TestKind.LOGIC_BIST, core=PROCESSOR,
+                       pattern_count=100_000 // scale, power=3.0),
+        "t2": TestTask(name="t2", kind=TestKind.EXTERNAL_SCAN, core=PROCESSOR,
+                       pattern_count=20_000 // scale, power=2.5),
+        "t3": TestTask(name="t3", kind=TestKind.EXTERNAL_SCAN_COMPRESSED,
+                       core=PROCESSOR, pattern_count=20_000 // scale,
+                       compression_ratio=50.0, power=2.5),
+        "t4": TestTask(name="t4", kind=TestKind.LOGIC_BIST,
+                       core=COLOR_CONVERSION, pattern_count=10_000 // scale,
+                       power=1.0),
+        "t5": TestTask(name="t5", kind=TestKind.EXTERNAL_SCAN, core=DCT,
+                       pattern_count=10_000 // scale, power=1.5),
+        "t6": TestTask(name="t6", kind=TestKind.MEMORY_BIST_CONTROLLER,
+                       core=MEMORY, march=MATS_PLUS, power=1.5),
+        "t7": TestTask(name="t7", kind=TestKind.MEMORY_MARCH_PROCESSOR,
+                       core=MEMORY, march=MATS_PLUS, power=2.0,
+                       attributes={"processor_core": PROCESSOR}),
+    }
+
+
+def scaled_schedules():
+    return {
+        "schedule_1": TestSchedule.sequential("schedule_1",
+                                              ["t1", "t2", "t4", "t5", "t7"]),
+        "schedule_2": TestSchedule.sequential("schedule_2",
+                                              ["t1", "t3", "t4", "t5", "t6"]),
+        "schedule_3": TestSchedule(name="schedule_3",
+                                   phases=[["t1", "t5"], ["t2", "t4"], ["t7"]]),
+        "schedule_4": TestSchedule(name="schedule_4",
+                                   phases=[["t1", "t5"], ["t3", "t4", "t6"]]),
+    }
+
+
+SMALL_CONFIG = SocConfiguration(memory_words=32_768, burst_patterns=16)
+
+
+class TestScaledTable1Flow:
+    @pytest.fixture(scope="class")
+    def results(self):
+        tasks = scaled_tasks()
+        results = {}
+        for name, schedule in scaled_schedules().items():
+            soc = JpegSocTlm(SMALL_CONFIG)
+            results[name] = soc.run_test_schedule(schedule, tasks)
+        return results
+
+    def test_every_schedule_completes_all_tasks(self, results):
+        for name, metrics in results.items():
+            assert metrics.execution.all_signatures_ok
+            assert len(metrics.execution.task_results) == 5
+
+    def test_test_length_ordering_matches_paper(self, results):
+        lengths = {name: metrics.test_length_cycles
+                   for name, metrics in results.items()}
+        assert lengths["schedule_4"] < lengths["schedule_2"]
+        assert lengths["schedule_2"] < lengths["schedule_3"]
+        assert lengths["schedule_3"] < lengths["schedule_1"]
+
+    def test_concurrent_schedules_save_time_over_sequential(self, results):
+        assert results["schedule_3"].test_length_cycles < \
+            results["schedule_1"].test_length_cycles
+        assert results["schedule_4"].test_length_cycles < \
+            results["schedule_2"].test_length_cycles
+
+    def test_utilization_and_power_are_plausible(self, results):
+        for metrics in results.values():
+            assert 0.0 < metrics.avg_tam_utilization <= metrics.peak_tam_utilization <= 1.0
+            assert metrics.peak_power >= 3.0
+        assert results["schedule_4"].peak_power > results["schedule_1"].peak_power
+
+
+class TestSchedulerToSimulationFlow:
+    def test_generated_schedule_runs_and_validates(self):
+        tasks = scaled_tasks()
+        descriptions = build_core_descriptions()
+        platform = build_platform_parameters()
+        estimator = TestTimeEstimator(descriptions, platform,
+                                      memory_words={MEMORY: SMALL_CONFIG.memory_words})
+        estimates = estimator.estimate_all(tasks)
+        power_model = PowerModel(budget=6.0)
+        schedule = greedy_concurrent_schedule("generated", tasks, estimates,
+                                              power_model=power_model)
+
+        soc = JpegSocTlm(SMALL_CONFIG)
+        metrics = soc.run_test_schedule(schedule, tasks)
+        report = validate_schedule(
+            schedule, tasks, estimator,
+            simulated_cycles=metrics.test_length_cycles,
+            power_model=power_model,
+            simulated_peak_power=metrics.peak_power,
+            tolerance=0.25,
+        )
+        assert report.passed, report.summary()
+
+
+class TestDefectDetectionFlow:
+    def test_memory_defect_detected_by_both_memory_tests(self):
+        tasks = scaled_tasks()
+        for task_name in ("t6", "t7"):
+            soc = JpegSocTlm(SMALL_CONFIG)
+            # The functional validation pass subsamples the address space with
+            # a stride of 257, so place the defect on a visited address.
+            soc.memory.array.inject_fault(
+                StuckAtCellFault(address=257 * 3, bit=1, value=1))
+            schedule = TestSchedule.sequential("defect", [task_name])
+            metrics = soc.run_test_schedule(schedule, tasks)
+            result = metrics.execution.task_results[task_name]
+            assert result.details["failures"] > 0
+            assert not result.details["march_passed"]
+
+    def test_wrapper_pattern_validation_on_synthetic_netlist(self):
+        config = SocConfiguration(memory_words=8192,
+                                  with_validation_netlists=True)
+        soc = JpegSocTlm(config)
+        coverage = soc.wrappers[PROCESSOR].validate_patterns(pattern_count=64,
+                                                             fault_sample=100)
+        assert 0.2 < coverage <= 1.0
+
+
+class TestMissionAndTestConsistency:
+    def test_functional_encode_then_full_test(self, test_image):
+        soc = JpegSocTlm(SocConfiguration(memory_words=65_536,
+                                          burst_patterns=16))
+        encoded, cycles = soc.run_functional_encode(test_image, quality=60)
+        assert encoded.bitstream == JpegEncoder(quality=60).encode(test_image).bitstream
+
+        tasks = scaled_tasks(scale=500)
+        schedule = TestSchedule(name="post_mission",
+                                phases=[["t1", "t5"], ["t3", "t4", "t6"]])
+        metrics = soc.run_test_schedule(schedule, tasks)
+        assert metrics.execution.all_signatures_ok
+        assert metrics.test_length_cycles > 0
+
+
+class TestExampleEntryPoints:
+    def test_examples_are_importable_and_define_main(self):
+        import importlib.util
+        import pathlib
+
+        examples_dir = pathlib.Path(__file__).resolve().parents[2] / "examples"
+        scripts = sorted(examples_dir.glob("*.py"))
+        assert len(scripts) >= 3
+        for script in scripts:
+            spec = importlib.util.spec_from_file_location(script.stem, script)
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            assert hasattr(module, "main"), f"{script.name} has no main()"
+
+    def test_quickstart_example_runs(self, capsys):
+        import importlib.util
+        import pathlib
+
+        script = (pathlib.Path(__file__).resolve().parents[2] / "examples"
+                  / "quickstart.py")
+        spec = importlib.util.spec_from_file_location("quickstart_module", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        output = capsys.readouterr().out
+        assert "patterns applied" in output
+        assert "average TAM utilization" in output

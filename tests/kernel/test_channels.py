@@ -1,0 +1,261 @@
+"""Unit tests for FIFOs, signals, clocks and synchronisation primitives."""
+
+import pytest
+
+from repro.kernel import (
+    Clock,
+    Fifo,
+    Mutex,
+    NS,
+    Semaphore,
+    Signal,
+    SimTime,
+    Simulator,
+    Timeout,
+)
+
+
+class TestFifo:
+    def test_put_get_order(self, sim):
+        fifo = Fifo(sim, "f", capacity=4)
+        received = []
+
+        def producer():
+            for value in range(6):
+                yield from fifo.put(value)
+
+        def consumer():
+            for _ in range(6):
+                value = yield from fifo.get()
+                received.append(value)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert received == list(range(6))
+
+    def test_blocking_put_when_full(self, sim):
+        fifo = Fifo(sim, "f", capacity=1)
+        times = []
+
+        def producer():
+            yield from fifo.put("a")
+            yield from fifo.put("b")
+            times.append(sim.now)
+
+        def consumer():
+            yield Timeout(SimTime(100, NS))
+            yield from fifo.get()
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert times[0] >= SimTime(100, NS)
+
+    def test_blocking_get_when_empty(self, sim):
+        fifo = Fifo(sim, "f")
+        times = []
+
+        def consumer():
+            value = yield from fifo.get()
+            times.append((sim.now, value))
+
+        def producer():
+            yield Timeout(SimTime(42, NS))
+            yield from fifo.put("late")
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert times == [(SimTime(42, NS), "late")]
+
+    def test_try_put_try_get(self, sim):
+        fifo = Fifo(sim, "f", capacity=1)
+        assert fifo.try_put(1)
+        assert not fifo.try_put(2)
+        ok, value = fifo.try_get()
+        assert ok and value == 1
+        ok, value = fifo.try_get()
+        assert not ok and value is None
+
+    def test_len_and_free(self, sim):
+        fifo = Fifo(sim, "f", capacity=3)
+        fifo.try_put("x")
+        assert len(fifo) == 1
+        assert fifo.free == 2
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Fifo(sim, "f", capacity=0)
+
+
+class TestSignal:
+    def test_write_visible_after_delta(self, sim):
+        signal = Signal(sim, "s", initial=0)
+        observed = []
+
+        def writer():
+            signal.write(5)
+            observed.append(("same_delta", signal.read()))
+            yield Timeout(1)
+            observed.append(("after", signal.read()))
+
+        sim.spawn(writer())
+        sim.run()
+        assert observed == [("same_delta", 0), ("after", 5)]
+
+    def test_value_changed_event(self, sim):
+        signal = Signal(sim, "s", initial=0)
+        changes = []
+
+        def watcher():
+            while True:
+                value = yield signal.value_changed
+                changes.append(value)
+                if value == 2:
+                    break
+
+        def driver():
+            yield Timeout(SimTime(10, NS))
+            signal.write(1)
+            yield Timeout(SimTime(10, NS))
+            signal.write(2)
+
+        sim.spawn(watcher())
+        sim.spawn(driver())
+        sim.run()
+        assert changes == [1, 2]
+
+    def test_writing_same_value_does_not_notify(self, sim):
+        signal = Signal(sim, "s", initial=7)
+        notified = []
+        signal.value_changed.add_callback(notified.append)
+
+        def driver():
+            signal.write(7)
+            yield Timeout(1)
+
+        sim.spawn(driver())
+        sim.run()
+        assert notified == []
+
+
+class TestClock:
+    def test_cycles_duration(self, clock):
+        assert clock.cycles(100) == SimTime(1000, NS)
+
+    def test_frequency(self, clock):
+        assert clock.frequency_hz == pytest.approx(100e6)
+
+    def test_from_frequency(self, sim):
+        clock = Clock.from_frequency(sim, "clk200", 200e6)
+        assert clock.period == SimTime(5, NS)
+
+    def test_cycles_between(self, clock):
+        assert clock.cycles_between(SimTime(100, NS), SimTime(1100, NS)) == 100
+
+    def test_posedge_wakes_processes(self, sim, clock):
+        times = []
+
+        def waiter():
+            for _ in range(3):
+                yield clock.posedge()
+                times.append(sim.now)
+
+        sim.spawn(waiter())
+        sim.run(until=SimTime(100, NS))
+        assert times == [SimTime(10, NS), SimTime(20, NS), SimTime(30, NS)]
+
+    def test_invalid_period_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Clock(sim, "bad", SimTime(0))
+        with pytest.raises(ValueError):
+            Clock.from_frequency(sim, "bad", 0.0)
+
+
+class TestMutex:
+    def test_mutual_exclusion_and_fifo_order(self, sim):
+        mutex = Mutex(sim, "m")
+        order = []
+
+        def worker(tag, hold_ns):
+            yield from mutex.acquire()
+            order.append(f"{tag}-in")
+            yield Timeout(SimTime(hold_ns, NS))
+            order.append(f"{tag}-out")
+            mutex.release()
+
+        sim.spawn(worker("a", 30))
+        sim.spawn(worker("b", 10))
+        sim.spawn(worker("c", 10))
+        sim.run()
+        assert order == ["a-in", "a-out", "b-in", "b-out", "c-in", "c-out"]
+        assert mutex.acquisitions == 3
+        assert mutex.contentions == 2
+        assert not mutex.locked
+
+    def test_try_acquire(self, sim):
+        mutex = Mutex(sim, "m")
+        assert mutex.try_acquire()
+        assert not mutex.try_acquire()
+        mutex.release()
+        assert mutex.try_acquire()
+
+    def test_release_unheld_raises(self, sim):
+        mutex = Mutex(sim, "m")
+        with pytest.raises(RuntimeError):
+            mutex.release()
+
+    def test_no_sneak_in_between_release_and_handover(self, sim):
+        """A late acquirer must not overtake an already queued waiter."""
+        mutex = Mutex(sim, "m")
+        order = []
+
+        def holder():
+            yield from mutex.acquire()
+            yield Timeout(SimTime(10, NS))
+            mutex.release()
+
+        def queued():
+            yield Timeout(SimTime(1, NS))
+            yield from mutex.acquire()
+            order.append("queued")
+            yield Timeout(SimTime(10, NS))
+            mutex.release()
+
+        def late():
+            yield Timeout(SimTime(10, NS))
+            yield from mutex.acquire()
+            order.append("late")
+            mutex.release()
+
+        sim.spawn(holder())
+        sim.spawn(queued())
+        sim.spawn(late())
+        sim.run()
+        assert order == ["queued", "late"]
+
+
+class TestSemaphore:
+    def test_counting_behaviour(self, sim):
+        semaphore = Semaphore(sim, initial=2)
+        active = []
+        peak = []
+
+        def worker(tag):
+            yield from semaphore.acquire()
+            active.append(tag)
+            peak.append(len(active))
+            yield Timeout(SimTime(10, NS))
+            active.remove(tag)
+            semaphore.release()
+
+        for tag in range(5):
+            sim.spawn(worker(tag))
+        sim.run()
+        assert max(peak) <= 2
+        assert semaphore.available == 2
+
+    def test_negative_initial_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Semaphore(sim, initial=-1)

@@ -1,0 +1,127 @@
+"""Unit tests for simulated time."""
+
+import pytest
+
+from repro.kernel.simtime import (
+    FS,
+    MS,
+    NS,
+    PS,
+    SEC,
+    US,
+    SimTime,
+    ZERO_TIME,
+    cycles_to_time,
+    time_to_cycles,
+)
+
+
+class TestSimTimeConstruction:
+    def test_default_is_zero(self):
+        assert SimTime().femtoseconds == 0
+
+    def test_unit_conversion(self):
+        assert SimTime(1, NS).femtoseconds == 1_000_000
+        assert SimTime(2, US).femtoseconds == 2 * US
+        assert SimTime(3, MS).femtoseconds == 3 * MS
+        assert SimTime(1, SEC).femtoseconds == SEC
+
+    def test_fractional_values_are_rounded(self):
+        assert SimTime(1.5, PS).femtoseconds == 1500
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            SimTime(-1, NS)
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError):
+            SimTime(1, 12345)
+
+    def test_immutability(self):
+        time = SimTime(1, NS)
+        with pytest.raises(AttributeError):
+            time.femtoseconds = 5
+
+    def test_coerce_passes_through_simtime(self):
+        time = SimTime(1, NS)
+        assert SimTime.coerce(time) is time
+
+    def test_coerce_int_is_femtoseconds(self):
+        assert SimTime.coerce(42).femtoseconds == 42
+
+
+class TestSimTimeArithmetic:
+    def test_addition(self):
+        assert (SimTime(1, NS) + SimTime(500, PS)).femtoseconds == 1_500_000
+
+    def test_addition_with_int(self):
+        assert (SimTime(1, PS) + 500).femtoseconds == 1500
+
+    def test_subtraction(self):
+        assert (SimTime(2, NS) - SimTime(1, NS)) == SimTime(1, NS)
+
+    def test_subtraction_below_zero_raises(self):
+        with pytest.raises(ValueError):
+            SimTime(1, NS) - SimTime(2, NS)
+
+    def test_multiplication_by_int(self):
+        assert (SimTime(10, NS) * 3) == SimTime(30, NS)
+        assert (4 * SimTime(10, NS)) == SimTime(40, NS)
+
+    def test_multiplication_by_float_rejected(self):
+        with pytest.raises(TypeError):
+            SimTime(10, NS) * 1.5
+
+    def test_floor_division(self):
+        assert SimTime(100, NS) // SimTime(30, NS) == 3
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            SimTime(1, NS) // SimTime(0)
+
+    def test_comparison(self):
+        assert SimTime(1, NS) < SimTime(2, NS)
+        assert SimTime(1, NS) <= SimTime(1, NS)
+        assert SimTime(3, NS) > SimTime(2999, PS)
+        assert SimTime(1, NS) == SimTime(1000, PS)
+
+    def test_bool(self):
+        assert not ZERO_TIME
+        assert SimTime(1, FS)
+
+    def test_hashable(self):
+        assert len({SimTime(1, NS), SimTime(1000, PS), SimTime(2, NS)}) == 2
+
+
+class TestSimTimeDisplay:
+    def test_str_picks_largest_exact_unit(self):
+        assert str(SimTime(10, NS)) == "10 ns"
+        assert str(SimTime(1, SEC)) == "1 s"
+        assert str(SimTime(1500, FS)) == "1500 fs"
+
+    def test_repr_mentions_femtoseconds(self):
+        assert "fs" in repr(SimTime(5, NS))
+
+    def test_to_unit(self):
+        assert SimTime(2500, PS).to(NS) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            SimTime(1, NS).to(7)
+
+
+class TestCycleConversions:
+    def test_cycles_to_time(self):
+        assert cycles_to_time(100, SimTime(10, NS)) == SimTime(1, US)
+
+    def test_cycles_to_time_negative_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_to_time(-1, SimTime(10, NS))
+
+    def test_time_to_cycles(self):
+        assert time_to_cycles(SimTime(1, US), SimTime(10, NS)) == 100
+
+    def test_time_to_cycles_truncates(self):
+        assert time_to_cycles(SimTime(19, NS), SimTime(10, NS)) == 1
+
+    def test_time_to_cycles_zero_period_rejected(self):
+        with pytest.raises(ValueError):
+            time_to_cycles(SimTime(1, US), SimTime(0))

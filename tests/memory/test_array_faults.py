@@ -1,0 +1,155 @@
+"""Unit tests for the memory array model and memory fault models."""
+
+import pytest
+
+from repro.memory import (
+    CouplingFault,
+    MemoryArray,
+    StuckAtCellFault,
+    TransitionFault,
+)
+
+
+class TestMemoryArray:
+    def test_background_value_for_unwritten_cells(self):
+        memory = MemoryArray(words=16, word_bits=8, background=0xAB)
+        assert memory.read(3) == 0xAB
+
+    def test_write_then_read(self):
+        memory = MemoryArray(words=16, word_bits=8)
+        memory.write(5, 0x5A)
+        assert memory.read(5) == 0x5A
+
+    def test_word_mask_applied(self):
+        memory = MemoryArray(words=4, word_bits=4)
+        memory.write(0, 0xFF)
+        assert memory.read(0) == 0xF
+
+    def test_out_of_range_access_rejected(self):
+        memory = MemoryArray(words=8)
+        with pytest.raises(IndexError):
+            memory.read(8)
+        with pytest.raises(IndexError):
+            memory.write(-1, 0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MemoryArray(words=0)
+        with pytest.raises(ValueError):
+            MemoryArray(words=8, word_bits=0)
+
+    def test_operation_counters(self):
+        memory = MemoryArray(words=8)
+        memory.write(0, 1)
+        memory.read(0)
+        memory.read(1)
+        assert memory.write_count == 1
+        assert memory.read_count == 2
+        memory.reset_counters()
+        assert memory.write_count == memory.read_count == 0
+
+    def test_load_and_dump(self):
+        memory = MemoryArray(words=32)
+        memory.load([1, 2, 3, 4], base_address=10)
+        assert memory.dump(10, 4) == [1, 2, 3, 4]
+
+    def test_dump_out_of_range_rejected(self):
+        memory = MemoryArray(words=8)
+        with pytest.raises(IndexError):
+            memory.dump(6, 4)
+
+    def test_fill_resets_contents(self):
+        memory = MemoryArray(words=8)
+        memory.write(2, 9)
+        memory.fill(0x3C)
+        assert memory.read(2) == 0x3C
+        assert memory.read(7) == 0x3C
+
+    def test_sparse_storage_for_large_arrays(self):
+        memory = MemoryArray(words=1 << 20, word_bits=8)
+        memory.write(123456, 0x42)
+        assert memory.read(123456) == 0x42
+        assert len(memory._contents) == 1
+
+    def test_fault_management(self):
+        memory = MemoryArray(words=8)
+        fault = StuckAtCellFault(address=1, bit=0, value=0)
+        memory.inject_fault(fault)
+        assert memory.faults == [fault]
+        memory.clear_faults()
+        assert memory.faults == []
+
+    def test_fault_validation_on_injection(self):
+        memory = MemoryArray(words=8, word_bits=8)
+        with pytest.raises(ValueError):
+            memory.inject_fault(StuckAtCellFault(address=100, bit=0, value=1))
+        with pytest.raises(ValueError):
+            memory.inject_fault(StuckAtCellFault(address=0, bit=9, value=1))
+
+
+class TestStuckAtCellFault:
+    def test_stuck_at_zero_masks_bit(self):
+        memory = MemoryArray(words=8)
+        memory.inject_fault(StuckAtCellFault(address=2, bit=0, value=0))
+        memory.write(2, 0xFF)
+        assert memory.read(2) == 0xFE
+
+    def test_stuck_at_one_forces_bit(self):
+        memory = MemoryArray(words=8)
+        memory.inject_fault(StuckAtCellFault(address=2, bit=3, value=1))
+        memory.write(2, 0x00)
+        assert memory.read(2) == 0x08
+
+    def test_other_cells_unaffected(self):
+        memory = MemoryArray(words=8)
+        memory.inject_fault(StuckAtCellFault(address=2, bit=0, value=0))
+        memory.write(3, 0xFF)
+        assert memory.read(3) == 0xFF
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError):
+            StuckAtCellFault(address=0, bit=0, value=7)
+
+
+class TestTransitionFault:
+    def test_rising_transition_blocked(self):
+        memory = MemoryArray(words=8)
+        memory.inject_fault(TransitionFault(address=1, bit=0, rising=True))
+        memory.write(1, 0)
+        memory.write(1, 1)      # 0 -> 1 blocked
+        assert memory.read(1) == 0
+
+    def test_falling_transition_blocked(self):
+        memory = MemoryArray(words=8)
+        memory.inject_fault(TransitionFault(address=1, bit=0, rising=False))
+        memory.write(1, 1)      # initial write 0 -> 1 allowed
+        memory.write(1, 0)      # 1 -> 0 blocked
+        assert memory.read(1) == 1
+
+    def test_unaffected_direction_still_works(self):
+        memory = MemoryArray(words=8)
+        memory.inject_fault(TransitionFault(address=1, bit=0, rising=True))
+        memory.write(1, 0)
+        assert memory.read(1) == 0
+
+
+class TestCouplingFault:
+    def test_aggressor_write_forces_victim(self):
+        memory = MemoryArray(words=8)
+        memory.inject_fault(CouplingFault(aggressor=2, victim=5, bit=0,
+                                          trigger_value=1, forced_value=1))
+        memory.write(5, 0)
+        memory.write(2, 1)
+        assert memory.read(5) & 1 == 1
+
+    def test_non_trigger_write_has_no_effect(self):
+        memory = MemoryArray(words=8)
+        memory.inject_fault(CouplingFault(aggressor=2, victim=5, bit=0,
+                                          trigger_value=1, forced_value=1))
+        memory.write(5, 0)
+        memory.write(2, 0)
+        assert memory.read(5) == 0
+
+    def test_same_cell_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingFault(aggressor=3, victim=3)

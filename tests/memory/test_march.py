@@ -1,0 +1,152 @@
+"""Unit tests for march tests and pattern tests."""
+
+import pytest
+
+from repro.memory import (
+    CouplingFault,
+    MATS,
+    MATS_PLUS,
+    MATS_PLUS_PLUS,
+    MARCH_C_MINUS,
+    MARCH_X,
+    MARCH_Y,
+    MemoryArray,
+    StuckAtCellFault,
+    TransitionFault,
+    run_march_test,
+    run_pattern_test,
+)
+from repro.memory.march import AddressOrder, MarchElement, MarchOperation, MarchTest
+
+
+class TestMarchNotation:
+    def test_parse_element(self):
+        element = MarchElement.parse("up(r0,w1)")
+        assert element.order is AddressOrder.UP
+        assert [str(op) for op in element.operations] == ["r0", "w1"]
+
+    def test_parse_down_and_any(self):
+        assert MarchElement.parse("down(r1,w0,r0)").order is AddressOrder.DOWN
+        assert MarchElement.parse("any(w0)").order is AddressOrder.ANY
+
+    def test_operation_validation(self):
+        with pytest.raises(ValueError):
+            MarchOperation("x", 0)
+        with pytest.raises(ValueError):
+            MarchOperation("r", 2)
+
+    def test_known_algorithm_complexities(self):
+        # Classic complexity figures: MATS 4N, MATS+ 5N, MATS++ 6N,
+        # MARCH X 6N, MARCH Y 8N, MARCH C- 10N.
+        assert MATS.operations_per_cell == 4
+        assert MATS_PLUS.operations_per_cell == 5
+        assert MATS_PLUS_PLUS.operations_per_cell == 6
+        assert MARCH_X.operations_per_cell == 6
+        assert MARCH_Y.operations_per_cell == 8
+        assert MARCH_C_MINUS.operations_per_cell == 10
+
+    def test_operation_count_scales_with_words(self):
+        assert MATS_PLUS.operation_count(1 << 20) == 5 * (1 << 20)
+
+    def test_str_contains_arrows(self):
+        text = str(MATS_PLUS)
+        assert "MATS+" in text
+        assert "⇑" in text and "⇓" in text
+
+
+class TestRunMarchTest:
+    def test_fault_free_memory_passes(self):
+        memory = MemoryArray(words=256)
+        result = run_march_test(memory, MATS_PLUS)
+        assert result.passed
+        assert result.operations == 5 * 256
+        assert result.reads + result.writes == result.operations
+
+    def test_detects_stuck_at_cell_fault(self):
+        memory = MemoryArray(words=128)
+        memory.inject_fault(StuckAtCellFault(address=37, bit=0, value=1))
+        result = run_march_test(memory, MATS_PLUS)
+        assert not result.passed
+        assert 37 in result.failing_addresses
+
+    def test_detects_transition_fault(self):
+        memory = MemoryArray(words=128)
+        memory.inject_fault(TransitionFault(address=9, bit=0, rising=True))
+        result = run_march_test(memory, MATS_PLUS)
+        assert not result.passed
+        assert 9 in result.failing_addresses
+
+    def test_march_c_minus_detects_coupling_fault(self):
+        memory = MemoryArray(words=64)
+        memory.inject_fault(CouplingFault(aggressor=10, victim=20, bit=0,
+                                          trigger_value=1, forced_value=1))
+        result = run_march_test(memory, MARCH_C_MINUS)
+        assert not result.passed
+
+    def test_mats_plus_misses_falling_transition_fault(self):
+        """MATS+ (5N) never reads a cell after its final w0, so a falling
+        (1 -> 0) transition fault escapes it; MARCH C- (10N) catches it."""
+        def build():
+            memory = MemoryArray(words=64)
+            memory.inject_fault(TransitionFault(address=13, bit=0, rising=False))
+            return memory
+
+        weak = run_march_test(build(), MATS_PLUS)
+        strong = run_march_test(build(), MARCH_C_MINUS)
+        assert not strong.passed
+        assert weak.passed
+
+    def test_stride_subsampling(self):
+        memory = MemoryArray(words=1024)
+        result = run_march_test(memory, MATS_PLUS, stride=16)
+        # Reported operation count is for the full array ...
+        assert result.operations == 5 * 1024
+        # ... but only the subsampled cells were actually accessed.
+        assert memory.read_count + memory.write_count == 5 * (1024 // 16)
+
+    def test_max_failures_caps_list(self):
+        memory = MemoryArray(words=64)
+        for address in range(32):
+            memory.inject_fault(StuckAtCellFault(address=address, bit=0, value=1))
+        result = run_march_test(memory, MATS_PLUS, max_failures=5)
+        assert len(result.failures) == 5
+        assert not result.passed
+
+    def test_invalid_stride(self):
+        memory = MemoryArray(words=16)
+        with pytest.raises(ValueError):
+            run_march_test(memory, MATS_PLUS, stride=0)
+
+
+class TestRunPatternTest:
+    def test_fault_free_memory_passes(self):
+        memory = MemoryArray(words=128)
+        result = run_pattern_test(memory)
+        assert result.passed
+        assert result.operations == 2 * 2 * 128
+
+    def test_detects_stuck_at_fault(self):
+        memory = MemoryArray(words=128)
+        memory.inject_fault(StuckAtCellFault(address=64, bit=2, value=1))
+        result = run_pattern_test(memory)
+        assert not result.passed
+
+    def test_checkerboard_backgrounds_alternate(self):
+        memory = MemoryArray(words=16)
+        run_pattern_test(memory, patterns=(0x55,))
+        assert memory.raw_read(0) == 0x55
+        assert memory.raw_read(1) == 0xAA
+
+    def test_invalid_stride(self):
+        memory = MemoryArray(words=16)
+        with pytest.raises(ValueError):
+            run_pattern_test(memory, stride=0)
+
+
+class TestCustomMarch:
+    def test_from_notation(self):
+        march = MarchTest.from_notation("CUSTOM", ["any(w1)", "up(r1,w0)", "down(r0)"])
+        assert march.operations_per_cell == 4
+        memory = MemoryArray(words=32)
+        result = run_march_test(memory, march, background=0)
+        assert result.passed

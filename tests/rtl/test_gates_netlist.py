@@ -1,0 +1,113 @@
+"""Unit tests for gate evaluation and netlist construction."""
+
+import pytest
+
+from repro.rtl.gates import Gate, GateType, evaluate_gate
+from repro.rtl.netlist import Netlist, NetlistError
+
+
+class TestGateEvaluation:
+    MASK = 0b1111
+
+    def test_and(self):
+        assert evaluate_gate(GateType.AND, [0b1100, 0b1010], self.MASK) == 0b1000
+
+    def test_or(self):
+        assert evaluate_gate(GateType.OR, [0b1100, 0b1010], self.MASK) == 0b1110
+
+    def test_nand(self):
+        assert evaluate_gate(GateType.NAND, [0b1100, 0b1010], self.MASK) == 0b0111
+
+    def test_nor(self):
+        assert evaluate_gate(GateType.NOR, [0b1100, 0b1010], self.MASK) == 0b0001
+
+    def test_xor(self):
+        assert evaluate_gate(GateType.XOR, [0b1100, 0b1010], self.MASK) == 0b0110
+
+    def test_xnor(self):
+        assert evaluate_gate(GateType.XNOR, [0b1100, 0b1010], self.MASK) == 0b1001
+
+    def test_not(self):
+        assert evaluate_gate(GateType.NOT, [0b1100], self.MASK) == 0b0011
+
+    def test_buf(self):
+        assert evaluate_gate(GateType.BUF, [0b1100], self.MASK) == 0b1100
+
+    def test_three_input_and(self):
+        assert evaluate_gate(GateType.AND, [0b111, 0b110, 0b011], 0b111) == 0b010
+
+    def test_no_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.AND, [], 1)
+
+    def test_gate_dataclass_evaluates_from_values(self):
+        gate = Gate(name="g", gate_type=GateType.XOR, inputs=["a", "b"], output="y")
+        assert gate.evaluate({"a": 1, "b": 1}, 1) == 0
+        assert gate.evaluate({"a": 1, "b": 0}, 1) == 1
+
+
+class TestNetlist:
+    def build_half_adder(self):
+        netlist = Netlist("half_adder")
+        netlist.add_primary_input("a")
+        netlist.add_primary_input("b")
+        netlist.add_gate("sum_gate", GateType.XOR, ["a", "b"], "sum")
+        netlist.add_gate("carry_gate", GateType.AND, ["a", "b"], "carry")
+        netlist.add_primary_output("sum")
+        netlist.add_primary_output("carry")
+        return netlist
+
+    def test_structure_counts(self):
+        netlist = self.build_half_adder()
+        assert netlist.gate_count == 2
+        assert netlist.flip_flop_count == 0
+        assert netlist.primary_inputs == ["a", "b"]
+        assert sorted(netlist.primary_outputs) == ["carry", "sum"]
+
+    def test_validate_passes_for_well_formed(self):
+        self.build_half_adder().validate()
+
+    def test_duplicate_gate_name_rejected(self):
+        netlist = self.build_half_adder()
+        with pytest.raises(NetlistError):
+            netlist.add_gate("sum_gate", GateType.OR, ["a", "b"], "other")
+
+    def test_multiple_drivers_rejected(self):
+        netlist = self.build_half_adder()
+        with pytest.raises(NetlistError):
+            netlist.add_gate("dup", GateType.OR, ["a", "b"], "sum")
+
+    def test_topological_order_respects_dependencies(self):
+        netlist = Netlist("chain")
+        netlist.add_primary_input("a")
+        netlist.add_gate("g2", GateType.NOT, ["n1"], "n2")
+        netlist.add_gate("g1", GateType.NOT, ["a"], "n1")
+        netlist.add_gate("g3", GateType.NOT, ["n2"], "n3")
+        order = [gate.name for gate in netlist.topological_gates()]
+        assert order.index("g1") < order.index("g2") < order.index("g3")
+
+    def test_combinational_cycle_detected(self):
+        netlist = Netlist("cycle")
+        netlist.add_primary_input("a")
+        netlist.add_gate("g1", GateType.AND, ["a", "n2"], "n1")
+        netlist.add_gate("g2", GateType.NOT, ["n1"], "n2")
+        with pytest.raises(NetlistError):
+            netlist.topological_gates()
+
+    def test_flip_flop_breaks_cycle(self):
+        netlist = Netlist("sequential")
+        netlist.add_primary_input("a")
+        netlist.add_gate("g1", GateType.XOR, ["a", "ff_q"], "ff_d")
+        netlist.add_flip_flop("ff", data_in="ff_d", data_out="ff_q")
+        netlist.validate()
+        assert netlist.flip_flop_count == 1
+
+    def test_duplicate_flip_flop_output_driver_rejected(self):
+        netlist = Netlist("bad_ff")
+        netlist.add_primary_input("a")
+        netlist.add_gate("g", GateType.BUF, ["a"], "q")
+        with pytest.raises(NetlistError):
+            netlist.add_flip_flop("ff", data_in="a", data_out="q")
+
+    def test_repr_mentions_counts(self):
+        assert "gates=2" in repr(self.build_half_adder())

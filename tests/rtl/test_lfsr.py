@@ -1,0 +1,107 @@
+"""Unit tests for the LFSR and MISR primitives."""
+
+import pytest
+
+from repro.rtl.lfsr import LFSR, MISR, STANDARD_POLYNOMIALS
+
+
+class TestLfsr:
+    def test_standard_polynomial_lookup(self):
+        for width in (8, 16, 32):
+            lfsr = LFSR(width, seed=1)
+            assert lfsr.width == width
+            assert lfsr.taps == tuple(STANDARD_POLYNOMIALS[width])
+
+    def test_unknown_width_needs_taps(self):
+        with pytest.raises(ValueError):
+            LFSR(13, seed=1)
+        lfsr = LFSR(13, seed=1, taps=(13, 4, 3, 1))
+        assert lfsr.width == 13
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(16, seed=0)
+        with pytest.raises(ValueError):
+            LFSR(8, seed=256)  # 256 mod 2**8 == 0
+
+    def test_invalid_taps_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(8, seed=1, taps=(9,))
+        with pytest.raises(ValueError):
+            LFSR(8, seed=1, taps=(0,))
+
+    def test_sequence_is_deterministic(self):
+        first = LFSR(16, seed=0xACE1)
+        second = LFSR(16, seed=0xACE1)
+        assert [first.step() for _ in range(64)] == [second.step() for _ in range(64)]
+
+    def test_state_never_sticks_at_zero(self):
+        lfsr = LFSR(8, seed=1)
+        states = {lfsr.state}
+        for _ in range(255):
+            lfsr.step()
+            states.add(lfsr.state)
+        assert 0 not in states
+
+    def test_maximal_length_for_primitive_polynomial(self):
+        """The width-8 standard polynomial is primitive: period 2**8 - 1."""
+        lfsr = LFSR(8, seed=1)
+        initial = lfsr.state
+        period = 0
+        for _ in range(1 << 9):
+            lfsr.step()
+            period += 1
+            if lfsr.state == initial:
+                break
+        assert period == (1 << 8) - 1
+
+    def test_next_word_bit_count(self):
+        lfsr = LFSR(32, seed=5)
+        word = lfsr.next_word(20)
+        assert 0 <= word < (1 << 20)
+
+    def test_next_pattern_length_and_values(self):
+        lfsr = LFSR(16, seed=3)
+        pattern = lfsr.next_pattern(40)
+        assert len(pattern) == 40
+        assert set(pattern) <= {0, 1}
+
+    def test_randomness_is_roughly_balanced(self):
+        lfsr = LFSR(32, seed=0xDEADBEEF)
+        bits = lfsr.next_pattern(4000)
+        ones = sum(bits)
+        assert 1700 < ones < 2300
+
+
+class TestMisr:
+    def test_signature_depends_on_order(self):
+        first = MISR(32)
+        second = MISR(32)
+        first.compact_sequence([1, 2, 3])
+        second.compact_sequence([3, 2, 1])
+        assert first.signature != second.signature
+
+    def test_signature_is_deterministic(self):
+        first = MISR(32)
+        second = MISR(32)
+        data = list(range(100))
+        assert first.compact_sequence(data) == second.compact_sequence(data)
+
+    def test_signature_detects_single_corruption(self):
+        good = MISR(32)
+        bad = MISR(32)
+        data = list(range(64))
+        corrupted = list(data)
+        corrupted[17] ^= 0x4
+        assert good.compact_sequence(data) != bad.compact_sequence(corrupted)
+
+    def test_signature_width_mask(self):
+        misr = MISR(16)
+        misr.compact_sequence(range(1000))
+        assert 0 <= misr.signature < (1 << 16)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MISR(0)
+        with pytest.raises(ValueError):
+            MISR(7)

@@ -1,0 +1,106 @@
+"""Unit tests for test tasks and schedules."""
+
+import pytest
+
+from repro.memory.march import MATS_PLUS
+from repro.schedule import TestKind, TestSchedule, TestTask
+
+
+def make_task(name="t", kind=TestKind.LOGIC_BIST, core="cpu", patterns=100,
+              **kwargs):
+    return TestTask(name=name, kind=kind, core=core, pattern_count=patterns,
+                    **kwargs)
+
+
+class TestTestTask:
+    def test_pattern_tests_need_patterns(self):
+        with pytest.raises(ValueError):
+            TestTask(name="t", kind=TestKind.EXTERNAL_SCAN, core="cpu")
+
+    def test_march_tests_need_a_march(self):
+        with pytest.raises(ValueError):
+            TestTask(name="t", kind=TestKind.MEMORY_BIST_CONTROLLER, core="mem")
+        task = TestTask(name="t", kind=TestKind.MEMORY_BIST_CONTROLLER,
+                        core="mem", march=MATS_PLUS)
+        assert task.march is MATS_PLUS
+
+    def test_invalid_compression_ratio(self):
+        with pytest.raises(ValueError):
+            make_task(kind=TestKind.EXTERNAL_SCAN_COMPRESSED,
+                      compression_ratio=0.5)
+
+    def test_resources_core_only_for_bist(self):
+        task = make_task(kind=TestKind.LOGIC_BIST, core="dct")
+        assert task.resources == frozenset({"core:dct"})
+
+    def test_resources_external_tests_need_ate_channel(self):
+        task = make_task(kind=TestKind.EXTERNAL_SCAN, core="dct")
+        assert "ate_channel" in task.resources
+
+    def test_resources_processor_march_occupies_processor(self):
+        task = TestTask(name="t", kind=TestKind.MEMORY_MARCH_PROCESSOR,
+                        core="memory", march=MATS_PLUS,
+                        attributes={"processor_core": "cpu0"})
+        assert task.resources == frozenset({"core:memory", "core:cpu0"})
+
+    def test_conflicts(self):
+        bist = make_task(name="a", kind=TestKind.LOGIC_BIST, core="cpu")
+        external_same_core = make_task(name="b", kind=TestKind.EXTERNAL_SCAN,
+                                       core="cpu")
+        external_other = make_task(name="c", kind=TestKind.EXTERNAL_SCAN,
+                                   core="dct")
+        bist_other = make_task(name="d", kind=TestKind.LOGIC_BIST, core="cc")
+        assert bist.conflicts_with(external_same_core)
+        assert external_same_core.conflicts_with(external_other)  # ATE channel
+        assert not bist.conflicts_with(external_other)
+        assert not bist.conflicts_with(bist_other)
+
+
+class TestTestSchedule:
+    @pytest.fixture
+    def tasks(self):
+        return {
+            "a": make_task(name="a", kind=TestKind.LOGIC_BIST, core="cpu"),
+            "b": make_task(name="b", kind=TestKind.EXTERNAL_SCAN, core="dct"),
+            "c": make_task(name="c", kind=TestKind.LOGIC_BIST, core="cc"),
+        }
+
+    def test_sequential_builder(self, tasks):
+        schedule = TestSchedule.sequential("seq", ["a", "b", "c"])
+        assert schedule.is_sequential
+        assert schedule.phase_count == 3
+        assert schedule.task_names == ["a", "b", "c"]
+        schedule.validate(tasks)
+
+    def test_concurrent_phases(self, tasks):
+        schedule = TestSchedule(name="conc", phases=[["a", "b"], ["c"]])
+        assert not schedule.is_sequential
+        schedule.validate(tasks)
+
+    def test_validate_rejects_unknown_task(self, tasks):
+        schedule = TestSchedule(name="bad", phases=[["zzz"]])
+        with pytest.raises(ValueError):
+            schedule.validate(tasks)
+
+    def test_validate_rejects_duplicate_task(self, tasks):
+        schedule = TestSchedule(name="bad", phases=[["a"], ["a"]])
+        with pytest.raises(ValueError):
+            schedule.validate(tasks)
+
+    def test_validate_rejects_empty_phase(self, tasks):
+        schedule = TestSchedule(name="bad", phases=[[]])
+        with pytest.raises(ValueError):
+            schedule.validate(tasks)
+
+    def test_validate_rejects_conflicting_phase(self, tasks):
+        conflicting = {
+            "a": make_task(name="a", kind=TestKind.EXTERNAL_SCAN, core="cpu"),
+            "b": make_task(name="b", kind=TestKind.EXTERNAL_SCAN, core="dct"),
+        }
+        schedule = TestSchedule(name="bad", phases=[["a", "b"]])
+        with pytest.raises(ValueError, match="ate_channel"):
+            schedule.validate(conflicting)
+
+    def test_str_representation(self, tasks):
+        schedule = TestSchedule(name="s", phases=[["a", "b"], ["c"]])
+        assert "{a, b}" in str(schedule)

@@ -1,0 +1,196 @@
+"""Unit tests for the SoC cores and the system bus."""
+
+import numpy as np
+import pytest
+
+from repro.dft.payload import TamCommand, TamPayload, TamResponse
+from repro.kernel import NS, SimTime
+from repro.memory.march import MATS
+from repro.soc.bus import SystemBus
+from repro.soc.cores import (
+    ColorConversionCore,
+    DctCore,
+    MemoryCore,
+    ProcessorCore,
+)
+from repro.soc.jpeg import rgb_to_ycbcr
+
+
+@pytest.fixture
+def bus(sim, clock, tracer):
+    return SystemBus(sim, "bus", width_bits=32, clock=clock, tracer=tracer)
+
+
+class TestSystemBus:
+    def test_is_a_tam_channel(self, bus):
+        from repro.dft.tam import TamInterface
+
+        assert TamInterface.is_implemented_by(bus)
+
+    def test_functional_write_and_read(self, sim, bus):
+        memory = MemoryCore(sim, "mem", words=256, word_bits=8)
+
+        class Passthrough:
+            def tam_access(self, payload):
+                return memory.functional_access(payload)
+
+        bus.bind_slave(Passthrough(), 0x0, 0x1000)
+        results = {}
+
+        def master():
+            yield from bus.functional_write("cpu", 0x10, [1, 2, 3, 4],
+                                            data_bits=32)
+            payload_words = {"words": 4}
+            data = yield from bus.functional_read("cpu", 0x10, bits=32)
+            results["data"] = data
+
+        sim.spawn(master())
+        sim.run()
+        assert memory.array.dump(0x10, 4) == [1, 2, 3, 4]
+        assert bus.functional_writes == 1
+        assert bus.functional_reads == 1
+
+    def test_functional_access_to_unmapped_address_raises(self, sim, bus):
+        def master():
+            yield from bus.functional_write("cpu", 0x5000, 1)
+
+        sim.spawn(master())
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_estimate_bits(self, bus):
+        assert bus._estimate_bits(None) == 32
+        assert bus._estimate_bits(np.zeros(4, dtype=np.uint8)) == 32
+        assert bus._estimate_bits(b"abcd") == 32
+        assert bus._estimate_bits(7) == 32
+        assert bus._estimate_bits([1, 2, 3]) == 96
+        assert bus._estimate_bits({"command": "x"}) == 64
+
+    def test_word_transfer_cycles(self, bus):
+        assert bus.word_transfer_cycles(10) == 11
+
+
+class TestMemoryCore:
+    def test_block_write_and_read(self, sim):
+        memory = MemoryCore(sim, "mem", words=128, word_bits=8)
+        write = TamPayload(TamCommand.WRITE, data=np.array([9, 8, 7]),
+                           data_bits=24, attributes={"offset": 5})
+        memory.functional_access(write)
+        read = TamPayload(TamCommand.READ, response_bits=24,
+                          attributes={"offset": 5, "words": 3})
+        memory.functional_access(read)
+        assert read.response_data == [9, 8, 7]
+
+    def test_single_word_write(self, sim):
+        memory = MemoryCore(sim, "mem", words=16)
+        payload = TamPayload(TamCommand.WRITE, data=0x3C, data_bits=8,
+                             attributes={"offset": 2})
+        memory.functional_access(payload)
+        assert memory.array.raw_read(2) == 0x3C
+
+    def test_write_without_data_is_noop(self, sim):
+        memory = MemoryCore(sim, "mem", words=16)
+        payload = TamPayload(TamCommand.WRITE, data=None, data_bits=8)
+        assert memory.functional_access(payload).status is TamResponse.OK
+
+
+class TestColorConversionCore:
+    def test_conversion_matches_reference(self, sim, test_image):
+        core = ColorConversionCore(sim, "cc")
+        write = TamPayload(TamCommand.WRITE, data=test_image.astype(float),
+                           data_bits=test_image.size * 8)
+        core.functional_access(write)
+        read = TamPayload(TamCommand.READ, response_bits=32)
+        core.functional_access(read)
+        assert np.allclose(read.response_data, rgb_to_ycbcr(test_image))
+        assert core.pixels_processed == 256
+        assert write.attributes["processing_cycles"] == 256
+
+    def test_rejects_malformed_pixels(self, sim):
+        core = ColorConversionCore(sim, "cc")
+        payload = TamPayload(TamCommand.WRITE, data=np.zeros((4, 4)), data_bits=8)
+        assert core.functional_access(payload).status is TamResponse.MODE_ERROR
+
+
+class TestDctCore:
+    def test_block_processing_matches_reference(self, sim):
+        from repro.soc.jpeg import JpegEncoder, dct_2d, quantize_block
+
+        core = DctCore(sim, "dct", quality=75)
+        rng = np.random.default_rng(8)
+        block = rng.uniform(-128, 127, size=(8, 8))
+        write = TamPayload(TamCommand.WRITE, data={"block": block, "channel": 0},
+                           data_bits=512)
+        core.functional_access(write)
+        read = TamPayload(TamCommand.READ, response_bits=1024)
+        core.functional_access(read)
+        reference = quantize_block(dct_2d(block),
+                                   JpegEncoder(75).luminance_table)
+        assert np.array_equal(read.response_data, reference)
+        assert core.blocks_processed == 1
+
+    def test_rejects_wrong_block_shape(self, sim):
+        core = DctCore(sim, "dct")
+        payload = TamPayload(TamCommand.WRITE,
+                             data={"block": np.zeros((4, 4)), "channel": 0},
+                             data_bits=128)
+        assert core.functional_access(payload).status is TamResponse.MODE_ERROR
+
+    def test_set_quality(self, sim):
+        core = DctCore(sim, "dct", quality=75)
+        core.set_quality(30)
+        assert core.quality == 30
+
+
+class TestProcessorCore:
+    def test_mailbox_command_interface(self, sim, bus):
+        processor = ProcessorCore(sim, "cpu", bus=bus)
+        command = TamPayload(TamCommand.WRITE, data={"command": "run"},
+                             data_bits=64)
+        processor.functional_access(command)
+        readback = TamPayload(TamCommand.READ, response_bits=64)
+        processor.functional_access(readback)
+        assert readback.response_data == {"command": "run"}
+
+    def test_run_memory_march_timing_and_bus_usage(self, sim, bus, tracer, clock):
+        processor = ProcessorCore(sim, "cpu", bus=bus,
+                                  cycles_per_memory_op=6.0,
+                                  bus_busy_cycles_per_memory_op=2.0)
+        memory = MemoryCore(sim, "mem", words=4096, word_bits=8)
+        holder = {}
+
+        def flow():
+            status = yield from processor.run_memory_march(
+                memory, MATS, pattern_backgrounds=1, chunks=16,
+                validation_stride=13,
+            )
+            holder["status"] = status
+
+        sim.spawn(flow())
+        sim.run()
+        status = holder["status"]
+        operations = 4 * 4096 + 2 * 4096
+        assert status["operations"] == operations
+        assert status["failures"] == 0
+        assert status["cycles"] == pytest.approx(operations * 6.0, rel=0.02)
+        # About a third of the march occupies the bus.
+        busy_cycles = clock.cycles_between(SimTime(0), tracer.total_busy_time("bus"))
+        assert busy_cycles == pytest.approx(operations * 2.0, rel=0.05)
+
+    def test_run_memory_march_detects_fault(self, sim, bus):
+        from repro.memory import StuckAtCellFault
+
+        processor = ProcessorCore(sim, "cpu", bus=bus)
+        memory = MemoryCore(sim, "mem", words=512, word_bits=8)
+        memory.array.inject_fault(StuckAtCellFault(address=3, bit=0, value=1))
+        holder = {}
+
+        def flow():
+            status = yield from processor.run_memory_march(
+                memory, MATS, validation_stride=1,
+            )
+            holder["status"] = status
+
+        sim.spawn(flow())
+        sim.run()
+        assert holder["status"]["failures"] > 0

@@ -1,0 +1,242 @@
+"""Unit tests for the functional JPEG pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.soc.jpeg import (
+    CHROMINANCE_TABLE,
+    HuffmanCodec,
+    JpegEncoder,
+    LUMINANCE_TABLE,
+    blockwise,
+    dct_2d,
+    dequantize_block,
+    from_zigzag,
+    idct_2d,
+    psnr,
+    quality_scaled_table,
+    quantize_block,
+    rgb_to_ycbcr,
+    run_length_decode,
+    run_length_encode,
+    to_zigzag,
+    ycbcr_to_rgb,
+    zigzag_order,
+)
+
+
+class TestColorConversion:
+    def test_known_values(self):
+        white = np.full((1, 1, 3), 255.0)
+        ycbcr = rgb_to_ycbcr(white)
+        assert ycbcr[0, 0, 0] == pytest.approx(255.0, abs=0.5)
+        assert ycbcr[0, 0, 1] == pytest.approx(128.0, abs=0.5)
+        assert ycbcr[0, 0, 2] == pytest.approx(128.0, abs=0.5)
+
+    def test_pure_red(self):
+        red = np.zeros((1, 1, 3))
+        red[0, 0, 0] = 255.0
+        ycbcr = rgb_to_ycbcr(red)
+        assert ycbcr[0, 0, 0] == pytest.approx(0.299 * 255, abs=0.5)
+        assert ycbcr[0, 0, 2] > 200  # red pushes Cr high
+
+    def test_roundtrip(self, test_image):
+        ycbcr = rgb_to_ycbcr(test_image)
+        rgb = ycbcr_to_rgb(ycbcr)
+        assert np.max(np.abs(rgb - test_image)) < 2.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            rgb_to_ycbcr(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            ycbcr_to_rgb(np.zeros((4, 4, 2)))
+
+
+class TestDct:
+    def test_constant_block_concentrates_in_dc(self):
+        block = np.full((8, 8), 10.0)
+        coefficients = dct_2d(block)
+        assert coefficients[0, 0] == pytest.approx(80.0)
+        assert np.max(np.abs(coefficients[1:, :])) < 1e-9
+        assert np.max(np.abs(coefficients[:, 1:])) < 1e-9
+
+    def test_dct_idct_roundtrip(self):
+        rng = np.random.default_rng(2)
+        block = rng.uniform(-128, 127, size=(8, 8))
+        assert np.allclose(idct_2d(dct_2d(block)), block, atol=1e-9)
+
+    def test_orthonormality_preserves_energy(self):
+        rng = np.random.default_rng(5)
+        block = rng.uniform(-128, 127, size=(8, 8))
+        assert np.sum(block ** 2) == pytest.approx(np.sum(dct_2d(block) ** 2))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            dct_2d(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            idct_2d(np.zeros((8, 7)))
+
+    def test_blockwise_covers_plane_with_padding(self):
+        plane = np.arange(10 * 12, dtype=float).reshape(10, 12)
+        blocks = list(blockwise(plane))
+        assert len(blocks) == 2 * 2
+        for row, col, block in blocks:
+            assert block.shape == (8, 8)
+            assert row % 8 == 0 and col % 8 == 0
+
+
+class TestQuantization:
+    def test_quality_scaling_monotone(self):
+        low = quality_scaled_table(LUMINANCE_TABLE, 10)
+        mid = quality_scaled_table(LUMINANCE_TABLE, 50)
+        high = quality_scaled_table(LUMINANCE_TABLE, 95)
+        assert np.all(low >= mid)
+        assert np.all(mid >= high)
+        assert np.all(high >= 1)
+
+    def test_quality_50_is_base_table(self):
+        assert np.allclose(quality_scaled_table(LUMINANCE_TABLE, 50),
+                           LUMINANCE_TABLE)
+
+    def test_invalid_quality(self):
+        with pytest.raises(ValueError):
+            quality_scaled_table(LUMINANCE_TABLE, 0)
+        with pytest.raises(ValueError):
+            quality_scaled_table(CHROMINANCE_TABLE, 101)
+
+    def test_quantize_dequantize(self):
+        rng = np.random.default_rng(3)
+        coefficients = rng.uniform(-500, 500, size=(8, 8))
+        quantized = quantize_block(coefficients, LUMINANCE_TABLE)
+        assert quantized.dtype == np.int32
+        restored = dequantize_block(quantized, LUMINANCE_TABLE)
+        assert np.max(np.abs(restored - coefficients)) <= np.max(LUMINANCE_TABLE) / 2
+
+
+class TestZigzagAndRle:
+    def test_zigzag_order_properties(self):
+        order = zigzag_order()
+        assert len(order) == 64
+        assert len(set(order)) == 64
+        assert order[0] == (0, 0)
+        assert order[1] == (0, 1)
+        assert order[2] == (1, 0)
+        assert order[-1] == (7, 7)
+
+    def test_zigzag_roundtrip(self):
+        rng = np.random.default_rng(4)
+        block = rng.integers(-50, 50, size=(8, 8))
+        assert np.array_equal(from_zigzag(to_zigzag(block)), block)
+
+    def test_run_length_roundtrip(self):
+        values = [12] + [0] * 20 + [3] + [0] * 42
+        pairs = run_length_encode(values)
+        assert pairs[0] == (0, 12)
+        assert pairs[-1] == (0, 0)
+        assert run_length_decode(pairs) == values
+
+    def test_run_length_long_zero_runs_use_zrl(self):
+        values = [5] + [0] * 40 + [1] + [0] * 22
+        pairs = run_length_encode(values)
+        assert (15, 0) in pairs
+        assert run_length_decode(pairs) == values
+
+    def test_all_zero_ac(self):
+        values = [7] + [0] * 63
+        pairs = run_length_encode(values)
+        assert pairs == [(0, 7), (0, 0)]
+        assert run_length_decode(pairs) == values
+
+
+class TestHuffman:
+    def test_roundtrip(self):
+        symbols = ["a", "b", "a", "c", "a", "b", "a"]
+        codec = HuffmanCodec.from_symbols(symbols)
+        assert codec.decode(codec.encode(symbols)) == symbols
+
+    def test_frequent_symbols_get_shorter_codes(self):
+        frequencies = {"common": 100, "rare": 1, "other": 1}
+        codec = HuffmanCodec.from_frequencies(frequencies)
+        assert len(codec.code_table["common"]) <= len(codec.code_table["rare"])
+
+    def test_prefix_free(self):
+        codec = HuffmanCodec.from_frequencies({s: i + 1 for i, s in
+                                               enumerate("abcdefgh")})
+        codes = list(codec.code_table.values())
+        for i, first in enumerate(codes):
+            for j, second in enumerate(codes):
+                if i != j:
+                    assert not second.startswith(first)
+
+    def test_tuple_symbols_supported(self):
+        symbols = [(0, 5), (1, -2), (0, 5), (0, 0)]
+        codec = HuffmanCodec.from_symbols(symbols)
+        assert codec.decode(codec.encode(symbols)) == symbols
+
+    def test_single_symbol_alphabet(self):
+        codec = HuffmanCodec.from_symbols(["only", "only"])
+        assert codec.encode(["only", "only"]) == "00"
+        assert codec.decode("00") == ["only", "only"]
+
+    def test_unknown_symbol_rejected(self):
+        codec = HuffmanCodec.from_symbols(["a", "b"])
+        with pytest.raises(KeyError):
+            codec.encode(["z"])
+
+    def test_invalid_bitstream_rejected(self):
+        codec = HuffmanCodec.from_symbols(["a", "b", "c"])
+        with pytest.raises(ValueError):
+            codec.decode("2")
+        with pytest.raises(ValueError):
+            codec.decode(codec.encode(["a"]) + "1" * 51)
+
+    def test_average_code_length_bounds_entropy(self):
+        frequencies = {"a": 50, "b": 25, "c": 15, "d": 10}
+        codec = HuffmanCodec.from_frequencies(frequencies)
+        average = codec.average_code_length(frequencies)
+        assert 1.0 <= average <= 2.1
+
+
+class TestJpegEncoder:
+    def test_encode_produces_compression(self, test_image):
+        encoded = JpegEncoder(quality=75).encode(test_image)
+        assert encoded.compressed_bits > 0
+        assert encoded.compression_ratio > 1.0
+        assert encoded.width == encoded.height == 16
+
+    def test_decode_roundtrip_quality(self, test_image):
+        encoder = JpegEncoder(quality=90)
+        decoded = encoder.decode(encoder.encode(test_image))
+        assert decoded.shape == test_image.shape
+        assert psnr(test_image.astype(float), decoded) > 20.0
+
+    def test_higher_quality_larger_output_better_psnr(self, test_image):
+        low = JpegEncoder(quality=20)
+        high = JpegEncoder(quality=90)
+        low_encoded = low.encode(test_image)
+        high_encoded = high.encode(test_image)
+        assert high_encoded.compressed_bits > low_encoded.compressed_bits
+        assert high.roundtrip_error(test_image) > low.roundtrip_error(test_image)
+
+    def test_smooth_image_compresses_better_than_noise(self):
+        smooth = np.full((32, 32, 3), 128, dtype=np.uint8)
+        noisy = np.random.default_rng(0).integers(0, 256, size=(32, 32, 3),
+                                                  dtype=np.uint8)
+        encoder = JpegEncoder(quality=75)
+        assert encoder.encode(smooth).compressed_bits < \
+            encoder.encode(noisy).compressed_bits
+
+    def test_invalid_quality(self):
+        with pytest.raises(ValueError):
+            JpegEncoder(quality=0)
+
+    def test_invalid_image_shape(self):
+        with pytest.raises(ValueError):
+            JpegEncoder().encode(np.zeros((8, 8)))
+
+    def test_psnr_identical_images_is_infinite(self, test_image):
+        assert psnr(test_image, test_image) == float("inf")
+
+    def test_psnr_shape_mismatch(self, test_image):
+        with pytest.raises(ValueError):
+            psnr(test_image, test_image[:8])
