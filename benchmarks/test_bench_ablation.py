@@ -19,6 +19,9 @@ from repro.explore.sweeps import (
     tam_width_sweep,
 )
 
+#: Benchmarks stay out of the fast CI path (run them with `-m slow`).
+pytestmark = pytest.mark.slow
+
 COMPRESSION_RATIOS = (1, 10, 50, 1000)
 TAM_WIDTHS = (8, 32, 64)
 

@@ -26,6 +26,9 @@ from repro.rtl.simulation import ScanPattern
 from repro.soc.jpeg import JpegEncoder
 from repro.dft import TamChannel, TamPayload
 
+#: Benchmarks stay out of the fast CI path (run them with `-m slow`).
+pytestmark = pytest.mark.slow
+
 
 def test_kernel_event_throughput(benchmark):
     """Events dispatched per second by the kernel (ping-pong processes)."""

@@ -18,6 +18,9 @@ from repro.explore.speedup import run_speed_comparison
 from repro.rtl import LogicSimulator, SyntheticCoreSpec, generate_netlist
 from repro.soc import JpegSocTlm
 
+#: Benchmarks stay out of the fast CI path (run them with `-m slow`).
+pytestmark = pytest.mark.slow
+
 GATE_LEVEL_CYCLES = 200
 
 

@@ -17,6 +17,9 @@ import pytest
 from repro.explore.experiments import PAPER_TABLE1
 from repro.soc import JpegSocTlm
 
+#: Benchmarks stay out of the fast CI path (run them with `-m slow`).
+pytestmark = pytest.mark.slow
+
 #: Expected qualitative shape of Table I (orderings, not absolute values).
 SCHEDULE_NAMES = ["schedule_1", "schedule_2", "schedule_3", "schedule_4"]
 

@@ -3,13 +3,32 @@
 * :mod:`repro.explore.experiments` -- Table I (the four test schedules)
 * :mod:`repro.explore.speedup` -- the TLM vs RTL/gate-level simulation speed
   comparison quoted in Section IV
+* :mod:`repro.explore.scenarios` -- the scenario grammar: synthetic SoC specs
+  and the cross-product generator behind exploration campaigns
+* :mod:`repro.explore.campaign` -- the campaign engine: scenarios x schedules
+  on a worker pool with structured CSV/JSON result artifacts
 * :mod:`repro.explore.sweeps` -- design-space sweeps (compression ratio, TAM
-  width, schedule exploration) that the paper's methodology enables
+  width, schedule exploration), expressed as thin campaign definitions
 * :mod:`repro.explore.report` -- plain-text table formatting
 """
 
+from repro.explore.campaign import (
+    Campaign,
+    CampaignJob,
+    CampaignOutcome,
+    CampaignRun,
+    RESULT_COLUMNS,
+    campaign_from_axes,
+    execute_job,
+)
 from repro.explore.experiments import ScenarioResult, run_table1
-from repro.explore.report import format_table, format_table1
+from repro.explore.report import format_campaign, format_table, format_table1
+from repro.explore.scenarios import (
+    Scenario,
+    ScenarioGrid,
+    ScenarioSpec,
+    build_scenario,
+)
 from repro.explore.speedup import SpeedupResult, run_speed_comparison
 from repro.explore.sweeps import (
     compression_ratio_sweep,
@@ -18,9 +37,21 @@ from repro.explore.sweeps import (
 )
 
 __all__ = [
+    "Campaign",
+    "CampaignJob",
+    "CampaignOutcome",
+    "CampaignRun",
+    "RESULT_COLUMNS",
+    "Scenario",
+    "ScenarioGrid",
     "ScenarioResult",
+    "ScenarioSpec",
     "SpeedupResult",
+    "build_scenario",
+    "campaign_from_axes",
     "compression_ratio_sweep",
+    "execute_job",
+    "format_campaign",
     "format_table",
     "format_table1",
     "run_speed_comparison",

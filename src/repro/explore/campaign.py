@@ -1,0 +1,276 @@
+"""Parallel exploration campaigns over generated SoC scenarios.
+
+A *campaign* is the cross product of scenarios × schedules, executed as
+independent simulation jobs and collected into structured result rows.  Jobs
+are pure functions of their :class:`~repro.explore.scenarios.ScenarioSpec`
+(deterministic seeds all the way down), so a campaign can fan out to a
+``multiprocessing`` worker pool and still produce bitwise-identical metrics
+to a serial run — the property the result-equality tests pin down.
+
+The result schema (:data:`RESULT_COLUMNS`) is stable and versioned; campaigns
+can be persisted as CSV or JSON artifacts for downstream analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import multiprocessing
+import os
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.explore.scenarios import Scenario, ScenarioGrid, ScenarioSpec, build_scenario
+from repro.soc.system import TestRunMetrics
+
+#: Version of the result-row schema written to artifacts.
+SCHEMA_VERSION = 1
+
+#: Stable column order of one campaign result row.
+RESULT_COLUMNS = (
+    "scenario",
+    "kind",
+    "seed",
+    "core_count",
+    "tam_width_bits",
+    "ate_width_bits",
+    "compression_ratio",
+    "power_budget",
+    "patterns_per_core",
+    "memory_words",
+    "schedule",
+    "phase_count",
+    "task_count",
+    "estimated_cycles",
+    "test_length_cycles",
+    "test_length_mcycles",
+    "peak_tam_utilization",
+    "avg_tam_utilization",
+    "peak_power",
+    "avg_power",
+    "simulated_activations",
+    "cpu_seconds",
+    "worker",
+)
+
+#: Columns that legitimately differ between runs (timing and placement).
+NONDETERMINISTIC_COLUMNS = ("cpu_seconds", "worker")
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One unit of campaign work: a scenario simulated under one schedule."""
+
+    spec: ScenarioSpec
+    schedule: str
+
+
+@dataclass
+class CampaignOutcome:
+    """The structured result row of one campaign job."""
+
+    spec: ScenarioSpec
+    schedule: str
+    phase_count: int
+    task_count: int
+    estimated_cycles: int
+    test_length_cycles: int
+    peak_tam_utilization: float
+    avg_tam_utilization: float
+    peak_power: float
+    avg_power: float
+    simulated_activations: int
+    cpu_seconds: float = 0.0
+    worker: int = 0
+
+    @property
+    def test_length_mcycles(self) -> float:
+        return self.test_length_cycles / 1e6
+
+    def as_row(self) -> Dict[str, object]:
+        """The outcome as a flat dict following :data:`RESULT_COLUMNS`."""
+        row = dict(self.spec.as_dict())
+        row["scenario"] = row.pop("name")
+        row.update({
+            "schedule": self.schedule,
+            "phase_count": self.phase_count,
+            "task_count": self.task_count,
+            "estimated_cycles": self.estimated_cycles,
+            "test_length_cycles": self.test_length_cycles,
+            "test_length_mcycles": self.test_length_mcycles,
+            "peak_tam_utilization": self.peak_tam_utilization,
+            "avg_tam_utilization": self.avg_tam_utilization,
+            "peak_power": self.peak_power,
+            "avg_power": self.avg_power,
+            "simulated_activations": self.simulated_activations,
+            "cpu_seconds": self.cpu_seconds,
+            "worker": self.worker,
+        })
+        return {column: row[column] for column in RESULT_COLUMNS}
+
+    def deterministic_row(self) -> Dict[str, object]:
+        """The row without timing/placement columns (stable across runs)."""
+        row = self.as_row()
+        for column in NONDETERMINISTIC_COLUMNS:
+            row.pop(column)
+        return row
+
+    def to_metrics(self) -> TestRunMetrics:
+        """Reconstruct a :class:`TestRunMetrics` view (sweep compatibility)."""
+        return TestRunMetrics(
+            schedule_name=self.schedule,
+            test_length_cycles=self.test_length_cycles,
+            peak_tam_utilization=self.peak_tam_utilization,
+            avg_tam_utilization=self.avg_tam_utilization,
+            peak_power=self.peak_power,
+            avg_power=self.avg_power,
+            cpu_seconds=self.cpu_seconds,
+            simulated_activations=self.simulated_activations,
+        )
+
+
+def execute_job(job: CampaignJob) -> CampaignOutcome:
+    """Run one campaign job to completion (also the worker-pool entry point).
+
+    Builds the scenario from its spec, instantiates a fresh SoC TLM, runs the
+    schedule and reduces the metrics to plain scalars so the outcome travels
+    cheaply across process boundaries.
+    """
+    scenario = build_scenario(job.spec)
+    if job.schedule not in scenario.schedules:
+        raise KeyError(
+            f"scenario {job.spec.name!r} has no schedule {job.schedule!r}; "
+            f"available: {sorted(scenario.schedules)}"
+        )
+    schedule = scenario.schedules[job.schedule]
+    soc = scenario.build_soc()
+    wall_start = time.perf_counter()
+    metrics = soc.run_test_schedule(schedule, scenario.tasks)
+    cpu_seconds = time.perf_counter() - wall_start
+    return CampaignOutcome(
+        spec=job.spec,
+        schedule=job.schedule,
+        phase_count=schedule.phase_count,
+        task_count=len(schedule.task_names),
+        estimated_cycles=scenario.estimated_cycles(job.schedule),
+        test_length_cycles=metrics.test_length_cycles,
+        peak_tam_utilization=metrics.peak_tam_utilization,
+        avg_tam_utilization=metrics.avg_tam_utilization,
+        peak_power=metrics.peak_power,
+        avg_power=metrics.avg_power,
+        simulated_activations=metrics.simulated_activations,
+        cpu_seconds=cpu_seconds,
+        worker=os.getpid(),
+    )
+
+
+@dataclass
+class CampaignRun:
+    """The collected outcomes of one campaign execution."""
+
+    outcomes: List[CampaignOutcome]
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [outcome.as_row() for outcome in self.outcomes]
+
+    def deterministic_rows(self) -> List[Dict[str, object]]:
+        return [outcome.deterministic_row() for outcome in self.outcomes]
+
+    @property
+    def scenario_count(self) -> int:
+        return len({outcome.spec.name for outcome in self.outcomes})
+
+    @property
+    def scenarios_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.outcomes) / self.wall_seconds
+
+    # -- artifacts ---------------------------------------------------------
+    def write_csv(self, path) -> None:
+        """Write the result rows as CSV (header = :data:`RESULT_COLUMNS`)."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(RESULT_COLUMNS))
+            writer.writeheader()
+            writer.writerows(self.rows())
+
+    def write_json(self, path) -> None:
+        """Write a versioned JSON artifact with rows and run metadata."""
+        with open(path, "w") as handle:
+            json.dump(self.as_document(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    def as_document(self) -> Dict[str, object]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "columns": list(RESULT_COLUMNS),
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "row_count": len(self.outcomes),
+            "rows": self.rows(),
+        }
+
+
+class Campaign:
+    """A set of scenario specs executed under their schedules.
+
+    ``schedules`` overrides the per-spec schedule selection when given (every
+    scenario then runs exactly those schedules).  ``run(workers=N)`` fans the
+    jobs out to a ``multiprocessing`` pool; job order — and therefore result
+    order — is identical for serial and parallel execution.
+    """
+
+    def __init__(self, specs: Union[ScenarioGrid, Iterable[ScenarioSpec]],
+                 schedules: Optional[Sequence[str]] = None):
+        if isinstance(specs, ScenarioGrid):
+            specs = specs.specs()
+        self.specs: List[ScenarioSpec] = list(specs)
+        self.schedules = tuple(schedules) if schedules is not None else None
+        counts = Counter(spec.name for spec in self.specs)
+        duplicates = sorted(name for name, count in counts.items() if count > 1)
+        if duplicates:
+            raise ValueError(f"duplicate scenario names in campaign: {duplicates}")
+
+    def jobs(self) -> List[CampaignJob]:
+        return [
+            CampaignJob(spec=spec, schedule=schedule_name)
+            for spec in self.specs
+            for schedule_name in (self.schedules or spec.schedules)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.jobs())
+
+    def run(self, workers: int = 1, mp_context: Optional[str] = None,
+            chunksize: int = 1) -> CampaignRun:
+        """Execute every job and collect the outcomes.
+
+        ``workers=1`` runs in-process; ``workers>1`` uses a worker pool of the
+        given ``multiprocessing`` start method (platform default when None).
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        jobs = self.jobs()
+        wall_start = time.perf_counter()
+        if workers == 1:
+            outcomes = [execute_job(job) for job in jobs]
+        else:
+            context = multiprocessing.get_context(mp_context)
+            with context.Pool(processes=workers) as pool:
+                outcomes = pool.map(execute_job, jobs, chunksize=chunksize)
+        wall_seconds = time.perf_counter() - wall_start
+        return CampaignRun(outcomes=outcomes, workers=workers,
+                           wall_seconds=wall_seconds)
+
+
+def campaign_from_axes(axes: Mapping[str, Sequence],
+                       base: Optional[ScenarioSpec] = None,
+                       schedules: Optional[Sequence[str]] = None,
+                       name_prefix: str = "scenario") -> Campaign:
+    """Convenience constructor: grid axes straight to a runnable campaign."""
+    grid = ScenarioGrid(axes, base=base, name_prefix=name_prefix)
+    return Campaign(grid, schedules=schedules)

@@ -7,6 +7,7 @@ Usage::
     python -m repro.explore sweep-compression # compression-ratio sweep
     python -m repro.explore sweep-tam-width   # TAM-width sweep
     python -m repro.explore schedules         # schedule exploration
+    python -m repro.explore campaign          # parallel scenario campaign
 """
 
 from __future__ import annotations
@@ -15,8 +16,10 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.explore.campaign import campaign_from_axes
 from repro.explore.experiments import run_table1
-from repro.explore.report import format_table, format_table1
+from repro.explore.report import format_campaign, format_table, format_table1
+from repro.explore.scenarios import ScenarioSpec
 from repro.explore.speedup import run_speed_comparison
 from repro.explore.sweeps import (
     compression_ratio_sweep,
@@ -70,6 +73,31 @@ def _run_schedules(args) -> None:
                               "simulated_mcycles", "peak_power"]))
 
 
+def _run_campaign(args) -> None:
+    base = ScenarioSpec(
+        name="base",
+        patterns_per_core=args.patterns,
+        memory_words=args.memory_words,
+        seed=args.seed,
+        schedules=tuple(args.schedules),
+    )
+    axes = {
+        "core_count": [int(v) for v in args.core_counts],
+        "tam_width_bits": [int(v) for v in args.tam_widths],
+        "compression_ratio": [float(v) for v in args.compression_ratios],
+        "power_budget": [float(v) for v in args.power_budgets],
+    }
+    campaign = campaign_from_axes(axes, base=base)
+    run = campaign.run(workers=args.workers)
+    print(format_campaign(run))
+    if args.csv:
+        run.write_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        run.write_json(args.json)
+        print(f"wrote {args.json}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.explore",
@@ -105,6 +133,38 @@ def build_parser() -> argparse.ArgumentParser:
                                       help="hand-written vs generated schedules")
     schedules.add_argument("--power-budget", type=float, default=6.0)
     schedules.set_defaults(handler=_run_schedules)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="parallel exploration campaign over generated SoC scenarios")
+    campaign.add_argument("--core-counts", nargs="*", type=int,
+                          default=[1, 2, 3],
+                          help="synthetic core counts to sweep")
+    campaign.add_argument("--tam-widths", nargs="*", type=int,
+                          default=[16, 32],
+                          help="TAM / system bus widths (bits) to sweep")
+    campaign.add_argument("--compression-ratios", nargs="*", type=float,
+                          default=[50.0],
+                          help="test data compression ratios to sweep")
+    campaign.add_argument("--power-budgets", nargs="*", type=float,
+                          default=[6.0],
+                          help="peak power budgets for the greedy scheduler")
+    campaign.add_argument("--patterns", type=int, default=200,
+                          help="external-scan patterns per core")
+    campaign.add_argument("--memory-words", type=int, default=0,
+                          help="embedded memory words (0: no memory test)")
+    campaign.add_argument("--seed", type=int, default=1,
+                          help="base seed of the scenario generator")
+    campaign.add_argument("--schedules", nargs="*",
+                          default=["sequential", "greedy"],
+                          help="schedules simulated for every scenario")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker processes (1: run in-process)")
+    campaign.add_argument("--csv", default=None,
+                          help="write result rows to this CSV file")
+    campaign.add_argument("--json", default=None,
+                          help="write a JSON artifact to this file")
+    campaign.set_defaults(handler=_run_campaign)
     return parser
 
 

@@ -64,6 +64,35 @@ def format_table1(results) -> str:
     return format_table(rows, columns, headers)
 
 
+#: Columns of the campaign summary table (a condensed view of the full rows).
+CAMPAIGN_COLUMNS = ["scenario", "schedule", "cores", "tam", "length_kcycles",
+                    "peak_tam", "avg_tam", "peak_power", "cpu_ms"]
+
+
+def format_campaign(run) -> str:
+    """Summarize a :class:`~repro.explore.campaign.CampaignRun` as a table."""
+    rows = []
+    for outcome in run.outcomes:
+        spec = outcome.spec
+        rows.append({
+            "scenario": spec.name,
+            "schedule": outcome.schedule,
+            "cores": spec.core_count if spec.kind == "generated" else "jpeg",
+            "tam": spec.tam_width_bits,
+            "length_kcycles": f"{outcome.test_length_cycles / 1e3:.1f}",
+            "peak_tam": f"{outcome.peak_tam_utilization:.0%}",
+            "avg_tam": f"{outcome.avg_tam_utilization:.0%}",
+            "peak_power": f"{outcome.peak_power:.2f}",
+            "cpu_ms": f"{outcome.cpu_seconds * 1e3:.1f}",
+        })
+    table = format_table(rows, CAMPAIGN_COLUMNS)
+    footer = (f"{run.scenario_count} scenarios, {len(run.outcomes)} result rows "
+              f"in {run.wall_seconds:.2f} s "
+              f"({run.scenarios_per_second:.1f} rows/s, "
+              f"{run.workers} worker{'s' if run.workers != 1 else ''})")
+    return f"{table}\n\n{footer}"
+
+
 def _percent(value) -> str:
     return f"{value:.0%}" if isinstance(value, (int, float)) else ""
 

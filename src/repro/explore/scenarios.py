@@ -1,0 +1,389 @@
+"""Synthetic SoC scenario generation for exploration campaigns.
+
+The paper's evaluation is a single hand-built SoC (the JPEG encoder).  The
+methodology, however, is generative: wrappers, decompressors and schedules can
+all be derived from core descriptions, so *test-infrastructure design-space
+exploration* should scale to arbitrarily many SoC variants.  This module is
+the scenario grammar for that:
+
+* :class:`ScenarioSpec` — one point in the design space: core count, TAM/ATE
+  widths, compression ratio, power budget, pattern volume, seed.  Specs are
+  frozen, hashable and picklable, so a campaign can ship them to worker
+  processes.
+* :func:`build_scenario` — expand a spec into a concrete :class:`Scenario`:
+  deterministic synthetic core descriptions (seeded,
+  :class:`~repro.rtl.generate.SyntheticCoreSpec`-style), test tasks, and
+  machine-generated schedules (sequential baseline plus greedy concurrent
+  under the power budget).  ``kind="jpeg"`` scenarios map onto the paper's
+  case study instead, which is how the original single-parameter sweeps are
+  expressed as campaigns.
+* :class:`ScenarioGrid` — the cross-product generator: axes of parameter
+  values fanned out into a deterministic list of named, seeded specs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import zlib
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dft.ctl import CoreTestDescription
+from repro.memory.march import MATS_PLUS
+from repro.rtl.generate import SyntheticCoreSpec
+from repro.schedule.estimator import PlatformParameters, TestTimeEstimator
+from repro.schedule.model import TestKind, TestSchedule, TestTask
+from repro.schedule.power import PowerModel
+from repro.schedule.scheduler import greedy_concurrent_schedule, sequential_schedule
+from repro.soc.system import GeneratedSocTlm, JpegSocTlm, SocConfiguration
+from repro.soc.testplan import (
+    MEMORY,
+    build_core_descriptions,
+    build_platform_parameters,
+    build_test_schedules,
+    build_test_tasks,
+)
+
+#: Scenario kinds understood by :func:`build_scenario`.
+GENERATED = "generated"
+JPEG = "jpeg"
+
+#: Name of the embedded memory core in generated scenarios.
+SCENARIO_MEMORY = "mem"
+
+#: Schedule of the JPEG scenario that runs only the compressed processor test
+#: (the design point of the compression-ratio sweep).
+COMPRESSED_ONLY = "compressed_only"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One SoC scenario of a campaign (a point in the design space).
+
+    A spec is pure data: expanding it with :func:`build_scenario` is
+    deterministic, so the same spec produces bitwise-identical simulation
+    results in any process.
+    """
+
+    name: str
+    kind: str = GENERATED
+    #: Number of synthetic logic cores (``generated`` scenarios only).
+    core_count: int = 3
+    tam_width_bits: int = 32
+    ate_width_bits: int = 16
+    compression_ratio: float = 50.0
+    #: Peak power budget handed to the greedy scheduler.
+    power_budget: float = 6.0
+    #: External-scan pattern volume per core (BIST uses a multiple of it).
+    patterns_per_core: int = 200
+    #: Words of the embedded memory core (0 disables the memory test).
+    memory_words: int = 0
+    seed: int = 1
+    #: Names of the schedules this scenario contributes to the campaign.
+    schedules: Tuple[str, ...] = ("sequential", "greedy")
+    #: Extra :class:`~repro.soc.system.SocConfiguration` fields as sorted
+    #: ``(name, value)`` pairs (kept as a tuple so the spec stays hashable).
+    #: The spec's own width/ratio fields take precedence.
+    config_overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in (GENERATED, JPEG):
+            raise ValueError(f"unknown scenario kind {self.kind!r}")
+        if self.kind == GENERATED and self.core_count < 1:
+            raise ValueError("a generated scenario needs at least one core")
+        if self.tam_width_bits <= 0 or self.ate_width_bits <= 0:
+            raise ValueError("TAM and ATE widths must be positive")
+        if self.compression_ratio < 1.0:
+            raise ValueError("compression_ratio must be >= 1")
+        if self.patterns_per_core <= 0:
+            raise ValueError("patterns_per_core must be positive")
+        if self.memory_words < 0:
+            raise ValueError("memory_words cannot be negative")
+        if not self.schedules:
+            raise ValueError("a scenario needs at least one schedule")
+
+    def as_dict(self) -> Dict[str, object]:
+        """The spec as a flat dict (column values of a campaign result row)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if f.name not in ("schedules", "config_overrides")}
+
+
+@dataclass
+class Scenario:
+    """A fully expanded scenario: descriptions, tasks, schedules, estimator."""
+
+    spec: ScenarioSpec
+    descriptions: Dict[str, CoreTestDescription]
+    tasks: Dict[str, TestTask]
+    schedules: Dict[str, TestSchedule]
+    memory_words: Dict[str, int] = field(default_factory=dict)
+    estimator: Optional[TestTimeEstimator] = None
+
+    def selected_schedules(self) -> List[TestSchedule]:
+        """The schedules named by the spec, in spec order."""
+        missing = [name for name in self.spec.schedules
+                   if name not in self.schedules]
+        if missing:
+            raise KeyError(
+                f"scenario {self.spec.name!r} has no schedule(s) {missing!r}; "
+                f"available: {sorted(self.schedules)}"
+            )
+        return [self.schedules[name] for name in self.spec.schedules]
+
+    def estimated_cycles(self, schedule_name: str) -> int:
+        """Coarse (estimator) makespan of one of the scenario's schedules."""
+        if self.estimator is None:
+            return 0
+        return self.estimator.estimate_schedule_cycles(
+            self.schedules[schedule_name], self.tasks
+        )
+
+    def build_soc(self):
+        """Instantiate the TLM for this scenario (fresh simulator each call)."""
+        spec = self.spec
+        parameters = dict(spec.config_overrides)
+        parameters.update(
+            tam_width_bits=spec.tam_width_bits,
+            ate_width_bits=spec.ate_width_bits,
+            compression_ratio=spec.compression_ratio,
+        )
+        config = SocConfiguration(**parameters)
+        if spec.kind == JPEG:
+            return JpegSocTlm(config)
+        return GeneratedSocTlm(
+            config=config,
+            descriptions=self.descriptions,
+            memory_words=self.memory_words,
+            tasks=self.tasks,
+            schedules=self.schedules,
+            name=spec.name,
+        )
+
+
+def scenario_platform(spec: ScenarioSpec) -> PlatformParameters:
+    """Platform bandwidths seen by the coarse estimator for *spec*."""
+    base = build_platform_parameters()
+    return replace(base, tam_width_bits=spec.tam_width_bits,
+                   ate_width_bits=spec.ate_width_bits)
+
+
+def _core_rng(spec: ScenarioSpec, index: int) -> random.Random:
+    # One independent stream per core so adding a core does not reshuffle the
+    # others (campaigns sweeping core_count stay comparable point by point).
+    return random.Random((spec.seed * 1_000_003 + index) & 0x7FFF_FFFF)
+
+
+def generate_core_descriptions(spec: ScenarioSpec) -> Dict[str, CoreTestDescription]:
+    """Deterministic synthetic core descriptions for a generated scenario.
+
+    The sizing mirrors :class:`~repro.rtl.generate.SyntheticCoreSpec`: each
+    core gets a seeded scan configuration (chain count and length), an
+    optional logic BIST engine and an optional decompressor interface
+    (internal chains), plus calibrated power weights.
+    """
+    descriptions: Dict[str, CoreTestDescription] = {}
+    for index in range(spec.core_count):
+        rng = _core_rng(spec, index)
+        chain_count = rng.choice((4, 8, 16))
+        chain_length = rng.randint(24, 64)
+        has_logic_bist = rng.random() < 0.5
+        has_decompressor = rng.random() < 0.4
+        internal_chains = chain_count * rng.choice((4, 8)) if has_decompressor else None
+        test_power = round(rng.uniform(0.5, 3.0), 2)
+        core_name = f"core{index}"
+        description = CoreTestDescription.describe(
+            core_name,
+            chain_count=chain_count,
+            scan_cells=chain_count * chain_length,
+            has_logic_bist=has_logic_bist,
+            internal_chain_count=internal_chains,
+            test_power=test_power,
+            idle_power=round(test_power / 10.0, 3),
+        )
+        description.notes.append(
+            f"synthetic core (spec seed {spec.seed}, core index {index}); "
+            f"structural stand-in generated like "
+            f"{SyntheticCoreSpec.__name__}(flip_flops={chain_count * chain_length})"
+        )
+        descriptions[core_name] = description
+    return descriptions
+
+
+def generate_tasks(spec: ScenarioSpec,
+                   descriptions: Mapping[str, CoreTestDescription]) -> Dict[str, TestTask]:
+    """The test-task set of a generated scenario.
+
+    Every core gets an external scan test; cores with logic BIST additionally
+    get a BIST run (cheap in TAM bandwidth, so a larger pattern volume), and
+    cores behind a decompressor get a compressed deterministic test at the
+    scenario's compression ratio.  A non-zero ``memory_words`` adds a
+    controller-driven march test of the embedded memory.
+    """
+    tasks: Dict[str, TestTask] = {}
+    for core_name, description in descriptions.items():
+        power = description.test_power
+        if description.has_logic_bist:
+            tasks[f"t_{core_name}_bist"] = TestTask(
+                name=f"t_{core_name}_bist", kind=TestKind.LOGIC_BIST,
+                core=core_name, pattern_count=spec.patterns_per_core * 4,
+                power=power,
+            )
+        tasks[f"t_{core_name}_scan"] = TestTask(
+            name=f"t_{core_name}_scan", kind=TestKind.EXTERNAL_SCAN,
+            core=core_name, pattern_count=spec.patterns_per_core,
+            power=round(power * 0.9, 3),
+        )
+        if description.internal_chain_count:
+            tasks[f"t_{core_name}_compressed"] = TestTask(
+                name=f"t_{core_name}_compressed",
+                kind=TestKind.EXTERNAL_SCAN_COMPRESSED, core=core_name,
+                pattern_count=spec.patterns_per_core,
+                compression_ratio=spec.compression_ratio,
+                power=round(power * 0.9, 3),
+            )
+    if spec.memory_words:
+        tasks[f"t_{SCENARIO_MEMORY}_bist"] = TestTask(
+            name=f"t_{SCENARIO_MEMORY}_bist",
+            kind=TestKind.MEMORY_BIST_CONTROLLER, core=SCENARIO_MEMORY,
+            march=MATS_PLUS, pattern_backgrounds=1, power=1.5,
+        )
+    return tasks
+
+
+def generate_schedules(spec: ScenarioSpec, tasks: Mapping[str, TestTask],
+                       estimator: TestTimeEstimator) -> Dict[str, TestSchedule]:
+    """Machine-generated schedules of a generated scenario."""
+    estimates = estimator.estimate_all(tasks)
+    schedules = {
+        "sequential": sequential_schedule(
+            "sequential", tasks,
+            order=sorted(tasks, key=lambda name: estimates[name], reverse=True),
+            description="sequential baseline (longest test first)",
+        ),
+        "greedy": greedy_concurrent_schedule(
+            "greedy", tasks, estimates,
+            power_model=PowerModel(budget=spec.power_budget),
+            description=f"greedy concurrent schedule "
+                        f"(power budget {spec.power_budget:g})",
+        ),
+    }
+    return schedules
+
+
+def _build_generated_scenario(spec: ScenarioSpec) -> Scenario:
+    descriptions = generate_core_descriptions(spec)
+    tasks = generate_tasks(spec, descriptions)
+    memory_words = ({SCENARIO_MEMORY: spec.memory_words}
+                    if spec.memory_words else {})
+    estimator = TestTimeEstimator(descriptions, scenario_platform(spec),
+                                  memory_words=memory_words)
+    schedules = generate_schedules(spec, tasks, estimator)
+    return Scenario(spec=spec, descriptions=descriptions, tasks=tasks,
+                    schedules=schedules, memory_words=memory_words,
+                    estimator=estimator)
+
+
+def _build_jpeg_scenario(spec: ScenarioSpec) -> Scenario:
+    tasks = build_test_tasks()
+    # The compressed processor test follows the scenario's compression ratio,
+    # exactly as the original compression-ratio sweep varied it.
+    compressed = tasks["t3_processor_compressed"]
+    tasks["t3_processor_compressed"] = replace(
+        compressed, compression_ratio=float(spec.compression_ratio),
+        attributes=dict(compressed.attributes),
+    )
+    descriptions = build_core_descriptions()
+    # The estimator must see the same memory size the simulation uses, which
+    # a caller may have tuned through the config overrides.
+    overrides = dict(spec.config_overrides)
+    memory_words = {MEMORY: int(overrides.get("memory_words",
+                                              SocConfiguration().memory_words))}
+    estimator = TestTimeEstimator(descriptions, scenario_platform(spec),
+                                  memory_words=memory_words)
+    estimates = estimator.estimate_all(tasks)
+
+    schedules = dict(build_test_schedules())
+    schedules[COMPRESSED_ONLY] = TestSchedule.sequential(
+        COMPRESSED_ONLY, ["t3_processor_compressed"],
+        description="only the compressed processor test (sweep design point)",
+    )
+    schedules["generated_sequential"] = sequential_schedule(
+        "generated_sequential", tasks,
+        order=sorted(tasks, key=lambda name: estimates[name], reverse=True),
+        description="auto-generated sequential baseline (longest first)",
+    )
+    schedules["generated_greedy"] = greedy_concurrent_schedule(
+        "generated_greedy", tasks, estimates,
+        power_model=PowerModel(budget=spec.power_budget),
+        description="auto-generated greedy concurrent schedule",
+    )
+    return Scenario(spec=spec, descriptions=descriptions, tasks=tasks,
+                    schedules=schedules, memory_words=memory_words,
+                    estimator=estimator)
+
+
+def build_scenario(spec: ScenarioSpec) -> Scenario:
+    """Expand *spec* into a concrete, simulatable :class:`Scenario`."""
+    if spec.kind == JPEG:
+        return _build_jpeg_scenario(spec)
+    return _build_generated_scenario(spec)
+
+
+def derive_seed(base_seed: int, token: str) -> int:
+    """A deterministic, process-independent seed for one grid point."""
+    return (base_seed * 0x9E37 + zlib.crc32(token.encode("utf-8"))) & 0x7FFF_FFFF
+
+
+class ScenarioGrid:
+    """Cross-product scenario generator.
+
+    *axes* maps :class:`ScenarioSpec` field names to the values to sweep; the
+    grid is the full cross product in axis insertion order.  Every grid point
+    gets a stable name (prefix + index + axis values) and a deterministic seed
+    derived from the base seed and the axis assignment, so re-generating the
+    grid — in any process — yields identical specs.
+    """
+
+    def __init__(self, axes: Mapping[str, Sequence], base: Optional[ScenarioSpec] = None,
+                 name_prefix: str = "scenario"):
+        self.axes = {name: list(values) for name, values in axes.items()}
+        self.base = base or ScenarioSpec(name="base")
+        self.name_prefix = name_prefix
+        valid = {f.name for f in fields(ScenarioSpec)}
+        unknown = sorted(set(self.axes) - valid)
+        if unknown:
+            raise ValueError(f"unknown scenario axes: {unknown}")
+        for name, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+
+    def __len__(self) -> int:
+        size = 1
+        for values in self.axes.values():
+            size *= len(values)
+        return size
+
+    def specs(self) -> List[ScenarioSpec]:
+        """All grid points, deterministically named and seeded."""
+        axis_names = list(self.axes)
+        specs: List[ScenarioSpec] = []
+        for index, combo in enumerate(itertools.product(*self.axes.values())):
+            assignment = dict(zip(axis_names, combo))
+            token = ",".join(f"{name}={assignment[name]!r}"
+                             for name in sorted(assignment))
+            name = f"{self.name_prefix}_{index:04d}"
+            if "name" not in assignment:
+                assignment["name"] = name
+            if "seed" not in assignment:
+                assignment["seed"] = derive_seed(self.base.seed, token)
+            specs.append(replace(self.base, **assignment))
+        return specs
+
+    def __iter__(self) -> Iterable[ScenarioSpec]:
+        return iter(self.specs())
+
+    def __repr__(self):
+        axes = ", ".join(f"{name}x{len(values)}"
+                         for name, values in self.axes.items())
+        return f"ScenarioGrid({axes or 'empty'}, base={self.base.name!r})"

@@ -3,9 +3,16 @@
 These are the exploration studies the paper motivates but does not tabulate:
 how does the compressed processor test react to the compression ratio, how
 does the TAM width shift the bottleneck, and how do machine-generated
-schedules compare against the paper's hand-written ones.  Each sweep runs the
-same simulation flow as the Table I reproduction, just with one parameter
-varied.
+schedules compare against the paper's hand-written ones.
+
+Each sweep is now a thin *campaign definition*: it declares JPEG-kind
+scenario specs along one axis and delegates execution to
+:class:`~repro.explore.campaign.Campaign` (pass ``workers`` to fan a sweep
+out to a worker pool).  The sweep return types are unchanged except that
+``SweepPoint.metrics.execution`` is no longer populated: campaign outcomes
+carry plain scalars so they can cross process boundaries.  Call
+``JpegSocTlm.run_test_schedule`` directly when per-task execution detail is
+needed.
 """
 
 from __future__ import annotations
@@ -13,18 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.schedule.estimator import TestTimeEstimator
+from repro.explore.campaign import Campaign, CampaignOutcome
+from repro.explore.scenarios import COMPRESSED_ONLY, JPEG, ScenarioSpec, build_scenario
 from repro.schedule.model import TestSchedule
-from repro.schedule.power import PowerModel
-from repro.schedule.scheduler import greedy_concurrent_schedule, sequential_schedule
-from repro.soc.system import JpegSocTlm, SocConfiguration, TestRunMetrics
-from repro.soc.testplan import (
-    MEMORY,
-    build_core_descriptions,
-    build_platform_parameters,
-    build_test_schedules,
-    build_test_tasks,
-)
+from repro.soc.system import SocConfiguration, TestRunMetrics
 
 
 @dataclass
@@ -41,50 +40,69 @@ class SweepPoint:
         return row
 
 
-def _compressed_only_schedule() -> TestSchedule:
-    """A schedule containing only the compressed processor test (test 3)."""
-    return TestSchedule.sequential("compressed_only", ["t3_processor_compressed"])
+def _jpeg_spec(name: str, config: SocConfiguration,
+               schedules: Sequence[str], **overrides) -> ScenarioSpec:
+    """A JPEG-kind scenario spec inheriting the full *config*."""
+    parameters = {
+        "tam_width_bits": config.tam_width_bits,
+        "ate_width_bits": config.ate_width_bits,
+        "compression_ratio": config.compression_ratio,
+    }
+    parameters.update(overrides)
+    # Fields without a spec counterpart (clock period, memory size, burst
+    # length, ...) travel as config overrides so a caller-supplied
+    # configuration is reproduced in full by Scenario.build_soc().
+    extra = tuple(sorted(
+        (field, value) for field, value in config.__dict__.items()
+        if field not in ("tam_width_bits", "ate_width_bits",
+                         "compression_ratio")
+    ))
+    return ScenarioSpec(name=name, kind=JPEG, schedules=tuple(schedules),
+                        config_overrides=extra, **parameters)
+
+
+def _sweep_points(parameter: str, values: Sequence[float],
+                  outcomes: Sequence[CampaignOutcome]) -> List[SweepPoint]:
+    return [
+        SweepPoint(parameter, float(value), outcome.to_metrics())
+        for value, outcome in zip(values, outcomes)
+    ]
 
 
 def compression_ratio_sweep(ratios: Sequence[float] = (1, 2, 5, 10, 50, 100, 1000),
-                            config: Optional[SocConfiguration] = None) -> List[SweepPoint]:
+                            config: Optional[SocConfiguration] = None,
+                            workers: int = 1) -> List[SweepPoint]:
     """Sweep the test data compression ratio of the processor test.
 
     The paper notes compression schemes of up to 1000x; this sweep shows where
     the bottleneck moves from the ATE link to the TAM and finally to the
     core-internal scan chains.
     """
-    tasks = build_test_tasks()
-    points = []
-    for ratio in ratios:
-        point_config = config or SocConfiguration()
-        point_config = SocConfiguration(**{**point_config.__dict__,
-                                           "compression_ratio": float(ratio)})
-        point_tasks = dict(tasks)
-        task = point_tasks["t3_processor_compressed"]
-        point_tasks["t3_processor_compressed"] = type(task)(
-            name=task.name, kind=task.kind, core=task.core,
-            pattern_count=task.pattern_count, compression_ratio=float(ratio),
-            power=task.power, attributes=dict(task.attributes),
-        )
-        soc = JpegSocTlm(point_config)
-        metrics = soc.run_test_schedule(_compressed_only_schedule(), point_tasks)
-        points.append(SweepPoint("compression_ratio", float(ratio), metrics))
-    return points
+    base = config or SocConfiguration()
+    specs = [
+        _jpeg_spec(f"compression_{float(ratio):g}", base,
+                   schedules=(COMPRESSED_ONLY,),
+                   compression_ratio=float(ratio))
+        for ratio in ratios
+    ]
+    run = Campaign(specs).run(workers=workers)
+    return _sweep_points("compression_ratio", list(ratios), run.outcomes)
 
 
 def tam_width_sweep(widths: Sequence[int] = (8, 16, 32, 64),
-                    schedule_name: str = "schedule_4") -> List[SweepPoint]:
+                    schedule_name: str = "schedule_4",
+                    workers: int = 1) -> List[SweepPoint]:
     """Sweep the width of the system bus / TAM for one schedule."""
-    tasks = build_test_tasks()
-    schedule = build_test_schedules()[schedule_name]
-    points = []
-    for width in widths:
-        config = SocConfiguration(tam_width_bits=int(width))
-        soc = JpegSocTlm(config)
-        metrics = soc.run_test_schedule(schedule, tasks)
-        points.append(SweepPoint("tam_width_bits", float(width), metrics))
-    return points
+    base = SocConfiguration()
+    specs = [
+        _jpeg_spec(f"tam_width_{int(width)}", base,
+                   schedules=(schedule_name,),
+                   tam_width_bits=int(width))
+        for width in widths
+    ]
+    run = Campaign(specs).run(workers=workers)
+    return _sweep_points("tam_width_bits", [float(w) for w in widths],
+                         run.outcomes)
 
 
 @dataclass
@@ -96,40 +114,29 @@ class ScheduleComparison:
     metrics: TestRunMetrics
 
 
-def schedule_exploration(power_budget: float = 6.0) -> List[ScheduleComparison]:
+def schedule_exploration(power_budget: float = 6.0,
+                         workers: int = 1) -> List[ScheduleComparison]:
     """Compare the paper's schedules against automatically generated ones.
 
     A sequential baseline and a greedy concurrent schedule (built from the
     coarse estimates, under a peak power budget) are simulated alongside the
     paper's four hand-written schedules.
     """
-    tasks = build_test_tasks()
-    descriptions = build_core_descriptions()
-    platform = build_platform_parameters()
-    estimator = TestTimeEstimator(descriptions, platform,
-                                  memory_words={MEMORY: SocConfiguration().memory_words})
-    estimates = estimator.estimate_all(tasks)
-    power_model = PowerModel(budget=power_budget)
-
-    candidates: Dict[str, TestSchedule] = dict(build_test_schedules())
-    candidates["generated_sequential"] = sequential_schedule(
-        "generated_sequential", tasks,
-        order=sorted(tasks, key=lambda name: estimates[name], reverse=True),
-        description="auto-generated sequential baseline (longest first)",
+    spec = _jpeg_spec(
+        "schedule_exploration", SocConfiguration(),
+        schedules=("generated_greedy", "generated_sequential",
+                   "schedule_1", "schedule_2", "schedule_3", "schedule_4"),
+        power_budget=power_budget,
     )
-    candidates["generated_greedy"] = greedy_concurrent_schedule(
-        "generated_greedy", tasks, estimates, power_model=power_model,
-        description="auto-generated greedy concurrent schedule",
-    )
-
-    comparisons = []
-    for name in sorted(candidates):
-        schedule = candidates[name]
-        soc = JpegSocTlm()
-        metrics = soc.run_test_schedule(schedule, tasks)
-        comparisons.append(ScheduleComparison(
-            schedule=schedule,
-            estimated_cycles=estimator.estimate_schedule_cycles(schedule, tasks),
-            metrics=metrics,
-        ))
-    return comparisons
+    # The worker rebuilds the scenario from the spec (deterministically);
+    # this local build only supplies the schedule objects for the comparison.
+    scenario = build_scenario(spec)
+    run = Campaign([spec]).run(workers=workers)
+    return [
+        ScheduleComparison(
+            schedule=scenario.schedules[outcome.schedule],
+            estimated_cycles=outcome.estimated_cycles,
+            metrics=outcome.to_metrics(),
+        )
+        for outcome in run.outcomes
+    ]

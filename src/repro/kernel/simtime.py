@@ -52,6 +52,12 @@ class SimTime:
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("SimTime is immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks the default slot-based pickling, so
+        # pickle through the constructor (campaign workers ship results that
+        # contain SimTime values across process boundaries).
+        return (SimTime, (self.femtoseconds, FS))
+
     # -- conversions -------------------------------------------------------
     @classmethod
     def coerce(cls, value: Union["SimTime", int, float]) -> "SimTime":

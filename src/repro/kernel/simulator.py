@@ -41,7 +41,15 @@ class Simulator:
     delayed event notifications and primitive updates).  An *update phase*
     modelled after SystemC's evaluate/update delta cycle is run whenever all
     activations at the current timestamp have been processed.
+
+    Cancelled entries are deleted lazily: :meth:`cancel` only marks the entry
+    and the heap is compacted once cancelled entries outnumber live ones, so
+    long-running campaigns do not accumulate dead objects.
     """
+
+    #: Queue size below which cancellation never triggers a compaction (the
+    #: rebuild would cost more than it frees).
+    _COMPACT_MIN_QUEUE = 64
 
     def __init__(self, name: str = "sim"):
         self.name = name
@@ -52,6 +60,8 @@ class Simulator:
         self._processes: List[Process] = []
         self._update_requests = []
         self._failures = []
+        self._pending_count = 0
+        self._cancelled_count = 0
         self.trace_hooks: List[Callable] = []
         #: Number of queue entries processed so far (for performance studies).
         self.dispatched_activations = 0
@@ -69,11 +79,21 @@ class Simulator:
 
     # -- scheduling ------------------------------------------------------------
     def _push(self, delay, action, value=None) -> _QueueEntry:
-        delay = SimTime.coerce(delay)
-        entry = _QueueEntry(
-            self._now_fs + delay.femtoseconds, self._sequence, action, value
-        )
+        # Hot path: delays arrive either as SimTime (Timeout durations) or as
+        # plain integer femtoseconds (delta cycles); avoid SimTime.coerce and
+        # the temporary object for both.
+        if type(delay) is SimTime:
+            delay_fs = delay.femtoseconds
+        elif type(delay) is int:
+            if delay < 0:
+                # Same error type/message as the SimTime constructor raises.
+                raise ValueError("simulated time cannot be negative")
+            delay_fs = delay
+        else:
+            delay_fs = SimTime.coerce(delay).femtoseconds
+        entry = _QueueEntry(self._now_fs + delay_fs, self._sequence, action, value)
         self._sequence += 1
+        self._pending_count += 1
         heapq.heappush(self._queue, entry)
         return entry
 
@@ -86,6 +106,38 @@ class Simulator:
         if not callable(callback):
             raise SchedulingError("schedule_callback expects a callable")
         return self._push(delay, callback)
+
+    def cancel(self, entry: _QueueEntry) -> bool:
+        """Cancel a scheduled entry returned by one of the ``schedule_*``
+        methods.
+
+        Returns ``True`` if the entry was still pending.  The entry stays in
+        the heap (lazy deletion) but releases its action and value; once
+        cancelled entries outnumber live ones the queue is compacted in one
+        pass, so cancellation-heavy workloads stay O(live entries) in memory.
+        """
+        if entry.cancelled:
+            return False
+        entry.cancelled = True
+        entry.action = None
+        entry.value = None
+        self._pending_count -= 1
+        self._cancelled_count += 1
+        if (len(self._queue) >= self._COMPACT_MIN_QUEUE
+                and self._cancelled_count * 2 > len(self._queue)):
+            self._compact()
+        return True
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and rebuild the heap in one pass.
+
+        Mutates the list in place: ``run()`` holds an alias to the queue, and
+        a cancellation from inside a dispatched action must not strand the
+        running drain on a stale list.
+        """
+        self._queue[:] = [entry for entry in self._queue if not entry.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_count = 0
 
     def request_update(self, primitive) -> None:
         """Request that ``primitive.update()`` runs in the next update phase."""
@@ -116,14 +168,6 @@ class Simulator:
         return list(self._processes)
 
     # -- execution ---------------------------------------------------------------
-    def _dispatch(self, entry: _QueueEntry) -> None:
-        self.dispatched_activations += 1
-        action = entry.action
-        if isinstance(action, Process):
-            action.resume(entry.value)
-        else:
-            action()
-
     def _run_update_phase(self) -> None:
         requests, self._update_requests = self._update_requests, []
         for primitive in requests:
@@ -141,26 +185,54 @@ class Simulator:
         if limit_fs is not None and not self._queue and not self._update_requests:
             raise DeadlockError("nothing is scheduled; simulation cannot advance")
         self._running = True
+        queue = self._queue
+        heappop = heapq.heappop
+        process_class = Process
         try:
-            while self._queue or self._update_requests:
-                if self._queue:
-                    next_time = self._queue[0].time_fs
+            while queue or self._update_requests:
+                if queue:
+                    next_time = queue[0].time_fs
                 else:
                     next_time = self._now_fs
                 if limit_fs is not None and next_time > limit_fs:
                     self._now_fs = limit_fs
                     break
                 self._now_fs = next_time
-                # Evaluate phase: all activations at the current timestamp.
-                while self._queue and self._queue[0].time_fs == self._now_fs:
-                    entry = heapq.heappop(self._queue)
-                    if not entry.cancelled:
-                        self._dispatch(entry)
-                    self._raise_pending_failure()
+                # Evaluate phase: drain the slot of activations at the current
+                # timestamp in FIFO order.  Dispatching may push new delta
+                # entries at the same timestamp; they join the same drain.
+                # The dispatch counter is accumulated locally and folded back
+                # in the finally block so that an exception escaping an action
+                # does not lose the batch.
+                dispatched = 0
+                try:
+                    while queue and queue[0].time_fs == next_time:
+                        entry = heappop(queue)
+                        if entry.cancelled:
+                            self._cancelled_count -= 1
+                            continue
+                        self._pending_count -= 1
+                        dispatched += 1
+                        action = entry.action
+                        value = entry.value
+                        # Mark the entry consumed so a late cancel() (e.g. a
+                        # timeout-vs-event race) is a no-op instead of
+                        # corrupting the counters of an entry no longer in
+                        # the heap.
+                        entry.cancelled = True
+                        if isinstance(action, process_class):
+                            action.resume(value)
+                        else:
+                            action()
+                        if self._failures:
+                            self._raise_pending_failure()
+                finally:
+                    self.dispatched_activations += dispatched
                 # Update phase (may schedule new delta activations at now).
                 if self._update_requests:
                     self._run_update_phase()
-                    self._raise_pending_failure()
+                    if self._failures:
+                        self._raise_pending_failure()
         finally:
             self._running = False
         return self.now
@@ -174,8 +246,8 @@ class Simulator:
 
     @property
     def pending_activations(self) -> int:
-        """Number of not-yet-dispatched entries in the event queue."""
-        return sum(1 for entry in self._queue if not entry.cancelled)
+        """Number of not-yet-dispatched entries in the event queue (O(1))."""
+        return self._pending_count
 
     def __repr__(self):
         return (

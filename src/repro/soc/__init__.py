@@ -17,7 +17,7 @@ from repro.soc.cores import (
     MemoryCore,
     ProcessorCore,
 )
-from repro.soc.system import JpegSocTlm, SocConfiguration
+from repro.soc.system import GeneratedSocTlm, JpegSocTlm, SocConfiguration
 from repro.soc.testplan import (
     build_core_descriptions,
     build_platform_parameters,
@@ -29,6 +29,7 @@ from repro.soc.testplan import (
 __all__ = [
     "ColorConversionCore",
     "DctCore",
+    "GeneratedSocTlm",
     "JpegSocTlm",
     "MEMORY_WORDS",
     "MemoryCore",

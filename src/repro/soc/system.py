@@ -1,10 +1,18 @@
-"""The complete JPEG encoder SoC TLM including test infrastructure (Figure 4).
+"""The complete SoC TLMs including test infrastructure (Figure 4).
 
 :class:`JpegSocTlm` assembles the functional cores, the system bus reused as
 TAM, and the full test infrastructure (test wrappers, decompressor/compactor,
 EBI, test controller, configuration scan bus, ATE).  The same model instance
 supports both mission-mode simulation (JPEG encoding) and test-mode simulation
 (executing a complete test schedule), which is the central claim of the paper.
+
+:class:`GeneratedSocTlm` assembles the same test infrastructure around an
+arbitrary set of (typically synthetic) cores described by
+:class:`~repro.dft.ctl.CoreTestDescription` objects.  It is the vehicle for
+design-space exploration campaigns beyond the paper's single case study:
+scenario generators (:mod:`repro.explore.scenarios`) produce core sets and
+schedules, and every scenario becomes one ``GeneratedSocTlm`` instance.
+Both models share the test-mode harness in :class:`SocTlmBase`.
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ from repro.dft.ate import (
 from repro.dft.compression import Compactor, Decompressor
 from repro.dft.config_bus import ConfigurationScanBus
 from repro.dft.controller import TestController
-from repro.dft.ctl import generate_wrapper
+from repro.dft.ctl import CoreTestDescription, generate_wrapper
 from repro.dft.ebi import ExternalBusInterface
 from repro.dft.monitor import ActivityLog, PowerMonitor, TamUtilizationMonitor
 from repro.dft.tam import AteLink
@@ -94,17 +102,88 @@ class TestRunMetrics:
         }
 
 
-class JpegSocTlm:
-    """Approximately-timed TLM of the bus-based JPEG encoder SoC."""
+class SocTlmBase:
+    """Shared simulation harness of the SoC TLMs.
 
-    def __init__(self, config: Optional[SocConfiguration] = None):
-        self.config = config or SocConfiguration()
-        config = self.config
+    Subclasses assemble a platform (bus/TAM, wrappers, ATE, ...) on top of the
+    kernel objects created by :meth:`_init_platform` and provide the default
+    task and schedule registries; the test-mode execution flow and the
+    monitors are identical for every SoC model.
+    """
 
-        self.sim = Simulator("jpeg_soc")
+    def _init_platform(self, name: str, config: SocConfiguration) -> None:
+        self.config = config
+        self.sim = Simulator(name)
         self.clock = Clock(self.sim, "clk", config.clock_period)
         self.tracer = TransactionTracer()
         self.activity_log = ActivityLog()
+
+    def _init_monitors(self) -> None:
+        self.tam_monitor = TamUtilizationMonitor(self.tracer, self.bus.name,
+                                                 self.clock)
+        self.power_monitor = PowerMonitor(self.activity_log)
+
+    # -- task/schedule registries (overridden by subclasses) --------------------
+    def _default_tasks(self) -> Mapping[str, TestTask]:
+        raise NotImplementedError
+
+    def _resolve_schedule(self, name: str) -> TestSchedule:
+        raise NotImplementedError
+
+    # -- test mode ----------------------------------------------------------------
+    def run_test_schedule(self, schedule: Union[str, TestSchedule],
+                          tasks: Optional[Mapping[str, TestTask]] = None) -> TestRunMetrics:
+        """Simulate the execution of a complete test schedule.
+
+        Returns the :class:`TestRunMetrics` corresponding to one row of the
+        paper's Table I (CPU time is filled in by the experiment runner).
+        """
+        if tasks is None:
+            tasks = self._default_tasks()
+        if isinstance(schedule, str):
+            schedule = self._resolve_schedule(schedule)
+        schedule.validate(dict(tasks))
+
+        start = self.sim.now
+        activations_before = self.sim.dispatched_activations
+        holder = {}
+
+        def test_flow():
+            result = yield from self.ate.execute_schedule(schedule, tasks)
+            holder["result"] = result
+
+        self.sim.spawn(test_flow(), name=f"ate_{schedule.name}")
+        self.sim.run()
+        end = self.sim.now
+        execution: ScheduleExecutionResult = holder["result"]
+
+        peak = self.tam_monitor.peak_utilization(
+            window_cycles=self.config.peak_window_cycles, start=start, end=end,
+        )
+        average = self.tam_monitor.average_utilization(start=start, end=end)
+        return TestRunMetrics(
+            schedule_name=schedule.name,
+            test_length_cycles=execution.cycles,
+            peak_tam_utilization=peak,
+            avg_tam_utilization=average,
+            peak_power=self.power_monitor.peak_power(),
+            avg_power=self.power_monitor.average_power(),
+            simulated_activations=(self.sim.dispatched_activations
+                                   - activations_before),
+            execution=execution,
+        )
+
+    # -- convenience ------------------------------------------------------------
+    def wrapper(self, core_name: str):
+        return self.wrappers[core_name]
+
+
+class JpegSocTlm(SocTlmBase):
+    """Approximately-timed TLM of the bus-based JPEG encoder SoC."""
+
+    def __init__(self, config: Optional[SocConfiguration] = None):
+        config = config or SocConfiguration()
+        self._init_platform("jpeg_soc", config)
 
         # -- functional platform -------------------------------------------------
         self.bus = SystemBus(self.sim, "system_bus",
@@ -187,10 +266,14 @@ class JpegSocTlm:
             burst_patterns=config.burst_patterns,
         )
 
-        # -- monitors ---------------------------------------------------------------------
-        self.tam_monitor = TamUtilizationMonitor(self.tracer, self.bus.name,
-                                                 self.clock)
-        self.power_monitor = PowerMonitor(self.activity_log)
+        self._init_monitors()
+
+    # -- task/schedule registries ---------------------------------------------------
+    def _default_tasks(self) -> Mapping[str, TestTask]:
+        return build_test_tasks()
+
+    def _resolve_schedule(self, name: str) -> TestSchedule:
+        return build_test_schedules()[name]
 
     # -- mission mode ------------------------------------------------------------------------
     def run_functional_encode(self, image: np.ndarray,
@@ -222,52 +305,144 @@ class JpegSocTlm:
         encoded: EncodedImage = holder["encoded"]
         return encoded, cycles
 
-    # -- test mode ----------------------------------------------------------------------------
-    def run_test_schedule(self, schedule: Union[str, TestSchedule],
-                          tasks: Optional[Mapping[str, TestTask]] = None) -> TestRunMetrics:
-        """Simulate the execution of a complete test schedule.
-
-        Returns the :class:`TestRunMetrics` corresponding to one row of the
-        paper's Table I (CPU time is filled in by the experiment runner).
-        """
-        if tasks is None:
-            tasks = build_test_tasks()
-        if isinstance(schedule, str):
-            schedule = build_test_schedules()[schedule]
-        schedule.validate(dict(tasks))
-
-        start = self.sim.now
-        activations_before = self.sim.dispatched_activations
-        holder = {}
-
-        def test_flow():
-            result = yield from self.ate.execute_schedule(schedule, tasks)
-            holder["result"] = result
-
-        self.sim.spawn(test_flow(), name=f"ate_{schedule.name}")
-        self.sim.run()
-        end = self.sim.now
-        execution: ScheduleExecutionResult = holder["result"]
-
-        peak = self.tam_monitor.peak_utilization(
-            window_cycles=self.config.peak_window_cycles, start=start, end=end,
-        )
-        average = self.tam_monitor.average_utilization(start=start, end=end)
-        return TestRunMetrics(
-            schedule_name=schedule.name,
-            test_length_cycles=execution.cycles,
-            peak_tam_utilization=peak,
-            avg_tam_utilization=average,
-            peak_power=self.power_monitor.peak_power(),
-            avg_power=self.power_monitor.average_power(),
-            simulated_activations=(self.sim.dispatched_activations
-                                   - activations_before),
-            execution=execution,
-        )
-
-    # -- convenience ------------------------------------------------------------------------------
-    def wrapper(self, core_name: str):
-        return self.wrappers[core_name]
-
     def __repr__(self):
         return f"JpegSocTlm(clock={self.clock.period}, tam_width={self.bus.width_bits})"
+
+
+class GeneratedSocTlm(SocTlmBase):
+    """Test-infrastructure TLM generated around an arbitrary set of cores.
+
+    The model wires the same gray blocks of Figure 4 — bus/TAM, configuration
+    scan bus, ATE link, EBI, test controller, per-core wrappers, decompressors
+    and a shared compactor — around cores that exist only as
+    :class:`~repro.dft.ctl.CoreTestDescription` objects (plus optional
+    embedded memories).  That is exactly the paper's generation claim turned
+    into a scenario engine: a campaign can instantiate hundreds of SoC
+    variants without any hand-written model code.
+
+    *descriptions* maps core names to their CTL descriptions; cores whose
+    description carries an ``internal_chain_count`` get a dedicated
+    decompressor driven at ``config.compression_ratio``.  *memory_words* maps
+    additional embedded-memory core names to their word counts; those cores
+    are testable with :class:`~repro.schedule.model.TestKind.MEMORY_BIST_CONTROLLER`
+    tasks.  *tasks* and *schedules* seed the default registries used when
+    :meth:`run_test_schedule` is called with names instead of objects.
+    """
+
+    #: Address window reserved for every TAM slave.
+    ADDRESS_WINDOW = 0x0100_0000
+    #: Base address of the first allocated slave window.
+    ADDRESS_BASE = 0x1000_0000
+
+    def __init__(self, config: Optional[SocConfiguration] = None,
+                 descriptions: Optional[Mapping[str, CoreTestDescription]] = None,
+                 memory_words: Optional[Mapping[str, int]] = None,
+                 tasks: Optional[Mapping[str, TestTask]] = None,
+                 schedules: Optional[Mapping[str, TestSchedule]] = None,
+                 name: str = "generated_soc"):
+        config = config or SocConfiguration()
+        self._init_platform(name, config)
+        self.descriptions = dict(descriptions or {})
+        self.tasks = dict(tasks or {})
+        self.schedules = dict(schedules or {})
+        memory_words = dict(memory_words or {})
+
+        self.bus = SystemBus(self.sim, "system_bus",
+                             width_bits=config.tam_width_bits, clock=self.clock,
+                             tracer=self.tracer)
+        self.config_bus = ConfigurationScanBus(self.sim, "config_scan_bus",
+                                               clock=self.clock,
+                                               tracer=self.tracer)
+        self.ate_link = AteLink(self.sim, "ate_link",
+                                width_bits=config.ate_width_bits,
+                                clock=self.clock, tracer=self.tracer)
+
+        addresses: Dict[str, int] = {}
+        next_address = self.ADDRESS_BASE
+
+        def allocate(slave_name: str, slave=None) -> int:
+            nonlocal next_address
+            address = next_address
+            addresses[slave_name] = address
+            if slave is not None:
+                self.bus.bind_slave(slave, address, self.ADDRESS_WINDOW)
+            next_address += self.ADDRESS_WINDOW
+            return address
+
+        self.wrappers = {}
+        for core_name, description in self.descriptions.items():
+            wrapper = generate_wrapper(self.sim, description, core=None,
+                                       config_bus=self.config_bus,
+                                       tracer=self.tracer)
+            self.wrappers[core_name] = wrapper
+            allocate(core_name, wrapper)
+
+        self.decompressors = {}
+        for core_name, description in self.descriptions.items():
+            if not description.internal_chain_count:
+                continue
+            decompressor = Decompressor(
+                self.sim, f"{core_name}_decompressor",
+                compression_ratio=config.compression_ratio,
+                target_wrapper=self.wrappers[core_name],
+                internal_chain_count=description.internal_chain_count,
+            )
+            self.config_bus.register(decompressor.config_register)
+            allocate(decompressor.name, decompressor)
+            self.decompressors[core_name] = decompressor
+
+        self.compactor = Compactor(self.sim, "compactor",
+                                   compaction_ratio=1000.0)
+        self.config_bus.register(self.compactor.config_register)
+        allocate("compactor", self.compactor)
+
+        self.memory_cores = {}
+        for core_name, words in memory_words.items():
+            if core_name not in addresses:
+                allocate(core_name)
+            memory = MemoryCore(self.sim, core_name, words=int(words),
+                                word_bits=config.memory_word_bits,
+                                base_address=addresses[core_name])
+            self.memory_cores[core_name] = memory
+
+        self.controller = TestController(self.sim, "test_controller",
+                                         tam=self.bus,
+                                         activity_log=self.activity_log)
+        self.config_bus.register(self.controller.config_register)
+        allocate("test_controller", self.controller)
+
+        self.ebi = ExternalBusInterface(self.sim, "ebi", ate_link=self.ate_link,
+                                        tam=self.bus,
+                                        buffer_patterns=config.burst_patterns)
+        self.config_bus.register(self.ebi.config_register)
+
+        self.architecture = TestArchitecture(
+            tam=self.bus, ate_link=self.ate_link, ebi=self.ebi,
+            config_bus=self.config_bus, controller=self.controller,
+            wrappers=dict(self.wrappers),
+            decompressors=dict(self.decompressors),
+            compactors={core: self.compactor for core in self.wrappers},
+            memory_cores=dict(self.memory_cores),
+            processor_cores={},
+            addresses=addresses,
+            activity_log=self.activity_log,
+        )
+        self.ate = AutomatedTestEquipment(
+            self.sim, "ate", architecture=self.architecture,
+            status_poll_fraction=config.status_poll_fraction,
+            burst_patterns=config.burst_patterns,
+        )
+        self._init_monitors()
+
+    # -- task/schedule registries ---------------------------------------------------
+    def _default_tasks(self) -> Mapping[str, TestTask]:
+        if not self.tasks:
+            raise ValueError(f"{self.sim.name}: no tasks registered")
+        return dict(self.tasks)
+
+    def _resolve_schedule(self, name: str) -> TestSchedule:
+        return self.schedules[name]
+
+    def __repr__(self):
+        return (f"GeneratedSocTlm({self.sim.name!r}, cores={len(self.wrappers)}, "
+                f"tam_width={self.bus.width_bits})")

@@ -21,9 +21,19 @@ class TestParser:
     def test_all_subcommands_have_handlers(self):
         parser = build_parser()
         for command in ("table1", "speedup", "sweep-compression",
-                        "sweep-tam-width", "schedules"):
+                        "sweep-tam-width", "schedules", "campaign"):
             args = parser.parse_args([command])
             assert callable(args.handler)
+
+    def test_campaign_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["campaign", "--core-counts", "1", "2",
+                                  "--tam-widths", "16", "--workers", "2",
+                                  "--schedules", "greedy"])
+        assert args.core_counts == [1, 2]
+        assert args.tam_widths == [16]
+        assert args.workers == 2
+        assert args.schedules == ["greedy"]
 
 
 class TestExecution:
@@ -46,3 +56,15 @@ class TestExecution:
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "compression_ratio" in output
+
+    def test_campaign_command_writes_artifacts(self, capsys, tmp_path):
+        csv_path = tmp_path / "campaign.csv"
+        json_path = tmp_path / "campaign.json"
+        exit_code = main(["campaign", "--core-counts", "1", "2",
+                          "--tam-widths", "32", "--patterns", "64",
+                          "--csv", str(csv_path), "--json", str(json_path)])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "scenario_0000" in output
+        assert "result rows" in output
+        assert csv_path.exists() and json_path.exists()
