@@ -1,0 +1,430 @@
+#!/usr/bin/env python
+"""Hot-path benchmark runner emitting machine-readable ``BENCH_*.json``.
+
+Measures the four performance-critical layers of the stack:
+
+* ``kernel``   -- scheduler dispatch throughput on a short-delay-Timeout
+                  dominated workload (many concurrent clocked processes) plus
+                  a delta-cycle (zero-delay) drain workload,
+* ``tracing``  -- per-transaction append cost of the transaction tracer and
+                  activity log (enabled and disabled) and columnar query time,
+* ``lfsr``     -- bit-accurate pattern generation (LFSR) and signature
+                  compaction (MISR) throughput,
+* ``campaign`` -- scenarios/second of the 50-scenario pool run (serial and
+                  worker pool).
+
+Each benchmark writes ``BENCH_<name>.json`` with the measured numbers under a
+run label (``--label``).  Passing ``--baseline-dir`` merges previously
+recorded numbers into the same document and computes speedups, which is how
+the checked-in artifacts record the before/after trajectory of a PR::
+
+    # on the old tree
+    python benchmarks/run_benchmarks.py --label baseline --out /tmp/bench
+    # on the new tree
+    python benchmarks/run_benchmarks.py --label after --out . \
+        --baseline-dir /tmp/bench
+
+The script only uses public APIs, so it runs unchanged on older revisions
+(it adapts to either the record-object or the columnar tracer interface).
+
+CI runs ``--quick`` as a smoke job and uploads the JSON as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.kernel import NS, SimTime, Simulator, Timeout  # noqa: E402
+from repro.kernel.tracing import TransactionRecord, TransactionTracer  # noqa: E402
+from repro.rtl.lfsr import LFSR, MISR  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# kernel
+# ---------------------------------------------------------------------------
+
+#: Repetitions per timed workload; the best (shortest) run is reported so
+#: that co-tenant noise on shared hosts does not masquerade as a slowdown.
+REPEATS = 3
+
+
+def _best_of(repeats, run) -> tuple:
+    """Run *run()* repeatedly; returns (best_wall_seconds, last_result)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        wall, result = run()
+        if best is None or wall < best:
+            best = wall
+    return best, result
+
+
+def bench_kernel(scale: float) -> dict:
+    """Dispatch throughput of the scheduler.
+
+    The *timeout* workload is the paper-shaped hot path: many concurrent
+    processes (cores shifting patterns, clock edges, status polls) each
+    waiting short, clock-period-sized delays, so the pending set stays large
+    and almost every activation is a near-future Timeout.  The *delta*
+    workload drains long same-timestamp chains (update-phase style).
+    """
+    procs = 160
+    steps = max(1, int(1200 * scale))
+    periods = [SimTime(7, NS), SimTime(10, NS), SimTime(13, NS), SimTime(10, NS)]
+
+    def ticker(period, count):
+        for _ in range(count):
+            yield Timeout(period)
+
+    def run_timeout_workload():
+        sim = Simulator("bench_timeout")
+        for index in range(procs):
+            sim.spawn(ticker(periods[index % len(periods)], steps),
+                      name=f"t{index}")
+        start = time.perf_counter()
+        sim.run()
+        return time.perf_counter() - start, sim.dispatched_activations
+
+    timeout_wall, timeout_dispatched = _best_of(REPEATS, run_timeout_workload)
+
+    def delta_chain(count):
+        for _ in range(count):
+            yield  # bare yield: next delta cycle, zero-delay fast lane
+
+    delta_steps = max(1, int(40_000 * scale))
+
+    def run_delta_workload():
+        sim = Simulator("bench_delta")
+        for index in range(8):
+            sim.spawn(delta_chain(delta_steps), name=f"d{index}")
+        start = time.perf_counter()
+        sim.run(until=SimTime(0))
+        return time.perf_counter() - start, sim.dispatched_activations
+
+    delta_wall, delta_dispatched = _best_of(REPEATS, run_delta_workload)
+
+    return {
+        "workload": {
+            "timeout_processes": procs,
+            "timeout_steps_per_process": steps,
+            "delta_processes": 8,
+            "delta_steps_per_process": delta_steps,
+            "repeats_best_of": REPEATS,
+        },
+        "timeout_dispatched": timeout_dispatched,
+        "timeout_wall_seconds": round(timeout_wall, 6),
+        "timeout_dispatch_per_second": round(timeout_dispatched / timeout_wall, 1),
+        "delta_dispatched": delta_dispatched,
+        "delta_wall_seconds": round(delta_wall, 6),
+        "delta_dispatch_per_second": round(delta_dispatched / delta_wall, 1),
+        "dispatch_per_second": round(
+            (timeout_dispatched + delta_dispatched) / (timeout_wall + delta_wall), 1
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# tracing
+# ---------------------------------------------------------------------------
+
+def _trace_append(tracer: TransactionTracer, count: int) -> float:
+    """Append *count* transactions the way the TAM channel hot path does."""
+    start = time.perf_counter()
+    if hasattr(tracer, "record_fs"):  # columnar fast path (new interface)
+        for index in range(count):
+            # The real call-site pattern: re-test the flag per transaction.
+            if tracer.enabled:
+                tracer.record_fs(
+                    "tam", "burst", index * 1000, index * 1000 + 640,
+                    initiator="bench", address=0x1000, data_bits=640,
+                    attributes={"busy_cycles": 64},
+                )
+    else:  # record-object path (seed interface)
+        for index in range(count):
+            tracer.record(TransactionRecord(
+                channel="tam", kind="burst", start=SimTime(index * 1000),
+                end=SimTime(index * 1000 + 640), initiator="bench",
+                address=0x1000, data_bits=640,
+                attributes={"busy_cycles": 64},
+            ))
+    return time.perf_counter() - start
+
+
+def bench_tracing(scale: float) -> dict:
+    count = max(1, int(60_000 * scale))
+
+    def run_enabled():
+        tracer = TransactionTracer(enabled=True)
+        return _trace_append(tracer, count), tracer
+
+    def run_disabled():
+        tracer = TransactionTracer(enabled=False)
+        return _trace_append(tracer, count), tracer
+
+    enabled_wall, enabled = _best_of(REPEATS, run_enabled)
+    disabled_wall, _ = _best_of(REPEATS, run_disabled)
+
+    start = time.perf_counter()
+    busy = enabled.total_busy_time("tam")
+    utilization = enabled.utilization(
+        "tam", SimTime(0), SimTime(count * 1000))
+    query_wall = time.perf_counter() - start
+
+    log_result: dict = {}
+    try:
+        from repro.dft.monitor import ActivityLog
+
+        log = ActivityLog()
+        start = time.perf_counter()
+        for index in range(count // 4):
+            log.record(core="c", kind="scan", start=SimTime(index * 100),
+                       end=SimTime(index * 100 + 50), power=1.0)
+        log_result["activity_append_wall_seconds"] = round(
+            time.perf_counter() - start, 6)
+        log_result["activity_appends"] = count // 4
+    except Exception:  # pragma: no cover - layout drift on old revisions
+        pass
+
+    return {
+        "workload": {"transactions": count},
+        "enabled_wall_seconds": round(enabled_wall, 6),
+        "enabled_appends_per_second": round(count / enabled_wall, 1),
+        "disabled_wall_seconds": round(disabled_wall, 6),
+        "disabled_appends_per_second": round(count / disabled_wall, 1),
+        "query_wall_seconds": round(query_wall, 6),
+        "query_check": {
+            "busy_fs": busy.femtoseconds,
+            "utilization": round(utilization, 6),
+        },
+        **log_result,
+    }
+
+
+# ---------------------------------------------------------------------------
+# lfsr / misr
+# ---------------------------------------------------------------------------
+
+def bench_lfsr(scale: float) -> dict:
+    words = max(1, int(20_000 * scale))
+    word_bits = 64
+
+    def run_words():
+        lfsr = LFSR(32, seed=0xACE1)
+        start = time.perf_counter()
+        checksum = 0
+        for _ in range(words):
+            checksum ^= lfsr.next_word(word_bits)
+        return time.perf_counter() - start, checksum
+
+    word_wall, checksum = _best_of(REPEATS, run_words)
+
+    patterns = max(1, int(4_000 * scale))
+    pattern_bits = 128
+
+    def run_patterns():
+        lfsr = LFSR(32, seed=7)
+        start = time.perf_counter()
+        ones = 0
+        for _ in range(patterns):
+            ones += sum(lfsr.next_pattern(pattern_bits))
+        return time.perf_counter() - start, ones
+
+    pattern_wall, ones = _best_of(REPEATS, run_patterns)
+
+    misr_words = max(1, int(120_000 * scale))
+
+    def run_misr():
+        misr = MISR(32)
+        start = time.perf_counter()
+        signature = misr.compact_sequence(range(misr_words))
+        return time.perf_counter() - start, signature
+
+    misr_wall, signature = _best_of(REPEATS, run_misr)
+
+    return {
+        "workload": {
+            "words": words, "word_bits": word_bits,
+            "patterns": patterns, "pattern_bits": pattern_bits,
+            "misr_words": misr_words,
+        },
+        "word_wall_seconds": round(word_wall, 6),
+        "word_bits_per_second": round(words * word_bits / word_wall, 1),
+        "pattern_wall_seconds": round(pattern_wall, 6),
+        "pattern_bits_per_second": round(
+            patterns * pattern_bits / pattern_wall, 1),
+        "misr_wall_seconds": round(misr_wall, 6),
+        "misr_words_per_second": round(misr_words / misr_wall, 1),
+        "checks": {
+            "word_checksum": checksum,
+            "pattern_ones": ones,
+            "misr_signature": signature,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# campaign
+# ---------------------------------------------------------------------------
+
+def _pool_campaign(quick: bool):
+    from dataclasses import replace
+
+    from repro.explore.campaign import Campaign, campaign_from_axes
+    from repro.explore.scenarios import ScenarioSpec
+
+    if quick:
+        return campaign_from_axes(
+            {"core_count": [1, 2], "tam_width_bits": [16, 32]},
+            base=ScenarioSpec(name="base", patterns_per_core=32, seed=5,
+                              schedules=("sequential", "greedy")),
+        )
+    # The 50-scenario pool workload of the at-scale campaign test.
+    campaign = campaign_from_axes(
+        {"core_count": [1, 2], "tam_width_bits": [8, 16, 32, 64],
+         "compression_ratio": [10.0, 100.0], "power_budget": [3.0, 8.0]},
+        base=ScenarioSpec(name="base", patterns_per_core=48, seed=5,
+                          schedules=("sequential", "greedy")),
+    )
+    specs = campaign.specs
+    extra = [replace(spec, name=f"{spec.name}_s2", seed=spec.seed + 1)
+             for spec in specs]
+    return Campaign(specs + extra)
+
+
+def bench_campaign(scale: float, quick: bool = False) -> dict:
+    campaign = _pool_campaign(quick=quick or scale < 1.0)
+    workers = max(2, min(4, os.cpu_count() or 1))
+
+    def run_serial():
+        run = campaign.run(workers=1)
+        return run.wall_seconds, run
+
+    def run_pool():
+        run = campaign.run(workers=workers)
+        return run.wall_seconds, run
+
+    serial_wall, serial = _best_of(REPEATS, run_serial)
+    pool_wall, pool = _best_of(REPEATS, run_pool)
+    serial.wall_seconds = serial_wall
+    pool.wall_seconds = pool_wall
+    if pool.deterministic_rows() != serial.deterministic_rows():
+        raise AssertionError("pool campaign rows diverged from serial rows")
+    return {
+        "workload": {
+            "scenarios": len({spec.name for spec in campaign.specs}),
+            "jobs": len(campaign),
+            "pool_workers": workers,
+        },
+        "serial_wall_seconds": round(serial.wall_seconds, 6),
+        "serial_rows_per_second": round(serial.scenarios_per_second, 3),
+        "pool_wall_seconds": round(pool.wall_seconds, 6),
+        "pool_rows_per_second": round(pool.scenarios_per_second, 3),
+        "rows_identical": True,
+    }
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+
+BENCHMARKS = {
+    "kernel": bench_kernel,
+    "tracing": bench_tracing,
+    "lfsr": bench_lfsr,
+    "campaign": bench_campaign,
+}
+
+#: Headline metric of each benchmark (used for the speedup summary).
+HEADLINE = {
+    "kernel": "timeout_dispatch_per_second",
+    "tracing": "enabled_appends_per_second",
+    "lfsr": "word_bits_per_second",
+    "campaign": "pool_rows_per_second",
+}
+
+
+def _host_info() -> dict:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def write_document(out_dir: Path, name: str, label: str, result: dict,
+                   baseline_dir: Path | None) -> Path:
+    path = out_dir / f"BENCH_{name}.json"
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": name,
+        "headline_metric": HEADLINE[name],
+        "host": _host_info(),
+        "runs": {},
+    }
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            document["runs"].update(existing.get("runs", {}))
+        except (json.JSONDecodeError, OSError):
+            pass
+    if baseline_dir is not None:
+        baseline_path = baseline_dir / f"BENCH_{name}.json"
+        if baseline_path.exists():
+            baseline = json.loads(baseline_path.read_text())
+            document["runs"].update(baseline.get("runs", {}))
+    document["runs"][label] = result
+    headline = HEADLINE[name]
+    if "baseline" in document["runs"] and label != "baseline":
+        base = document["runs"]["baseline"].get(headline)
+        new = result.get(headline)
+        if base and new:
+            document["speedup"] = round(new / base, 2)
+    path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("benchmarks", nargs="*",
+                        choices=[*BENCHMARKS, []],
+                        help="benchmarks to run (default: all)")
+    parser.add_argument("--label", default="after",
+                        help="run label stored in the JSON (default: after)")
+    parser.add_argument("--out", type=Path, default=Path("."),
+                        help="directory for the BENCH_*.json files")
+    parser.add_argument("--baseline-dir", type=Path, default=None,
+                        help="merge baseline runs from this directory")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: tiny workloads for CI")
+    args = parser.parse_args(argv)
+
+    scale = 0.08 if args.quick else args.scale
+    names = args.benchmarks or list(BENCHMARKS)
+    args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        bench = BENCHMARKS[name]
+        if name == "campaign":
+            result = bench(scale, quick=args.quick)
+        else:
+            result = bench(scale)
+        path = write_document(args.out, name, args.label, result,
+                              args.baseline_dir)
+        headline = HEADLINE[name]
+        print(f"{name}: {headline}={result.get(headline)}  -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -375,7 +375,7 @@ class AutomatedTestEquipment(Channel):
             tam_bits_per_pattern=tam_bits,
             shift_cycles_per_pattern=shift,
         )
-        start = self.sim.now
+        start_fs = self.sim.now_fs
         stats = yield from architecture.ebi.stream_patterns(
             initiator=f"{self.name}.{task.name}",
             address=architecture.address_of(task.core),
@@ -386,10 +386,10 @@ class AutomatedTestEquipment(Channel):
             compactor=compactor,
             burst_patterns=self.burst_patterns,
         )
-        architecture.activity_log.record(
-            core=task.core, kind=task.kind.value, start=start, end=self.sim.now,
-            power=task.power,
-        )
+        # Once-per-task (cold) path: record_fs itself handles the disabled
+        # case, and calling it unconditionally keeps its interval validation.
+        architecture.activity_log.record_fs(
+            task.core, task.kind.value, start_fs, self.sim.now_fs, task.power)
         return {
             "patterns_applied": stats["patterns"],
             "signature": compactor.signature if compactor is not None else wrapper.signature,
@@ -428,15 +428,13 @@ class AutomatedTestEquipment(Channel):
         )
         command.initiator = self.name
         yield from architecture.tam.write(command)
-        start = self.sim.now
+        start_fs = self.sim.now_fs
         status = yield from processor.run_memory_march(
             memory_core, task.march,
             pattern_backgrounds=task.pattern_backgrounds,
         )
-        architecture.activity_log.record(
-            core=task.core, kind=task.kind.value, start=start, end=self.sim.now,
-            power=task.power,
-        )
+        architecture.activity_log.record_fs(
+            task.core, task.kind.value, start_fs, self.sim.now_fs, task.power)
         return {
             "patterns_applied": 0,
             "operations": status["operations"],

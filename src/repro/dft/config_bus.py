@@ -17,7 +17,7 @@ from repro.kernel.event import Timeout
 from repro.kernel.module import Module
 from repro.kernel.simulator import Simulator
 from repro.kernel.sync import Mutex
-from repro.kernel.tracing import TransactionRecord, TransactionTracer
+from repro.kernel.tracing import TransactionTracer
 
 
 class ConfigurableRegister:
@@ -102,7 +102,7 @@ class ConfigurationScanBus(Channel):
         register = self.lookup(target_name)
         cycles = self.configuration_cycles()
         yield from self._mutex.acquire()
-        start = self.sim.now
+        start_fs = self.sim.now_fs
         try:
             yield Timeout(self.clock.cycles(cycles))
         finally:
@@ -110,12 +110,14 @@ class ConfigurationScanBus(Channel):
         register.update(value)
         self.configuration_count += 1
         self.busy_cycles_total += cycles
-        self.tracer.record(TransactionRecord(
-            channel=self.name, kind="configure", start=start, end=self.sim.now,
-            initiator=initiator, data_bits=self.ring_length_bits,
-            attributes={"target": target_name, "value": value,
-                        "busy_cycles": cycles},
-        ))
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record_fs(
+                self.name, "configure", start_fs, self.sim.now_fs,
+                initiator=initiator, data_bits=self.ring_length_bits,
+                attributes={"target": target_name, "value": value,
+                            "busy_cycles": cycles},
+            )
         return register.value
 
     def configure_many(self, assignments: Dict[str, int], initiator: str = ""):
@@ -124,7 +126,7 @@ class ConfigurationScanBus(Channel):
             self.lookup(name)
         cycles = self.configuration_cycles()
         yield from self._mutex.acquire()
-        start = self.sim.now
+        start_fs = self.sim.now_fs
         try:
             yield Timeout(self.clock.cycles(cycles))
         finally:
@@ -133,11 +135,15 @@ class ConfigurationScanBus(Channel):
             self._registers[name].update(value)
         self.configuration_count += 1
         self.busy_cycles_total += cycles
-        self.tracer.record(TransactionRecord(
-            channel=self.name, kind="configure_many", start=start, end=self.sim.now,
-            initiator=initiator, data_bits=self.ring_length_bits,
-            attributes={"targets": sorted(assignments), "busy_cycles": cycles},
-        ))
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record_fs(
+                self.name, "configure_many", start_fs,
+                self.sim.now_fs, initiator=initiator,
+                data_bits=self.ring_length_bits,
+                attributes={"targets": sorted(assignments),
+                            "busy_cycles": cycles},
+            )
 
     def __repr__(self):
         return (

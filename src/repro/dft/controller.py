@@ -92,10 +92,11 @@ class TestController(Channel):
         status["done"] = True
         status["signature"] = wrapper.signature
         status["cycles"] = clock.cycles_between(start_time, self.sim.now)
-        self.activity_log.record(
-            core=wrapper.description.core_name, kind="logic_bist",
-            start=start_time, end=self.sim.now, power=power,
-        )
+        # Once-per-session (cold) path: record_fs handles the disabled case
+        # and keeps its interval validation.
+        self.activity_log.record_fs(wrapper.description.core_name,
+                                    "logic_bist", start_time.femtoseconds,
+                                    self.sim.now_fs, power)
         return status
 
     # -- memory array BIST ------------------------------------------------------------
@@ -159,10 +160,9 @@ class TestController(Channel):
         status["done"] = True
         status["cycles"] = clock.cycles_between(start_time, self.sim.now)
         status["expected_cycles"] = total_cycles
-        self.activity_log.record(
-            core=memory_core.name, kind="memory_bist",
-            start=start_time, end=self.sim.now, power=power,
-        )
+        self.activity_log.record_fs(memory_core.name, "memory_bist",
+                                    start_time.femtoseconds, self.sim.now_fs,
+                                    power)
         return status
 
     def __repr__(self):

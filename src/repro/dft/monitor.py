@@ -6,12 +6,17 @@ available to the scheduler.  The monitors in this module compute exactly the
 quantities of Table I (peak and average TAM utilization) plus a test power
 profile, all from the transaction/activity streams recorded during
 simulation.
+
+Like the transaction tracer, the :class:`ActivityLog` stores its intervals
+columnar-style as integer femtoseconds; :class:`ActivityRecord` objects are
+materialized lazily and the power queries run directly over the integer
+columns.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.kernel.clock import Clock
 from repro.kernel.simtime import SimTime
@@ -29,13 +34,13 @@ class TamUtilizationMonitor:
     # -- bounds -----------------------------------------------------------------
     def _bounds(self, start: Optional[SimTime],
                 end: Optional[SimTime]) -> Tuple[Optional[SimTime], Optional[SimTime]]:
-        records = self.tracer.for_channel(self.channel_name)
-        if not records:
+        bounds = self.tracer.bounds_fs(self.channel_name)
+        if bounds is None:
             return None, None
         if start is None:
-            start = min(r.start for r in records)
+            start = SimTime(bounds[0])
         if end is None:
-            end = max(r.end for r in records)
+            end = SimTime(bounds[1])
         return start, end
 
     # -- metrics -------------------------------------------------------------------
@@ -45,8 +50,8 @@ class TamUtilizationMonitor:
         start, end = self._bounds(start, end)
         if start is None:
             return SimTime(0)
-        busy_fraction = self.tracer.utilization(self.channel_name, start, end)
-        return SimTime(round(busy_fraction * (end - start).femtoseconds))
+        return SimTime(self.tracer.busy_fs_in_window(
+            self.channel_name, start.femtoseconds, end.femtoseconds))
 
     def average_utilization(self, start: Optional[SimTime] = None,
                             end: Optional[SimTime] = None) -> float:
@@ -92,12 +97,12 @@ class TamUtilizationMonitor:
 
     def transferred_bits(self) -> int:
         """Total payload bits moved over the TAM."""
-        return sum(r.data_bits for r in self.tracer.for_channel(self.channel_name))
+        return self.tracer.data_bits_total(self.channel_name)
 
 
 @dataclass
 class ActivityRecord:
-    """One interval of test activity on a core (used for power analysis)."""
+    """One interval of test activity on a core (materialized view)."""
 
     core: str
     kind: str
@@ -111,27 +116,121 @@ class ActivityRecord:
 
 
 class ActivityLog:
-    """Collects :class:`ActivityRecord` intervals during schedule execution."""
+    """Collects per-core activity intervals during schedule execution."""
 
-    def __init__(self):
-        self.records: List[ActivityRecord] = []
+    __slots__ = ("enabled", "_cores", "_kinds", "_starts_fs", "_ends_fs",
+                 "_powers")
 
-    def record(self, core: str, kind: str, start: SimTime, end: SimTime,
-               power: float) -> ActivityRecord:
-        if end < start:
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._cores: List[str] = []
+        self._kinds: List[str] = []
+        self._starts_fs: List[int] = []
+        self._ends_fs: List[int] = []
+        self._powers: List[float] = []
+
+    def record_fs(self, core: str, kind: str, start_fs: int, end_fs: int,
+                  power: float) -> None:
+        """Append one interval from integer-femtosecond endpoints (hot path)."""
+        # Validate before the enabled check so a model bug surfaces no
+        # matter whether activity logging happens to be on.
+        if end_fs < start_fs:
             raise ValueError("activity interval end precedes start")
-        entry = ActivityRecord(core=core, kind=kind, start=start, end=end, power=power)
-        self.records.append(entry)
-        return entry
+        if not self.enabled:
+            return
+        self._cores.append(core)
+        self._kinds.append(kind)
+        self._starts_fs.append(start_fs)
+        self._ends_fs.append(end_fs)
+        self._powers.append(power)
+
+    def record(self, core: str, kind: str, start: Union[SimTime, int],
+               end: Union[SimTime, int], power: float) -> None:
+        """Append one interval given :class:`SimTime` endpoints."""
+        self.record_fs(core, kind,
+                       SimTime.coerce(start).femtoseconds,
+                       SimTime.coerce(end).femtoseconds, power)
 
     def clear(self) -> None:
-        self.records.clear()
+        for column in (self._cores, self._kinds, self._starts_fs,
+                       self._ends_fs, self._powers):
+            column.clear()
+
+    @property
+    def records(self) -> List[ActivityRecord]:
+        """All intervals as lazily materialized records."""
+        return [
+            ActivityRecord(core=self._cores[index], kind=self._kinds[index],
+                           start=SimTime(self._starts_fs[index]),
+                           end=SimTime(self._ends_fs[index]),
+                           power=self._powers[index])
+            for index in range(len(self._cores))
+        ]
 
     def cores(self) -> List[str]:
-        return sorted({r.core for r in self.records})
+        return sorted(set(self._cores))
+
+    def bounds_fs(self) -> Optional[Tuple[int, int]]:
+        if not self._cores:
+            return None
+        return min(self._starts_fs), max(self._ends_fs)
+
+    # -- columnar queries (the monitors build on these, so the storage
+    # -- layout stays private to the log) -----------------------------------
+    def power_at_fs(self, time_fs: int) -> float:
+        """Sum of the power of every interval active at *time_fs*."""
+        starts = self._starts_fs
+        ends = self._ends_fs
+        powers = self._powers
+        return sum(
+            powers[index]
+            for index in range(len(starts))
+            if starts[index] <= time_fs < ends[index]
+        )
+
+    def boundaries_fs(self) -> List[int]:
+        """Sorted sampling points: every interval start and last-busy fs."""
+        boundaries = set(self._starts_fs)
+        for end_fs in self._ends_fs:
+            boundaries.add(end_fs - 1)
+        return sorted(b for b in boundaries if b >= 0)
+
+    def energy_fs(self) -> float:
+        """Total energy in power-units x femtoseconds."""
+        starts = self._starts_fs
+        ends = self._ends_fs
+        powers = self._powers
+        return sum(
+            powers[index] * (ends[index] - starts[index])
+            for index in range(len(starts))
+        )
+
+    def window_energy_fs(self, window_start_fs: int,
+                         window_end_fs: int) -> float:
+        """Energy (power-units x fs) of the overlap with [start, end)."""
+        starts = self._starts_fs
+        ends = self._ends_fs
+        powers = self._powers
+        energy = 0.0
+        for index in range(len(starts)):
+            overlap_start = max(starts[index], window_start_fs)
+            overlap_end = min(ends[index], window_end_fs)
+            if overlap_end > overlap_start:
+                energy += powers[index] * (overlap_end - overlap_start)
+        return energy
+
+    def per_core_energy_fs(self) -> Dict[str, float]:
+        """Energy (power-units x fs) contributed by each core."""
+        energies: Dict[str, float] = {}
+        for index in range(len(self._cores)):
+            joule_fs = self._powers[index] * (self._ends_fs[index]
+                                              - self._starts_fs[index])
+            core = self._cores[index]
+            energies[core] = energies.get(core, 0.0) + joule_fs
+        return energies
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._cores)
 
 
 class PowerMonitor:
@@ -146,74 +245,53 @@ class PowerMonitor:
         self.log = log
 
     def _bounds(self) -> Tuple[Optional[SimTime], Optional[SimTime]]:
-        if not self.log.records:
+        bounds = self.log.bounds_fs()
+        if bounds is None:
             return None, None
-        start = min(r.start for r in self.log.records)
-        end = max(r.end for r in self.log.records)
-        return start, end
+        return SimTime(bounds[0]), SimTime(bounds[1])
 
     def power_at(self, time: SimTime) -> float:
         """Instantaneous power: sum of the power of all active intervals."""
-        return sum(
-            r.power for r in self.log.records if r.start <= time < r.end
-        )
+        return self.log.power_at_fs(SimTime.coerce(time).femtoseconds)
 
-    def peak_power(self, samples: int = 512) -> float:
+    def peak_power(self) -> float:
         """Peak power over the schedule (sampled at interval boundaries)."""
-        if not self.log.records:
+        log = self.log
+        if not len(log):
             return 0.0
-        boundaries = set()
-        for record in self.log.records:
-            boundaries.add(record.start.femtoseconds)
-            boundaries.add(record.end.femtoseconds - 1)
-        return max(self.power_at(SimTime(b)) for b in sorted(boundaries) if b >= 0)
+        return max(log.power_at_fs(b) for b in log.boundaries_fs())
 
     def average_power(self) -> float:
         """Energy divided by makespan."""
-        start, end = self._bounds()
-        if start is None or end <= start:
+        bounds = self.log.bounds_fs()
+        if bounds is None or bounds[1] <= bounds[0]:
             return 0.0
-        total = (end - start).femtoseconds
-        energy = sum(
-            r.power * r.duration.femtoseconds for r in self.log.records
-        )
-        return energy / total
+        return self.log.energy_fs() / (bounds[1] - bounds[0])
 
     def energy(self) -> float:
         """Total energy in power-units x seconds."""
-        return sum(
-            r.power * r.duration.to(1_000_000_000_000_000)
-            for r in self.log.records
-        )
+        return self.log.energy_fs() / 1e15
 
     def profile(self, window: SimTime) -> List[Tuple[SimTime, float]]:
         """Average power per window across the schedule."""
-        start, end = self._bounds()
-        if start is None:
+        bounds = self.log.bounds_fs()
+        if bounds is None:
             return []
-        if window.femtoseconds <= 0:
+        start_fs, end_fs = bounds
+        window_fs = window.femtoseconds
+        if window_fs <= 0:
             raise ValueError("window must be positive")
         profile = []
-        cursor = start
-        while cursor < end:
-            upper = min(SimTime(cursor.femtoseconds + window.femtoseconds), end)
-            span = (upper - cursor).femtoseconds
-            energy = 0.0
-            for record in self.log.records:
-                overlap_start = max(record.start.femtoseconds, cursor.femtoseconds)
-                overlap_end = min(record.end.femtoseconds, upper.femtoseconds)
-                if overlap_end > overlap_start:
-                    energy += record.power * (overlap_end - overlap_start)
-            profile.append((cursor, energy / span if span else 0.0))
+        cursor = start_fs
+        while cursor < end_fs:
+            upper = min(cursor + window_fs, end_fs)
+            span = upper - cursor
+            energy = self.log.window_energy_fs(cursor, upper)
+            profile.append((SimTime(cursor), energy / span if span else 0.0))
             cursor = upper
         return profile
 
     def per_core_energy(self) -> Dict[str, float]:
         """Energy contribution of each core (power-units x seconds)."""
-        energies: Dict[str, float] = {}
-        for record in self.log.records:
-            energies.setdefault(record.core, 0.0)
-            energies[record.core] += record.power * record.duration.to(
-                1_000_000_000_000_000
-            )
-        return energies
+        return {core: joule_fs / 1e15
+                for core, joule_fs in self.log.per_core_energy_fs().items()}

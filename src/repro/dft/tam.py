@@ -27,7 +27,7 @@ from repro.kernel.interface import Interface
 from repro.kernel.module import Module
 from repro.kernel.simulator import Simulator
 from repro.kernel.sync import Mutex
-from repro.kernel.tracing import TransactionRecord, TransactionTracer
+from repro.kernel.tracing import TransactionTracer
 from repro.dft.payload import TamCommand, TamPayload, TamResponse
 
 
@@ -126,27 +126,29 @@ class TamChannel(Channel, TamInterface):
         tests): the channel is held exactly for the cycles in which data beats
         occur, which makes the recorded transaction stream directly usable for
         TAM-utilization analysis.
+
+        Returns ``None``; the transaction lands on the channel's tracer (when
+        enabled) and in the aggregate channel counters.
         """
         if busy_cycles < 0:
             raise ValueError("busy_cycles cannot be negative")
         yield from self._mutex.acquire()
-        start = self.sim.now
+        start_fs = self.sim.now_fs
         try:
             if busy_cycles:
                 yield Timeout(self.clock.cycles(busy_cycles))
         finally:
             self._mutex.release()
-        end = self.sim.now
         self.transaction_count += 1
         self.busy_cycles_total += busy_cycles
         self.bits_transferred += data_bits
-        record = TransactionRecord(
-            channel=self.name, kind=kind, start=start, end=end,
-            initiator=initiator, address=address, data_bits=data_bits,
-            attributes=dict(attributes or {}, busy_cycles=busy_cycles),
-        )
-        self.tracer.record(record)
-        return record
+        tracer = self.tracer
+        if tracer.enabled:  # disabled tracing costs exactly this flag check
+            tracer.record_fs(
+                self.name, kind, start_fs, self.sim.now_fs,
+                initiator=initiator, address=address, data_bits=data_bits,
+                attributes=dict(attributes or {}, busy_cycles=busy_cycles),
+            )
 
     # -- TAM_IF implementation ---------------------------------------------------
     def transport(self, payload: TamPayload):
@@ -231,25 +233,29 @@ class AteLink(Channel):
     def transfer(self, initiator: str, stimulus_bits: int, response_bits: int = 0,
                  kind: str = "ate_transfer",
                  attributes: Optional[Dict[str, object]] = None):
-        """Blocking transfer over the link (``yield from``)."""
+        """Blocking transfer over the link (``yield from``).
+
+        Returns ``None``; the transfer lands on the link's tracer (when
+        enabled) and in the aggregate link counters.
+        """
         cycles = self.transfer_cycles(stimulus_bits, response_bits)
         yield from self._mutex.acquire()
-        start = self.sim.now
+        start_fs = self.sim.now_fs
         try:
             if cycles:
                 yield Timeout(self.clock.cycles(cycles))
         finally:
             self._mutex.release()
-        end = self.sim.now
         self.transaction_count += 1
         self.busy_cycles_total += cycles
-        record = TransactionRecord(
-            channel=self.name, kind=kind, start=start, end=end,
-            initiator=initiator, data_bits=max(stimulus_bits, response_bits),
-            attributes=dict(attributes or {}, busy_cycles=cycles),
-        )
-        self.tracer.record(record)
-        return record
+        tracer = self.tracer
+        if tracer.enabled:  # disabled tracing costs exactly this flag check
+            tracer.record_fs(
+                self.name, kind, start_fs, self.sim.now_fs,
+                initiator=initiator,
+                data_bits=max(stimulus_bits, response_bits),
+                attributes=dict(attributes or {}, busy_cycles=cycles),
+            )
 
     def __repr__(self):
         return f"AteLink({self.name!r}, width={self.width_bits})"

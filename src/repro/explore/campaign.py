@@ -131,14 +131,43 @@ class CampaignOutcome:
         )
 
 
+#: Per-process memo of expanded scenarios (spec -> Scenario).  A campaign
+#: typically runs several schedules per scenario, and a pool worker receives
+#: many jobs of the same scenario back to back (jobs are ordered spec-major
+#: and submitted in batches), so re-expanding the spec for every job wastes
+#: most of the pool warm-up.  Specs are frozen/hashable pure data and
+#: scenario expansion is deterministic, which makes the cache transparent:
+#: cache hits are bitwise identical to cold builds (pinned by the campaign
+#: cache tests).  Bounded FIFO so huge grids cannot exhaust worker memory.
+_SCENARIO_CACHE: Dict[ScenarioSpec, Scenario] = {}
+_SCENARIO_CACHE_MAX = 256
+
+
+def cached_scenario(spec: ScenarioSpec) -> Scenario:
+    """`build_scenario` with per-process memoization (worker fast path)."""
+    scenario = _SCENARIO_CACHE.get(spec)
+    if scenario is None:
+        scenario = build_scenario(spec)
+        if len(_SCENARIO_CACHE) >= _SCENARIO_CACHE_MAX:
+            _SCENARIO_CACHE.pop(next(iter(_SCENARIO_CACHE)))
+        _SCENARIO_CACHE[spec] = scenario
+    return scenario
+
+
+def clear_scenario_cache() -> None:
+    """Drop the per-process scenario memo (test isolation hook)."""
+    _SCENARIO_CACHE.clear()
+
+
 def execute_job(job: CampaignJob) -> CampaignOutcome:
     """Run one campaign job to completion (also the worker-pool entry point).
 
-    Builds the scenario from its spec, instantiates a fresh SoC TLM, runs the
-    schedule and reduces the metrics to plain scalars so the outcome travels
-    cheaply across process boundaries.
+    Builds the scenario from its spec (through the per-process memo),
+    instantiates a fresh SoC TLM, runs the schedule and reduces the metrics
+    to plain scalars so the outcome travels cheaply across process
+    boundaries.
     """
-    scenario = build_scenario(job.spec)
+    scenario = cached_scenario(job.spec)
     if job.schedule not in scenario.schedules:
         raise KeyError(
             f"scenario {job.spec.name!r} has no schedule {job.schedule!r}; "
@@ -164,6 +193,11 @@ def execute_job(job: CampaignJob) -> CampaignOutcome:
         cpu_seconds=cpu_seconds,
         worker=os.getpid(),
     )
+
+
+def _execute_job_batch(jobs: Sequence[CampaignJob]) -> List[CampaignOutcome]:
+    """Pool entry point: run a batch of consecutive jobs in one worker."""
+    return [execute_job(job) for job in jobs]
 
 
 @dataclass
@@ -246,22 +280,42 @@ class Campaign:
         return len(self.jobs())
 
     def run(self, workers: int = 1, mp_context: Optional[str] = None,
-            chunksize: int = 1) -> CampaignRun:
+            batch_size: Optional[int] = None) -> CampaignRun:
         """Execute every job and collect the outcomes.
 
         ``workers=1`` runs in-process; ``workers>1`` uses a worker pool of the
         given ``multiprocessing`` start method (platform default when None).
+        Jobs are submitted to the pool in *batches* of consecutive jobs
+        (``batch_size``; an adaptive default when None) so that per-job
+        pickling/IPC overhead is amortized and jobs sharing a scenario land
+        on the same worker, where the scenario memo serves them.  Job order —
+        and therefore result order — is identical for serial and parallel
+        execution regardless of batching.
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         jobs = self.jobs()
         wall_start = time.perf_counter()
         if workers == 1:
             outcomes = [execute_job(job) for job in jobs]
         else:
+            if batch_size is None:
+                # Small enough to keep every worker busy (several batches
+                # per worker), large enough to amortize pickling and keep
+                # same-scenario jobs together.
+                batch_size = max(1, min(32, len(jobs) // (workers * 4) or 1))
+            batches = [jobs[index:index + batch_size]
+                       for index in range(0, len(jobs), batch_size)]
             context = multiprocessing.get_context(mp_context)
             with context.Pool(processes=workers) as pool:
-                outcomes = pool.map(execute_job, jobs, chunksize=chunksize)
+                # chunksize stays 1: batches are already the IPC unit, and
+                # grouping them further would starve workers on small grids.
+                outcome_batches = pool.map(_execute_job_batch, batches,
+                                           chunksize=1)
+            outcomes = [outcome for batch in outcome_batches
+                        for outcome in batch]
         wall_seconds = time.perf_counter() - wall_start
         return CampaignRun(outcomes=outcomes, workers=workers,
                            wall_seconds=wall_seconds)

@@ -26,7 +26,12 @@ class Timeout:
     __slots__ = ("duration",)
 
     def __init__(self, duration: Union[SimTime, int]):
-        self.duration = SimTime.coerce(duration)
+        # Hot path: Timeouts are created once per clocked wait, so skip the
+        # coerce() call for the common case of an existing SimTime.
+        if type(duration) is SimTime:
+            self.duration = duration
+        else:
+            self.duration = SimTime.coerce(duration)
 
     def __repr__(self):
         return f"Timeout({self.duration})"
@@ -81,9 +86,10 @@ class Event:
     def _fire(self, value) -> None:
         self.last_value = value
         waiters, self._waiters = self._waiters, []
+        push = self.sim._push
         for process in waiters:
             process.unsubscribe_all()
-            self.sim.schedule_process(process, 0, value)
+            push(0, process, value)
         for callback in list(self._callbacks):
             callback(value)
 

@@ -73,7 +73,14 @@ class Process:
             self._terminate(result=None)
             self.sim.report_process_failure(self, exc)
             return
-        self._suspend_on(condition)
+        # Hot path: Timeout waits and bare yields dominate every timed model,
+        # so handle them inline and fall back to _suspend_on for the rest.
+        if type(condition) is Timeout:
+            self.sim._push(condition.duration, self)
+        elif condition is None:
+            self.sim._push(0, self)
+        else:
+            self._suspend_on(condition)
 
     def _suspend_on(self, condition) -> None:
         if condition is None:

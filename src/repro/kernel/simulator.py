@@ -1,8 +1,32 @@
-"""The discrete-event scheduler."""
+"""The discrete-event scheduler.
+
+The kernel uses a hybrid three-tier event store instead of a single binary
+heap:
+
+* a **deque fast lane** for activations at the current timestamp (delta
+  cycles and zero-delay notifications join the running drain in O(1) with no
+  comparisons at all),
+* a **hashed timing wheel** for near-future activations: one bucket per
+  exact timestamp, rotated by a min-heap of *integer* bucket times.  Pushing
+  into an existing bucket is a dict hit plus a list append; the heap is only
+  touched once per distinct timestamp, so clock-period-sized Timeouts — the
+  dominant event class of the TLM models — cost O(1) amortized instead of
+  O(log n) Python-level entry comparisons,
+* a **far-future overflow heap** for entries beyond the wheel horizon, which
+  keeps the bucket-time heap small when a model schedules sparse long-range
+  events.  The horizon advances (and overflow entries cascade into buckets)
+  only when the near store drains.
+
+Determinism is bit-identical to the heap scheduler it replaced: entries carry
+a global sequence number, buckets are appended to in sequence order, and the
+overflow heap orders ties by sequence, so simultaneous activations always run
+in exact FIFO-per-timestamp order.
+"""
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Callable, List, Optional, Union
 
 from repro.kernel.event import Event
@@ -12,7 +36,7 @@ from repro.kernel.simtime import SimTime
 
 
 class _QueueEntry:
-    """An entry in the central event queue.
+    """An entry in the event store.
 
     Entries are ordered by time first and by insertion order second so that
     simultaneous activations run in a deterministic (FIFO) order.
@@ -36,24 +60,39 @@ class _QueueEntry:
 class Simulator:
     """Event-driven simulation kernel.
 
-    The kernel keeps a single binary-heap event queue.  Two kinds of actions
-    are scheduled on it: process resumptions and plain callbacks (used for
-    delayed event notifications and primitive updates).  An *update phase*
-    modelled after SystemC's evaluate/update delta cycle is run whenever all
-    activations at the current timestamp have been processed.
+    Two kinds of actions are scheduled: process resumptions and plain
+    callbacks (used for delayed event notifications and primitive updates).
+    An *update phase* modelled after SystemC's evaluate/update delta cycle is
+    run whenever all activations at the current timestamp have been processed.
 
     Cancelled entries are deleted lazily: :meth:`cancel` only marks the entry
-    and the heap is compacted once cancelled entries outnumber live ones, so
-    long-running campaigns do not accumulate dead objects.
+    and the event store is compacted once cancelled entries outnumber live
+    ones, so long-running campaigns do not accumulate dead objects.
     """
 
-    #: Queue size below which cancellation never triggers a compaction (the
-    #: rebuild would cost more than it frees).
+    #: Event-store size below which cancellation never triggers a compaction
+    #: (the rebuild would cost more than it frees).
     _COMPACT_MIN_QUEUE = 64
+
+    #: Width of the timing wheel's near-future window.  Entries scheduled
+    #: beyond ``now + span`` overflow into the far-future heap and cascade
+    #: into wheel buckets as the horizon advances.  2**44 fs ~ 17.6 ms of
+    #: simulated time — generous for clock-period-sized delays.
+    _WHEEL_SPAN_FS = 1 << 44
 
     def __init__(self, name: str = "sim"):
         self.name = name
-        self._queue: List[_QueueEntry] = []
+        #: Fast lane: activations at the timestamp currently being drained.
+        self._lane = deque()
+        self._lane_time = -1
+        #: Timing wheel: exact-timestamp buckets plus their rotation heap.
+        self._buckets = {}
+        self._bucket_times: List[int] = []
+        #: Far-future overflow (beyond the wheel horizon).
+        self._far: List[_QueueEntry] = []
+        self._horizon = self._WHEEL_SPAN_FS
+        #: Total entries across all three tiers, including cancelled ones.
+        self._entry_count = 0
         self._sequence = 0
         self._now_fs = 0
         self._running = False
@@ -91,10 +130,25 @@ class Simulator:
             delay_fs = delay
         else:
             delay_fs = SimTime.coerce(delay).femtoseconds
-        entry = _QueueEntry(self._now_fs + delay_fs, self._sequence, action, value)
+        time_fs = self._now_fs + delay_fs
+        entry = _QueueEntry(time_fs, self._sequence, action, value)
         self._sequence += 1
         self._pending_count += 1
-        heapq.heappush(self._queue, entry)
+        self._entry_count += 1
+        if time_fs == self._lane_time:
+            # Delta activation at the timestamp being drained: join the
+            # running drain through the fast lane (no heap, no comparisons).
+            self._lane.append(entry)
+        elif time_fs < self._horizon:
+            buckets = self._buckets
+            bucket = buckets.get(time_fs)
+            if bucket is None:
+                buckets[time_fs] = [entry]
+                heapq.heappush(self._bucket_times, time_fs)
+            else:
+                bucket.append(entry)
+        else:
+            heapq.heappush(self._far, entry)
         return entry
 
     def schedule_process(self, process: Process, delay=0, value=None) -> _QueueEntry:
@@ -112,9 +166,10 @@ class Simulator:
         methods.
 
         Returns ``True`` if the entry was still pending.  The entry stays in
-        the heap (lazy deletion) but releases its action and value; once
-        cancelled entries outnumber live ones the queue is compacted in one
-        pass, so cancellation-heavy workloads stay O(live entries) in memory.
+        the event store (lazy deletion) but releases its action and value;
+        once cancelled entries outnumber live ones the store is compacted in
+        one pass, so cancellation-heavy workloads stay O(live entries) in
+        memory.
         """
         if entry.cancelled:
             return False
@@ -123,21 +178,70 @@ class Simulator:
         entry.value = None
         self._pending_count -= 1
         self._cancelled_count += 1
-        if (len(self._queue) >= self._COMPACT_MIN_QUEUE
-                and self._cancelled_count * 2 > len(self._queue)):
+        if (self._entry_count >= self._COMPACT_MIN_QUEUE
+                and self._cancelled_count * 2 > self._entry_count):
             self._compact()
         return True
 
     def _compact(self) -> None:
-        """Drop cancelled entries and rebuild the heap in one pass.
+        """Drop cancelled entries from all tiers in one pass.
 
-        Mutates the list in place: ``run()`` holds an alias to the queue, and
-        a cancellation from inside a dispatched action must not strand the
-        running drain on a stale list.
+        The fast lane is filtered in place: ``run()`` drains it with
+        ``popleft``, so a cancellation from inside a dispatched action must
+        not strand the running drain on a stale deque.
         """
-        self._queue[:] = [entry for entry in self._queue if not entry.cancelled]
-        heapq.heapify(self._queue)
+        # All three tiers are mutated in place: the run() drain holds local
+        # aliases to them, and a cancellation from inside a dispatched action
+        # must not strand the running drain on stale containers.
+        lane = self._lane
+        if lane:
+            live = [entry for entry in lane if not entry.cancelled]
+            lane.clear()
+            lane.extend(live)
+        buckets = self._buckets
+        survivors = {}
+        for time_fs, entries in buckets.items():
+            live = [entry for entry in entries if not entry.cancelled]
+            if live:
+                survivors[time_fs] = live
+        buckets.clear()
+        buckets.update(survivors)
+        self._bucket_times[:] = buckets
+        heapq.heapify(self._bucket_times)
+        self._far[:] = [entry for entry in self._far if not entry.cancelled]
+        heapq.heapify(self._far)
+        self._entry_count = (len(lane) + len(self._far)
+                             + sum(len(entries) for entries in buckets.values()))
         self._cancelled_count = 0
+
+    def _cascade_far(self) -> None:
+        """Advance the wheel horizon and move matured overflow entries into
+        buckets.  Called only when the lane and the wheel are empty, so the
+        migrated entries (popped in (time, sequence) order) seed fresh
+        buckets in FIFO order."""
+        far = self._far
+        self._horizon = far[0].time_fs + self._WHEEL_SPAN_FS
+        buckets = self._buckets
+        bucket_times = self._bucket_times
+        horizon = self._horizon
+        while far and far[0].time_fs < horizon:
+            entry = heapq.heappop(far)
+            bucket = buckets.get(entry.time_fs)
+            if bucket is None:
+                buckets[entry.time_fs] = [entry]
+                heapq.heappush(bucket_times, entry.time_fs)
+            else:
+                bucket.append(entry)
+
+    @property
+    def _queue(self) -> List[_QueueEntry]:
+        """Flat view of every entry still in the event store (incl. lazily
+        deleted ones), for introspection and the kernel edge-case tests."""
+        entries = list(self._lane)
+        for time_fs in sorted(self._buckets):
+            entries.extend(self._buckets[time_fs])
+        entries.extend(sorted(self._far))
+        return entries
 
     def request_update(self, primitive) -> None:
         """Request that ``primitive.update()`` runs in the next update phase."""
@@ -182,58 +286,93 @@ class Simulator:
         is pending at all.
         """
         limit_fs = None if until is None else SimTime.coerce(until).femtoseconds
-        if limit_fs is not None and not self._queue and not self._update_requests:
+        if (limit_fs is not None and not self._entry_count
+                and not self._update_requests):
             raise DeadlockError("nothing is scheduled; simulation cannot advance")
         self._running = True
-        queue = self._queue
-        heappop = heapq.heappop
+        # The drain below is the hottest loop of the whole stack, so the
+        # three tiers (and a few bound methods) are aliased into locals.
+        # _compact() and _cascade_far() mutate the containers in place, which
+        # keeps these aliases valid across compactions mid-drain.
+        lane = self._lane
+        lane_popleft = lane.popleft
+        buckets = self._buckets
+        bucket_times = self._bucket_times
+        failures = self._failures
         process_class = Process
+        heappop = heapq.heappop
+        dispatched = 0
         try:
-            while queue or self._update_requests:
-                if queue:
-                    next_time = queue[0].time_fs
+            while self._entry_count or self._update_requests:
+                # Earliest pending timestamp across the three tiers (the fast
+                # lane is only non-empty here when a previous run() aborted
+                # mid-drain with an exception).
+                if lane:
+                    next_time = self._lane_time
                 else:
-                    next_time = self._now_fs
+                    next_time = None
+                    while bucket_times:
+                        time_fs = bucket_times[0]
+                        if time_fs in buckets:
+                            next_time = time_fs
+                            break
+                        heappop(bucket_times)  # stale: bucket already drained
+                    if next_time is None:
+                        if self._far:
+                            self._cascade_far()
+                            next_time = bucket_times[0]
+                        else:
+                            next_time = self._now_fs  # update requests only
                 if limit_fs is not None and next_time > limit_fs:
                     self._now_fs = limit_fs
                     break
                 self._now_fs = next_time
+                # Pull the wheel bucket for this timestamp into the fast
+                # lane; delta entries pushed during the drain join it there.
+                bucket = buckets.pop(next_time, None)
+                if bucket is not None:
+                    lane.extend(bucket)
+                self._lane_time = next_time
                 # Evaluate phase: drain the slot of activations at the current
-                # timestamp in FIFO order.  Dispatching may push new delta
-                # entries at the same timestamp; they join the same drain.
-                # The dispatch counter is accumulated locally and folded back
-                # in the finally block so that an exception escaping an action
-                # does not lose the batch.
+                # timestamp in FIFO order.  The dispatch counter accumulates
+                # in a local and is folded back in the finally block so that
+                # an exception escaping an action does not lose the batch.
+                while lane:
+                    entry = lane_popleft()
+                    self._entry_count -= 1
+                    if entry.cancelled:
+                        self._cancelled_count -= 1
+                        continue
+                    self._pending_count -= 1
+                    dispatched += 1
+                    action = entry.action
+                    value = entry.value
+                    # Mark the entry consumed so a late cancel() (e.g. a
+                    # timeout-vs-event race) is a no-op instead of corrupting
+                    # the counters of an entry no longer in the store.
+                    entry.cancelled = True
+                    if action.__class__ is process_class:
+                        action.resume(value)
+                    elif isinstance(action, process_class):
+                        action.resume(value)
+                    else:
+                        action()
+                    if failures:
+                        self._raise_pending_failure()
+                self._lane_time = -1
+                # Fold the slot's dispatch count back per timestamp so that
+                # instrumentation reading the counter mid-run sees progress;
+                # the finally below only covers an exception mid-slot.
+                self.dispatched_activations += dispatched
                 dispatched = 0
-                try:
-                    while queue and queue[0].time_fs == next_time:
-                        entry = heappop(queue)
-                        if entry.cancelled:
-                            self._cancelled_count -= 1
-                            continue
-                        self._pending_count -= 1
-                        dispatched += 1
-                        action = entry.action
-                        value = entry.value
-                        # Mark the entry consumed so a late cancel() (e.g. a
-                        # timeout-vs-event race) is a no-op instead of
-                        # corrupting the counters of an entry no longer in
-                        # the heap.
-                        entry.cancelled = True
-                        if isinstance(action, process_class):
-                            action.resume(value)
-                        else:
-                            action()
-                        if self._failures:
-                            self._raise_pending_failure()
-                finally:
-                    self.dispatched_activations += dispatched
                 # Update phase (may schedule new delta activations at now).
                 if self._update_requests:
                     self._run_update_phase()
-                    if self._failures:
+                    if failures:
                         self._raise_pending_failure()
         finally:
+            self.dispatched_activations += dispatched
+            self._lane_time = self._lane_time if lane else -1
             self._running = False
         return self.now
 
@@ -246,7 +385,7 @@ class Simulator:
 
     @property
     def pending_activations(self) -> int:
-        """Number of not-yet-dispatched entries in the event queue (O(1))."""
+        """Number of not-yet-dispatched entries in the event store (O(1))."""
         return self._pending_count
 
     def __repr__(self):

@@ -5,19 +5,26 @@ from the transaction stream, which is exactly the simulation-based evaluation
 of schedules the paper advocates.  The tracer is deliberately generic: any
 channel can record the begin/end of a transaction together with free-form
 attributes.
+
+Storage is *columnar*: one flat list per field, with timestamps kept as
+plain integer femtoseconds.  The channel hot paths append scalars through
+:meth:`TransactionTracer.record_fs` without building any per-transaction
+object; :class:`TransactionRecord` views (with :class:`SimTime` endpoints)
+are materialized lazily when a query or test asks for them.  Interval
+queries (busy time, utilization) run directly over the integer columns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.kernel.simtime import SimTime
 
 
 @dataclass
 class TransactionRecord:
-    """A completed transaction on some channel."""
+    """A completed transaction on some channel (materialized view)."""
 
     channel: str
     kind: str
@@ -37,69 +44,166 @@ class TransactionRecord:
         return self.start < end and self.end > start
 
 
+def _merged_busy_fs(intervals: List[Tuple[int, int]]) -> int:
+    """Total covered length of possibly-overlapping ``(start, end)`` pairs."""
+    busy = 0
+    current_start = current_end = None
+    for start, end in sorted(intervals):
+        if current_end is None or start > current_end:
+            if current_end is not None:
+                busy += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            if end > current_end:
+                current_end = end
+    if current_end is not None:
+        busy += current_end - current_start
+    return busy
+
+
 class TransactionTracer:
-    """Collects :class:`TransactionRecord` objects during a simulation."""
+    """Collects transaction data during a simulation (columnar storage)."""
+
+    __slots__ = ("enabled", "_channels", "_kinds", "_starts_fs", "_ends_fs",
+                 "_initiators", "_addresses", "_data_bits", "_attributes")
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
-        self.records: List[TransactionRecord] = []
+        self._channels: List[str] = []
+        self._kinds: List[str] = []
+        self._starts_fs: List[int] = []
+        self._ends_fs: List[int] = []
+        self._initiators: List[str] = []
+        self._addresses: List[Optional[int]] = []
+        self._data_bits: List[int] = []
+        self._attributes: List[Optional[Dict[str, object]]] = []
+
+    # -- recording ----------------------------------------------------------
+    def record_fs(self, channel: str, kind: str, start_fs: int, end_fs: int,
+                  initiator: str = "", address: Optional[int] = None,
+                  data_bits: int = 0,
+                  attributes: Optional[Dict[str, object]] = None) -> None:
+        """Append one transaction from integer-femtosecond endpoints.
+
+        This is the channel hot path: callers are expected to have checked
+        :attr:`enabled` already (so a disabled tracer costs a single flag
+        check at the call site), but the method stays safe to call either
+        way.
+        """
+        if not self.enabled:
+            return
+        self._channels.append(channel)
+        self._kinds.append(kind)
+        self._starts_fs.append(start_fs)
+        self._ends_fs.append(end_fs)
+        self._initiators.append(initiator)
+        self._addresses.append(address)
+        self._data_bits.append(data_bits)
+        self._attributes.append(attributes)
 
     def record(self, record: TransactionRecord) -> None:
+        """Append a pre-built :class:`TransactionRecord` (compatibility API)."""
         if self.enabled:
-            self.records.append(record)
+            self.record_fs(
+                record.channel, record.kind,
+                record.start.femtoseconds, record.end.femtoseconds,
+                initiator=record.initiator, address=record.address,
+                data_bits=record.data_bits, attributes=record.attributes,
+            )
 
     def clear(self) -> None:
-        self.records.clear()
+        for column in (self._channels, self._kinds, self._starts_fs,
+                       self._ends_fs, self._initiators, self._addresses,
+                       self._data_bits, self._attributes):
+            column.clear()
+
+    # -- materialization ----------------------------------------------------
+    def _materialize(self, index: int) -> TransactionRecord:
+        attributes = self._attributes[index]
+        return TransactionRecord(
+            channel=self._channels[index], kind=self._kinds[index],
+            start=SimTime(self._starts_fs[index]),
+            end=SimTime(self._ends_fs[index]),
+            initiator=self._initiators[index],
+            address=self._addresses[index],
+            data_bits=self._data_bits[index],
+            attributes=attributes if attributes is not None else {},
+        )
+
+    @property
+    def records(self) -> List[TransactionRecord]:
+        """All transactions as lazily materialized records."""
+        return [self._materialize(index) for index in range(len(self._channels))]
+
+    def _channel_indices(self, channel: str) -> List[int]:
+        return [index for index, name in enumerate(self._channels)
+                if name == channel]
 
     # -- queries ------------------------------------------------------------
     def for_channel(self, channel: str) -> List[TransactionRecord]:
-        return [r for r in self.records if r.channel == channel]
+        return [self._materialize(index)
+                for index in self._channel_indices(channel)]
 
     def channels(self) -> List[str]:
-        return sorted({r.channel for r in self.records})
+        return sorted(set(self._channels))
+
+    def bounds_fs(self, channel: str) -> Optional[Tuple[int, int]]:
+        """(min start, max end) of *channel* in femtoseconds, or None."""
+        starts = self._starts_fs
+        ends = self._ends_fs
+        lo = hi = None
+        for index, name in enumerate(self._channels):
+            if name != channel:
+                continue
+            start, end = starts[index], ends[index]
+            if lo is None or start < lo:
+                lo = start
+            if hi is None or end > hi:
+                hi = end
+        if lo is None:
+            return None
+        return lo, hi
+
+    def data_bits_total(self, channel: str) -> int:
+        """Total payload bits recorded for *channel*."""
+        bits = self._data_bits
+        return sum(bits[index] for index in self._channel_indices(channel))
 
     def total_busy_time(self, channel: str) -> SimTime:
         """Total busy duration of *channel*, merging overlapping transactions."""
-        intervals = sorted(
-            ((r.start.femtoseconds, r.end.femtoseconds) for r in self.for_channel(channel))
-        )
-        busy = 0
-        current_start = current_end = None
-        for start, end in intervals:
-            if current_end is None or start > current_end:
-                if current_end is not None:
-                    busy += current_end - current_start
-                current_start, current_end = start, end
-            else:
-                current_end = max(current_end, end)
-        if current_end is not None:
-            busy += current_end - current_start
-        return SimTime(busy)
+        starts = self._starts_fs
+        ends = self._ends_fs
+        intervals = [(starts[index], ends[index])
+                     for index in self._channel_indices(channel)]
+        return SimTime(_merged_busy_fs(intervals))
+
+    def busy_fs_in_window(self, channel: str, window_start_fs: int,
+                          window_end_fs: int) -> int:
+        """Busy femtoseconds of *channel* clipped to [start, end)."""
+        if window_end_fs < window_start_fs:
+            raise ValueError("window end precedes window start")
+        starts = self._starts_fs
+        ends = self._ends_fs
+        intervals = []
+        for index, name in enumerate(self._channels):
+            if name != channel:
+                continue
+            start, end = starts[index], ends[index]
+            if start < window_end_fs and end > window_start_fs:
+                intervals.append((max(start, window_start_fs),
+                                  min(end, window_end_fs)))
+        return _merged_busy_fs(intervals)
 
     def utilization(self, channel: str, window_start: SimTime,
                     window_end: SimTime) -> float:
         """Fraction of the window during which *channel* was busy."""
-        window = window_end - window_start
-        if window.femtoseconds == 0:
+        window_start_fs = SimTime.coerce(window_start).femtoseconds
+        window_end_fs = SimTime.coerce(window_end).femtoseconds
+        window = window_end_fs - window_start_fs
+        if window == 0:
             return 0.0
-        busy = 0
-        ws, we = window_start.femtoseconds, window_end.femtoseconds
-        intervals = sorted(
-            (max(r.start.femtoseconds, ws), min(r.end.femtoseconds, we))
-            for r in self.for_channel(channel)
-            if r.overlaps(window_start, window_end)
-        )
-        current_start = current_end = None
-        for start, end in intervals:
-            if current_end is None or start > current_end:
-                if current_end is not None:
-                    busy += current_end - current_start
-                current_start, current_end = start, end
-            else:
-                current_end = max(current_end, end)
-        if current_end is not None:
-            busy += current_end - current_start
-        return busy / window.femtoseconds
+        return self.busy_fs_in_window(channel, window_start_fs,
+                                      window_end_fs) / window
 
     def utilization_profile(self, channel: str, window: SimTime,
                             start: Optional[SimTime] = None,
@@ -109,25 +213,26 @@ class TransactionTracer:
         Used to compute the *peak* TAM utilization of Table I: the peak is the
         maximum over the per-window utilizations.
         """
-        records = self.for_channel(channel)
-        if not records:
+        bounds = self.bounds_fs(channel)
+        if bounds is None:
             return []
-        if start is None:
-            start = min(r.start for r in records)
-        if end is None:
-            end = max(r.end for r in records)
-        if window.femtoseconds <= 0:
+        start_fs = bounds[0] if start is None else SimTime.coerce(start).femtoseconds
+        end_fs = bounds[1] if end is None else SimTime.coerce(end).femtoseconds
+        window_fs = window.femtoseconds
+        if window_fs <= 0:
             raise ValueError("window must be a positive duration")
         profile = []
-        cursor = start
-        while cursor < end:
-            upper = cursor + window
-            profile.append(self.utilization(channel, cursor, min(upper, end)))
-            cursor = upper
+        cursor = start_fs
+        while cursor < end_fs:
+            upper = min(cursor + window_fs, end_fs)
+            span = upper - cursor
+            busy = self.busy_fs_in_window(channel, cursor, upper)
+            profile.append(busy / span if span else 0.0)
+            cursor += window_fs
         return profile
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._channels)
 
-    def __iter__(self) -> Iterable[TransactionRecord]:
+    def __iter__(self) -> Iterator[TransactionRecord]:
         return iter(self.records)

@@ -4,10 +4,21 @@ These are the structures behind the BIST pattern sources and response
 compactors of the paper: a pseudo-random pattern generator (LFSR) feeding the
 scan chains and a multiple-input signature register (MISR) compacting the
 responses into a signature word.
+
+Both registers are linear maps over GF(2), which the module exploits for
+*leap-ahead* stepping: the feedback bit after ``i`` steps is the parity of
+``state & F_i`` for a precomputed mask ``F_i`` (``F_0`` is the tap mask and
+``F_{i+1} = (F_i >> 1) ^ (tap_mask if F_i & 1 else 0)``), and eight steps at
+a time are resolved through per-byte XOR tables.  ``next_word``/``leap``
+therefore advance 8 bits per handful of C-level table lookups instead of
+looping per bit in Python, while producing bit-identical sequences to
+repeated :meth:`LFSR.step` calls (pinned by the differential property
+tests).
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Sequence
 
 #: Primitive characteristic polynomials (tap positions, 1-based from the LSB)
@@ -21,8 +32,113 @@ STANDARD_POLYNOMIALS: Dict[int, Sequence[int]] = {
     64: (64, 63, 61, 60),
 }
 
+#: Bit-reversal table for one byte (used to fold a leapt output chunk back
+#: into the low bits of the register state).
+_REV8 = tuple(int(f"{byte:08b}"[::-1], 2) for byte in range(256))
 
-class LFSR:
+
+@functools.lru_cache(maxsize=512)
+def _feedback_masks(width: int, taps: Sequence[int], count: int) -> tuple:
+    """Masks ``F_0 .. F_{count-1}``: the feedback bit produced on step ``i``
+    (counted from the current state) is ``parity(state & F_i)``."""
+    tap_mask = 0
+    for tap in taps:
+        tap_mask |= 1 << (tap - 1)
+    masks = []
+    mask = tap_mask
+    for _ in range(count):
+        masks.append(mask)
+        mask = (mask >> 1) ^ (tap_mask if mask & 1 else 0)
+    return tuple(masks)
+
+
+@functools.lru_cache(maxsize=64)
+def _chunk_tables(width: int, taps: Sequence[int]) -> tuple:
+    """Per-byte XOR tables resolving eight steps at once.
+
+    ``tables[b][v]`` is the 8-bit output chunk (step-``i`` feedback at bit
+    ``i``) contributed by value ``v`` of state byte ``b``; the chunks of all
+    state bytes XOR together.  Only built for ``width >= 8``.
+    """
+    masks = _feedback_masks(width, taps, 8)
+    byte_count = (width + 7) // 8
+    tables = []
+    for byte_index in range(byte_count):
+        shift = 8 * byte_index
+        byte_masks = [(mask >> shift) & 0xFF for mask in masks]
+        table = []
+        for value in range(256):
+            chunk = 0
+            for bit, byte_mask in enumerate(byte_masks):
+                chunk |= ((value & byte_mask).bit_count() & 1) << bit
+            table.append(chunk)
+        tables.append(tuple(table))
+    return tuple(tables)
+
+
+class _LinearRegister:
+    """Shared leap-ahead machinery of :class:`LFSR` and :class:`MISR`.
+
+    Registers of width >= 8 advance eight steps per table lookup round;
+    narrower (custom-tap) registers fall back to mask-recurrence stepping,
+    which is still branch-free per bit but remains O(count).
+    """
+
+    width: int
+    taps: tuple
+    state: int
+    _tap_mask: int
+
+    def _advance(self, count: int) -> int:
+        """Advance the register by *count* zero-input steps; returns the
+        produced feedback bits as an integer (step ``i``'s bit at position
+        ``i``).  Bit-identical to *count* single steps."""
+        if count < 0:
+            raise ValueError("cannot leap a negative number of steps")
+        if count == 0:
+            return 0
+        width = self.width
+        state = self.state
+        mask = (1 << width) - 1
+        word = 0
+        produced = 0
+        if width >= 8:
+            tables = _chunk_tables(width, self.taps)
+            rev8 = _REV8
+            while count - produced >= 8:
+                chunk = 0
+                value = state
+                for table in tables:
+                    chunk ^= table[value & 0xFF]
+                    value >>= 8
+                word |= chunk << produced
+                state = ((state << 8) | rev8[chunk]) & mask
+                produced += 8
+        remainder = count - produced
+        if remainder:
+            # The chunk loop above leaves remainder < 8 for width >= 8;
+            # narrower registers take this path for the whole count, so the
+            # masks are generated on the fly (O(1) memory) instead of
+            # materializing an O(count) cached tuple.
+            tap_mask = self._tap_mask
+            feedback_mask = tap_mask
+            tail = 0
+            for bit in range(remainder):
+                tail |= ((state & feedback_mask).bit_count() & 1) << bit
+                feedback_mask = ((feedback_mask >> 1)
+                                 ^ (tap_mask if feedback_mask & 1 else 0))
+            word |= tail << produced
+            # Fold the produced bits into the state: after ``r`` steps the
+            # low ``r`` bits hold the outputs newest-first.
+            low = 0
+            for bit in range(min(remainder, width)):
+                low |= ((tail >> (remainder - 1 - bit)) & 1) << bit
+            state = ((state << remainder) | low) & mask
+        self.state = state
+        return word
+
+
+class LFSR(_LinearRegister):
     """A Fibonacci linear-feedback shift register."""
 
     def __init__(self, width: int, seed: int = 1,
@@ -41,29 +157,35 @@ class LFSR:
             raise ValueError("LFSR seed must be non-zero modulo 2**width")
         self.width = width
         self.taps = tuple(taps)
+        self._tap_mask = _feedback_masks(width, self.taps, 1)[0]
         self.state = seed & ((1 << width) - 1)
 
     def step(self) -> int:
         """Advance by one clock; returns the new least-significant bit."""
-        feedback = 0
-        for tap in self.taps:
-            feedback ^= (self.state >> (tap - 1)) & 1
+        feedback = (self.state & self._tap_mask).bit_count() & 1
         self.state = ((self.state << 1) | feedback) & ((1 << self.width) - 1)
         return feedback
 
+    def leap(self, steps: int) -> int:
+        """Advance by *steps* clocks at once; returns the new state.
+
+        Equivalent to calling :meth:`step` *steps* times (table-driven, so
+        large pattern counts do not loop per bit in Python).
+        """
+        self._advance(steps)
+        return self.state
+
     def next_word(self, bits: int) -> int:
         """Produce *bits* pseudo-random bits as an integer (LSB first)."""
-        word = 0
-        for position in range(bits):
-            word |= self.step() << position
-        return word
+        return self._advance(bits)
 
     def next_pattern(self, bits: int) -> List[int]:
         """Produce *bits* pseudo-random bits as a list of 0/1 values."""
-        return [self.step() for _ in range(bits)]
+        word = self._advance(bits)
+        return [(word >> position) & 1 for position in range(bits)]
 
 
-class MISR:
+class MISR(_LinearRegister):
     """A multiple-input signature register compacting response words."""
 
     def __init__(self, width: int, seed: int = 0,
@@ -78,21 +200,36 @@ class MISR:
             taps = STANDARD_POLYNOMIALS[width]
         self.width = width
         self.taps = tuple(taps)
-        self.state = seed & ((1 << width) - 1)
+        self._tap_mask = _feedback_masks(width, self.taps, 1)[0]
+        self._word_mask = (1 << width) - 1
+        self.state = seed & self._word_mask
 
     def compact(self, word: int) -> int:
         """Fold one response word into the signature; returns the new state."""
-        feedback = 0
-        for tap in self.taps:
-            feedback ^= (self.state >> (tap - 1)) & 1
-        self.state = ((self.state << 1) | feedback) & ((1 << self.width) - 1)
-        self.state ^= word & ((1 << self.width) - 1)
+        state = self.state
+        feedback = (state & self._tap_mask).bit_count() & 1
+        self.state = (((state << 1) | feedback) & self._word_mask) \
+            ^ (word & self._word_mask)
         return self.state
 
     def compact_sequence(self, words) -> int:
         """Fold a sequence of response words; returns the final signature."""
+        tap_mask = self._tap_mask
+        word_mask = self._word_mask
+        state = self.state
         for word in words:
-            self.compact(word)
+            state = (((state << 1) | ((state & tap_mask).bit_count() & 1))
+                     & word_mask) ^ (word & word_mask)
+        self.state = state
+        return state
+
+    def leap(self, steps: int) -> int:
+        """Advance by *steps* zero-input shifts at once; returns the state.
+
+        Equivalent to ``compact(0)`` called *steps* times (idle cycles
+        between response bursts no longer loop per bit in Python).
+        """
+        self._advance(steps)
         return self.state
 
     @property

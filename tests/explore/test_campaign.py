@@ -13,7 +13,10 @@ from repro.explore.campaign import (
     NONDETERMINISTIC_COLUMNS,
     RESULT_COLUMNS,
     SCHEMA_VERSION,
+    _SCENARIO_CACHE,
     campaign_from_axes,
+    cached_scenario,
+    clear_scenario_cache,
     execute_job,
 )
 from repro.explore.scenarios import (
@@ -225,6 +228,59 @@ class TestCampaignExecution:
     def test_invalid_worker_count_rejected(self, campaign):
         with pytest.raises(ValueError):
             campaign.run(workers=0)
+
+
+class TestScenarioCache:
+    def test_cache_hit_returns_the_memoized_scenario(self):
+        clear_scenario_cache()
+        spec = small_spec("cache_hit")
+        cold = cached_scenario(spec)
+        assert cached_scenario(spec) is cold
+        clear_scenario_cache()
+        assert cached_scenario(spec) is not cold
+
+    def test_cache_hit_results_equal_cold_build_results(self):
+        # The memo must be transparent: a job executed against a cached
+        # (already simulated-with) scenario produces the exact row a fresh
+        # expansion produces.
+        spec = small_spec("cache_equiv", memory_words=512)
+        jobs = [CampaignJob(spec=spec, schedule=name)
+                for name in ("sequential", "greedy")]
+        clear_scenario_cache()
+        cold_rows = []
+        for job in jobs:
+            clear_scenario_cache()  # every job expands the spec from scratch
+            cold_rows.append(execute_job(job).deterministic_row())
+        clear_scenario_cache()
+        warm_rows = [execute_job(job).deterministic_row() for job in jobs]
+        assert _SCENARIO_CACHE  # the warm pass actually used the memo
+        assert warm_rows == cold_rows
+        # Re-running against the now-populated cache stays identical, i.e.
+        # executing a schedule does not mutate the memoized scenario.
+        again = [execute_job(job).deterministic_row() for job in jobs]
+        assert again == cold_rows
+
+    def test_cache_is_bounded(self):
+        from repro.explore import campaign as campaign_module
+
+        clear_scenario_cache()
+        limit = campaign_module._SCENARIO_CACHE_MAX
+        for index in range(limit + 5):
+            cached_scenario(small_spec(f"bound_{index}", core_count=1,
+                                       patterns_per_core=1))
+        assert len(_SCENARIO_CACHE) <= limit
+
+    def test_serial_and_parallel_stay_identical_with_warm_caches(self):
+        # Serial/parallel identity must hold regardless of cache state on
+        # either side of the fork (covers batched pool submission too).
+        campaign = campaign_from_axes(
+            {"core_count": [1, 2]},
+            base=ScenarioSpec(name="base", patterns_per_core=32, seed=11),
+        )
+        clear_scenario_cache()
+        serial = campaign.run(workers=1)  # leaves the parent cache warm
+        parallel = campaign.run(workers=2, batch_size=3)
+        assert parallel.deterministic_rows() == serial.deterministic_rows()
 
 
 class TestArtifacts:

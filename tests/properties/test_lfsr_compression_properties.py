@@ -58,6 +58,58 @@ class TestLfsrPeriodicity:
         assert by_word == expected
 
 
+class TestLeapAhead:
+    @given(width=st.sampled_from(sorted(STANDARD_POLYNOMIALS)),
+           seed=st.integers(1, (1 << 16) - 1),
+           steps=st.integers(0, 400))
+    @settings(max_examples=80, deadline=None)
+    def test_leap_equals_k_single_steps(self, width, seed, steps):
+        leapt = LFSR(width, seed=seed)
+        stepped = LFSR(width, seed=seed)
+        leapt.leap(steps)
+        for _ in range(steps):
+            stepped.step()
+        assert leapt.state == stepped.state
+
+    @given(seed=st.integers(1, (1 << 13) - 1),
+           steps=st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_leap_equals_k_single_steps_for_custom_taps(self, seed, steps):
+        taps = (13, 4, 3, 1)
+        leapt = LFSR(13, seed=seed, taps=taps)
+        stepped = LFSR(13, seed=seed, taps=taps)
+        leapt.leap(steps)
+        for _ in range(steps):
+            stepped.step()
+        assert leapt.state == stepped.state
+
+    @given(seed=st.integers(1, (1 << 16) - 1),
+           split=st.integers(0, 120), total=st.integers(0, 120))
+    @settings(max_examples=40, deadline=None)
+    def test_leap_composes(self, seed, split, total):
+        # leap(a); leap(b) == leap(a + b)
+        composed = LFSR(16, seed=seed)
+        composed.leap(split)
+        composed.leap(total)
+        direct = LFSR(16, seed=seed)
+        direct.leap(split + total)
+        assert composed.state == direct.state
+
+    @given(seed=st.integers(0, (1 << 32) - 1), steps=st.integers(0, 150))
+    @settings(max_examples=40, deadline=None)
+    def test_misr_leap_equals_zero_compactions(self, seed, steps):
+        leapt = MISR(32, seed=seed)
+        stepped = MISR(32, seed=seed)
+        leapt.leap(steps)
+        for _ in range(steps):
+            stepped.compact(0)
+        assert leapt.signature == stepped.signature
+
+    def test_leap_rejects_negative_steps(self):
+        with pytest.raises(ValueError):
+            LFSR(16, seed=1).leap(-1)
+
+
 class TestCompressionRoundTrip:
     @given(expanded_bits=st.integers(1, 10**6),
            ratio=st.floats(1.0, 1000.0, allow_nan=False, allow_infinity=False))
