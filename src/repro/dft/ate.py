@@ -161,13 +161,26 @@ class AutomatedTestEquipment(Channel):
     def __init__(self, parent: Union[Simulator, Module], name: str,
                  architecture: TestArchitecture,
                  status_poll_fraction: float = 0.05,
-                 burst_patterns: int = 64):
+                 burst_patterns: int = 64,
+                 vector_memory_words: int = 0,
+                 reload_cycles: int = 25_000):
         super().__init__(parent, name)
         if not 0.0 < status_poll_fraction <= 1.0:
             raise ValueError("status_poll_fraction must be in (0, 1]")
+        if vector_memory_words < 0:
+            raise ValueError("vector_memory_words cannot be negative")
+        if reload_cycles < 0:
+            raise ValueError("reload_cycles cannot be negative")
         self.architecture = architecture
         self.status_poll_fraction = status_poll_fraction
         self.burst_patterns = burst_patterns
+        #: Stimulus vector memory behind the ATE link, in link words (one
+        #: word = one ATE-link cycle).  0 models an unlimited buffer; a
+        #: finite memory forces a workstation reload every time a test's
+        #: stimuli exhaust it, stalling the stream for :attr:`reload_cycles`.
+        self.vector_memory_words = vector_memory_words
+        self.reload_cycles = reload_cycles
+        self.vector_memory_reloads = 0
         self.programs_executed = 0
 
     # -- program execution ------------------------------------------------------------
@@ -359,11 +372,11 @@ class AutomatedTestEquipment(Channel):
             ratio = task.compression_ratio
             ate_bits = max(1, math.ceil(stimulus_bits / ratio))
             tam_bits = ate_bits + stimulus_bits
-            shift = wrapper.shift_cycles_per_pattern(compressed=True)
+            shift = wrapper.external_shift_cycles_per_pattern(compressed=True)
         else:
             ate_bits = stimulus_bits
             tam_bits = stimulus_bits
-            shift = wrapper.shift_cycles_per_pattern(compressed=False)
+            shift = wrapper.external_shift_cycles_per_pattern(compressed=False)
         if compactor is not None:
             ate_response_bits = compactor.misr.width
         else:
@@ -375,21 +388,52 @@ class AutomatedTestEquipment(Channel):
             tam_bits_per_pattern=tam_bits,
             shift_cycles_per_pattern=shift,
         )
-        start_fs = self.sim.now_fs
-        stats = yield from architecture.ebi.stream_patterns(
-            initiator=f"{self.name}.{task.name}",
-            address=architecture.address_of(task.core),
-            patterns=task.pattern_count,
-            timing=timing,
-            wrapper=wrapper,
-            decompressor=decompressor,
-            compactor=compactor,
-            burst_patterns=self.burst_patterns,
-        )
-        # Once-per-task (cold) path: record_fs itself handles the disabled
-        # case, and calling it unconditionally keeps its interval validation.
-        architecture.activity_log.record_fs(
-            task.core, task.kind.value, start_fs, self.sim.now_fs, task.power)
+        # A finite ATE vector memory holds only so many stimulus words; the
+        # stream stalls for a workstation reload whenever a test's stimuli
+        # exhaust the buffer.  0 = unlimited (classic behaviour).
+        capacity_patterns = task.pattern_count
+        if self.vector_memory_words:
+            link = architecture.ate_link
+            words_per_pattern = max(1, link.transfer_cycles(ate_bits))
+            capacity_patterns = max(
+                1, self.vector_memory_words // words_per_pattern)
+        clock = architecture.tam.clock
+        stats = None
+        remaining = task.pattern_count
+        reloads = 0
+        while remaining > 0:
+            chunk = min(remaining, capacity_patterns)
+            if stats is not None:
+                # Not the first chunk: the vector memory must be refilled
+                # before streaming resumes.
+                yield Timeout(clock.cycles(self.reload_cycles))
+                reloads += 1
+                self.vector_memory_reloads += 1
+            chunk_start_fs = self.sim.now_fs
+            chunk_stats = yield from architecture.ebi.stream_patterns(
+                initiator=f"{self.name}.{task.name}",
+                address=architecture.address_of(task.core),
+                patterns=chunk,
+                timing=timing,
+                wrapper=wrapper,
+                decompressor=decompressor,
+                compactor=compactor,
+                burst_patterns=self.burst_patterns,
+            )
+            # One activity interval per streamed chunk (cold path; record_fs
+            # handles the disabled case itself): the core draws test power
+            # only while patterns actually stream — a reload stall leaves it
+            # idle, so stalls must not inflate the power metrics.
+            architecture.activity_log.record_fs(
+                task.core, task.kind.value, chunk_start_fs, self.sim.now_fs,
+                task.power)
+            if stats is None:
+                stats = chunk_stats
+            else:
+                for key, value in chunk_stats.items():
+                    stats[key] += value
+            remaining -= chunk
+        stats["vector_memory_reloads"] = reloads
         return {
             "patterns_applied": stats["patterns"],
             "signature": compactor.signature if compactor is not None else wrapper.signature,

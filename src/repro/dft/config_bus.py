@@ -9,6 +9,7 @@ because it matters when schedules switch test modes frequently.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.kernel.channel import Channel
@@ -46,15 +47,27 @@ class ConfigurableRegister:
         return f"ConfigurableRegister({self.name!r}, width={self.width_bits}, value={self.value:#x})"
 
 
+#: Default capture/update protocol cycles per configuration, paid once per
+#: shift regardless of the ring's serial width.
+DEFAULT_PROTOCOL_OVERHEAD_CYCLES = 4
+
+
 class ConfigurationScanBus(Channel):
     """Serial configuration scan ring connecting all configurable registers."""
 
     def __init__(self, parent: Union[Simulator, Module], name: str, clock: Clock,
-                 protocol_overhead_cycles: int = 4,
-                 tracer: Optional[TransactionTracer] = None):
+                 protocol_overhead_cycles: int = DEFAULT_PROTOCOL_OVERHEAD_CYCLES,
+                 tracer: Optional[TransactionTracer] = None,
+                 serial_width_bits: int = 1):
         super().__init__(parent, name)
+        if serial_width_bits < 1:
+            raise ValueError("serial width must be at least one bit")
         self.clock = clock
         self.protocol_overhead_cycles = protocol_overhead_cycles
+        #: Bits shifted through the ring per cycle (wrapper serial port
+        #: width).  The classic IEEE 1500 WSI/WSO ring is 1 bit wide; wider
+        #: serial ports shift a full configuration proportionally faster.
+        self.serial_width_bits = serial_width_bits
         self.tracer = tracer if tracer is not None else TransactionTracer()
         self._registers: Dict[str, ConfigurableRegister] = {}
         self._order: List[str] = []
@@ -90,7 +103,8 @@ class ConfigurationScanBus(Channel):
     # -- timed configuration --------------------------------------------------
     def configuration_cycles(self) -> int:
         """Cycles to shift one full configuration through the ring."""
-        return self.ring_length_bits + self.protocol_overhead_cycles
+        shift_cycles = math.ceil(self.ring_length_bits / self.serial_width_bits)
+        return shift_cycles + self.protocol_overhead_cycles
 
     def configure(self, target_name: str, value: int, initiator: str = ""):
         """Shift a new value into *target_name* (blocking; ``yield from``).

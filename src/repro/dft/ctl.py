@@ -83,6 +83,27 @@ class CoreTestDescription:
             chain_length = self.scan_config.max_chain_length
         return chain_length + capture_cycles
 
+    def external_shift_cycles_per_pattern(self, lanes: int = 0,
+                                          capture_cycles: int = 1) -> int:
+        """Shift + capture cycles per externally applied pattern when the
+        wrapper parallel port feeds at most *lanes* scan chains concurrently
+        (0: one lane per chain, the unconstrained case).
+
+        Lanes concatenate *whole* chains, so a narrower port multiplies the
+        shift length by the number of chains the fullest lane carries —
+        ``ceil(chain_count / lanes)`` chains of up to ``max_chain_length``
+        cells each.  Coarse but monotone: narrowing the port never shortens
+        the test, and widths beyond the chain count change nothing.  The
+        single source of truth for this model; both the wrapper TLM and the
+        coarse estimator call it.
+        """
+        if lanes <= 0 or lanes >= self.chain_count:
+            return self.shift_cycles_per_pattern(
+                compressed=False, capture_cycles=capture_cycles)
+        chains_per_lane = math.ceil(self.chain_count / lanes)
+        return (chains_per_lane * self.scan_config.max_chain_length
+                + capture_cycles)
+
     def bist_cycles(self, pattern_count: int, capture_cycles: int = 1) -> int:
         """Cycles for *pattern_count* BIST patterns applied by an on-core LFSR."""
         if not self.has_logic_bist:
@@ -123,12 +144,13 @@ class CoreTestDescription:
 
 def generate_wrapper(parent, description: CoreTestDescription, core=None,
                      config_bus=None, wir_width: int = 8,
-                     tracer=None):
+                     tracer=None, parallel_width_bits: int = 0):
     """Automatically generate a test wrapper TLM from a CTL description.
 
     Mirrors the paper's statement that a wrapper TLM can be generated from the
     CTL (IEEE 1450.6) description of a core.  The returned wrapper is already
-    registered on *config_bus* when one is given.
+    registered on *config_bus* when one is given.  *parallel_width_bits*
+    bounds the wrapper parallel port (0: one lane per scan chain).
     """
     from repro.dft.wrapper import TestWrapper
 
@@ -139,6 +161,7 @@ def generate_wrapper(parent, description: CoreTestDescription, core=None,
         core=core,
         wir_width=wir_width,
         tracer=tracer,
+        parallel_width_bits=parallel_width_bits,
     )
     if config_bus is not None:
         config_bus.register(wrapper.wir_register)

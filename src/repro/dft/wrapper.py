@@ -78,10 +78,18 @@ class TestWrapper(Channel):
                  description: CoreTestDescription, core=None,
                  wir_width: int = 8,
                  tracer: Optional[TransactionTracer] = None,
-                 misr_width: int = 32):
+                 misr_width: int = 32,
+                 parallel_width_bits: int = 0):
         super().__init__(parent, name)
+        if parallel_width_bits < 0:
+            raise ValueError("parallel port width cannot be negative")
         self.description = description
         self.core = core
+        #: Width of the wrapper parallel port (WPI/WPO) towards the TAM in
+        #: bits; 0 means one lane per scan chain (unconstrained, the IEEE 1500
+        #: maximum-parallelism assumption the model used before the port
+        #: became configurable).
+        self.parallel_width_bits = parallel_width_bits
         self.tracer = tracer
         self.wir = WrapperInstructionRegister(wir_width)
         #: Register placed on the configuration scan bus; updating it loads
@@ -118,6 +126,36 @@ class TestWrapper(Channel):
     def shift_cycles_per_pattern(self, compressed: bool = False) -> int:
         """Scan shift + capture cycles for one pattern in the current setup."""
         return self.description.shift_cycles_per_pattern(compressed=compressed)
+
+    @property
+    def scan_lanes(self) -> int:
+        """Scan chains the parallel port can feed concurrently.  Feeds the
+        shift-time computation below, so the property and the timing it
+        describes cannot drift apart."""
+        chains = self.description.chain_count
+        if self.parallel_width_bits <= 0:
+            return chains
+        return min(chains, self.parallel_width_bits)
+
+    def external_shift_cycles_per_pattern(self, compressed: bool = False,
+                                          capture_cycles: int = 1) -> int:
+        """Shift + capture cycles per externally applied pattern.
+
+        Unlike BIST (which shifts through the core-internal chains and never
+        touches the wrapper ports), external test feeds the scan chains
+        through the wrapper parallel port; a port narrower than the chain
+        count concatenates whole chains per lane and stretches the shift
+        accordingly (see
+        :meth:`~repro.dft.ctl.CoreTestDescription.external_shift_cycles_per_pattern`).
+        Compressed test is unaffected: the port only carries the (small)
+        compressed volume and the decompressor drives the internal chains
+        directly.
+        """
+        if compressed and self.description.internal_chain_count:
+            return self.description.shift_cycles_per_pattern(
+                compressed=True, capture_cycles=capture_cycles)
+        return self.description.external_shift_cycles_per_pattern(
+            lanes=self.scan_lanes, capture_cycles=capture_cycles)
 
     def stimulus_bits_per_pattern(self) -> int:
         return self.description.stimulus_bits_per_pattern()

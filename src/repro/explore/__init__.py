@@ -7,22 +7,51 @@
   and the cross-product generator behind exploration campaigns
 * :mod:`repro.explore.campaign` -- the campaign engine: scenarios x schedules
   on a worker pool with structured CSV/JSON result artifacts
+* :mod:`repro.explore.adaptive` -- adaptive search on top of the campaign
+  engine: successive halving over budgets with Pareto-front pruning
 * :mod:`repro.explore.sweeps` -- design-space sweeps (compression ratio, TAM
   width, schedule exploration), expressed as thin campaign definitions
 * :mod:`repro.explore.report` -- plain-text table formatting
+* :mod:`repro.explore.cli` -- the ``python -m repro.explore`` entry point
+
+Artifact compatibility: campaign rows follow
+:data:`~repro.explore.campaign.RESULT_COLUMNS` and are versioned by
+:data:`~repro.explore.campaign.SCHEMA_VERSION` (currently 2); adaptive
+artifacts append the provenance columns of :mod:`repro.explore.adaptive`,
+versioned by :data:`~repro.explore.adaptive.ADAPTIVE_SCHEMA_VERSION`.
+Consumers should key on these version fields, not on column positions.
 """
 
+from repro.explore.adaptive import (
+    ADAPTIVE_SCHEMA_VERSION,
+    DEFAULT_OBJECTIVES,
+    AdaptiveResult,
+    AdaptiveRound,
+    AdaptiveSearch,
+    Objective,
+    ParetoFront,
+    adaptive_search_from_axes,
+    dominates,
+    pareto_ranks,
+)
 from repro.explore.campaign import (
     Campaign,
     CampaignJob,
     CampaignOutcome,
     CampaignRun,
     RESULT_COLUMNS,
+    SCHEMA_VERSION,
     campaign_from_axes,
     execute_job,
+    run_jobs,
 )
 from repro.explore.experiments import ScenarioResult, run_table1
-from repro.explore.report import format_campaign, format_table, format_table1
+from repro.explore.report import (
+    format_adaptive,
+    format_campaign,
+    format_table,
+    format_table1,
+)
 from repro.explore.scenarios import (
     Scenario,
     ScenarioGrid,
@@ -37,23 +66,36 @@ from repro.explore.sweeps import (
 )
 
 __all__ = [
+    "ADAPTIVE_SCHEMA_VERSION",
+    "AdaptiveResult",
+    "AdaptiveRound",
+    "AdaptiveSearch",
     "Campaign",
     "CampaignJob",
     "CampaignOutcome",
     "CampaignRun",
+    "DEFAULT_OBJECTIVES",
+    "Objective",
+    "ParetoFront",
     "RESULT_COLUMNS",
+    "SCHEMA_VERSION",
     "Scenario",
     "ScenarioGrid",
     "ScenarioResult",
     "ScenarioSpec",
     "SpeedupResult",
+    "adaptive_search_from_axes",
     "build_scenario",
     "campaign_from_axes",
     "compression_ratio_sweep",
+    "dominates",
     "execute_job",
+    "format_adaptive",
     "format_campaign",
     "format_table",
     "format_table1",
+    "pareto_ranks",
+    "run_jobs",
     "run_speed_comparison",
     "run_table1",
     "schedule_exploration",

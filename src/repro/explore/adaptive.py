@@ -1,0 +1,486 @@
+"""Adaptive exploration: Pareto fronts + successive halving over scenarios.
+
+PR 1's campaign engine explores the design space exhaustively: every
+scenario × schedule pair is simulated at full pattern volume.  This module
+turns that sweeper into a *search engine* that drives the same worker pool
+(:func:`repro.explore.campaign.run_jobs` → ``_execute_job_batch``) in rounds:
+
+* **Successive halving** — every candidate pair is first evaluated on a cheap
+  *budget* (the external-scan pattern volume scaled down to a fraction of the
+  spec's ``patterns_per_core``), only the most promising ``1/eta`` of the
+  field advances, and survivors are re-run at an ``eta``-times larger budget
+  until a final full-fidelity round.  The cheap rounds are faithful proxies
+  because scenario expansion is independent of the pattern volume: the same
+  cores, tasks and schedules are simulated, just with fewer patterns.
+* **Pareto-front tracking** — candidates are compared on a configurable
+  objective vector (default: minimize ``test_length_cycles`` *and*
+  ``peak_power``, the paper's central trade-off).  Between rounds, dominated
+  pairs are ranked behind the front and pruned first; the final round's
+  non-dominated outcomes are the search result (:attr:`AdaptiveResult.front`).
+
+Result-schema versioning: adaptive artifacts reuse the campaign row schema
+(:data:`repro.explore.campaign.RESULT_COLUMNS`, versioned by
+``schema_version`` = :data:`repro.explore.campaign.SCHEMA_VERSION`) and append
+the per-round provenance columns :data:`PROVENANCE_COLUMNS`, versioned
+independently as ``adaptive_schema_version`` =
+:data:`ADAPTIVE_SCHEMA_VERSION`.  Bump the adaptive version whenever the
+provenance columns or the JSON document layout change; bump the campaign
+version when the underlying row schema changes.
+
+Artifacts default to *deterministic* rows (the timing/placement columns
+``cpu_seconds``/``worker`` and the run's wall-clock are dropped), so the same
+seed produces bitwise-identical CSV/JSON files — the property the adaptive
+determinism test pins down.  Pass ``deterministic=False`` to keep timings.
+
+Budget scaling only thins ``generated`` scenarios; ``jpeg``-kind specs carry
+their pattern volumes in the fixed test plan, so they run at full cost in
+every round (the search still prunes them on the observed objectives).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.explore.campaign import (
+    NONDETERMINISTIC_COLUMNS,
+    RESULT_COLUMNS,
+    SCHEMA_VERSION,
+    CampaignJob,
+    CampaignOutcome,
+    CampaignRun,
+    run_jobs,
+)
+from repro.explore.scenarios import ScenarioGrid, ScenarioSpec
+
+#: Version of the adaptive provenance schema (see the module docstring).
+ADAPTIVE_SCHEMA_VERSION = 1
+
+#: Per-round provenance columns appended to the campaign row schema.
+PROVENANCE_COLUMNS = ("round", "budget", "survivor")
+
+#: Result columns that hold labels, not numbers — unusable as objectives.
+_NON_NUMERIC_COLUMNS = ("scenario", "kind", "schedule")
+
+
+# -- objectives and dominance ---------------------------------------------------
+@dataclass(frozen=True)
+class Objective:
+    """One search objective: a result-row column and an optimization sense."""
+
+    column: str
+    maximize: bool = False
+
+    def __post_init__(self):
+        if self.column not in RESULT_COLUMNS:
+            raise ValueError(
+                f"unknown objective column {self.column!r}; "
+                f"must be one of the campaign result columns"
+            )
+        if self.column in NONDETERMINISTIC_COLUMNS:
+            raise ValueError(
+                f"objective column {self.column!r} is nondeterministic "
+                f"(timing/placement); searching on it would break the "
+                f"bitwise-reproducible artifact guarantee"
+            )
+        if self.column in _NON_NUMERIC_COLUMNS:
+            raise ValueError(
+                f"objective column {self.column!r} holds labels, not "
+                f"numbers; it cannot be minimized or maximized"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.column}:{'max' if self.maximize else 'min'}"
+
+
+#: The paper's central trade-off: test application time vs. peak power.
+DEFAULT_OBJECTIVES = (Objective("test_length_cycles"), Objective("peak_power"))
+
+
+def parse_objective(text: str) -> Objective:
+    """Parse ``"column"`` / ``"column:min"`` / ``"column:max"`` (CLI syntax)."""
+    column, _, sense = text.partition(":")
+    sense = sense or "min"
+    if sense not in ("min", "max"):
+        raise ValueError(f"objective sense must be 'min' or 'max', got {sense!r}")
+    return Objective(column=column, maximize=(sense == "max"))
+
+
+def objective_vector(outcome: CampaignOutcome,
+                     objectives: Sequence[Objective]) -> Tuple[float, ...]:
+    """The outcome's objective values in canonical minimizing form."""
+    row = outcome.as_row()
+    return tuple(
+        -float(row[o.column]) if o.maximize else float(row[o.column])
+        for o in objectives
+    )
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Pareto dominance on minimizing vectors: ``a`` at least as good in all
+    objectives and strictly better in at least one.  Equal vectors do not
+    dominate each other (ties survive together)."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+class ParetoFront:
+    """Incrementally maintained set of mutually non-dominated points.
+
+    Points are arbitrary payloads judged by their minimizing objective
+    vectors.  :meth:`add` keeps the front minimal: a newly dominated point is
+    rejected, a newly dominating point evicts everything it dominates.
+    Duplicate vectors coexist on the front (neither dominates the other).
+    """
+
+    def __init__(self, objectives: Sequence[Objective] = DEFAULT_OBJECTIVES):
+        self.objectives = tuple(objectives)
+        if not self.objectives:
+            raise ValueError("at least one objective is required")
+        self._points: List[Tuple[Tuple[float, ...], object]] = []
+
+    def add(self, payload: object,
+            vector: Optional[Sequence[float]] = None) -> bool:
+        """Offer a point; returns True when it joins the front."""
+        if vector is None:
+            vector = objective_vector(payload, self.objectives)
+        vector = tuple(float(v) for v in vector)
+        if len(vector) != len(self.objectives):
+            raise ValueError("vector length does not match the objectives")
+        for existing, _ in self._points:
+            if dominates(existing, vector):
+                return False
+        self._points = [(v, p) for v, p in self._points
+                        if not dominates(vector, v)]
+        self._points.append((vector, payload))
+        return True
+
+    def extend(self, payloads: Iterable[object]) -> None:
+        for payload in payloads:
+            self.add(payload)
+
+    @property
+    def vectors(self) -> List[Tuple[float, ...]]:
+        return [vector for vector, _ in self._points]
+
+    @property
+    def points(self) -> List[object]:
+        return [payload for _, payload in self._points]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __repr__(self):
+        return (f"ParetoFront({len(self._points)} points, "
+                f"objectives=[{', '.join(map(str, self.objectives))}])")
+
+
+def pareto_ranks(vectors: Sequence[Sequence[float]]) -> List[int]:
+    """Non-dominated sorting: rank 0 is the front, rank 1 the front of the
+    rest, and so on.  O(n² · rounds); fine for round-sized candidate sets."""
+    vectors = [tuple(v) for v in vectors]
+    ranks = [-1] * len(vectors)
+    remaining = set(range(len(vectors)))
+    rank = 0
+    while remaining:
+        front = [i for i in remaining
+                 if not any(dominates(vectors[j], vectors[i])
+                            for j in remaining if j != i)]
+        if not front:  # pragma: no cover - defensive (cannot happen)
+            front = sorted(remaining)
+        for i in front:
+            ranks[i] = rank
+        remaining.difference_update(front)
+        rank += 1
+    return ranks
+
+
+def _normalized_scores(vectors: Sequence[Tuple[float, ...]]) -> List[float]:
+    """Scalarized tie-break: sum of min-max-normalized objective values."""
+    if not vectors:
+        return []
+    dims = len(vectors[0])
+    lows = [min(v[d] for v in vectors) for d in range(dims)]
+    highs = [max(v[d] for v in vectors) for d in range(dims)]
+    scores = []
+    for vector in vectors:
+        score = 0.0
+        for d in range(dims):
+            span = highs[d] - lows[d]
+            if span > 0:
+                score += (vector[d] - lows[d]) / span
+        scores.append(score)
+    return scores
+
+
+# -- the search ------------------------------------------------------------------
+#: One search candidate: (scenario name, schedule name).
+CandidateKey = Tuple[str, str]
+
+
+@dataclass
+class AdaptiveRound:
+    """Provenance of one successive-halving round."""
+
+    index: int
+    budget: float
+    run: CampaignRun
+    #: Candidate keys that advanced out of this round (for the final round:
+    #: the keys of the Pareto front).
+    survivors: List[CandidateKey] = field(default_factory=list)
+    #: Jobs actually simulated this round.  Budget quantization can make a
+    #: job identical to one from an earlier round (``max(1, round(...))``
+    #: maps nearby budgets to the same pattern count); such jobs reuse the
+    #: earlier outcome — determinism makes the reuse exact — and do not
+    #: count as simulated again.
+    simulated_jobs: int = 0
+
+    @property
+    def job_count(self) -> int:
+        """Result rows of this round (simulated + reused)."""
+        return len(self.run.outcomes)
+
+
+@dataclass
+class AdaptiveResult:
+    """The collected outcome of one adaptive search."""
+
+    objectives: Tuple[Objective, ...]
+    eta: float
+    min_budget: float
+    rounds: List[AdaptiveRound]
+    #: Non-dominated outcomes of the final full-fidelity round.
+    front: List[CampaignOutcome]
+    #: Candidate count of the equivalent exhaustive full-fidelity grid.
+    exhaustive_jobs: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def total_jobs(self) -> int:
+        """Jobs actually simulated (rows reused across rounds not counted)."""
+        return sum(r.simulated_jobs for r in self.rounds)
+
+    @property
+    def full_fidelity_jobs(self) -> int:
+        """Jobs simulated at budget 1.0 (what halving is meant to minimize)."""
+        return sum(r.simulated_jobs for r in self.rounds if r.budget >= 1.0)
+
+    def survivor_specs(self) -> List[ScenarioSpec]:
+        """Full-budget specs of the final front, schedules narrowed to the
+        surviving ones — feed these into a new :class:`AdaptiveSearch` (to
+        extend the search around the front) or into a plain
+        :class:`~repro.explore.campaign.Campaign` (to re-measure it)."""
+        schedules_by_name: Dict[str, List[str]] = {}
+        specs_by_name: Dict[str, ScenarioSpec] = {}
+        for outcome in self.front:
+            name = outcome.spec.name
+            specs_by_name[name] = outcome.spec
+            schedules_by_name.setdefault(name, []).append(outcome.schedule)
+        return [replace(spec, schedules=tuple(schedules_by_name[name]))
+                for name, spec in specs_by_name.items()]
+
+    # -- artifacts ---------------------------------------------------------
+    def rows(self, deterministic: bool = True) -> List[Dict[str, object]]:
+        """Every round's result rows plus the provenance columns."""
+        rows = []
+        for round_ in self.rounds:
+            survivors = set(round_.survivors)
+            for outcome in round_.run.outcomes:
+                row = (outcome.deterministic_row() if deterministic
+                       else outcome.as_row())
+                row["round"] = round_.index
+                row["budget"] = round_.budget
+                row["survivor"] = (outcome.spec.name, outcome.schedule) in survivors
+                rows.append(row)
+        return rows
+
+    def columns(self, deterministic: bool = True) -> List[str]:
+        columns = [c for c in RESULT_COLUMNS
+                   if not deterministic or c not in NONDETERMINISTIC_COLUMNS]
+        return columns + list(PROVENANCE_COLUMNS)
+
+    def write_csv(self, path, deterministic: bool = True) -> None:
+        """Write all rounds as CSV (campaign schema + provenance columns)."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(
+                handle, fieldnames=self.columns(deterministic))
+            writer.writeheader()
+            writer.writerows(self.rows(deterministic))
+
+    def write_json(self, path, deterministic: bool = True) -> None:
+        """Write a versioned JSON artifact with rows, rounds and the front."""
+        with open(path, "w") as handle:
+            json.dump(self.as_document(deterministic), handle, indent=2,
+                      sort_keys=False)
+            handle.write("\n")
+
+    def as_document(self, deterministic: bool = True) -> Dict[str, object]:
+        document = {
+            "schema_version": SCHEMA_VERSION,
+            "adaptive_schema_version": ADAPTIVE_SCHEMA_VERSION,
+            "objectives": [str(o) for o in self.objectives],
+            "eta": self.eta,
+            "min_budget": self.min_budget,
+            "budgets": [r.budget for r in self.rounds],
+            "exhaustive_jobs": self.exhaustive_jobs,
+            "total_jobs": self.total_jobs,
+            "full_fidelity_jobs": self.full_fidelity_jobs,
+            "columns": self.columns(deterministic),
+            "rows": self.rows(deterministic),
+            "front": [
+                {"scenario": outcome.spec.name, "schedule": outcome.schedule,
+                 **{o.column: outcome.as_row()[o.column]
+                    for o in self.objectives}}
+                for outcome in self.front
+            ],
+        }
+        if not deterministic:
+            # Placement/timing metadata varies run to run, exactly like the
+            # cpu_seconds/worker row columns it accompanies.
+            document["workers"] = self.workers
+            document["wall_seconds"] = self.wall_seconds
+        return document
+
+
+class AdaptiveSearch:
+    """Successive halving with Pareto pruning over scenario × schedule pairs.
+
+    ``specs`` (or a :class:`~repro.explore.scenarios.ScenarioGrid`) define the
+    candidate scenarios; ``schedules`` overrides the per-spec schedule
+    selection exactly like :class:`~repro.explore.campaign.Campaign`.  The
+    budget ladder runs ``min_budget, min_budget·eta, ... , 1.0``; each round
+    evaluates the surviving pairs at its budget through
+    :func:`~repro.explore.campaign.run_jobs` (``workers=N`` fans out to the
+    pool) and keeps the best ``1/eta`` in Pareto-rank order — dominated pairs
+    are pruned first, ties inside the cutting rank are broken by a normalized
+    objective sum and then by name, so selection is fully deterministic.
+    """
+
+    def __init__(self, specs: Union[ScenarioGrid, Iterable[ScenarioSpec]],
+                 schedules: Optional[Sequence[str]] = None,
+                 objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+                 eta: float = 2.0, min_budget: float = 0.25):
+        if isinstance(specs, ScenarioGrid):
+            specs = specs.specs()
+        self.specs: List[ScenarioSpec] = list(specs)
+        self.schedules = tuple(schedules) if schedules is not None else None
+        self.objectives = tuple(objectives)
+        if not self.specs:
+            raise ValueError("an adaptive search needs at least one scenario")
+        if not self.objectives:
+            raise ValueError("at least one objective is required")
+        if eta <= 1.0:
+            raise ValueError("eta must be > 1")
+        if not 0.0 < min_budget <= 1.0:
+            raise ValueError("min_budget must be in (0, 1]")
+        self.eta = float(eta)
+        self.min_budget = float(min_budget)
+        names = [spec.name for spec in self.specs]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ValueError(f"duplicate scenario names in search: {duplicates}")
+
+    # -- schedule of budgets ------------------------------------------------
+    def budgets(self) -> List[float]:
+        """The ascending budget ladder ``min_budget, min_budget·eta, ...``,
+        capped at (and always ending with) the full-fidelity round."""
+        ladder = []
+        budget = self.min_budget
+        while budget < 1.0 - 1e-12:
+            ladder.append(budget)
+            budget *= self.eta
+        ladder.append(1.0)
+        return ladder
+
+    def candidates(self) -> List[Tuple[ScenarioSpec, str]]:
+        """The initial candidate pairs, spec-major (cache-friendly order)."""
+        return [(spec, schedule)
+                for spec in self.specs
+                for schedule in (self.schedules or spec.schedules)]
+
+    @staticmethod
+    def budgeted_spec(spec: ScenarioSpec, budget: float) -> ScenarioSpec:
+        """*spec* thinned to *budget*: the external-scan pattern volume (and
+        with it the derived BIST volume) scales down; everything structural —
+        cores, tasks, schedules, seeds — is untouched."""
+        if budget >= 1.0:
+            return spec
+        patterns = max(1, round(spec.patterns_per_core * budget))
+        return replace(spec, patterns_per_core=patterns)
+
+    # -- selection ----------------------------------------------------------
+    def _select(self, outcomes: List[CampaignOutcome],
+                keep: int) -> List[CandidateKey]:
+        vectors = [objective_vector(o, self.objectives) for o in outcomes]
+        ranks = pareto_ranks(vectors)
+        scores = _normalized_scores(vectors)
+        order = sorted(
+            range(len(outcomes)),
+            key=lambda i: (ranks[i], scores[i],
+                           outcomes[i].spec.name, outcomes[i].schedule),
+        )
+        return [(outcomes[i].spec.name, outcomes[i].schedule)
+                for i in order[:keep]]
+
+    # -- execution ----------------------------------------------------------
+    def run(self, workers: int = 1, mp_context: Optional[str] = None,
+            batch_size: Optional[int] = None) -> AdaptiveResult:
+        """Run the search to completion and return the collected result."""
+        candidates = self.candidates()
+        exhaustive_jobs = len(candidates)
+        budgets = self.budgets()
+        rounds: List[AdaptiveRound] = []
+        front = ParetoFront(self.objectives)
+        # Budget quantization (max(1, round(patterns * b))) can map nearby
+        # budgets to identical budgeted specs; evaluated jobs are memoized so
+        # such repeats reuse the (deterministic) earlier outcome for free.
+        evaluated: Dict[CampaignJob, CampaignOutcome] = {}
+        wall_start = time.perf_counter()
+        for index, budget in enumerate(budgets):
+            jobs = [CampaignJob(spec=self.budgeted_spec(spec, budget),
+                                schedule=schedule)
+                    for spec, schedule in candidates]
+            new_jobs = [job for job in jobs if job not in evaluated]
+            if new_jobs:
+                new_run = run_jobs(new_jobs, workers=workers,
+                                   mp_context=mp_context,
+                                   batch_size=batch_size)
+                evaluated.update(zip(new_jobs, new_run.outcomes))
+                wall_seconds = new_run.wall_seconds
+            else:
+                wall_seconds = 0.0
+            run = CampaignRun(outcomes=[evaluated[job] for job in jobs],
+                              workers=workers, wall_seconds=wall_seconds)
+            final = index == len(budgets) - 1
+            if final:
+                front.extend(run.outcomes)
+                survivors = [(o.spec.name, o.schedule) for o in front.points]
+            else:
+                keep = max(1, math.ceil(len(candidates) / self.eta))
+                survivors = self._select(run.outcomes, keep)
+                surviving = set(survivors)
+                candidates = [(spec, schedule) for spec, schedule in candidates
+                              if (spec.name, schedule) in surviving]
+            rounds.append(AdaptiveRound(index=index, budget=budget, run=run,
+                                        survivors=list(survivors),
+                                        simulated_jobs=len(new_jobs)))
+        wall_seconds = time.perf_counter() - wall_start
+        return AdaptiveResult(
+            objectives=self.objectives, eta=self.eta,
+            min_budget=self.min_budget, rounds=rounds,
+            front=list(front.points), exhaustive_jobs=exhaustive_jobs,
+            workers=workers, wall_seconds=wall_seconds,
+        )
+
+
+def adaptive_search_from_axes(axes, base: Optional[ScenarioSpec] = None,
+                              schedules: Optional[Sequence[str]] = None,
+                              name_prefix: str = "scenario",
+                              **kwargs) -> AdaptiveSearch:
+    """Convenience constructor: grid axes straight to a runnable search."""
+    grid = ScenarioGrid(axes, base=base, name_prefix=name_prefix)
+    return AdaptiveSearch(grid, schedules=schedules, **kwargs)

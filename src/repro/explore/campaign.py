@@ -9,6 +9,15 @@ to a serial run — the property the result-equality tests pin down.
 
 The result schema (:data:`RESULT_COLUMNS`) is stable and versioned; campaigns
 can be persisted as CSV or JSON artifacts for downstream analysis.
+
+Result-schema versioning: :data:`SCHEMA_VERSION` is written into every JSON
+artifact (``schema_version``) and must be bumped whenever :data:`RESULT_COLUMNS`
+changes — column additions included, because CSV consumers key on the exact
+header.  History: v1 — the original campaign schema (PR 1); v2 — the scenario
+grammar grew ``wrapper_parallel_width_bits``, ``wrapper_serial_width_bits``
+and ``ate_vector_memory_words`` columns (adaptive-exploration PR).  The
+adaptive layer (:mod:`repro.explore.adaptive`) appends provenance columns to
+this schema and versions them separately.
 """
 
 from __future__ import annotations
@@ -25,8 +34,9 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 from repro.explore.scenarios import Scenario, ScenarioGrid, ScenarioSpec, build_scenario
 from repro.soc.system import TestRunMetrics
 
-#: Version of the result-row schema written to artifacts.
-SCHEMA_VERSION = 1
+#: Version of the result-row schema written to artifacts (see the module
+#: docstring for the version history).
+SCHEMA_VERSION = 2
 
 #: Stable column order of one campaign result row.
 RESULT_COLUMNS = (
@@ -40,6 +50,9 @@ RESULT_COLUMNS = (
     "power_budget",
     "patterns_per_core",
     "memory_words",
+    "wrapper_parallel_width_bits",
+    "wrapper_serial_width_bits",
+    "ate_vector_memory_words",
     "schedule",
     "phase_count",
     "task_count",
@@ -200,6 +213,48 @@ def _execute_job_batch(jobs: Sequence[CampaignJob]) -> List[CampaignOutcome]:
     return [execute_job(job) for job in jobs]
 
 
+def run_jobs(jobs: Sequence[CampaignJob], workers: int = 1,
+             mp_context: Optional[str] = None,
+             batch_size: Optional[int] = None) -> CampaignRun:
+    """Execute an explicit job list and collect the outcomes.
+
+    The execution engine behind :meth:`Campaign.run` and behind each round of
+    :class:`repro.explore.adaptive.AdaptiveSearch`.  ``workers=1`` runs
+    in-process; ``workers>1`` fans batches of consecutive jobs
+    (:func:`_execute_job_batch`) out to a ``multiprocessing`` pool of the
+    given start method, so per-job pickling/IPC is amortized and jobs sharing
+    a scenario land on the worker whose scenario memo serves them.  Job
+    order — and therefore result order — is identical for serial and parallel
+    execution regardless of batching.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    jobs = list(jobs)
+    wall_start = time.perf_counter()
+    if workers == 1:
+        outcomes = [execute_job(job) for job in jobs]
+    else:
+        if batch_size is None:
+            # Small enough to keep every worker busy (several batches per
+            # worker), large enough to amortize pickling and keep
+            # same-scenario jobs together.
+            batch_size = max(1, min(32, len(jobs) // (workers * 4) or 1))
+        batches = [jobs[index:index + batch_size]
+                   for index in range(0, len(jobs), batch_size)]
+        context = multiprocessing.get_context(mp_context)
+        with context.Pool(processes=workers) as pool:
+            # chunksize stays 1: batches are already the IPC unit, and
+            # grouping them further would starve workers on small grids.
+            outcome_batches = pool.map(_execute_job_batch, batches,
+                                       chunksize=1)
+        outcomes = [outcome for batch in outcome_batches for outcome in batch]
+    wall_seconds = time.perf_counter() - wall_start
+    return CampaignRun(outcomes=outcomes, workers=workers,
+                       wall_seconds=wall_seconds)
+
+
 @dataclass
 class CampaignRun:
     """The collected outcomes of one campaign execution."""
@@ -290,35 +345,11 @@ class Campaign:
         pickling/IPC overhead is amortized and jobs sharing a scenario land
         on the same worker, where the scenario memo serves them.  Job order —
         and therefore result order — is identical for serial and parallel
-        execution regardless of batching.
+        execution regardless of batching.  (Thin wrapper over
+        :func:`run_jobs`.)
         """
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        if batch_size is not None and batch_size < 1:
-            raise ValueError("batch_size must be >= 1")
-        jobs = self.jobs()
-        wall_start = time.perf_counter()
-        if workers == 1:
-            outcomes = [execute_job(job) for job in jobs]
-        else:
-            if batch_size is None:
-                # Small enough to keep every worker busy (several batches
-                # per worker), large enough to amortize pickling and keep
-                # same-scenario jobs together.
-                batch_size = max(1, min(32, len(jobs) // (workers * 4) or 1))
-            batches = [jobs[index:index + batch_size]
-                       for index in range(0, len(jobs), batch_size)]
-            context = multiprocessing.get_context(mp_context)
-            with context.Pool(processes=workers) as pool:
-                # chunksize stays 1: batches are already the IPC unit, and
-                # grouping them further would starve workers on small grids.
-                outcome_batches = pool.map(_execute_job_batch, batches,
-                                           chunksize=1)
-            outcomes = [outcome for batch in outcome_batches
-                        for outcome in batch]
-        wall_seconds = time.perf_counter() - wall_start
-        return CampaignRun(outcomes=outcomes, workers=workers,
-                           wall_seconds=wall_seconds)
+        return run_jobs(self.jobs(), workers=workers, mp_context=mp_context,
+                        batch_size=batch_size)
 
 
 def campaign_from_axes(axes: Mapping[str, Sequence],

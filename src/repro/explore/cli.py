@@ -7,7 +7,14 @@ Usage::
     python -m repro.explore sweep-compression # compression-ratio sweep
     python -m repro.explore sweep-tam-width   # TAM-width sweep
     python -m repro.explore schedules         # schedule exploration
-    python -m repro.explore campaign          # parallel scenario campaign
+    python -m repro.explore campaign          # exhaustive scenario campaign
+    python -m repro.explore adaptive          # Pareto + successive halving
+
+``campaign`` and ``adaptive`` write the versioned CSV/JSON artifacts
+(``--csv`` / ``--json``) described in :mod:`repro.explore.campaign`
+(``schema_version``) and :mod:`repro.explore.adaptive`
+(``adaptive_schema_version``); the tables printed to stdout are condensed
+views and carry no schema guarantee.
 """
 
 from __future__ import annotations
@@ -16,9 +23,19 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.explore.adaptive import (
+    DEFAULT_OBJECTIVES,
+    adaptive_search_from_axes,
+    parse_objective,
+)
 from repro.explore.campaign import campaign_from_axes
 from repro.explore.experiments import run_table1
-from repro.explore.report import format_campaign, format_table, format_table1
+from repro.explore.report import (
+    format_adaptive,
+    format_campaign,
+    format_table,
+    format_table1,
+)
 from repro.explore.scenarios import ScenarioSpec
 from repro.explore.speedup import run_speed_comparison
 from repro.explore.sweeps import (
@@ -73,21 +90,40 @@ def _run_schedules(args) -> None:
                               "simulated_mcycles", "peak_power"]))
 
 
-def _run_campaign(args) -> None:
-    base = ScenarioSpec(
+def _scenario_base(args) -> ScenarioSpec:
+    return ScenarioSpec(
         name="base",
         patterns_per_core=args.patterns,
         memory_words=args.memory_words,
         seed=args.seed,
         schedules=tuple(args.schedules),
     )
+
+
+def _scenario_axes(args) -> dict:
     axes = {
         "core_count": [int(v) for v in args.core_counts],
         "tam_width_bits": [int(v) for v in args.tam_widths],
         "compression_ratio": [float(v) for v in args.compression_ratios],
         "power_budget": [float(v) for v in args.power_budgets],
     }
-    campaign = campaign_from_axes(axes, base=base)
+    # Grid seeds are derived from the full axis assignment, so the newer
+    # axes join the grid only when actually swept — a command that leaves
+    # them at their defaults reproduces the exact scenarios (and numbers)
+    # of the pre-extension CLI.
+    for axis, values, default in (
+        ("wrapper_parallel_width_bits", args.wrapper_parallel_widths, [0]),
+        ("wrapper_serial_width_bits", args.wrapper_serial_widths, [1]),
+        ("ate_vector_memory_words", args.ate_memory_words, [0]),
+    ):
+        values = [int(v) for v in values]
+        if values != default:
+            axes[axis] = values
+    return axes
+
+
+def _run_campaign(args) -> None:
+    campaign = campaign_from_axes(_scenario_axes(args), base=_scenario_base(args))
     run = campaign.run(workers=args.workers)
     print(format_campaign(run))
     if args.csv:
@@ -96,6 +132,37 @@ def _run_campaign(args) -> None:
     if args.json:
         run.write_json(args.json)
         print(f"wrote {args.json}")
+
+
+def _run_adaptive(args) -> None:
+    objectives = (tuple(args.objectives) if args.objectives
+                  else DEFAULT_OBJECTIVES)
+    search = adaptive_search_from_axes(
+        _scenario_axes(args), base=_scenario_base(args),
+        objectives=objectives, eta=args.eta, min_budget=args.min_budget)
+    result = search.run(workers=args.workers)
+    print(format_adaptive(result))
+    deterministic = not args.timing
+    if args.csv:
+        result.write_csv(args.csv, deterministic=deterministic)
+        print(f"wrote {args.csv}")
+    if args.json:
+        result.write_json(args.json, deterministic=deterministic)
+        print(f"wrote {args.json}")
+
+
+def _eta_value(text: str) -> float:
+    value = float(text)
+    if value <= 1.0:
+        raise argparse.ArgumentTypeError("eta must be > 1")
+    return value
+
+
+def _budget_fraction(text: str) -> float:
+    value = float(text)
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError("min-budget must be in (0, 1]")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -134,37 +201,71 @@ def build_parser() -> argparse.ArgumentParser:
     schedules.add_argument("--power-budget", type=float, default=6.0)
     schedules.set_defaults(handler=_run_schedules)
 
+    def add_scenario_space_arguments(subparser) -> None:
+        """Axes and base-spec flags shared by ``campaign`` and ``adaptive``."""
+        subparser.add_argument("--core-counts", nargs="*", type=int,
+                               default=[1, 2, 3],
+                               help="synthetic core counts to sweep")
+        subparser.add_argument("--tam-widths", nargs="*", type=int,
+                               default=[16, 32],
+                               help="TAM / system bus widths (bits) to sweep")
+        subparser.add_argument("--compression-ratios", nargs="*", type=float,
+                               default=[50.0],
+                               help="test data compression ratios to sweep")
+        subparser.add_argument("--power-budgets", nargs="*", type=float,
+                               default=[6.0],
+                               help="peak power budgets for the greedy scheduler")
+        subparser.add_argument("--wrapper-parallel-widths", nargs="*", type=int,
+                               default=[0],
+                               help="wrapper parallel-port widths in bits to "
+                                    "sweep (0: one lane per scan chain)")
+        subparser.add_argument("--wrapper-serial-widths", nargs="*", type=int,
+                               default=[1],
+                               help="wrapper serial-port / configuration-ring "
+                                    "widths in bits to sweep")
+        subparser.add_argument("--ate-memory-words", nargs="*", type=int,
+                               default=[0],
+                               help="ATE vector-memory limits in link words "
+                                    "to sweep (0: unlimited)")
+        subparser.add_argument("--patterns", type=int, default=200,
+                               help="external-scan patterns per core")
+        subparser.add_argument("--memory-words", type=int, default=0,
+                               help="embedded memory words (0: no memory test)")
+        subparser.add_argument("--seed", type=int, default=1,
+                               help="base seed of the scenario generator")
+        subparser.add_argument("--schedules", nargs="*",
+                               default=["sequential", "greedy"],
+                               help="schedules simulated for every scenario")
+        subparser.add_argument("--workers", type=int, default=1,
+                               help="worker processes (1: run in-process)")
+        subparser.add_argument("--csv", default=None,
+                               help="write result rows to this CSV file")
+        subparser.add_argument("--json", default=None,
+                               help="write a JSON artifact to this file")
+
     campaign = subparsers.add_parser(
         "campaign",
-        help="parallel exploration campaign over generated SoC scenarios")
-    campaign.add_argument("--core-counts", nargs="*", type=int,
-                          default=[1, 2, 3],
-                          help="synthetic core counts to sweep")
-    campaign.add_argument("--tam-widths", nargs="*", type=int,
-                          default=[16, 32],
-                          help="TAM / system bus widths (bits) to sweep")
-    campaign.add_argument("--compression-ratios", nargs="*", type=float,
-                          default=[50.0],
-                          help="test data compression ratios to sweep")
-    campaign.add_argument("--power-budgets", nargs="*", type=float,
-                          default=[6.0],
-                          help="peak power budgets for the greedy scheduler")
-    campaign.add_argument("--patterns", type=int, default=200,
-                          help="external-scan patterns per core")
-    campaign.add_argument("--memory-words", type=int, default=0,
-                          help="embedded memory words (0: no memory test)")
-    campaign.add_argument("--seed", type=int, default=1,
-                          help="base seed of the scenario generator")
-    campaign.add_argument("--schedules", nargs="*",
-                          default=["sequential", "greedy"],
-                          help="schedules simulated for every scenario")
-    campaign.add_argument("--workers", type=int, default=1,
-                          help="worker processes (1: run in-process)")
-    campaign.add_argument("--csv", default=None,
-                          help="write result rows to this CSV file")
-    campaign.add_argument("--json", default=None,
-                          help="write a JSON artifact to this file")
+        help="exhaustive exploration campaign over generated SoC scenarios")
+    add_scenario_space_arguments(campaign)
     campaign.set_defaults(handler=_run_campaign)
+
+    adaptive = subparsers.add_parser(
+        "adaptive",
+        help="adaptive exploration: successive halving + Pareto pruning")
+    add_scenario_space_arguments(adaptive)
+    adaptive.add_argument("--eta", type=_eta_value, default=2.0,
+                          help="halving rate: keep 1/eta of the candidates "
+                               "per round, grow the budget by eta")
+    adaptive.add_argument("--min-budget", type=_budget_fraction, default=0.25,
+                          help="pattern-volume fraction of the cheapest round")
+    adaptive.add_argument("--objectives", nargs="+", default=None,
+                          type=parse_objective,
+                          help="objectives as column[:min|:max] "
+                               "(default: test_length_cycles peak_power)")
+    adaptive.add_argument("--timing", action="store_true",
+                          help="keep the nondeterministic timing columns "
+                               "(cpu_seconds, worker) in the artifacts")
+    adaptive.set_defaults(handler=_run_adaptive)
     return parser
 
 

@@ -1,4 +1,12 @@
-"""Plain-text reporting of experiment results."""
+"""Plain-text reporting of experiment results.
+
+Formatting only — nothing here touches the persisted artifact schemas.  The
+CSV/JSON artifacts follow :data:`repro.explore.campaign.RESULT_COLUMNS`
+(versioned by ``schema_version``) plus, for adaptive runs, the provenance
+columns of :mod:`repro.explore.adaptive` (``adaptive_schema_version``); the
+tables rendered here are condensed, human-oriented views of those rows and
+may change freely without a version bump.
+"""
 
 from __future__ import annotations
 
@@ -91,6 +99,44 @@ def format_campaign(run) -> str:
               f"({run.scenarios_per_second:.1f} rows/s, "
               f"{run.workers} worker{'s' if run.workers != 1 else ''})")
     return f"{table}\n\n{footer}"
+
+
+def format_adaptive(result) -> str:
+    """Summarize an :class:`~repro.explore.adaptive.AdaptiveResult`.
+
+    One line per round (budget, jobs, survivors) followed by the final Pareto
+    front rendered as a table over the search objectives.
+    """
+    round_rows = []
+    for round_ in result.rounds:
+        round_rows.append({
+            "round": round_.index,
+            "budget": f"{round_.budget:g}",
+            "jobs": round_.job_count,
+            "survivors": len(round_.survivors),
+            "wall_s": f"{round_.run.wall_seconds:.2f}",
+        })
+    rounds_table = format_table(
+        round_rows, ["round", "budget", "jobs", "survivors", "wall_s"])
+
+    front_rows = []
+    for outcome in result.front:
+        row = {"scenario": outcome.spec.name, "schedule": outcome.schedule}
+        full = outcome.as_row()
+        for objective in result.objectives:
+            row[str(objective)] = full[objective.column]
+        front_rows.append(row)
+    front_columns = ["scenario", "schedule"] + [str(o) for o in result.objectives]
+    front_table = format_table(front_rows, front_columns)
+
+    footer = (f"{result.total_jobs} jobs total, "
+              f"{result.full_fidelity_jobs} at full fidelity "
+              f"(exhaustive grid: {result.exhaustive_jobs}), "
+              f"front size {len(result.front)}, "
+              f"{result.wall_seconds:.2f} s with {result.workers} "
+              f"worker{'s' if result.workers != 1 else ''}")
+    return (f"rounds:\n{rounds_table}\n\n"
+            f"Pareto front:\n{front_table}\n\n{footer}")
 
 
 def _percent(value) -> str:

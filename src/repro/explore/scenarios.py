@@ -7,9 +7,13 @@ exploration* should scale to arbitrarily many SoC variants.  This module is
 the scenario grammar for that:
 
 * :class:`ScenarioSpec` — one point in the design space: core count, TAM/ATE
-  widths, compression ratio, power budget, pattern volume, seed.  Specs are
+  widths, compression ratio, power budget, pattern volume, wrapper
+  serial/parallel port widths, ATE vector-memory limit, seed.  Specs are
   frozen, hashable and picklable, so a campaign can ship them to worker
-  processes.
+  processes.  Every non-structural spec field is one column of the campaign
+  result schema (:data:`repro.explore.campaign.RESULT_COLUMNS`); adding a
+  field therefore widens the schema and requires bumping
+  :data:`repro.explore.campaign.SCHEMA_VERSION`.
 * :func:`build_scenario` — expand a spec into a concrete :class:`Scenario`:
   deterministic synthetic core descriptions (seeded,
   :class:`~repro.rtl.generate.SyntheticCoreSpec`-style), test tasks, and
@@ -24,11 +28,13 @@ the scenario grammar for that:
 from __future__ import annotations
 
 import itertools
+import math
 import random
 import zlib
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.dft.config_bus import DEFAULT_PROTOCOL_OVERHEAD_CYCLES
 from repro.dft.ctl import CoreTestDescription
 from repro.memory.march import MATS_PLUS
 from repro.rtl.generate import SyntheticCoreSpec
@@ -79,6 +85,12 @@ class ScenarioSpec:
     patterns_per_core: int = 200
     #: Words of the embedded memory core (0 disables the memory test).
     memory_words: int = 0
+    #: Wrapper parallel-port (WPI/WPO) width in bits (0: one lane per chain).
+    wrapper_parallel_width_bits: int = 0
+    #: Wrapper serial-port / configuration-ring width in bits.
+    wrapper_serial_width_bits: int = 1
+    #: ATE stimulus vector memory in link words (0: unlimited buffer).
+    ate_vector_memory_words: int = 0
     seed: int = 1
     #: Names of the schedules this scenario contributes to the campaign.
     schedules: Tuple[str, ...] = ("sequential", "greedy")
@@ -100,6 +112,12 @@ class ScenarioSpec:
             raise ValueError("patterns_per_core must be positive")
         if self.memory_words < 0:
             raise ValueError("memory_words cannot be negative")
+        if self.wrapper_parallel_width_bits < 0:
+            raise ValueError("wrapper_parallel_width_bits cannot be negative")
+        if self.wrapper_serial_width_bits < 1:
+            raise ValueError("wrapper_serial_width_bits must be >= 1")
+        if self.ate_vector_memory_words < 0:
+            raise ValueError("ate_vector_memory_words cannot be negative")
         if not self.schedules:
             raise ValueError("a scenario needs at least one schedule")
 
@@ -147,6 +165,9 @@ class Scenario:
             tam_width_bits=spec.tam_width_bits,
             ate_width_bits=spec.ate_width_bits,
             compression_ratio=spec.compression_ratio,
+            wrapper_parallel_width_bits=spec.wrapper_parallel_width_bits,
+            wrapper_serial_width_bits=spec.wrapper_serial_width_bits,
+            ate_vector_memory_words=spec.ate_vector_memory_words,
         )
         config = SocConfiguration(**parameters)
         if spec.kind == JPEG:
@@ -164,8 +185,17 @@ class Scenario:
 def scenario_platform(spec: ScenarioSpec) -> PlatformParameters:
     """Platform bandwidths seen by the coarse estimator for *spec*."""
     base = build_platform_parameters()
+    # Mirror ConfigurationScanBus: a wider serial port speeds up only the
+    # ring shift; the capture/update protocol overhead stays constant.
+    overhead = min(DEFAULT_PROTOCOL_OVERHEAD_CYCLES, base.configuration_cycles)
+    shift_cycles = base.configuration_cycles - overhead
+    configuration_cycles = (
+        math.ceil(shift_cycles / spec.wrapper_serial_width_bits) + overhead)
     return replace(base, tam_width_bits=spec.tam_width_bits,
-                   ate_width_bits=spec.ate_width_bits)
+                   ate_width_bits=spec.ate_width_bits,
+                   configuration_cycles=configuration_cycles,
+                   wrapper_parallel_width_bits=spec.wrapper_parallel_width_bits,
+                   ate_vector_memory_words=spec.ate_vector_memory_words)
 
 
 def _core_rng(spec: ScenarioSpec, index: int) -> random.Random:

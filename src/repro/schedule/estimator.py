@@ -37,6 +37,12 @@ class PlatformParameters:
     configuration_cycles: int = 64
     #: Additional per-task setup transactions (start command, result readout).
     setup_transactions: int = 4
+    #: Width of the wrapper parallel port in bits (0: one lane per chain).
+    wrapper_parallel_width_bits: int = 0
+    #: ATE stimulus vector memory in link words (0: unlimited buffer).
+    ate_vector_memory_words: int = 0
+    #: Stall cycles for one workstation reload of the ATE vector memory.
+    ate_reload_cycles: int = 25_000
 
     def cycles_to_seconds(self, cycles: float) -> float:
         return cycles / (self.clock_mhz * 1e6)
@@ -65,6 +71,23 @@ class TestTimeEstimator:
         except KeyError:
             raise KeyError(f"no memory size registered for core {task.core!r}")
 
+    def _external_shift_cycles(self, description: CoreTestDescription) -> int:
+        """Per-pattern shift cycles under the wrapper parallel-port width
+        (the description owns the lane model, so estimator and wrapper TLM
+        cannot drift apart)."""
+        return description.external_shift_cycles_per_pattern(
+            lanes=self.platform.wrapper_parallel_width_bits)
+
+    def _reload_cycles(self, pattern_count: int, ate_words_per_pattern: int) -> int:
+        """Total ATE vector-memory reload stalls of an external test."""
+        platform = self.platform
+        if not platform.ate_vector_memory_words:
+            return 0
+        capacity_patterns = max(
+            1, platform.ate_vector_memory_words // max(1, ate_words_per_pattern))
+        reloads = math.ceil(pattern_count / capacity_patterns) - 1
+        return max(0, reloads) * platform.ate_reload_cycles
+
     def estimate_task_cycles(self, task: TestTask) -> int:
         """Estimated test length of *task* in TAM clock cycles."""
         platform = self.platform
@@ -82,9 +105,10 @@ class TestTimeEstimator:
             ate_cycles = math.ceil(bits / platform.ate_width_bits)
             tam_cycles = (math.ceil(bits / platform.tam_width_bits)
                           + platform.tam_overhead_cycles)
-            shift_cycles = description.shift_cycles_per_pattern()
+            shift_cycles = self._external_shift_cycles(description)
             per_pattern = max(ate_cycles, tam_cycles, shift_cycles)
-            return task.pattern_count * per_pattern + overhead
+            reload_cycles = self._reload_cycles(task.pattern_count, ate_cycles)
+            return task.pattern_count * per_pattern + reload_cycles + overhead
 
         if task.kind is TestKind.EXTERNAL_SCAN_COMPRESSED:
             description = self._description(task)
@@ -95,9 +119,16 @@ class TestTimeEstimator:
             # decompressor is a block on the bus, see the SoC architecture).
             tam_cycles = (math.ceil((bits + compressed_bits) / platform.tam_width_bits)
                           + 2 * platform.tam_overhead_cycles)
-            shift_cycles = description.shift_cycles_per_pattern(compressed=True)
+            # Without internal chains there is no decompressor: the patterns
+            # shift through the wrapper parallel port like plain external
+            # scan (mirrors TestWrapper.external_shift_cycles_per_pattern).
+            if description.internal_chain_count:
+                shift_cycles = description.shift_cycles_per_pattern(compressed=True)
+            else:
+                shift_cycles = self._external_shift_cycles(description)
             per_pattern = max(ate_cycles, tam_cycles, shift_cycles)
-            return task.pattern_count * per_pattern + overhead
+            reload_cycles = self._reload_cycles(task.pattern_count, ate_cycles)
+            return task.pattern_count * per_pattern + reload_cycles + overhead
 
         if task.kind is TestKind.MEMORY_BIST_CONTROLLER:
             words = self._memory_size(task)

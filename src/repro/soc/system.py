@@ -72,6 +72,21 @@ class SocConfiguration:
     status_poll_fraction: float = 0.05
     jpeg_quality: int = 75
     with_validation_netlists: bool = False
+    #: Width of every wrapper's parallel port (WPI/WPO) towards the TAM in
+    #: bits.  0 keeps the historical maximum-parallelism assumption (one lane
+    #: per scan chain); a narrower port serializes lanes and stretches the
+    #: external-scan shift time.
+    wrapper_parallel_width_bits: int = 0
+    #: Width of the wrapper serial port / configuration scan ring in bits
+    #: (how many ring bits shift per cycle).  1 is the classic single-bit
+    #: WSI/WSO ring.
+    wrapper_serial_width_bits: int = 1
+    #: ATE stimulus vector memory in ATE-link words.  0 models an unlimited
+    #: buffer; a finite memory stalls external tests for
+    #: :attr:`ate_reload_cycles` whenever their stimuli exhaust it.
+    ate_vector_memory_words: int = 0
+    #: Stall cycles per workstation reload of the ATE vector memory.
+    ate_reload_cycles: int = 25_000
 
 
 @dataclass
@@ -200,9 +215,9 @@ class JpegSocTlm(SocTlmBase):
         self.descriptions = build_core_descriptions(
             with_validation_netlists=config.with_validation_netlists
         )
-        self.config_bus = ConfigurationScanBus(self.sim, "config_scan_bus",
-                                               clock=self.clock,
-                                               tracer=self.tracer)
+        self.config_bus = ConfigurationScanBus(
+            self.sim, "config_scan_bus", clock=self.clock, tracer=self.tracer,
+            serial_width_bits=config.wrapper_serial_width_bits)
         self.ate_link = AteLink(self.sim, "ate_link",
                                 width_bits=config.ate_width_bits,
                                 clock=self.clock, tracer=self.tracer)
@@ -218,6 +233,7 @@ class JpegSocTlm(SocTlmBase):
             wrapper = generate_wrapper(
                 self.sim, self.descriptions[core_name], core=core,
                 config_bus=self.config_bus, tracer=self.tracer,
+                parallel_width_bits=config.wrapper_parallel_width_bits,
             )
             self.wrappers[core_name] = wrapper
             self.bus.bind_slave(wrapper, ADDRESS_MAP[core_name], ADDRESS_WINDOW)
@@ -264,6 +280,8 @@ class JpegSocTlm(SocTlmBase):
             self.sim, "ate", architecture=self.architecture,
             status_poll_fraction=config.status_poll_fraction,
             burst_patterns=config.burst_patterns,
+            vector_memory_words=config.ate_vector_memory_words,
+            reload_cycles=config.ate_reload_cycles,
         )
 
         self._init_monitors()
@@ -350,9 +368,9 @@ class GeneratedSocTlm(SocTlmBase):
         self.bus = SystemBus(self.sim, "system_bus",
                              width_bits=config.tam_width_bits, clock=self.clock,
                              tracer=self.tracer)
-        self.config_bus = ConfigurationScanBus(self.sim, "config_scan_bus",
-                                               clock=self.clock,
-                                               tracer=self.tracer)
+        self.config_bus = ConfigurationScanBus(
+            self.sim, "config_scan_bus", clock=self.clock, tracer=self.tracer,
+            serial_width_bits=config.wrapper_serial_width_bits)
         self.ate_link = AteLink(self.sim, "ate_link",
                                 width_bits=config.ate_width_bits,
                                 clock=self.clock, tracer=self.tracer)
@@ -371,9 +389,10 @@ class GeneratedSocTlm(SocTlmBase):
 
         self.wrappers = {}
         for core_name, description in self.descriptions.items():
-            wrapper = generate_wrapper(self.sim, description, core=None,
-                                       config_bus=self.config_bus,
-                                       tracer=self.tracer)
+            wrapper = generate_wrapper(
+                self.sim, description, core=None,
+                config_bus=self.config_bus, tracer=self.tracer,
+                parallel_width_bits=config.wrapper_parallel_width_bits)
             self.wrappers[core_name] = wrapper
             allocate(core_name, wrapper)
 
@@ -431,6 +450,8 @@ class GeneratedSocTlm(SocTlmBase):
             self.sim, "ate", architecture=self.architecture,
             status_poll_fraction=config.status_poll_fraction,
             burst_patterns=config.burst_patterns,
+            vector_memory_words=config.ate_vector_memory_words,
+            reload_cycles=config.ate_reload_cycles,
         )
         self._init_monitors()
 

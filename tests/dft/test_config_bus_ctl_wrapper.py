@@ -129,6 +129,98 @@ class TestCoreTestDescription:
         assert description.notes
 
 
+class TestWrapperParallelPort:
+    def make_wrapper(self, sim, parallel_width_bits, chain_lengths=(25, 25, 25, 25)):
+        from repro.rtl.scan import ScanCell, ScanChain, ScanConfiguration
+
+        chains = [
+            ScanChain(index=i, cells=[
+                ScanCell(name=f"ff{i}_{p}", chain_index=i, position=p)
+                for p in range(length)
+            ])
+            for i, length in enumerate(chain_lengths)
+        ]
+        description = CoreTestDescription(
+            core_name="demo",
+            scan_config=ScanConfiguration(core_name="demo", chains=chains),
+        )
+        return generate_wrapper(sim, description,
+                                parallel_width_bits=parallel_width_bits)
+
+    def test_unconstrained_port_matches_description(self, sim):
+        wrapper = self.make_wrapper(sim, parallel_width_bits=0)
+        assert wrapper.scan_lanes == 4
+        assert (wrapper.external_shift_cycles_per_pattern()
+                == wrapper.description.shift_cycles_per_pattern() == 26)
+
+    def test_narrow_port_serializes_whole_chains(self, sim):
+        wrapper = self.make_wrapper(sim, parallel_width_bits=2)
+        assert wrapper.scan_lanes == 2
+        # Two whole 25-cell chains per lane: 2*25 + 1 capture.
+        assert wrapper.external_shift_cycles_per_pattern() == 51
+
+    def test_lanes_concatenate_whole_chains_not_fractions(self, sim):
+        # 4 chains on 3 lanes still puts two whole chains on one lane, so a
+        # 3-bit port is exactly as slow as a 2-bit port — ceil(100/3)+1 = 35
+        # (fractional chain splitting) would be non-physical.
+        three = self.make_wrapper(sim, parallel_width_bits=3)
+        two = self.make_wrapper(sim, parallel_width_bits=2)
+        assert (three.external_shift_cycles_per_pattern()
+                == two.external_shift_cycles_per_pattern() == 51)
+
+    def test_narrow_port_never_beats_unbalanced_chains(self, sim):
+        # Longest chain 40: the unconstrained shift is 41 cycles; any
+        # narrower port must be at least as slow.
+        wrapper = self.make_wrapper(sim, parallel_width_bits=3,
+                                    chain_lengths=(40, 20, 20, 20))
+        assert (wrapper.external_shift_cycles_per_pattern()
+                >= 41 == self.make_wrapper(
+                    sim, parallel_width_bits=0,
+                    chain_lengths=(40, 20, 20, 20),
+                ).external_shift_cycles_per_pattern())
+
+    def test_estimator_shares_the_lane_model(self, sim):
+        from repro.schedule.estimator import PlatformParameters, TestTimeEstimator
+
+        wrapper = self.make_wrapper(sim, parallel_width_bits=3)
+        estimator = TestTimeEstimator(
+            {"demo": wrapper.description},
+            PlatformParameters(wrapper_parallel_width_bits=3),
+        )
+        assert (estimator._external_shift_cycles(wrapper.description)
+                == wrapper.external_shift_cycles_per_pattern())
+
+    def test_compressed_shift_ignores_the_port(self, sim):
+        description = CoreTestDescription.describe(
+            "demo", chain_count=4, scan_cells=100, internal_chain_count=16)
+        wrapper = generate_wrapper(sim, description, parallel_width_bits=1)
+        assert (wrapper.external_shift_cycles_per_pattern(compressed=True)
+                == description.shift_cycles_per_pattern(compressed=True))
+
+    def test_compressed_without_decompressor_sees_the_port(self, sim):
+        # No internal chains -> no decompressor: a compressed task shifts
+        # like plain external scan, so the lane constraint applies and the
+        # estimator agrees with the TLM.
+        from repro.schedule.estimator import PlatformParameters, TestTimeEstimator
+        from repro.schedule.model import TestKind, TestTask
+
+        wrapper = self.make_wrapper(sim, parallel_width_bits=2)
+        assert (wrapper.external_shift_cycles_per_pattern(compressed=True)
+                == wrapper.external_shift_cycles_per_pattern(compressed=False))
+        estimator = TestTimeEstimator(
+            {"demo": wrapper.description},
+            PlatformParameters(wrapper_parallel_width_bits=2),
+        )
+        task = TestTask(name="t", kind=TestKind.EXTERNAL_SCAN_COMPRESSED,
+                        core="demo", pattern_count=8, compression_ratio=10.0)
+        # The per-pattern bound is the lane-constrained shift (51 cycles).
+        assert estimator.estimate_task_cycles(task) >= 8 * 51
+
+    def test_negative_width_rejected(self, sim):
+        with pytest.raises(ValueError):
+            self.make_wrapper(sim, parallel_width_bits=-1)
+
+
 class TestTestWrapper:
     @pytest.fixture
     def wrapper(self, sim):

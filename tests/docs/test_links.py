@@ -1,0 +1,63 @@
+"""Fast-path guard: the repo's markdown docs contain no dead relative links.
+
+Mirrors the CI ``docs`` job (``python tools/check_links.py README.md
+docs/*.md``) so a dead link fails locally before it fails the build.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import check_links  # noqa: E402
+
+
+def doc_files():
+    return [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+def test_doc_set_is_complete():
+    names = {path.name for path in doc_files()}
+    assert "README.md" in names
+    assert {"architecture.md", "adaptive.md", "exploration.md",
+            "performance.md"} <= names
+
+
+@pytest.mark.parametrize("path", doc_files(), ids=lambda p: p.name)
+def test_markdown_links_resolve(path):
+    problems = check_links.check_file(path)
+    assert not problems, "\n".join(
+        f"{p}: dead link '{target}' ({reason})" for p, target, reason in problems
+    )
+
+
+def test_inline_code_spans_are_not_link_checked(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "# Title\n\nwrite `[text](not-a-real-file.md)` to cross-link\n"
+    )
+    assert check_links.check_file(page) == []
+
+
+def test_anchors_preserve_underscores(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "# API\n\n## survivor_specs\n\n[resume](#survivor_specs)\n"
+    )
+    assert check_links.check_file(page) == []
+
+
+def test_checker_flags_dead_links(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "# Title\n\n[ok](page.md) [gone](missing.md) "
+        "[anchor](#title) [bad-anchor](#nope)\n"
+    )
+    problems = check_links.check_file(page)
+    assert {(target, reason) for _, target, reason in problems} == {
+        ("missing.md", "no such file"),
+        ("#nope", "no such heading"),
+    }

@@ -57,6 +57,78 @@ class TestScenarioSpec:
         assert row["name"] == "spec"
         assert "schedules" not in row
 
+    def test_rejects_invalid_port_and_memory_parameters(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", wrapper_parallel_width_bits=-1)
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", wrapper_serial_width_bits=0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", ate_vector_memory_words=-1)
+
+
+class TestScenarioGrammarExtensions:
+    """The port-width / ATE-memory axes move simulation and estimator alike."""
+
+    @staticmethod
+    def run_sequential(**overrides):
+        outcome = execute_job(CampaignJob(
+            spec=small_spec(**overrides), schedule="sequential"))
+        return outcome.test_length_cycles, outcome.estimated_cycles
+
+    def test_narrow_parallel_port_stretches_external_test(self):
+        base_sim, base_est = self.run_sequential()
+        narrow_sim, narrow_est = self.run_sequential(
+            wrapper_parallel_width_bits=2)
+        assert narrow_sim > base_sim
+        assert narrow_est > base_est
+
+    def test_finite_ate_vector_memory_adds_reload_stalls(self):
+        base_sim, base_est = self.run_sequential()
+        # Small enough that a 64-pattern scan test needs several reloads
+        # (seed-7 cores shift ~150 stimulus bits ≈ 9 link words per pattern).
+        finite_sim, finite_est = self.run_sequential(
+            ate_vector_memory_words=64)
+        assert finite_sim > base_sim
+        assert finite_est > base_est
+
+    def test_reload_stalls_do_not_count_as_active_power(self):
+        def peaks(**overrides):
+            outcome = execute_job(CampaignJob(
+                spec=small_spec(**overrides), schedule="sequential"))
+            return outcome.peak_power, outcome.avg_power
+
+        base_peak, base_avg = peaks()
+        finite_peak, finite_avg = peaks(ate_vector_memory_words=64)
+        # The core is idle during a workstation reload: the stall stretches
+        # the test but must not raise the peak, and the longer idle time
+        # lowers the average.
+        assert finite_peak == base_peak
+        assert finite_avg < base_avg
+
+    def test_wide_serial_port_shortens_configuration(self):
+        base_sim, base_est = self.run_sequential()
+        wide_sim, wide_est = self.run_sequential(wrapper_serial_width_bits=8)
+        assert wide_sim < base_sim
+        assert wide_est < base_est
+
+    def test_defaults_are_unconstrained(self):
+        spec = small_spec()
+        assert spec.wrapper_parallel_width_bits == 0
+        assert spec.wrapper_serial_width_bits == 1
+        assert spec.ate_vector_memory_words == 0
+
+    def test_serial_width_scales_only_the_ring_shift(self):
+        from repro.explore.scenarios import scenario_platform
+
+        base = scenario_platform(small_spec()).configuration_cycles
+        wide = scenario_platform(
+            small_spec(wrapper_serial_width_bits=64)).configuration_cycles
+        # The capture/update protocol overhead (4 cycles) is not divisible
+        # by the serial width: a 64-bit port shifts the ring in one cycle
+        # but still pays the overhead, exactly like ConfigurationScanBus.
+        assert base == 64
+        assert wide == 5
+
 
 class TestScenarioGeneration:
     def test_descriptions_are_deterministic_under_a_fixed_seed(self):

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Link-check markdown files: dead *relative* links fail the build.
+
+Usage::
+
+    python tools/check_links.py README.md docs/*.md
+
+Checks every inline markdown link ``[text](target)``:
+
+* ``http(s)://`` / ``mailto:`` targets are skipped (no network in CI);
+* ``#fragment``-only targets are checked against the headings of the same
+  file (GitHub anchor style);
+* everything else is treated as a path relative to the linking file and must
+  exist; a ``path#fragment`` target additionally checks the fragment against
+  the target file's headings.
+
+Exit status 0 when every link resolves, 1 otherwise (one line per dead link).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links; images share the syntax apart from a leading '!'.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+INLINE_CODE_RE = re.compile(r"`[^`\n]*`")
+
+
+def heading_anchors(text: str) -> set:
+    """GitHub-style anchors of every markdown heading in *text*."""
+    anchors = set()
+    for heading in HEADING_RE.findall(CODE_FENCE_RE.sub("", text)):
+        # Strip markdown emphasis/code markers but keep underscores: GitHub
+        # preserves them in anchors (e.g. '## survivor_specs' ->
+        # '#survivor_specs').
+        heading = re.sub(r"[`*]", "", heading.strip()).lower()
+        anchor = re.sub(r"[^\w\- ]", "", heading).replace(" ", "-")
+        anchors.add(anchor)
+    return anchors
+
+
+def check_file(path: Path) -> list:
+    """All dead links of one markdown file as (path, target, reason) rows."""
+    text = path.read_text(encoding="utf-8")
+    # Neither fenced blocks nor inline code spans render as links.
+    stripped = INLINE_CODE_RE.sub("", CODE_FENCE_RE.sub("", text))
+    problems = []
+    for target in LINK_RE.findall(stripped):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if not base:
+            if fragment and fragment not in heading_anchors(text):
+                problems.append((path, target, "no such heading"))
+            continue
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            problems.append((path, target, "no such file"))
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_anchors(resolved.read_text(encoding="utf-8")):
+                problems.append((path, target, "no such heading"))
+    return problems
+
+
+def main(argv) -> int:
+    paths = [Path(arg) for arg in argv] or [Path("README.md")]
+    missing = [path for path in paths if not path.is_file()]
+    if missing:
+        for path in missing:
+            print(f"error: no such markdown file: {path}", file=sys.stderr)
+        return 1
+    problems = []
+    for path in paths:
+        problems.extend(check_file(path))
+    for path, target, reason in problems:
+        print(f"{path}: dead link '{target}' ({reason})")
+    if problems:
+        print(f"{len(problems)} dead link(s) in {len(paths)} file(s)")
+        return 1
+    print(f"ok: {len(paths)} file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
