@@ -333,6 +333,68 @@ def bench_campaign(scale: float, quick: bool = False) -> dict:
     }
 
 
+def bench_distrib(scale: float) -> dict:
+    """Shard plan/serialize/merge overhead (the non-simulation cost of
+    distributing a campaign).
+
+    Uses synthetic outcomes so the numbers isolate the distribution layer:
+    planning a large job list into shards, JSON-round-tripping the shard
+    artifacts and merging them back.  Merge throughput (rows/second) is the
+    headline — it bounds how fast a coordinator can recombine a fleet's
+    results.
+    """
+    from repro.explore.campaign import CampaignJob, CampaignOutcome, CampaignRun
+    from repro.explore.distrib import (
+        ShardRun, merge_shard_documents, plan_shards,
+    )
+    from repro.explore.scenarios import ScenarioSpec
+
+    jobs = []
+    for index in range(max(64, int(4000 * scale))):
+        spec = ScenarioSpec(name=f"s{index:05d}", core_count=1 + index % 3,
+                            patterns_per_core=16 + index % 7, seed=index + 1)
+        jobs.append(CampaignJob(spec=spec, schedule="sequential"))
+    shard_count = 8
+
+    def outcome(job, salt):
+        return CampaignOutcome(
+            spec=job.spec, schedule=job.schedule, phase_count=1, task_count=2,
+            estimated_cycles=1000 + salt, test_length_cycles=5000 + salt,
+            peak_tam_utilization=0.5, avg_tam_utilization=0.25,
+            peak_power=2.0, avg_power=1.0, simulated_activations=100 + salt,
+        )
+
+    def run_plan():
+        start = time.perf_counter()
+        shards = plan_shards(jobs, shard_count)
+        return time.perf_counter() - start, shards
+
+    plan_wall, shards = _best_of(REPEATS, run_plan)
+
+    documents = []
+    for shard in shards:
+        run = CampaignRun(outcomes=[outcome(job, shard.start + i)
+                                    for i, job in enumerate(shard.jobs)])
+        documents.append(json.loads(json.dumps(
+            ShardRun(shard, run).as_document())))
+
+    def run_merge():
+        start = time.perf_counter()
+        merged = merge_shard_documents(documents)
+        return time.perf_counter() - start, merged
+
+    merge_wall, merged = _best_of(REPEATS, run_merge)
+    if merged["row_count"] != len(jobs):
+        raise AssertionError("merged row count diverged from the job list")
+    return {
+        "workload": {"jobs": len(jobs), "shards": shard_count},
+        "plan_wall_seconds": round(plan_wall, 6),
+        "plan_jobs_per_second": round(len(jobs) / plan_wall, 1),
+        "merge_wall_seconds": round(merge_wall, 6),
+        "merge_rows_per_second": round(len(jobs) / merge_wall, 1),
+    }
+
+
 # ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
@@ -342,6 +404,7 @@ BENCHMARKS = {
     "tracing": bench_tracing,
     "lfsr": bench_lfsr,
     "campaign": bench_campaign,
+    "distrib": bench_distrib,
 }
 
 #: Headline metric of each benchmark (used for the speedup summary).
@@ -350,6 +413,7 @@ HEADLINE = {
     "tracing": "enabled_appends_per_second",
     "lfsr": "word_bits_per_second",
     "campaign": "pool_rows_per_second",
+    "distrib": "merge_rows_per_second",
 }
 
 

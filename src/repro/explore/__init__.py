@@ -8,7 +8,11 @@
 * :mod:`repro.explore.campaign` -- the campaign engine: scenarios x schedules
   on a worker pool with structured CSV/JSON result artifacts
 * :mod:`repro.explore.adaptive` -- adaptive search on top of the campaign
-  engine: successive halving over budgets with Pareto-front pruning
+  engine: successive halving over budgets with Pareto-front pruning, with
+  round-boundary checkpoints and mid-search resume from JSON artifacts
+* :mod:`repro.explore.distrib` -- the distribution subsystem: deterministic
+  shard planning, per-host shard execution and provenance-validated artifact
+  merging (merged == single-host, bitwise)
 * :mod:`repro.explore.sweeps` -- design-space sweeps (compression ratio, TAM
   width, schedule exploration), expressed as thin campaign definitions
 * :mod:`repro.explore.report` -- plain-text table formatting
@@ -16,9 +20,12 @@
 
 Artifact compatibility: campaign rows follow
 :data:`~repro.explore.campaign.RESULT_COLUMNS` and are versioned by
-:data:`~repro.explore.campaign.SCHEMA_VERSION` (currently 2); adaptive
+:data:`~repro.explore.campaign.SCHEMA_VERSION` (currently 3); adaptive
 artifacts append the provenance columns of :mod:`repro.explore.adaptive`,
-versioned by :data:`~repro.explore.adaptive.ADAPTIVE_SCHEMA_VERSION`.
+versioned by :data:`~repro.explore.adaptive.ADAPTIVE_SCHEMA_VERSION`
+(currently 2, resumable checkpoints); shard artifacts embed the campaign
+schema plus a shard envelope versioned by
+:data:`~repro.explore.distrib.DISTRIB_SCHEMA_VERSION`.
 Consumers should key on these version fields, not on column positions.
 """
 
@@ -33,6 +40,7 @@ from repro.explore.adaptive import (
     adaptive_search_from_axes,
     dominates,
     pareto_ranks,
+    resume_search,
 )
 from repro.explore.campaign import (
     Campaign,
@@ -43,12 +51,30 @@ from repro.explore.campaign import (
     SCHEMA_VERSION,
     campaign_from_axes,
     execute_job,
+    outcome_from_row,
+    result_columns,
     run_jobs,
+)
+from repro.explore.distrib import (
+    DISTRIB_SCHEMA_VERSION,
+    CampaignShard,
+    MergeError,
+    ShardRun,
+    load_artifact,
+    merge_artifacts,
+    merge_shard_documents,
+    plan_shards,
+    run_shard,
+    space_fingerprint,
+    write_merged_csv,
+    write_merged_json,
 )
 from repro.explore.experiments import ScenarioResult, run_table1
 from repro.explore.report import (
     format_adaptive,
     format_campaign,
+    format_merged,
+    format_shard,
     format_table,
     format_table1,
 )
@@ -57,6 +83,8 @@ from repro.explore.scenarios import (
     ScenarioGrid,
     ScenarioSpec,
     build_scenario,
+    spec_from_dict,
+    spec_to_dict,
 )
 from repro.explore.speedup import SpeedupResult, run_speed_comparison
 from repro.explore.sweeps import (
@@ -74,7 +102,10 @@ __all__ = [
     "CampaignJob",
     "CampaignOutcome",
     "CampaignRun",
+    "CampaignShard",
     "DEFAULT_OBJECTIVES",
+    "DISTRIB_SCHEMA_VERSION",
+    "MergeError",
     "Objective",
     "ParetoFront",
     "RESULT_COLUMNS",
@@ -83,6 +114,7 @@ __all__ = [
     "ScenarioGrid",
     "ScenarioResult",
     "ScenarioSpec",
+    "ShardRun",
     "SpeedupResult",
     "adaptive_search_from_axes",
     "build_scenario",
@@ -92,12 +124,27 @@ __all__ = [
     "execute_job",
     "format_adaptive",
     "format_campaign",
+    "format_merged",
+    "format_shard",
     "format_table",
     "format_table1",
+    "load_artifact",
+    "merge_artifacts",
+    "merge_shard_documents",
+    "outcome_from_row",
     "pareto_ranks",
+    "plan_shards",
+    "result_columns",
+    "resume_search",
     "run_jobs",
+    "run_shard",
     "run_speed_comparison",
     "run_table1",
     "schedule_exploration",
+    "space_fingerprint",
+    "spec_from_dict",
+    "spec_to_dict",
     "tam_width_sweep",
+    "write_merged_csv",
+    "write_merged_json",
 ]

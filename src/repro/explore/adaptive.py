@@ -27,6 +27,18 @@ independently as ``adaptive_schema_version`` =
 provenance columns or the JSON document layout change; bump the campaign
 version when the underlying row schema changes.
 
+Version history: adaptive v1 — the original ``round/budget/survivor``
+provenance (PR 3); adaptive v2 — documents additionally carry the complete
+search definition (serialized ``specs``, ``schedules_override``, the planned
+round count) plus per-round ``round_stats`` and a ``complete`` /
+``completed_rounds`` pair, which makes every artifact a *resumable
+checkpoint*: ``AdaptiveSearch.run(max_rounds=k)`` stops at a round boundary,
+and :func:`resume_search` (CLI: ``adaptive --resume-from``) replays the
+completed rounds from the artifact — reconstructing survivors, budgets and
+the evaluated-job memo from the provenance columns instead of re-simulating —
+then continues mid-search.  A resumed run's final artifact is bitwise
+identical to the uninterrupted run's.
+
 Artifacts default to *deterministic* rows (the timing/placement columns
 ``cpu_seconds``/``worker`` and the run's wall-clock are dropped), so the same
 seed produces bitwise-identical CSV/JSON files — the property the adaptive
@@ -44,7 +56,7 @@ import json
 import math
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.explore.campaign import (
     NONDETERMINISTIC_COLUMNS,
@@ -53,12 +65,18 @@ from repro.explore.campaign import (
     CampaignJob,
     CampaignOutcome,
     CampaignRun,
+    outcome_from_row,
     run_jobs,
 )
-from repro.explore.scenarios import ScenarioGrid, ScenarioSpec
+from repro.explore.scenarios import (
+    ScenarioGrid,
+    ScenarioSpec,
+    spec_from_dict,
+    spec_to_dict,
+)
 
 #: Version of the adaptive provenance schema (see the module docstring).
-ADAPTIVE_SCHEMA_VERSION = 1
+ADAPTIVE_SCHEMA_VERSION = 2
 
 #: Per-round provenance columns appended to the campaign row schema.
 PROVENANCE_COLUMNS = ("round", "budget", "survivor")
@@ -258,6 +276,18 @@ class AdaptiveResult:
     exhaustive_jobs: int = 0
     workers: int = 1
     wall_seconds: float = 0.0
+    #: The search definition (serialized into v2 artifacts so a checkpoint
+    #: is self-contained and resumable on any host).
+    specs: List[ScenarioSpec] = field(default_factory=list)
+    schedules_override: Optional[Tuple[str, ...]] = None
+    #: Length of the full budget ladder; ``len(rounds) < planned_rounds``
+    #: (equivalently ``complete=False``) marks a round-boundary checkpoint.
+    planned_rounds: int = 0
+    complete: bool = True
+    #: Rounds replayed from a resume artifact instead of simulated.  Run
+    #: metadata only (reported, never serialized): a resumed run's final
+    #: artifact stays bitwise identical to the uninterrupted run's.
+    resumed_rounds: int = 0
 
     @property
     def total_jobs(self) -> int:
@@ -322,13 +352,26 @@ class AdaptiveResult:
         document = {
             "schema_version": SCHEMA_VERSION,
             "adaptive_schema_version": ADAPTIVE_SCHEMA_VERSION,
+            "complete": self.complete,
+            "planned_rounds": self.planned_rounds,
+            "completed_rounds": len(self.rounds),
             "objectives": [str(o) for o in self.objectives],
             "eta": self.eta,
             "min_budget": self.min_budget,
             "budgets": [r.budget for r in self.rounds],
+            "round_stats": [
+                {"index": r.index, "budget": r.budget,
+                 "simulated_jobs": r.simulated_jobs,
+                 "survivors": len(r.survivors)}
+                for r in self.rounds
+            ],
             "exhaustive_jobs": self.exhaustive_jobs,
             "total_jobs": self.total_jobs,
             "full_fidelity_jobs": self.full_fidelity_jobs,
+            "specs": [spec_to_dict(spec) for spec in self.specs],
+            "schedules_override": (list(self.schedules_override)
+                                   if self.schedules_override is not None
+                                   else None),
             "columns": self.columns(deterministic),
             "rows": self.rows(deterministic),
             "front": [
@@ -426,26 +469,108 @@ class AdaptiveSearch:
         return [(outcomes[i].spec.name, outcomes[i].schedule)
                 for i in order[:keep]]
 
+    # -- resume -------------------------------------------------------------
+    @classmethod
+    def from_document(cls, document: Mapping[str, object]) -> "AdaptiveSearch":
+        """Rebuild the search an artifact document was written by.
+
+        v2 artifacts are self-contained: they carry the serialized specs, the
+        schedule override and every search parameter.  Older artifacts (and
+        plain campaign artifacts) are rejected with a clear error.
+        """
+        _validate_resume_versions(document)
+        specs = [spec_from_dict(entry) for entry in document["specs"]]
+        schedules = document.get("schedules_override")
+        return cls(
+            specs,
+            schedules=tuple(schedules) if schedules is not None else None,
+            objectives=tuple(parse_objective(text)
+                             for text in document["objectives"]),
+            eta=float(document["eta"]),
+            min_budget=float(document["min_budget"]),
+        )
+
+    def _replayable_rounds(self, document: Mapping[str, object],
+                           budgets: Sequence[float],
+                           ) -> Dict[int, Dict[CandidateKey, Mapping]]:
+        """Validate a checkpoint document against this search and index its
+        rows as ``round -> (scenario, schedule) -> row`` for replay."""
+        _validate_resume_versions(document)
+        if document.get("complete", False):
+            raise ValueError(
+                "resume artifact is already complete; nothing to resume "
+                "(re-running the search reproduces it bit for bit)"
+            )
+        completed = int(document.get("completed_rounds", 0))
+        if completed < 1:
+            raise ValueError("resume artifact has no completed rounds")
+        doc_budgets = [float(b) for b in document.get("budgets", [])]
+        if len(doc_budgets) != completed or doc_budgets != budgets[:completed]:
+            raise ValueError(
+                f"resume artifact budget ladder {doc_budgets} does not match "
+                f"the search's ladder {budgets} — different eta/min_budget?"
+            )
+        rows = document.get("rows")
+        if not isinstance(rows, list) or \
+                not all(isinstance(row, Mapping) for row in rows):
+            raise ValueError("resume artifact rows are malformed")
+        by_round: Dict[int, Dict[CandidateKey, Mapping]] = {}
+        for row in rows:
+            key = (str(row["scenario"]), str(row["schedule"]))
+            by_round.setdefault(int(row["round"]), {})[key] = row
+        if sorted(by_round) != list(range(completed)):
+            raise ValueError(
+                f"resume artifact rows cover rounds {sorted(by_round)}, "
+                f"expected 0..{completed - 1}"
+            )
+        return by_round
+
     # -- execution ----------------------------------------------------------
     def run(self, workers: int = 1, mp_context: Optional[str] = None,
-            batch_size: Optional[int] = None) -> AdaptiveResult:
-        """Run the search to completion and return the collected result."""
+            batch_size: Optional[int] = None,
+            max_rounds: Optional[int] = None,
+            resume_from: Optional[Mapping[str, object]] = None,
+            ) -> AdaptiveResult:
+        """Run the search and return the collected result.
+
+        ``max_rounds=k`` stops after *k* rounds at a round boundary; the
+        partial result (``complete=False``, empty front) serializes to a
+        checkpoint artifact.  ``resume_from=document`` replays the completed
+        rounds recorded in such an artifact — outcomes, survivors and the
+        evaluated-job memo are reconstructed from the provenance columns, no
+        job is re-simulated — and continues with the remaining rounds.
+        Replay is validated against this search (budget ladder, candidate
+        sets, survivor selection, simulation counters), so a mismatched or
+        doctored artifact fails loudly instead of corrupting the search.
+        """
+        if max_rounds is not None and max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
         candidates = self.candidates()
         exhaustive_jobs = len(candidates)
         budgets = self.budgets()
+        replayable = (self._replayable_rounds(resume_from, budgets)
+                      if resume_from is not None else {})
+        limit = (len(budgets) if max_rounds is None
+                 else min(max_rounds, len(budgets)))
         rounds: List[AdaptiveRound] = []
         front = ParetoFront(self.objectives)
         # Budget quantization (max(1, round(patterns * b))) can map nearby
         # budgets to identical budgeted specs; evaluated jobs are memoized so
         # such repeats reuse the (deterministic) earlier outcome for free.
         evaluated: Dict[CampaignJob, CampaignOutcome] = {}
+        resumed_rounds = 0
         wall_start = time.perf_counter()
-        for index, budget in enumerate(budgets):
+        for index, budget in enumerate(budgets[:limit]):
             jobs = [CampaignJob(spec=self.budgeted_spec(spec, budget),
                                 schedule=schedule)
                     for spec, schedule in candidates]
             new_jobs = [job for job in jobs if job not in evaluated]
-            if new_jobs:
+            if index in replayable:
+                self._replay_round(index, jobs, new_jobs, replayable[index],
+                                   resume_from, evaluated)
+                resumed_rounds += 1
+                wall_seconds = 0.0
+            elif new_jobs:
                 new_run = run_jobs(new_jobs, workers=workers,
                                    mp_context=mp_context,
                                    batch_size=batch_size)
@@ -465,6 +590,14 @@ class AdaptiveSearch:
                 surviving = set(survivors)
                 candidates = [(spec, schedule) for spec, schedule in candidates
                               if (spec.name, schedule) in surviving]
+            if index in replayable:
+                recorded = {key for key, row in replayable[index].items()
+                            if row["survivor"]}
+                if recorded != set(survivors):
+                    raise ValueError(
+                        f"resume artifact survivors of round {index} do not "
+                        f"match the deterministic selection"
+                    )
             rounds.append(AdaptiveRound(index=index, budget=budget, run=run,
                                         survivors=list(survivors),
                                         simulated_jobs=len(new_jobs)))
@@ -474,7 +607,70 @@ class AdaptiveSearch:
             min_budget=self.min_budget, rounds=rounds,
             front=list(front.points), exhaustive_jobs=exhaustive_jobs,
             workers=workers, wall_seconds=wall_seconds,
+            specs=list(self.specs), schedules_override=self.schedules,
+            planned_rounds=len(budgets), complete=limit == len(budgets),
+            resumed_rounds=resumed_rounds,
         )
+
+    def _replay_round(self, index: int, jobs: Sequence[CampaignJob],
+                      new_jobs: Sequence[CampaignJob],
+                      rows_by_key: Mapping[CandidateKey, Mapping],
+                      document: Mapping[str, object],
+                      evaluated: Dict[CampaignJob, CampaignOutcome]) -> None:
+        """Load one completed round's outcomes from artifact rows."""
+        job_keys = [(job.spec.name, job.schedule) for job in jobs]
+        if set(job_keys) != set(rows_by_key):
+            raise ValueError(
+                f"resume artifact round {index} evaluated different "
+                f"candidates than this search would — was the artifact "
+                f"written by another scenario space?"
+            )
+        stats = document.get("round_stats", [])
+        if index < len(stats):
+            recorded = int(stats[index]["simulated_jobs"])
+            if recorded != len(new_jobs):
+                raise ValueError(
+                    f"resume artifact recorded {recorded} simulated job(s) "
+                    f"in round {index}, replay derives {len(new_jobs)}"
+                )
+        for job, key in zip(jobs, job_keys):
+            if job not in evaluated:
+                evaluated[job] = outcome_from_row(rows_by_key[key], job.spec)
+
+
+def _validate_resume_versions(document: Mapping[str, object]) -> None:
+    """Reject artifacts this code cannot faithfully resume from."""
+    found = document.get("schema_version")
+    if found != SCHEMA_VERSION:
+        raise ValueError(
+            f"cannot resume from an artifact with schema_version {found!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    found = document.get("adaptive_schema_version")
+    if found != ADAPTIVE_SCHEMA_VERSION:
+        raise ValueError(
+            f"cannot resume from an artifact with adaptive_schema_version "
+            f"{found!r} (expected {ADAPTIVE_SCHEMA_VERSION}; campaign "
+            f"artifacts and pre-resume adaptive artifacts are not resumable)"
+        )
+
+
+def resume_search(document: Mapping[str, object], workers: int = 1,
+                  mp_context: Optional[str] = None,
+                  batch_size: Optional[int] = None,
+                  max_rounds: Optional[int] = None) -> AdaptiveResult:
+    """Continue an interrupted adaptive run from its JSON artifact document.
+
+    Rebuilds the search from the artifact's embedded definition
+    (:meth:`AdaptiveSearch.from_document`), replays the completed rounds from
+    the provenance columns and simulates only the remaining ones.  The final
+    result — rows, survivors, front and artifact bytes — is identical to the
+    uninterrupted run's (the differential resume tests pin this down).
+    """
+    search = AdaptiveSearch.from_document(document)
+    return search.run(workers=workers, mp_context=mp_context,
+                      batch_size=batch_size, max_rounds=max_rounds,
+                      resume_from=document)
 
 
 def adaptive_search_from_axes(axes, base: Optional[ScenarioSpec] = None,

@@ -15,9 +15,13 @@ artifact (``schema_version``) and must be bumped whenever :data:`RESULT_COLUMNS`
 changes — column additions included, because CSV consumers key on the exact
 header.  History: v1 — the original campaign schema (PR 1); v2 — the scenario
 grammar grew ``wrapper_parallel_width_bits``, ``wrapper_serial_width_bits``
-and ``ate_vector_memory_words`` columns (adaptive-exploration PR).  The
-adaptive layer (:mod:`repro.explore.adaptive`) appends provenance columns to
-this schema and versions them separately.
+and ``ate_vector_memory_words`` columns (adaptive-exploration PR); v3 —
+artifacts gained a *deterministic* mode (timing/placement columns and run
+metadata dropped, so the same seed yields bitwise-identical files) which is
+the merge unit of the sharded-execution layer (:mod:`repro.explore.distrib`),
+and adaptive documents grew the resume provenance described in
+:mod:`repro.explore.adaptive`.  The adaptive layer appends provenance columns
+to this schema and versions them separately.
 """
 
 from __future__ import annotations
@@ -36,7 +40,7 @@ from repro.soc.system import TestRunMetrics
 
 #: Version of the result-row schema written to artifacts (see the module
 #: docstring for the version history).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Stable column order of one campaign result row.
 RESULT_COLUMNS = (
@@ -70,6 +74,14 @@ RESULT_COLUMNS = (
 
 #: Columns that legitimately differ between runs (timing and placement).
 NONDETERMINISTIC_COLUMNS = ("cpu_seconds", "worker")
+
+
+def result_columns(deterministic: bool = False) -> List[str]:
+    """The artifact column list; deterministic mode drops timing/placement."""
+    if deterministic:
+        return [column for column in RESULT_COLUMNS
+                if column not in NONDETERMINISTIC_COLUMNS]
+    return list(RESULT_COLUMNS)
 
 
 @dataclass(frozen=True)
@@ -142,6 +154,34 @@ class CampaignOutcome:
             cpu_seconds=self.cpu_seconds,
             simulated_activations=self.simulated_activations,
         )
+
+
+def outcome_from_row(row: Mapping[str, object],
+                     spec: ScenarioSpec) -> CampaignOutcome:
+    """Rebuild a :class:`CampaignOutcome` from an artifact row.
+
+    The inverse of :meth:`CampaignOutcome.as_row` for a caller-supplied
+    *spec* (rows drop the structural ``schedules``/``config_overrides``
+    fields, so the spec cannot be reconstructed from the row alone).  Rows
+    from deterministic artifacts lack the timing/placement columns; those
+    fall back to the neutral defaults.  Used by the adaptive resume path to
+    replay completed rounds without re-simulating them.
+    """
+    return CampaignOutcome(
+        spec=spec,
+        schedule=str(row["schedule"]),
+        phase_count=int(row["phase_count"]),
+        task_count=int(row["task_count"]),
+        estimated_cycles=int(row["estimated_cycles"]),
+        test_length_cycles=int(row["test_length_cycles"]),
+        peak_tam_utilization=float(row["peak_tam_utilization"]),
+        avg_tam_utilization=float(row["avg_tam_utilization"]),
+        peak_power=float(row["peak_power"]),
+        avg_power=float(row["avg_power"]),
+        simulated_activations=int(row["simulated_activations"]),
+        cpu_seconds=float(row.get("cpu_seconds", 0.0)),
+        worker=int(row.get("worker", 0)),
+    )
 
 
 #: Per-process memo of expanded scenarios (spec -> Scenario).  A campaign
@@ -263,7 +303,9 @@ class CampaignRun:
     workers: int = 1
     wall_seconds: float = 0.0
 
-    def rows(self) -> List[Dict[str, object]]:
+    def rows(self, deterministic: bool = False) -> List[Dict[str, object]]:
+        if deterministic:
+            return self.deterministic_rows()
         return [outcome.as_row() for outcome in self.outcomes]
 
     def deterministic_rows(self) -> List[Dict[str, object]]:
@@ -280,28 +322,40 @@ class CampaignRun:
         return len(self.outcomes) / self.wall_seconds
 
     # -- artifacts ---------------------------------------------------------
-    def write_csv(self, path) -> None:
-        """Write the result rows as CSV (header = :data:`RESULT_COLUMNS`)."""
+    def write_csv(self, path, deterministic: bool = False) -> None:
+        """Write the result rows as CSV (header = :data:`RESULT_COLUMNS`;
+        deterministic mode drops the timing/placement columns, so the same
+        seed produces bitwise-identical files)."""
         with open(path, "w", newline="") as handle:
-            writer = csv.DictWriter(handle, fieldnames=list(RESULT_COLUMNS))
+            writer = csv.DictWriter(handle,
+                                    fieldnames=result_columns(deterministic))
             writer.writeheader()
-            writer.writerows(self.rows())
+            writer.writerows(self.rows(deterministic))
 
-    def write_json(self, path) -> None:
+    def write_json(self, path, deterministic: bool = False) -> None:
         """Write a versioned JSON artifact with rows and run metadata."""
         with open(path, "w") as handle:
-            json.dump(self.as_document(), handle, indent=2, sort_keys=False)
+            json.dump(self.as_document(deterministic), handle, indent=2,
+                      sort_keys=False)
             handle.write("\n")
 
-    def as_document(self) -> Dict[str, object]:
-        return {
+    def as_document(self, deterministic: bool = False) -> Dict[str, object]:
+        # Key order is part of the bitwise-identity contract: the shard
+        # merger (repro.explore.distrib) reassembles exactly this layout, so
+        # a merged artifact compares equal byte for byte to a single-host
+        # deterministic run.
+        document: Dict[str, object] = {
             "schema_version": SCHEMA_VERSION,
-            "columns": list(RESULT_COLUMNS),
-            "workers": self.workers,
-            "wall_seconds": self.wall_seconds,
-            "row_count": len(self.outcomes),
-            "rows": self.rows(),
+            "columns": result_columns(deterministic),
         }
+        if not deterministic:
+            # Placement/timing metadata varies run to run, exactly like the
+            # cpu_seconds/worker row columns it accompanies.
+            document["workers"] = self.workers
+            document["wall_seconds"] = self.wall_seconds
+        document["row_count"] = len(self.outcomes)
+        document["rows"] = self.rows(deterministic)
+        return document
 
 
 class Campaign:

@@ -9,12 +9,25 @@ Usage::
     python -m repro.explore schedules         # schedule exploration
     python -m repro.explore campaign          # exhaustive scenario campaign
     python -m repro.explore adaptive          # Pareto + successive halving
+    python -m repro.explore merge             # recombine shard artifacts
 
 ``campaign`` and ``adaptive`` write the versioned CSV/JSON artifacts
 (``--csv`` / ``--json``) described in :mod:`repro.explore.campaign`
 (``schema_version``) and :mod:`repro.explore.adaptive`
 (``adaptive_schema_version``); the tables printed to stdout are condensed
 views and carry no schema guarantee.
+
+Distribution: ``campaign --shard I/N`` runs only the I-th of N
+deterministically planned shards (each host re-plans the identical grid from
+the same flags) and writes a shard artifact; ``merge`` validates and
+recombines the shard artifacts into the single-host result
+(:mod:`repro.explore.distrib`).  ``adaptive --max-rounds K`` checkpoints a
+search at a round boundary and ``adaptive --resume-from ART.json`` finishes
+it without re-simulating the completed rounds.
+
+Exit status: 0 on success, 2 when the requested work fails (a job fails, an
+artifact is invalid or unreadable, a merge is rejected) — operational
+failures are reported as one ``error:`` line on stderr and never exit 0.
 """
 
 from __future__ import annotations
@@ -27,12 +40,23 @@ from repro.explore.adaptive import (
     DEFAULT_OBJECTIVES,
     adaptive_search_from_axes,
     parse_objective,
+    resume_search,
 )
 from repro.explore.campaign import campaign_from_axes
+from repro.explore.distrib import (
+    load_artifact,
+    merge_shard_documents,
+    plan_shards,
+    run_shard,
+    write_merged_csv,
+    write_merged_json,
+)
 from repro.explore.experiments import run_table1
 from repro.explore.report import (
     format_adaptive,
     format_campaign,
+    format_merged,
+    format_shard,
     format_table,
     format_table1,
 )
@@ -124,23 +148,53 @@ def _scenario_axes(args) -> dict:
 
 def _run_campaign(args) -> None:
     campaign = campaign_from_axes(_scenario_axes(args), base=_scenario_base(args))
+    deterministic = not args.timing
+    if args.shard is not None:
+        index, count = args.shard
+        shard = plan_shards(campaign, count)[index]
+        result = run_shard(shard, workers=args.workers)
+        print(format_shard(result))
+        if args.csv:
+            result.write_csv(args.csv, deterministic=deterministic)
+            print(f"wrote {args.csv}")
+        if args.json:
+            result.write_json(args.json, deterministic=deterministic)
+            print(f"wrote {args.json}")
+        return
     run = campaign.run(workers=args.workers)
     print(format_campaign(run))
     if args.csv:
-        run.write_csv(args.csv)
+        run.write_csv(args.csv, deterministic=deterministic)
         print(f"wrote {args.csv}")
     if args.json:
-        run.write_json(args.json)
+        run.write_json(args.json, deterministic=deterministic)
+        print(f"wrote {args.json}")
+
+
+def _run_merge(args) -> None:
+    documents = [load_artifact(path) for path in args.artifacts]
+    merged = merge_shard_documents(documents)
+    print(format_merged(documents, merged))
+    if args.csv:
+        write_merged_csv(merged, args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        write_merged_json(merged, args.json)
         print(f"wrote {args.json}")
 
 
 def _run_adaptive(args) -> None:
-    objectives = (tuple(args.objectives) if args.objectives
-                  else DEFAULT_OBJECTIVES)
-    search = adaptive_search_from_axes(
-        _scenario_axes(args), base=_scenario_base(args),
-        objectives=objectives, eta=args.eta, min_budget=args.min_budget)
-    result = search.run(workers=args.workers)
+    if args.resume_from:
+        result = resume_search(load_artifact(args.resume_from),
+                               workers=args.workers,
+                               max_rounds=args.max_rounds)
+    else:
+        objectives = (tuple(args.objectives) if args.objectives
+                      else DEFAULT_OBJECTIVES)
+        search = adaptive_search_from_axes(
+            _scenario_axes(args), base=_scenario_base(args),
+            objectives=objectives, eta=args.eta, min_budget=args.min_budget)
+        result = search.run(workers=args.workers, max_rounds=args.max_rounds)
     print(format_adaptive(result))
     deterministic = not args.timing
     if args.csv:
@@ -149,6 +203,29 @@ def _run_adaptive(args) -> None:
     if args.json:
         result.write_json(args.json, deterministic=deterministic)
         print(f"wrote {args.json}")
+
+
+def _shard_value(text: str):
+    """Parse ``--shard I/N``: a 0-based shard index out of N shards."""
+    index_text, separator, count_text = text.partition("/")
+    try:
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard must be I/N with integer I and N (e.g. 0/4), got {text!r}")
+    if not separator:
+        raise argparse.ArgumentTypeError("shard must be I/N (e.g. 0/4)")
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"shard index must be in [0, {count}) for {count} shard(s)")
+    return index, count
+
+
+def _round_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("max-rounds must be >= 1")
+    return value
 
 
 def _eta_value(text: str) -> float:
@@ -242,12 +319,37 @@ def build_parser() -> argparse.ArgumentParser:
                                help="write result rows to this CSV file")
         subparser.add_argument("--json", default=None,
                                help="write a JSON artifact to this file")
+        subparser.add_argument("--timing", action="store_true",
+                               help="keep the nondeterministic timing columns "
+                                    "(cpu_seconds, worker) in the artifacts; "
+                                    "timing artifacts are not bitwise "
+                                    "mergeable/resumable")
 
     campaign = subparsers.add_parser(
         "campaign",
         help="exhaustive exploration campaign over generated SoC scenarios")
     add_scenario_space_arguments(campaign)
+    campaign.add_argument("--shard", type=_shard_value, default=None,
+                          metavar="I/N",
+                          help="run only the I-th (0-based) of N "
+                               "deterministically planned shards of the "
+                               "campaign and embed shard provenance in the "
+                               "JSON artifact (recombine with 'merge')")
     campaign.set_defaults(handler=_run_campaign)
+
+    merge = subparsers.add_parser(
+        "merge",
+        help="validate and recombine shard artifacts into the single-host "
+             "result set")
+    merge.add_argument("artifacts", nargs="+",
+                       help="shard JSON artifacts written by campaign --shard")
+    merge.add_argument("--csv", default=None,
+                       help="write the merged rows to this CSV file")
+    merge.add_argument("--json", default=None,
+                       help="write the merged JSON artifact to this file "
+                            "(bitwise-identical to a single-host "
+                            "deterministic run)")
+    merge.set_defaults(handler=_run_merge)
 
     adaptive = subparsers.add_parser(
         "adaptive",
@@ -262,9 +364,14 @@ def build_parser() -> argparse.ArgumentParser:
                           type=parse_objective,
                           help="objectives as column[:min|:max] "
                                "(default: test_length_cycles peak_power)")
-    adaptive.add_argument("--timing", action="store_true",
-                          help="keep the nondeterministic timing columns "
-                               "(cpu_seconds, worker) in the artifacts")
+    adaptive.add_argument("--max-rounds", type=_round_count, default=None,
+                          help="stop after this many rounds (a round-boundary "
+                               "checkpoint; finish later with --resume-from)")
+    adaptive.add_argument("--resume-from", default=None, metavar="ARTIFACT",
+                          help="resume from a checkpoint JSON artifact "
+                               "written by --max-rounds; the artifact defines "
+                               "the search, so scenario-space/search flags "
+                               "are ignored")
     adaptive.set_defaults(handler=_run_adaptive)
     return parser
 
@@ -272,8 +379,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.handler(args)
-    return 0
+    try:
+        status = args.handler(args)
+    except (ValueError, KeyError, OSError) as error:
+        # Failed jobs (unknown schedules raise KeyError), unreadable/invalid
+        # artifacts (ValueError incl. MergeError/JSONDecodeError) and missing
+        # files are operational failures, not crashes: report one line on
+        # stderr and exit non-zero (regression-tested in test_cli.py).
+        # Anything else is a genuine bug and keeps its traceback.
+        message = str(error) or type(error).__name__
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    return 0 if status is None else int(status)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

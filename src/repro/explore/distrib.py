@@ -1,0 +1,382 @@
+"""Sharded campaign execution: plan shards, run them anywhere, merge artifacts.
+
+Campaign jobs are pure data (:class:`~repro.explore.campaign.CampaignJob` is
+a frozen spec + schedule name) and campaign artifacts are versioned
+CSV/JSON documents, so distributing a campaign across hosts is a pure-data
+problem.  This module is the distribution subsystem the ROADMAP left open:
+
+* :func:`plan_shards` — split a campaign's job list into ``N`` self-contained
+  :class:`CampaignShard` slices.  The split is deterministic and contiguous
+  in the monolithic job order (shard ``i`` owns jobs
+  ``[i·M/N, (i+1)·M/N)``), so concatenating shard results in shard order *is*
+  the monolithic result.  Every shard carries scenario-space provenance: a
+  SHA-256 fingerprint of the complete serialized job list, the total job
+  count and its own span.
+* :class:`CampaignShard` — a serializable shard spec
+  (:meth:`~CampaignShard.write_json` / :meth:`~CampaignShard.read_json`),
+  so a coordinator can plan once and ship one file per host.  Because grid
+  generation itself is deterministic, hosts can equivalently re-plan locally
+  from the same axes (the CLI's ``campaign --shard I/N`` path) — both roads
+  produce identical shards.
+* :func:`run_shard` — execute one shard through
+  :func:`repro.explore.campaign.run_jobs`, i.e. the exact cached/batched
+  worker-pool path of a monolithic run, and collect a :class:`ShardRun`
+  whose artifact embeds the shard provenance.
+* :func:`merge_shard_documents` — validate a set of shard artifacts (schema
+  versions, fingerprints, shard count, exactly-once index coverage,
+  contiguous spans, column agreement) and recombine their rows into a
+  document identical to the one a single-host run writes.  For
+  *deterministic* shard artifacts (the default) the merged document is
+  **bitwise identical** to ``CampaignRun.write_json(deterministic=True)`` of
+  the monolithic campaign — the property the differential shard tests pin
+  down.
+
+Shard and merge documents embed the campaign row schema
+(``schema_version`` = :data:`repro.explore.campaign.SCHEMA_VERSION`); the
+shard envelope itself (the ``shard`` provenance block) is versioned
+separately as ``distrib_schema_version`` = :data:`DISTRIB_SCHEMA_VERSION`.
+Validation failures raise :class:`MergeError` (a ``ValueError``), which the
+CLI maps to a non-zero exit status.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.explore.campaign import (
+    SCHEMA_VERSION,
+    Campaign,
+    CampaignJob,
+    CampaignRun,
+    run_jobs,
+)
+from repro.explore.scenarios import spec_from_dict, spec_to_dict
+
+#: Version of the shard-spec / shard-artifact envelope (the ``shard`` block
+#: and the plan-document layout).  Bump on any change to either.
+DISTRIB_SCHEMA_VERSION = 1
+
+
+class MergeError(ValueError):
+    """A shard set cannot be merged (version/provenance/coverage mismatch)."""
+
+
+# -- job serialization ------------------------------------------------------
+def job_to_dict(job: CampaignJob,
+                validate: bool = True) -> Dict[str, object]:
+    """One campaign job as a JSON-serializable dict (lossless)."""
+    return {"spec": spec_to_dict(job.spec, validate=validate),
+            "schedule": job.schedule}
+
+
+def job_from_dict(document: Mapping[str, object]) -> CampaignJob:
+    """Reconstruct a :class:`CampaignJob` written by :func:`job_to_dict`."""
+    return CampaignJob(spec=spec_from_dict(document["spec"]),
+                       schedule=str(document["schedule"]))
+
+
+def space_fingerprint(jobs: Sequence[CampaignJob]) -> str:
+    """Deterministic digest of the complete job list (scenario-space
+    provenance).  Two shards merge only when they were planned from job
+    lists with identical fingerprints — same specs, same schedules, same
+    monolithic order."""
+    # One serialization pass: this dump both canonicalizes and validates
+    # (per-spec probe dumps would double the cost of planning large grids).
+    try:
+        canonical = json.dumps([job_to_dict(job, validate=False)
+                                for job in jobs],
+                               sort_keys=True, separators=(",", ":"))
+    except TypeError as error:
+        raise ValueError(
+            f"campaign jobs cannot be serialized to JSON (a spec "
+            f"config_overrides value is not JSON-compatible): {error}"
+        ) from error
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# -- planning ---------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignShard:
+    """One host's self-contained slice of a campaign's job list."""
+
+    index: int
+    count: int
+    #: Span of this shard in the monolithic job order: ``[start, stop)``.
+    start: int
+    stop: int
+    total_jobs: int
+    fingerprint: str
+    jobs: Tuple[CampaignJob, ...]
+
+    @property
+    def job_count(self) -> int:
+        return len(self.jobs)
+
+    def as_document(self) -> Dict[str, object]:
+        """The shard spec as a shippable JSON document."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "distrib_schema_version": DISTRIB_SCHEMA_VERSION,
+            "shard": self.provenance(),
+            # plan_shards' fingerprint pass already proved every job
+            # JSON-serializable; skip the per-spec probe dumps.
+            "jobs": [job_to_dict(job, validate=False) for job in self.jobs],
+        }
+
+    def provenance(self) -> Dict[str, object]:
+        """The ``shard`` provenance block embedded in spec and result
+        artifacts alike."""
+        return {
+            "index": self.index,
+            "count": self.count,
+            "start": self.start,
+            "stop": self.stop,
+            "total_jobs": self.total_jobs,
+            "fingerprint": self.fingerprint,
+        }
+
+    def write_json(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.as_document(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, object]) -> "CampaignShard":
+        _require_version(document, "schema_version", SCHEMA_VERSION,
+                         "shard spec")
+        _require_version(document, "distrib_schema_version",
+                         DISTRIB_SCHEMA_VERSION, "shard spec")
+        shard = document["shard"]
+        jobs = tuple(job_from_dict(entry) for entry in document["jobs"])
+        if len(jobs) != shard["stop"] - shard["start"]:
+            raise ValueError(
+                f"shard spec carries {len(jobs)} jobs but declares the span "
+                f"[{shard['start']}, {shard['stop']})"
+            )
+        return cls(index=int(shard["index"]), count=int(shard["count"]),
+                   start=int(shard["start"]), stop=int(shard["stop"]),
+                   total_jobs=int(shard["total_jobs"]),
+                   fingerprint=str(shard["fingerprint"]), jobs=jobs)
+
+    @classmethod
+    def read_json(cls, path) -> "CampaignShard":
+        with open(path) as handle:
+            return cls.from_document(json.load(handle))
+
+
+def plan_shards(source: Union[Campaign, Sequence[CampaignJob]],
+                count: int) -> List[CampaignShard]:
+    """Split a campaign (or an explicit job list) into *count* shards.
+
+    Shards are contiguous slices of the monolithic job order, sized within
+    one job of each other (``i·M/N`` boundaries), so uneven splits are
+    handled and merge order equals job order.  Planning is deterministic:
+    any host planning the same campaign produces identical shards.
+    """
+    jobs = list(source.jobs()) if isinstance(source, Campaign) else list(source)
+    if count < 1:
+        raise ValueError("shard count must be >= 1")
+    if not jobs:
+        raise ValueError("cannot shard an empty job list")
+    if count > len(jobs):
+        raise ValueError(
+            f"cannot split {len(jobs)} job(s) into {count} shards "
+            f"(every shard must own at least one job)"
+        )
+    fingerprint = space_fingerprint(jobs)
+    shards = []
+    for index in range(count):
+        start = index * len(jobs) // count
+        stop = (index + 1) * len(jobs) // count
+        shards.append(CampaignShard(
+            index=index, count=count, start=start, stop=stop,
+            total_jobs=len(jobs), fingerprint=fingerprint,
+            jobs=tuple(jobs[start:stop]),
+        ))
+    return shards
+
+
+# -- execution --------------------------------------------------------------
+@dataclass
+class ShardRun:
+    """The collected outcomes of one executed shard."""
+
+    shard: CampaignShard
+    run: CampaignRun
+
+    def as_document(self, deterministic: bool = True) -> Dict[str, object]:
+        """A campaign result document plus the shard provenance block.
+
+        Deterministic by default: shard artifacts exist to be merged, and
+        only deterministic rows recombine bitwise-identically to a
+        single-host run.  The result layout is delegated to
+        :meth:`CampaignRun.as_document` so there is exactly one source of
+        truth for the key order the merger's bitwise contract depends on.
+        """
+        document: Dict[str, object] = {
+            "schema_version": SCHEMA_VERSION,
+            "distrib_schema_version": DISTRIB_SCHEMA_VERSION,
+            "shard": self.shard.provenance(),
+        }
+        body = self.run.as_document(deterministic)
+        body.pop("schema_version")
+        document.update(body)
+        return document
+
+    def write_json(self, path, deterministic: bool = True) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.as_document(deterministic), handle, indent=2,
+                      sort_keys=False)
+            handle.write("\n")
+
+    def write_csv(self, path, deterministic: bool = True) -> None:
+        self.run.write_csv(path, deterministic=deterministic)
+
+
+def run_shard(shard: CampaignShard, workers: int = 1,
+              mp_context: Optional[str] = None,
+              batch_size: Optional[int] = None) -> ShardRun:
+    """Execute one shard on the standard campaign worker-pool path."""
+    run = run_jobs(list(shard.jobs), workers=workers, mp_context=mp_context,
+                   batch_size=batch_size)
+    return ShardRun(shard=shard, run=run)
+
+
+# -- merging ----------------------------------------------------------------
+def _require_version(document: Mapping[str, object], key: str, expected: int,
+                     what: str) -> None:
+    found = document.get(key)
+    if found != expected:
+        raise MergeError(
+            f"{what} has {key}={found!r}, expected {expected} — refusing to "
+            f"combine artifacts across schema versions"
+        )
+
+
+def merge_shard_documents(
+        documents: Sequence[Mapping[str, object]]) -> Dict[str, object]:
+    """Validate and recombine shard result documents into one result set.
+
+    The returned document has exactly the layout of
+    ``CampaignRun.as_document(deterministic=True)`` — for deterministic shard
+    artifacts it is bitwise identical (after ``json.dump``) to the artifact
+    of a monolithic single-host run.  Raises :class:`MergeError` when the
+    shards do not form exactly one complete, non-overlapping cover of one
+    campaign.
+    """
+    if not documents:
+        raise MergeError("no shard artifacts to merge")
+    for position, document in enumerate(documents):
+        what = f"shard artifact #{position}"
+        if not isinstance(document, Mapping):
+            raise MergeError(f"{what} is not a JSON object")
+        _require_version(document, "schema_version", SCHEMA_VERSION, what)
+        _require_version(document, "distrib_schema_version",
+                         DISTRIB_SCHEMA_VERSION, what)
+        if not isinstance(document.get("shard"), Mapping):
+            raise MergeError(f"{what} carries no shard provenance block")
+        if "adaptive_schema_version" in document:
+            raise MergeError(f"{what} is an adaptive artifact, not a "
+                             f"campaign shard")
+        if not isinstance(document.get("rows"), list) or \
+                "columns" not in document:
+            hint = (" (a shard *spec* file, not a shard result artifact?)"
+                    if "jobs" in document else "")
+            raise MergeError(f"{what} carries no result rows/columns{hint}")
+
+    def provenance(document) -> Dict[str, object]:
+        return document["shard"]
+
+    counts = {provenance(d)["count"] for d in documents}
+    if len(counts) != 1:
+        raise MergeError(f"shard counts disagree: {sorted(counts)}")
+    count = counts.pop()
+    fingerprints = {provenance(d)["fingerprint"] for d in documents}
+    if len(fingerprints) != 1:
+        raise MergeError(
+            "scenario-space fingerprints disagree — the shards were planned "
+            f"from different campaigns: {sorted(fingerprints)}"
+        )
+    totals = {provenance(d)["total_jobs"] for d in documents}
+    if len(totals) != 1:
+        raise MergeError(f"total job counts disagree: {sorted(totals)}")
+    total_jobs = totals.pop()
+
+    indexes = sorted(provenance(d)["index"] for d in documents)
+    duplicates = sorted({i for i in indexes if indexes.count(i) > 1})
+    if duplicates:
+        raise MergeError(f"overlapping shards: index(es) {duplicates} "
+                         f"supplied more than once")
+    if indexes != list(range(count)):
+        missing = sorted(set(range(count)) - set(indexes))
+        raise MergeError(f"incomplete shard set: missing shard index(es) "
+                         f"{missing} of {count}")
+
+    columns = [list(d["columns"]) for d in documents]
+    if any(c != columns[0] for c in columns[1:]):
+        raise MergeError("shard artifacts disagree on the column list "
+                         "(mixed deterministic/timing artifacts?)")
+
+    ordered = sorted(documents, key=lambda d: provenance(d)["index"])
+    cursor = 0
+    merged_rows: List[Dict[str, object]] = []
+    for document in ordered:
+        shard = provenance(document)
+        start, stop = shard["start"], shard["stop"]
+        if start != cursor:
+            kind = "overlapping" if start < cursor else "gapped"
+            raise MergeError(
+                f"{kind} shard spans: shard {shard['index']} starts at job "
+                f"{start}, expected {cursor}"
+            )
+        rows = document["rows"]
+        if len(rows) != stop - start or document.get("row_count") != len(rows):
+            raise MergeError(
+                f"shard {shard['index']} carries {len(rows)} row(s) for the "
+                f"span [{start}, {stop})"
+            )
+        merged_rows.extend(rows)
+        cursor = stop
+    if cursor != total_jobs:
+        raise MergeError(f"shard spans cover {cursor} of {total_jobs} jobs")
+
+    # Mirror CampaignRun.as_document key order exactly (bitwise contract).
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "columns": columns[0],
+        "row_count": len(merged_rows),
+        "rows": merged_rows,
+    }
+
+
+def load_artifact(path) -> Dict[str, object]:
+    """Load one JSON artifact (shard, campaign or adaptive) from disk."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: artifact is not a JSON object")
+    return document
+
+
+def merge_artifacts(paths: Sequence) -> Dict[str, object]:
+    """:func:`merge_shard_documents` over artifacts read from *paths*."""
+    return merge_shard_documents([load_artifact(path) for path in paths])
+
+
+def write_merged_json(document: Mapping[str, object], path) -> None:
+    """Write a merged document exactly like ``CampaignRun.write_json``."""
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def write_merged_csv(document: Mapping[str, object], path) -> None:
+    """Write a merged document's rows as CSV (header = its column list)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(document["columns"]))
+        writer.writeheader()
+        writer.writerows(document["rows"])

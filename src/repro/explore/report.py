@@ -105,19 +105,24 @@ def format_adaptive(result) -> str:
     """Summarize an :class:`~repro.explore.adaptive.AdaptiveResult`.
 
     One line per round (budget, jobs, survivors) followed by the final Pareto
-    front rendered as a table over the search objectives.
+    front rendered as a table over the search objectives.  Replayed rounds of
+    a resumed run and round-boundary checkpoints (partial runs) are called
+    out explicitly.
     """
     round_rows = []
     for round_ in result.rounds:
+        replayed = round_.index < result.resumed_rounds
         round_rows.append({
             "round": round_.index,
             "budget": f"{round_.budget:g}",
             "jobs": round_.job_count,
+            "simulated": round_.simulated_jobs,
             "survivors": len(round_.survivors),
-            "wall_s": f"{round_.run.wall_seconds:.2f}",
+            "wall_s": "resumed" if replayed else f"{round_.run.wall_seconds:.2f}",
         })
     rounds_table = format_table(
-        round_rows, ["round", "budget", "jobs", "survivors", "wall_s"])
+        round_rows,
+        ["round", "budget", "jobs", "simulated", "survivors", "wall_s"])
 
     front_rows = []
     for outcome in result.front:
@@ -135,8 +140,46 @@ def format_adaptive(result) -> str:
               f"front size {len(result.front)}, "
               f"{result.wall_seconds:.2f} s with {result.workers} "
               f"worker{'s' if result.workers != 1 else ''}")
+    if result.resumed_rounds:
+        footer += (f"; resumed: {result.resumed_rounds} round(s) replayed "
+                   f"from the checkpoint artifact")
+    if not result.complete:
+        footer += (f"; CHECKPOINT: {len(result.rounds)} of "
+                   f"{result.planned_rounds} rounds done, front pending — "
+                   f"finish with --resume-from")
     return (f"rounds:\n{rounds_table}\n\n"
             f"Pareto front:\n{front_table}\n\n{footer}")
+
+
+def format_shard(result) -> str:
+    """Summarize a :class:`~repro.explore.distrib.ShardRun`: the shard's
+    provenance line followed by the standard campaign table of its rows."""
+    shard = result.shard
+    header = (f"shard {shard.index}/{shard.count}: "
+              f"jobs [{shard.start}, {shard.stop}) of {shard.total_jobs}, "
+              f"space fingerprint {shard.fingerprint[:12]}")
+    return f"{header}\n{format_campaign(result.run)}"
+
+
+def format_merged(shard_documents: Sequence[Mapping[str, object]],
+                  merged: Mapping[str, object]) -> str:
+    """Summarize a shard merge: one line per input shard, then the totals."""
+    rows = []
+    for document in sorted(shard_documents,
+                           key=lambda d: d["shard"]["index"]):
+        shard = document["shard"]
+        rows.append({
+            "shard": f"{shard['index']}/{shard['count']}",
+            "jobs": f"[{shard['start']}, {shard['stop']})",
+            "rows": document["row_count"],
+        })
+    table = format_table(rows, ["shard", "jobs", "rows"])
+    fingerprint = shard_documents[0]["shard"]["fingerprint"]
+    footer = (f"merged {len(shard_documents)} shard artifact(s) into "
+              f"{merged['row_count']} rows "
+              f"(schema v{merged['schema_version']}, "
+              f"space fingerprint {fingerprint[:12]})")
+    return f"{table}\n\n{footer}"
 
 
 def _percent(value) -> str:

@@ -28,6 +28,7 @@ the scenario grammar for that:
 from __future__ import annotations
 
 import itertools
+import json
 import math
 import random
 import zlib
@@ -125,6 +126,67 @@ class ScenarioSpec:
         """The spec as a flat dict (column values of a campaign result row)."""
         return {f.name: getattr(self, f.name) for f in fields(self)
                 if f.name not in ("schedules", "config_overrides")}
+
+
+def spec_to_dict(spec: ScenarioSpec, validate: bool = True) -> Dict[str, object]:
+    """The *complete* spec as a JSON-serializable dict.
+
+    Unlike :meth:`ScenarioSpec.as_dict` (the result-row view, which drops the
+    structural ``schedules``/``config_overrides`` fields), this is a lossless
+    serialization: :func:`spec_from_dict` reconstructs an equal spec.  Shard
+    specs and resumable adaptive artifacts ship specs across hosts this way,
+    so every field value must survive a JSON round trip — specs carrying
+    non-JSON ``config_overrides`` values (e.g. ``SimTime``) are rejected with
+    a clear error instead of failing deep inside ``json.dump``.  Callers that
+    serialize the result themselves right away (and can report the error at
+    that point) pass ``validate=False`` to skip the probe dump.
+    """
+    document = {f.name: getattr(spec, f.name) for f in fields(spec)}
+    document["schedules"] = list(spec.schedules)
+    document["config_overrides"] = [[name, value]
+                                    for name, value in spec.config_overrides]
+    if validate:
+        try:
+            json.dumps(document)
+        except TypeError as error:
+            raise ValueError(
+                f"scenario spec {spec.name!r} cannot be serialized to JSON "
+                f"(a config_overrides value is not JSON-compatible): {error}"
+            ) from error
+    return document
+
+
+def _rehydrate_override(value):
+    """Undo JSON's tuple→list coercion, recursively.
+
+    Spec fields must stay hashable (specs are dict keys in the campaign
+    cache and the adaptive memo), so a sequence-valued config override was
+    necessarily a tuple before serialization — rebuild it as one.
+    """
+    if isinstance(value, list):
+        return tuple(_rehydrate_override(item) for item in value)
+    return value
+
+
+def spec_from_dict(document: Mapping[str, object]) -> ScenarioSpec:
+    """Reconstruct a :class:`ScenarioSpec` written by :func:`spec_to_dict`."""
+    data = dict(document)
+    valid = {f.name for f in fields(ScenarioSpec)}
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        raise ValueError(f"unknown scenario spec fields: {unknown}")
+    if "schedules" in data:
+        data["schedules"] = tuple(data["schedules"])
+    if "config_overrides" in data:
+        data["config_overrides"] = tuple(
+            (name, _rehydrate_override(value))
+            for name, value in data["config_overrides"])
+    try:
+        return ScenarioSpec(**data)
+    except TypeError as error:
+        # A required field is missing (or a field value has the wrong shape):
+        # surface it as an invalid-document error, not a constructor crash.
+        raise ValueError(f"incomplete scenario spec document: {error}") from error
 
 
 @dataclass

@@ -1,0 +1,245 @@
+"""Differential tests of adaptive warm-start resume: a run checkpointed at
+any round boundary and resumed from its JSON artifact finishes with rows,
+survivors, front and artifact bytes identical to the uninterrupted run."""
+
+import json
+
+import pytest
+
+from repro.explore.adaptive import (
+    ADAPTIVE_SCHEMA_VERSION,
+    AdaptiveSearch,
+    adaptive_search_from_axes,
+    objective_vector,
+    resume_search,
+)
+from repro.explore.campaign import SCHEMA_VERSION, clear_scenario_cache
+from repro.explore.scenarios import ScenarioGrid, ScenarioSpec
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_scenario_cache()
+    yield
+    clear_scenario_cache()
+
+
+def small_search(**kwargs) -> AdaptiveSearch:
+    return adaptive_search_from_axes(
+        {"core_count": [1, 2], "tam_width_bits": [8, 32]},
+        base=ScenarioSpec(name="base", patterns_per_core=16, seed=7),
+        **kwargs,
+    )
+
+
+def round_trip(result, tmp_path, name="ckpt.json"):
+    """Artifact as a real file: write JSON, load it back as a document."""
+    path = tmp_path / name
+    result.write_json(path)
+    return json.loads(path.read_text()), path
+
+
+class TestCheckpoints:
+    def test_partial_run_is_a_checkpoint(self, tmp_path):
+        search = small_search()
+        partial = search.run(max_rounds=1)
+        assert not partial.complete
+        assert partial.front == []
+        assert len(partial.rounds) == 1
+        assert partial.planned_rounds == 3
+        document, _ = round_trip(partial, tmp_path)
+        assert document["complete"] is False
+        assert document["completed_rounds"] == 1
+        assert document["planned_rounds"] == 3
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["adaptive_schema_version"] == ADAPTIVE_SCHEMA_VERSION
+        assert len(document["specs"]) == 4
+        assert document["round_stats"][0]["simulated_jobs"] == 8
+
+    def test_max_rounds_validation(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            small_search().run(max_rounds=0)
+
+    def test_max_rounds_beyond_ladder_completes(self):
+        result = small_search().run(max_rounds=99)
+        assert result.complete
+        assert result.front
+
+    def test_documents_embed_the_search_definition(self, tmp_path):
+        search = small_search(eta=2.0, min_budget=0.5)
+        document, _ = round_trip(search.run(max_rounds=1), tmp_path)
+        rebuilt = AdaptiveSearch.from_document(document)
+        assert [s.name for s in rebuilt.specs] == [s.name for s in search.specs]
+        assert rebuilt.specs == search.specs
+        assert rebuilt.eta == search.eta
+        assert rebuilt.min_budget == search.min_budget
+        assert rebuilt.objectives == search.objectives
+        assert rebuilt.schedules == search.schedules
+
+
+class TestResumeDifferential:
+    @pytest.fixture(scope="class")
+    def uninterrupted(self):
+        clear_scenario_cache()
+        return small_search().run()
+
+    def test_resume_at_every_round_boundary_reproduces_the_run(
+            self, uninterrupted, tmp_path):
+        full_document = uninterrupted.as_document()
+        for boundary in range(1, uninterrupted.planned_rounds):
+            clear_scenario_cache()
+            partial = small_search().run(max_rounds=boundary)
+            document, _ = round_trip(partial, tmp_path,
+                                     name=f"ckpt{boundary}.json")
+            clear_scenario_cache()
+            resumed = resume_search(document)
+            assert resumed.complete
+            assert resumed.resumed_rounds == boundary
+            # The front is identical (same pairs, same objective values)...
+            assert [(o.spec.name, o.schedule) for o in resumed.front] == \
+                [(o.spec.name, o.schedule) for o in uninterrupted.front]
+            assert [objective_vector(o, resumed.objectives)
+                    for o in resumed.front] == \
+                [objective_vector(o, uninterrupted.objectives)
+                 for o in uninterrupted.front]
+            # ...and so is the whole artifact, byte for byte.
+            assert resumed.as_document() == full_document
+
+    def test_resumed_artifact_bytes_equal_uninterrupted(self, uninterrupted,
+                                                        tmp_path):
+        partial = small_search().run(max_rounds=1)
+        document, _ = round_trip(partial, tmp_path)
+        resumed = resume_search(document)
+        resumed_path = tmp_path / "resumed.json"
+        full_path = tmp_path / "full.json"
+        resumed.write_json(resumed_path)
+        uninterrupted.write_json(full_path)
+        assert resumed_path.read_bytes() == full_path.read_bytes()
+        resumed_csv, full_csv = tmp_path / "resumed.csv", tmp_path / "full.csv"
+        resumed.write_csv(resumed_csv)
+        uninterrupted.write_csv(full_csv)
+        assert resumed_csv.read_bytes() == full_csv.read_bytes()
+
+    def test_resume_on_a_worker_pool_stays_identical(self, uninterrupted,
+                                                     tmp_path):
+        partial = small_search().run(max_rounds=1)
+        document, _ = round_trip(partial, tmp_path)
+        resumed = resume_search(document, workers=2)
+        assert resumed.as_document() == uninterrupted.as_document()
+
+    def test_resume_only_simulates_the_remaining_rounds(self, tmp_path):
+        partial = small_search().run(max_rounds=2)
+        document, _ = round_trip(partial, tmp_path)
+        resumed = resume_search(document)
+        # Replayed rounds report their original simulation counters but cost
+        # no simulations on resume: the new wall clock covers only round 2.
+        assert resumed.resumed_rounds == 2
+        assert [r.simulated_jobs for r in resumed.rounds] == \
+            [r.simulated_jobs for r in partial.rounds] + \
+            [resumed.rounds[-1].simulated_jobs]
+        assert resumed.rounds[0].run.wall_seconds == 0.0
+        assert resumed.rounds[1].run.wall_seconds == 0.0
+
+    def test_recheckpointing_a_resumed_run(self, uninterrupted, tmp_path):
+        # checkpoint after round 1, resume to round 2, resume to the end.
+        first, _ = round_trip(small_search().run(max_rounds=1), tmp_path,
+                              name="r1.json")
+        second, _ = round_trip(resume_search(first, max_rounds=2), tmp_path,
+                               name="r2.json")
+        assert second["completed_rounds"] == 2
+        final = resume_search(second)
+        assert final.as_document() == uninterrupted.as_document()
+
+
+class TestResumeValidation:
+    def checkpoint(self, tmp_path, **kwargs):
+        document, _ = round_trip(small_search().run(max_rounds=1), tmp_path)
+        return document
+
+    def test_complete_artifact_rejected(self, tmp_path):
+        document, _ = round_trip(small_search().run(), tmp_path)
+        with pytest.raises(ValueError, match="already complete"):
+            resume_search(document)
+
+    def test_wrong_schema_versions_rejected(self, tmp_path):
+        document = self.checkpoint(tmp_path)
+        stale = dict(document, schema_version=SCHEMA_VERSION - 1)
+        with pytest.raises(ValueError, match="schema_version"):
+            resume_search(stale)
+        stale = dict(document,
+                     adaptive_schema_version=ADAPTIVE_SCHEMA_VERSION - 1)
+        with pytest.raises(ValueError, match="adaptive_schema_version"):
+            resume_search(stale)
+
+    def test_campaign_artifact_rejected(self, tmp_path):
+        from repro.explore.campaign import Campaign
+
+        run = Campaign([ScenarioSpec(name="c", patterns_per_core=8,
+                                     core_count=1)]).run()
+        path = tmp_path / "campaign.json"
+        run.write_json(path, deterministic=True)
+        with pytest.raises(ValueError, match="adaptive_schema_version"):
+            resume_search(json.loads(path.read_text()))
+
+    def test_budget_ladder_mismatch_rejected(self, tmp_path):
+        document = self.checkpoint(tmp_path)
+        other = small_search(min_budget=0.5)
+        with pytest.raises(ValueError, match="budget ladder"):
+            other.run(resume_from=document)
+
+    def test_candidate_mismatch_rejected(self, tmp_path):
+        document = self.checkpoint(tmp_path)
+        for row in document["rows"]:
+            row["scenario"] = "intruder"
+        with pytest.raises(ValueError, match="different\\s+candidates"):
+            AdaptiveSearch.from_document(document).run(resume_from=document)
+
+    def test_tampered_survivors_rejected(self, tmp_path):
+        document = self.checkpoint(tmp_path)
+        for row in document["rows"]:
+            row["survivor"] = not row["survivor"]
+        with pytest.raises(ValueError, match="survivors"):
+            resume_search(document)
+
+    def test_tampered_simulation_counter_rejected(self, tmp_path):
+        document = self.checkpoint(tmp_path)
+        document["round_stats"][0]["simulated_jobs"] += 1
+        with pytest.raises(ValueError, match="simulated job"):
+            resume_search(document)
+
+    def test_empty_checkpoint_rejected(self, tmp_path):
+        document = self.checkpoint(tmp_path)
+        document["completed_rounds"] = 0
+        document["budgets"] = []
+        with pytest.raises(ValueError, match="no completed rounds"):
+            resume_search(document)
+
+
+@pytest.mark.slow
+def test_large_grid_resume_at_every_round_boundary_bitwise(tmp_path):
+    """The ISSUE acceptance case: a large grid interrupted at each round
+    boundary and resumed reproduces the uninterrupted front exactly."""
+    def make_search():
+        grid = ScenarioGrid(
+            {"core_count": [1, 2, 3], "tam_width_bits": [8, 16, 32],
+             "compression_ratio": [10.0, 100.0]},
+            base=ScenarioSpec(name="base", patterns_per_core=16, seed=11),
+        )
+        return AdaptiveSearch(grid, eta=3.0, min_budget=0.25)
+
+    clear_scenario_cache()
+    uninterrupted = make_search().run(workers=2)
+    full_path = tmp_path / "full.json"
+    uninterrupted.write_json(full_path)
+    for boundary in range(1, uninterrupted.planned_rounds):
+        clear_scenario_cache()
+        partial = make_search().run(workers=2, max_rounds=boundary)
+        ckpt = tmp_path / f"ckpt{boundary}.json"
+        partial.write_json(ckpt)
+        clear_scenario_cache()
+        resumed = resume_search(json.loads(ckpt.read_text()), workers=2)
+        resumed_path = tmp_path / f"resumed{boundary}.json"
+        resumed.write_json(resumed_path)
+        assert resumed_path.read_bytes() == full_path.read_bytes()
+        assert {(o.spec.name, o.schedule) for o in resumed.front} == \
+            {(o.spec.name, o.schedule) for o in uninterrupted.front}

@@ -1,7 +1,10 @@
 """Tests for the exploration command line interface."""
 
+import json
+
 import pytest
 
+from repro.explore.campaign import SCHEMA_VERSION
 from repro.explore.cli import build_parser, main
 
 
@@ -24,6 +27,8 @@ class TestParser:
                         "sweep-tam-width", "schedules", "campaign"):
             args = parser.parse_args([command])
             assert callable(args.handler)
+        args = parser.parse_args(["merge", "artifact.json"])
+        assert callable(args.handler)
 
     def test_campaign_arguments(self):
         parser = build_parser()
@@ -34,6 +39,27 @@ class TestParser:
         assert args.tam_widths == [16]
         assert args.workers == 2
         assert args.schedules == ["greedy"]
+        assert args.shard is None and not args.timing
+
+    def test_shard_argument_parses_index_and_count(self):
+        parser = build_parser()
+        args = parser.parse_args(["campaign", "--shard", "1/4"])
+        assert args.shard == (1, 4)
+
+    @pytest.mark.parametrize("value", ["4/4", "-1/4", "2", "a/b", "1/0"])
+    def test_invalid_shard_arguments_rejected(self, value):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["campaign", "--shard", value])
+
+    def test_adaptive_resume_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["adaptive", "--max-rounds", "2",
+                                  "--resume-from", "ckpt.json"])
+        assert args.max_rounds == 2
+        assert args.resume_from == "ckpt.json"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["adaptive", "--max-rounds", "0"])
 
 
 class TestExecution:
@@ -68,3 +94,158 @@ class TestExecution:
         assert "scenario_0000" in output
         assert "result rows" in output
         assert csv_path.exists() and json_path.exists()
+        # The CLI writes deterministic artifacts unless --timing is given.
+        document = json.loads(json_path.read_text())
+        assert "cpu_seconds" not in document["columns"]
+        assert "worker" not in document["columns"]
+
+    def test_campaign_timing_flag_keeps_timing_columns(self, capsys, tmp_path):
+        json_path = tmp_path / "campaign.json"
+        exit_code = main(["campaign", "--core-counts", "1", "--tam-widths",
+                          "32", "--patterns", "32", "--timing",
+                          "--json", str(json_path)])
+        capsys.readouterr()
+        assert exit_code == 0
+        document = json.loads(json_path.read_text())
+        assert "cpu_seconds" in document["columns"]
+        assert "wall_seconds" in document
+
+
+GRID = ["--core-counts", "1", "2", "--tam-widths", "32",
+        "--patterns", "32", "--seed", "5"]
+
+
+class TestShardedExecution:
+    def shard_paths(self, tmp_path, capsys, count=2):
+        paths = []
+        for index in range(count):
+            path = tmp_path / f"shard{index}.json"
+            assert main(["campaign", *GRID, "--shard", f"{index}/{count}",
+                         "--json", str(path)]) == 0
+            paths.append(path)
+        capsys.readouterr()
+        return paths
+
+    def test_shard_runs_write_provenance_artifacts(self, capsys, tmp_path):
+        path = self.shard_paths(tmp_path, capsys, count=2)[0]
+        document = json.loads(path.read_text())
+        assert document["shard"]["index"] == 0
+        assert document["shard"]["count"] == 2
+        assert document["row_count"] < document["shard"]["total_jobs"]
+
+    def test_shard_merge_equals_monolithic_bitwise(self, capsys, tmp_path):
+        paths = self.shard_paths(tmp_path, capsys, count=2)
+        merged_path = tmp_path / "merged.json"
+        merged_csv = tmp_path / "merged.csv"
+        assert main(["merge", *map(str, paths), "--json", str(merged_path),
+                     "--csv", str(merged_csv)]) == 0
+        output = capsys.readouterr().out
+        assert "merged 2 shard artifact(s)" in output
+
+        mono_path = tmp_path / "mono.json"
+        mono_csv = tmp_path / "mono.csv"
+        assert main(["campaign", *GRID, "--json", str(mono_path),
+                     "--csv", str(mono_csv)]) == 0
+        capsys.readouterr()
+        assert merged_path.read_bytes() == mono_path.read_bytes()
+        assert merged_csv.read_bytes() == mono_csv.read_bytes()
+
+
+class TestAdaptiveResumeCli:
+    def test_checkpoint_then_resume_matches_uninterrupted(self, capsys,
+                                                          tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        assert main(["adaptive", *GRID, "--max-rounds", "1",
+                     "--json", str(ckpt)]) == 0
+        assert "CHECKPOINT" in capsys.readouterr().out
+
+        final = tmp_path / "final.json"
+        assert main(["adaptive", "--resume-from", str(ckpt),
+                     "--json", str(final)]) == 0
+        assert "resumed" in capsys.readouterr().out
+
+        full = tmp_path / "full.json"
+        assert main(["adaptive", *GRID, "--json", str(full)]) == 0
+        capsys.readouterr()
+        assert final.read_bytes() == full.read_bytes()
+
+
+class TestExitCodes:
+    """Failures exit non-zero with an error line — never 0, never a
+    traceback (the regression the distrib PR fixed)."""
+
+    def test_success_returns_zero(self, capsys):
+        assert main(["speedup", "--gate-cycles", "20"]) == 0
+        capsys.readouterr()
+
+    def test_failed_job_returns_nonzero(self, capsys):
+        exit_code = main(["campaign", "--core-counts", "1", "--patterns",
+                          "16", "--schedules", "nope"])
+        captured = capsys.readouterr()
+        assert exit_code != 0
+        assert "error:" in captured.err
+        assert "nope" in captured.err
+
+    def test_merge_of_missing_file_returns_nonzero(self, capsys, tmp_path):
+        exit_code = main(["merge", str(tmp_path / "missing.json")])
+        captured = capsys.readouterr()
+        assert exit_code != 0
+        assert "error:" in captured.err
+
+    def test_merge_of_invalid_json_returns_nonzero(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        exit_code = main(["merge", str(path)])
+        captured = capsys.readouterr()
+        assert exit_code != 0
+        assert "error:" in captured.err
+
+    @pytest.mark.parametrize("payload", [
+        "[]",                                 # valid JSON, not an object
+        '{"schema_version": 3, "distrib_schema_version": 1, '
+        '"shard": "not-a-block"}',            # provenance block wrong shape
+    ])
+    def test_merge_of_malformed_artifact_returns_nonzero(self, capsys,
+                                                         tmp_path, payload):
+        path = tmp_path / "malformed.json"
+        path.write_text(payload)
+        exit_code = main(["merge", str(path)])
+        captured = capsys.readouterr()
+        assert exit_code != 0
+        assert "error:" in captured.err
+
+    def test_resume_from_malformed_artifact_returns_nonzero(self, capsys,
+                                                            tmp_path):
+        path = tmp_path / "malformed.json"
+        path.write_text(json.dumps({
+            "schema_version": SCHEMA_VERSION, "adaptive_schema_version": 2,
+            "objectives": ["peak_power"], "eta": 2.0, "min_budget": 0.5,
+            "specs": [{"kind": "generated"}],  # spec misses required fields
+        }))
+        exit_code = main(["adaptive", "--resume-from", str(path)])
+        captured = capsys.readouterr()
+        assert exit_code != 0
+        assert "error:" in captured.err
+
+    def test_merge_of_mismatched_schema_returns_nonzero(self, capsys,
+                                                        tmp_path):
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps({
+            "schema_version": SCHEMA_VERSION - 1,
+            "distrib_schema_version": 1,
+            "shard": {"index": 0, "count": 1, "start": 0, "stop": 1,
+                      "total_jobs": 1, "fingerprint": "0" * 64},
+            "columns": [], "row_count": 1, "rows": [{}],
+        }))
+        exit_code = main(["merge", str(path)])
+        captured = capsys.readouterr()
+        assert exit_code != 0
+        assert "schema_version" in captured.err
+
+    def test_resume_from_missing_artifact_returns_nonzero(self, capsys,
+                                                          tmp_path):
+        exit_code = main(["adaptive", "--resume-from",
+                          str(tmp_path / "missing.json")])
+        captured = capsys.readouterr()
+        assert exit_code != 0
+        assert "error:" in captured.err
