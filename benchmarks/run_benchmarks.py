@@ -10,6 +10,9 @@ Measures the four performance-critical layers of the stack:
                   activity log (enabled and disabled) and columnar query time,
 * ``lfsr``     -- bit-accurate pattern generation (LFSR) and signature
                   compaction (MISR) throughput,
+* ``schedule`` -- builds/second of every registered scheduler strategy on a
+                  generated task set, plus schedule-quality deltas
+                  (estimated makespan / peak power) vs the greedy baseline,
 * ``campaign`` -- scenarios/second of the 50-scenario pool run (serial and
                   worker pool).
 
@@ -273,6 +276,69 @@ def bench_lfsr(scale: float) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# schedule strategies
+# ---------------------------------------------------------------------------
+
+def bench_schedule(scale: float) -> dict:
+    """Strategy build throughput and schedule quality vs the greedy baseline.
+
+    Builds every registered scheduler strategy (default parameters, plus a
+    representative annealing configuration) over a generated multi-core task
+    set and reports builds/second next to the estimated makespan and peak
+    power relative to greedy — the coarse preview of the estimate-vs-
+    simulation comparison the campaign layer runs at scale.
+    """
+    from repro.explore.scenarios import ScenarioSpec, build_scenario
+    from repro.schedule.scheduler import schedule_makespan_estimate
+    from repro.schedule.strategies import build_strategy_schedule
+
+    builds = max(3, int(60 * scale))
+    scenario = build_scenario(ScenarioSpec(
+        name="bench", core_count=6, patterns_per_core=64, power_budget=3.5,
+        seed=13, schedules=("sequential",)))
+    tasks = scenario.tasks
+    estimates = scenario.estimator.estimate_all(tasks)
+    power_model = scenario.power_model
+
+    specs = ["sequential", "greedy", "binpack", "binpack:fit=worst",
+             "anneal:steps=256,peak_weight=0.25"]
+    result: dict = {
+        "workload": {"tasks": len(tasks), "builds_per_strategy": builds,
+                     "power_budget": power_model.budget},
+        "strategies": {},
+    }
+
+    greedy = build_strategy_schedule("greedy", tasks, estimates,
+                                     power_model=power_model)
+    greedy_makespan = schedule_makespan_estimate(greedy, estimates)
+    greedy_peak = power_model.schedule_peak_power(greedy, tasks)
+
+    for text in specs:
+        def run_builds(text=text):
+            start = time.perf_counter()
+            schedule = None
+            for _ in range(builds):
+                schedule = build_strategy_schedule(
+                    text, tasks, estimates, power_model=power_model)
+            return time.perf_counter() - start, schedule
+
+        wall, schedule = _best_of(REPEATS, run_builds)
+        makespan = schedule_makespan_estimate(schedule, estimates)
+        peak = power_model.schedule_peak_power(schedule, tasks)
+        result["strategies"][text] = {
+            "builds_per_second": round(builds / wall, 1),
+            "phase_count": schedule.phase_count,
+            "makespan_estimate": makespan,
+            "peak_power_estimate": round(peak, 3),
+            "makespan_vs_greedy": round(makespan / greedy_makespan, 4),
+            "peak_power_vs_greedy": round(peak / greedy_peak, 4),
+        }
+    result["greedy_builds_per_second"] = \
+        result["strategies"]["greedy"]["builds_per_second"]
+    return result
+
+
+# ---------------------------------------------------------------------------
 # campaign
 # ---------------------------------------------------------------------------
 
@@ -403,6 +469,7 @@ BENCHMARKS = {
     "kernel": bench_kernel,
     "tracing": bench_tracing,
     "lfsr": bench_lfsr,
+    "schedule": bench_schedule,
     "campaign": bench_campaign,
     "distrib": bench_distrib,
 }
@@ -412,6 +479,7 @@ HEADLINE = {
     "kernel": "timeout_dispatch_per_second",
     "tracing": "enabled_appends_per_second",
     "lfsr": "word_bits_per_second",
+    "schedule": "greedy_builds_per_second",
     "campaign": "pool_rows_per_second",
     "distrib": "merge_rows_per_second",
 }

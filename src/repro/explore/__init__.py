@@ -63,8 +63,11 @@ from repro.explore.distrib import (
     load_artifact,
     merge_artifacts,
     merge_shard_documents,
+    missing_shard_spans,
     plan_shards,
+    replan_document,
     run_shard,
+    shard_span,
     space_fingerprint,
     write_merged_csv,
     write_merged_json,
@@ -75,6 +78,7 @@ from repro.explore.report import (
     format_campaign,
     format_merged,
     format_shard,
+    format_strategies,
     format_table,
     format_table1,
 )
@@ -126,14 +130,17 @@ __all__ = [
     "format_campaign",
     "format_merged",
     "format_shard",
+    "format_strategies",
     "format_table",
     "format_table1",
     "load_artifact",
     "merge_artifacts",
     "merge_shard_documents",
+    "missing_shard_spans",
     "outcome_from_row",
     "pareto_ranks",
     "plan_shards",
+    "replan_document",
     "result_columns",
     "resume_search",
     "run_jobs",
@@ -141,6 +148,7 @@ __all__ = [
     "run_speed_comparison",
     "run_table1",
     "schedule_exploration",
+    "shard_span",
     "space_fingerprint",
     "spec_from_dict",
     "spec_to_dict",

@@ -47,6 +47,16 @@ determinism test pins down.  Pass ``deterministic=False`` to keep timings.
 Budget scaling only thins ``generated`` scenarios; ``jpeg``-kind specs carry
 their pattern volumes in the fixed test plan, so they run at full cost in
 every round (the search still prunes them on the observed objectives).
+
+Round sharding: every round's job list is plain
+:class:`~repro.explore.campaign.CampaignJob` data, so ``run(round_shards=N)``
+(CLI: ``adaptive --shard I/N``) executes each round through the distribution
+layer — :func:`~repro.explore.distrib.plan_shards` →
+:func:`~repro.explore.distrib.run_shard` →
+:func:`~repro.explore.distrib.merge_shard_documents` — and recombines the
+shard rows before selection.  Sharding is execution-only metadata (never
+serialized), so sharded, rotated and unsharded runs all write bitwise
+identical artifacts.
 """
 
 from __future__ import annotations
@@ -68,12 +78,18 @@ from repro.explore.campaign import (
     outcome_from_row,
     run_jobs,
 )
+from repro.explore.distrib import (
+    merge_shard_documents,
+    plan_shards,
+    run_shard,
+)
 from repro.explore.scenarios import (
     ScenarioGrid,
     ScenarioSpec,
     spec_from_dict,
     spec_to_dict,
 )
+from repro.schedule.strategies import canonical_schedule_names
 
 #: Version of the adaptive provenance schema (see the module docstring).
 ADAPTIVE_SCHEMA_VERSION = 2
@@ -82,7 +98,8 @@ ADAPTIVE_SCHEMA_VERSION = 2
 PROVENANCE_COLUMNS = ("round", "budget", "survivor")
 
 #: Result columns that hold labels, not numbers — unusable as objectives.
-_NON_NUMERIC_COLUMNS = ("scenario", "kind", "schedule")
+_NON_NUMERIC_COLUMNS = ("scenario", "kind", "schedule", "strategy",
+                        "strategy_params")
 
 
 # -- objectives and dominance ---------------------------------------------------
@@ -288,6 +305,11 @@ class AdaptiveResult:
     #: metadata only (reported, never serialized): a resumed run's final
     #: artifact stays bitwise identical to the uninterrupted run's.
     resumed_rounds: int = 0
+    #: Shards each round's job list was executed through (None: unsharded).
+    #: Run metadata only, never serialized: sharded rounds recombine through
+    #: the provenance-validated merger and stay bitwise identical to
+    #: unsharded rounds.
+    round_shards: Optional[int] = None
 
     @property
     def total_jobs(self) -> int:
@@ -410,7 +432,8 @@ class AdaptiveSearch:
         if isinstance(specs, ScenarioGrid):
             specs = specs.specs()
         self.specs: List[ScenarioSpec] = list(specs)
-        self.schedules = tuple(schedules) if schedules is not None else None
+        self.schedules = (canonical_schedule_names(schedules)
+                          if schedules is not None else None)
         self.objectives = tuple(objectives)
         if not self.specs:
             raise ValueError("an adaptive search needs at least one scenario")
@@ -525,12 +548,60 @@ class AdaptiveSearch:
             )
         return by_round
 
+    # -- per-round execution ------------------------------------------------
+    def _run_round_jobs(self, new_jobs: Sequence[CampaignJob], workers: int,
+                        mp_context: Optional[str],
+                        batch_size: Optional[int],
+                        round_shards: Optional[int],
+                        lead_shard: int) -> Tuple[List[CampaignOutcome], float]:
+        """Simulate one round's new jobs, optionally through shards.
+
+        With ``round_shards=N`` the round's job list — plain
+        :class:`CampaignJob` data, exactly like a campaign's — is planned
+        into ``N`` deterministic shards, each executed on the standard
+        worker-pool path, and the shard artifacts are recombined through the
+        provenance-validated merger before selection.  Execution starts at
+        ``lead_shard`` and wraps around; because the merger reorders by
+        shard index, the result is independent of that rotation and bitwise
+        identical to an unsharded round.  Sharded rounds rebuild outcomes
+        from deterministic artifact rows, so the timing/placement fields
+        (``cpu_seconds``/``worker``) are zeroed — the deterministic artifact
+        is unaffected.
+
+        Each shard runs through :func:`~repro.explore.distrib.run_shard`
+        with its own worker pool and per-shard batch sizing — deliberately
+        the exact code path (and cost profile) one host of a distributed
+        fleet would execute, at the price of ``N`` pool spawns per round on
+        a single machine.  Use the plain path when local wall-clock is the
+        only concern.
+        """
+        if round_shards is None or round_shards <= 1 or len(new_jobs) < 2:
+            run = run_jobs(list(new_jobs), workers=workers,
+                           mp_context=mp_context, batch_size=batch_size)
+            return run.outcomes, run.wall_seconds
+        count = min(round_shards, len(new_jobs))
+        shards = plan_shards(list(new_jobs), count)
+        wall_seconds = 0.0
+        documents: Dict[int, Mapping[str, object]] = {}
+        for offset in range(count):
+            index = (lead_shard + offset) % count
+            shard_run = run_shard(shards[index], workers=workers,
+                                  mp_context=mp_context,
+                                  batch_size=batch_size)
+            wall_seconds += shard_run.run.wall_seconds
+            documents[index] = shard_run.as_document()
+        merged = merge_shard_documents([documents[i] for i in range(count)])
+        outcomes = [outcome_from_row(row, job.spec)
+                    for row, job in zip(merged["rows"], new_jobs)]
+        return outcomes, wall_seconds
+
     # -- execution ----------------------------------------------------------
     def run(self, workers: int = 1, mp_context: Optional[str] = None,
             batch_size: Optional[int] = None,
             max_rounds: Optional[int] = None,
             resume_from: Optional[Mapping[str, object]] = None,
-            ) -> AdaptiveResult:
+            round_shards: Optional[int] = None,
+            lead_shard: int = 0) -> AdaptiveResult:
         """Run the search and return the collected result.
 
         ``max_rounds=k`` stops after *k* rounds at a round boundary; the
@@ -542,9 +613,22 @@ class AdaptiveSearch:
         Replay is validated against this search (budget ladder, candidate
         sets, survivor selection, simulation counters), so a mismatched or
         doctored artifact fails loudly instead of corrupting the search.
+
+        ``round_shards=N`` routes every round's job list through the
+        distribution layer (:func:`~repro.explore.distrib.plan_shards` →
+        :func:`~repro.explore.distrib.run_shard` →
+        :func:`~repro.explore.distrib.merge_shard_documents`, starting at
+        ``lead_shard``); results stay bitwise identical to an unsharded run
+        (see :meth:`_run_round_jobs`).
         """
         if max_rounds is not None and max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
+        if round_shards is not None and round_shards < 1:
+            raise ValueError("round_shards must be >= 1")
+        if round_shards is not None and not 0 <= lead_shard < round_shards:
+            raise ValueError(
+                f"lead_shard must be in [0, {round_shards}) "
+                f"for {round_shards} shard(s)")
         candidates = self.candidates()
         exhaustive_jobs = len(candidates)
         budgets = self.budgets()
@@ -571,11 +655,10 @@ class AdaptiveSearch:
                 resumed_rounds += 1
                 wall_seconds = 0.0
             elif new_jobs:
-                new_run = run_jobs(new_jobs, workers=workers,
-                                   mp_context=mp_context,
-                                   batch_size=batch_size)
-                evaluated.update(zip(new_jobs, new_run.outcomes))
-                wall_seconds = new_run.wall_seconds
+                outcomes, wall_seconds = self._run_round_jobs(
+                    new_jobs, workers, mp_context, batch_size,
+                    round_shards, lead_shard)
+                evaluated.update(zip(new_jobs, outcomes))
             else:
                 wall_seconds = 0.0
             run = CampaignRun(outcomes=[evaluated[job] for job in jobs],
@@ -610,6 +693,8 @@ class AdaptiveSearch:
             specs=list(self.specs), schedules_override=self.schedules,
             planned_rounds=len(budgets), complete=limit == len(budgets),
             resumed_rounds=resumed_rounds,
+            round_shards=(round_shards if round_shards
+                          and round_shards > 1 else None),
         )
 
     def _replay_round(self, index: int, jobs: Sequence[CampaignJob],
@@ -658,7 +743,9 @@ def _validate_resume_versions(document: Mapping[str, object]) -> None:
 def resume_search(document: Mapping[str, object], workers: int = 1,
                   mp_context: Optional[str] = None,
                   batch_size: Optional[int] = None,
-                  max_rounds: Optional[int] = None) -> AdaptiveResult:
+                  max_rounds: Optional[int] = None,
+                  round_shards: Optional[int] = None,
+                  lead_shard: int = 0) -> AdaptiveResult:
     """Continue an interrupted adaptive run from its JSON artifact document.
 
     Rebuilds the search from the artifact's embedded definition
@@ -670,7 +757,8 @@ def resume_search(document: Mapping[str, object], workers: int = 1,
     search = AdaptiveSearch.from_document(document)
     return search.run(workers=workers, mp_context=mp_context,
                       batch_size=batch_size, max_rounds=max_rounds,
-                      resume_from=document)
+                      resume_from=document, round_shards=round_shards,
+                      lead_shard=lead_shard)
 
 
 def adaptive_search_from_axes(axes, base: Optional[ScenarioSpec] = None,

@@ -20,8 +20,13 @@ artifacts gained a *deterministic* mode (timing/placement columns and run
 metadata dropped, so the same seed yields bitwise-identical files) which is
 the merge unit of the sharded-execution layer (:mod:`repro.explore.distrib`),
 and adaptive documents grew the resume provenance described in
-:mod:`repro.explore.adaptive`.  The adaptive layer appends provenance columns
-to this schema and versions them separately.
+:mod:`repro.explore.adaptive`; v4 — schedule generation became the pluggable
+strategy axis (:mod:`repro.schedule.strategies`): the ``schedule`` column
+now holds canonical strategy spec strings (``"anneal:steps=512"``) next to
+pre-built schedule names, and the ``strategy`` / ``strategy_params`` columns
+record the registry name and parameter fingerprint ("" for hand-written
+schedules).  The adaptive layer appends provenance columns to this schema
+and versions them separately.
 """
 
 from __future__ import annotations
@@ -36,11 +41,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.explore.scenarios import Scenario, ScenarioGrid, ScenarioSpec, build_scenario
+from repro.schedule.strategies import canonical_schedule_names, strategy_fingerprint
 from repro.soc.system import TestRunMetrics
 
 #: Version of the result-row schema written to artifacts (see the module
 #: docstring for the version history).
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Stable column order of one campaign result row.
 RESULT_COLUMNS = (
@@ -58,6 +64,8 @@ RESULT_COLUMNS = (
     "wrapper_serial_width_bits",
     "ate_vector_memory_words",
     "schedule",
+    "strategy",
+    "strategy_params",
     "phase_count",
     "task_count",
     "estimated_cycles",
@@ -118,8 +126,11 @@ class CampaignOutcome:
         """The outcome as a flat dict following :data:`RESULT_COLUMNS`."""
         row = dict(self.spec.as_dict())
         row["scenario"] = row.pop("name")
+        strategy, params = strategy_fingerprint(self.schedule)
         row.update({
             "schedule": self.schedule,
+            "strategy": strategy,
+            "strategy_params": params,
             "phase_count": self.phase_count,
             "task_count": self.task_count,
             "estimated_cycles": self.estimated_cycles,
@@ -221,12 +232,10 @@ def execute_job(job: CampaignJob) -> CampaignOutcome:
     boundaries.
     """
     scenario = cached_scenario(job.spec)
-    if job.schedule not in scenario.schedules:
-        raise KeyError(
-            f"scenario {job.spec.name!r} has no schedule {job.schedule!r}; "
-            f"available: {sorted(scenario.schedules)}"
-        )
-    schedule = scenario.schedules[job.schedule]
+    # Resolves pre-built schedules and materializes registered strategy
+    # specs on demand (deterministically, so memoized builds equal cold
+    # ones); unknown names raise KeyError.
+    schedule = scenario.schedule_for(job.schedule)
     soc = scenario.build_soc()
     wall_start = time.perf_counter()
     metrics = soc.run_test_schedule(schedule, scenario.tasks)
@@ -372,7 +381,8 @@ class Campaign:
         if isinstance(specs, ScenarioGrid):
             specs = specs.specs()
         self.specs: List[ScenarioSpec] = list(specs)
-        self.schedules = tuple(schedules) if schedules is not None else None
+        self.schedules = (canonical_schedule_names(schedules)
+                          if schedules is not None else None)
         counts = Counter(spec.name for spec in self.specs)
         duplicates = sorted(name for name, count in counts.items() if count > 1)
         if duplicates:

@@ -7,6 +7,7 @@ Usage::
     python -m repro.explore sweep-compression # compression-ratio sweep
     python -m repro.explore sweep-tam-width   # TAM-width sweep
     python -m repro.explore schedules         # schedule exploration
+    python -m repro.explore strategies        # list scheduler strategies
     python -m repro.explore campaign          # exhaustive scenario campaign
     python -m repro.explore adaptive          # Pareto + successive halving
     python -m repro.explore merge             # recombine shard artifacts
@@ -17,13 +18,24 @@ Usage::
 (``adaptive_schema_version``); the tables printed to stdout are condensed
 views and carry no schema guarantee.
 
+Schedule strategies: ``--strategy NAME[:key=val,...]`` (repeatable, on
+``campaign`` and ``adaptive``) appends parameterized scheduler strategies
+(:mod:`repro.schedule.strategies`) to the simulated schedule list;
+``strategies`` lists the registry.
+
 Distribution: ``campaign --shard I/N`` runs only the I-th of N
 deterministically planned shards (each host re-plans the identical grid from
 the same flags) and writes a shard artifact; ``merge`` validates and
 recombines the shard artifacts into the single-host result
-(:mod:`repro.explore.distrib`).  ``adaptive --max-rounds K`` checkpoints a
-search at a round boundary and ``adaptive --resume-from ART.json`` finishes
-it without re-simulating the completed rounds.
+(:mod:`repro.explore.distrib`).  ``merge --partial`` accepts an incomplete
+shard set: present shards merge, missing spans are reported on stderr, and
+``--gaps`` writes the re-plan worklist covering only the gaps.  ``adaptive
+--max-rounds K`` checkpoints a search at a round boundary and ``adaptive
+--resume-from ART.json`` finishes it without re-simulating the completed
+rounds; ``adaptive --shard I/N`` routes every round's job list through the
+shard plan/run/merge machinery (executing all N shards locally, starting at
+shard I — round selection is global, so a single invocation needs every
+shard's rows) and stays bitwise-identical to an unsharded run.
 
 Exit status: 0 on success, 2 when the requested work fails (a job fails, an
 artifact is invalid or unreadable, a merge is rejected) — operational
@@ -47,6 +59,7 @@ from repro.explore.distrib import (
     load_artifact,
     merge_shard_documents,
     plan_shards,
+    replan_document,
     run_shard,
     write_merged_csv,
     write_merged_json,
@@ -57,10 +70,12 @@ from repro.explore.report import (
     format_campaign,
     format_merged,
     format_shard,
+    format_strategies,
     format_table,
     format_table1,
 )
 from repro.explore.scenarios import ScenarioSpec
+from repro.schedule.strategies import canonical_schedule_name, is_strategy
 from repro.explore.speedup import run_speed_comparison
 from repro.explore.sweeps import (
     compression_ratio_sweep,
@@ -103,7 +118,8 @@ def _run_tam_width(args) -> None:
 
 
 def _run_schedules(args) -> None:
-    comparisons = schedule_exploration(power_budget=args.power_budget)
+    comparisons = schedule_exploration(power_budget=args.power_budget,
+                                       strategies=tuple(args.strategy or ()))
     rows = [{
         "schedule": comparison.schedule.name,
         "estimated_mcycles": comparison.estimated_cycles / 1e6,
@@ -115,12 +131,16 @@ def _run_schedules(args) -> None:
 
 
 def _scenario_base(args) -> ScenarioSpec:
+    schedules = tuple(args.schedules) + tuple(args.strategy or ())
+    if not schedules:
+        raise ValueError(
+            "no schedules to simulate: pass --schedules and/or --strategy")
     return ScenarioSpec(
         name="base",
         patterns_per_core=args.patterns,
         memory_words=args.memory_words,
         seed=args.seed,
-        schedules=tuple(args.schedules),
+        schedules=schedules,
     )
 
 
@@ -173,8 +193,19 @@ def _run_campaign(args) -> None:
 
 def _run_merge(args) -> None:
     documents = [load_artifact(path) for path in args.artifacts]
-    merged = merge_shard_documents(documents)
+    merged = merge_shard_documents(documents, partial=args.partial)
+    gaps = merged.get("partial", {}).get("missing", [])
+    for span in gaps:
+        print(f"missing shard {span['index']}/{merged['partial']['count']}: "
+              f"jobs [{span['start']}, {span['stop']})", file=sys.stderr)
     print(format_merged(documents, merged))
+    if args.gaps:
+        if gaps:
+            write_merged_json(replan_document(merged), args.gaps)
+            print(f"wrote {args.gaps}")
+        else:
+            print("no gaps: complete shard set, no re-plan written",
+                  file=sys.stderr)
     if args.csv:
         write_merged_csv(merged, args.csv)
         print(f"wrote {args.csv}")
@@ -183,18 +214,32 @@ def _run_merge(args) -> None:
         print(f"wrote {args.json}")
 
 
+def _run_strategies(args) -> None:
+    print(format_strategies())
+
+
 def _run_adaptive(args) -> None:
+    shards, lead = (None, 0) if args.shard is None else (args.shard[1],
+                                                         args.shard[0])
+    if shards is not None and args.timing:
+        # Sharded rounds rebuild outcomes from deterministic shard rows, so
+        # there are no timings to keep — warn instead of writing columns of
+        # plausible-looking zeros.
+        print("warning: --shard rebuilds outcomes from deterministic shard "
+              "rows; the --timing columns will read as zero", file=sys.stderr)
     if args.resume_from:
         result = resume_search(load_artifact(args.resume_from),
                                workers=args.workers,
-                               max_rounds=args.max_rounds)
+                               max_rounds=args.max_rounds,
+                               round_shards=shards, lead_shard=lead)
     else:
         objectives = (tuple(args.objectives) if args.objectives
                       else DEFAULT_OBJECTIVES)
         search = adaptive_search_from_axes(
             _scenario_axes(args), base=_scenario_base(args),
             objectives=objectives, eta=args.eta, min_budget=args.min_budget)
-        result = search.run(workers=args.workers, max_rounds=args.max_rounds)
+        result = search.run(workers=args.workers, max_rounds=args.max_rounds,
+                            round_shards=shards, lead_shard=lead)
     print(format_adaptive(result))
     deterministic = not args.timing
     if args.csv:
@@ -219,6 +264,19 @@ def _shard_value(text: str):
         raise argparse.ArgumentTypeError(
             f"shard index must be in [0, {count}) for {count} shard(s)")
     return index, count
+
+
+def _strategy_value(text: str) -> str:
+    """Parse and canonicalize ``--strategy NAME[:key=val,...]``."""
+    try:
+        if not is_strategy(text):
+            from repro.schedule.strategies import strategy_names
+            raise argparse.ArgumentTypeError(
+                f"unknown scheduler strategy {text.partition(':')[0]!r} "
+                f"(registered: {', '.join(strategy_names())})")
+        return canonical_schedule_name(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
 
 
 def _round_count(text: str) -> int:
@@ -276,7 +334,16 @@ def build_parser() -> argparse.ArgumentParser:
     schedules = subparsers.add_parser("schedules",
                                       help="hand-written vs generated schedules")
     schedules.add_argument("--power-budget", type=float, default=6.0)
+    schedules.add_argument("--strategy", action="append", default=None,
+                           type=_strategy_value, metavar="NAME[:k=v,...]",
+                           help="also simulate this scheduler strategy "
+                                "(repeatable)")
     schedules.set_defaults(handler=_run_schedules)
+
+    strategies = subparsers.add_parser(
+        "strategies",
+        help="list the registered scheduler strategies and their parameters")
+    strategies.set_defaults(handler=_run_strategies)
 
     def add_scenario_space_arguments(subparser) -> None:
         """Axes and base-spec flags shared by ``campaign`` and ``adaptive``."""
@@ -312,7 +379,16 @@ def build_parser() -> argparse.ArgumentParser:
                                help="base seed of the scenario generator")
         subparser.add_argument("--schedules", nargs="*",
                                default=["sequential", "greedy"],
-                               help="schedules simulated for every scenario")
+                               help="schedules simulated for every scenario "
+                                    "(pass an empty --schedules to simulate "
+                                    "only the --strategy recipes)")
+        subparser.add_argument("--strategy", action="append", default=None,
+                               type=_strategy_value, metavar="NAME[:k=v,...]",
+                               help="append a parameterized scheduler "
+                                    "strategy to the schedule list, e.g. "
+                                    "binpack:fit=worst or "
+                                    "anneal:steps=512,seed=9 (repeatable; "
+                                    "see the 'strategies' subcommand)")
         subparser.add_argument("--workers", type=int, default=1,
                                help="worker processes (1: run in-process)")
         subparser.add_argument("--csv", default=None,
@@ -349,6 +425,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the merged JSON artifact to this file "
                             "(bitwise-identical to a single-host "
                             "deterministic run)")
+    merge.add_argument("--partial", action="store_true",
+                       help="accept an incomplete shard set: merge the "
+                            "shards that exist, report missing spans on "
+                            "stderr and mark the artifact as partial")
+    merge.add_argument("--gaps", default=None, metavar="REPLAN",
+                       help="with --partial: write the re-plan worklist "
+                            "(missing shard spans) to this JSON file")
     merge.set_defaults(handler=_run_merge)
 
     adaptive = subparsers.add_parser(
@@ -372,6 +455,14 @@ def build_parser() -> argparse.ArgumentParser:
                                "written by --max-rounds; the artifact defines "
                                "the search, so scenario-space/search flags "
                                "are ignored")
+    adaptive.add_argument("--shard", type=_shard_value, default=None,
+                          metavar="I/N",
+                          help="execute every round's job list as N "
+                               "deterministically planned shards through the "
+                               "shard plan/run/merge machinery, leading with "
+                               "shard I (all shards run locally: round "
+                               "selection needs every row; results are "
+                               "bitwise-identical to an unsharded run)")
     adaptive.set_defaults(handler=_run_adaptive)
     return parser
 

@@ -24,12 +24,15 @@ problem.  This module is the distribution subsystem the ROADMAP left open:
   whose artifact embeds the shard provenance.
 * :func:`merge_shard_documents` — validate a set of shard artifacts (schema
   versions, fingerprints, shard count, exactly-once index coverage,
-  contiguous spans, column agreement) and recombine their rows into a
+  canonical spans, column agreement) and recombine their rows into a
   document identical to the one a single-host run writes.  For
   *deterministic* shard artifacts (the default) the merged document is
   **bitwise identical** to ``CampaignRun.write_json(deterministic=True)`` of
   the monolithic campaign — the property the differential shard tests pin
-  down.
+  down.  ``partial=True`` (CLI: ``merge --partial``) accepts an incomplete
+  shard set: surviving shards merge, the result carries a ``partial`` block
+  naming the missing spans, and :func:`replan_document` turns those gaps
+  into a re-plan worklist (each gap is one ``campaign --shard I/N`` rerun).
 
 Shard and merge documents embed the campaign row schema
 (``schema_version`` = :data:`repro.explore.campaign.SCHEMA_VERSION`); the
@@ -99,6 +102,16 @@ def space_fingerprint(jobs: Sequence[CampaignJob]) -> str:
 
 
 # -- planning ---------------------------------------------------------------
+def shard_span(index: int, count: int, total_jobs: int) -> Tuple[int, int]:
+    """The canonical ``[start, stop)`` span of shard *index* of *count*.
+
+    The single source of truth for the split rule: the planner slices by it,
+    the merger validates declared spans against it, and the partial-merge
+    gap report derives missing spans from it.
+    """
+    return index * total_jobs // count, (index + 1) * total_jobs // count
+
+
 @dataclass(frozen=True)
 class CampaignShard:
     """One host's self-contained slice of a campaign's job list."""
@@ -190,8 +203,7 @@ def plan_shards(source: Union[Campaign, Sequence[CampaignJob]],
     fingerprint = space_fingerprint(jobs)
     shards = []
     for index in range(count):
-        start = index * len(jobs) // count
-        stop = (index + 1) * len(jobs) // count
+        start, stop = shard_span(index, count, len(jobs))
         shards.append(CampaignShard(
             index=index, count=count, start=start, stop=stop,
             total_jobs=len(jobs), fingerprint=fingerprint,
@@ -258,7 +270,8 @@ def _require_version(document: Mapping[str, object], key: str, expected: int,
 
 
 def merge_shard_documents(
-        documents: Sequence[Mapping[str, object]]) -> Dict[str, object]:
+        documents: Sequence[Mapping[str, object]],
+        partial: bool = False) -> Dict[str, object]:
     """Validate and recombine shard result documents into one result set.
 
     The returned document has exactly the layout of
@@ -267,6 +280,14 @@ def merge_shard_documents(
     of a monolithic single-host run.  Raises :class:`MergeError` when the
     shards do not form exactly one complete, non-overlapping cover of one
     campaign.
+
+    ``partial=True`` additionally accepts an *incomplete* shard set (lost
+    hosts, straggler shards): the present shards still have to agree on
+    provenance, sit on their canonical ``i·M/N`` spans and not overlap, and
+    their rows are recombined in shard order.  When shards are actually
+    missing, the returned document carries a ``partial`` block (present and
+    missing spans — the re-plan worklist) instead of masquerading as a
+    complete artifact; a complete set degrades to the ordinary bitwise merge.
     """
     if not documents:
         raise MergeError("no shard artifacts to merge")
@@ -301,6 +322,7 @@ def merge_shard_documents(
             "scenario-space fingerprints disagree — the shards were planned "
             f"from different campaigns: {sorted(fingerprints)}"
         )
+    fingerprints_value = fingerprints.pop()
     totals = {provenance(d)["total_jobs"] for d in documents}
     if len(totals) != 1:
         raise MergeError(f"total job counts disagree: {sorted(totals)}")
@@ -311,8 +333,11 @@ def merge_shard_documents(
     if duplicates:
         raise MergeError(f"overlapping shards: index(es) {duplicates} "
                          f"supplied more than once")
-    if indexes != list(range(count)):
-        missing = sorted(set(range(count)) - set(indexes))
+    missing = sorted(set(range(count)) - set(indexes))
+    if sorted(set(indexes) - set(range(count))):
+        raise MergeError(f"shard indexes {indexes} exceed the shard count "
+                         f"{count}")
+    if missing and not partial:
         raise MergeError(f"incomplete shard set: missing shard index(es) "
                          f"{missing} of {count}")
 
@@ -322,16 +347,26 @@ def merge_shard_documents(
                          "(mixed deterministic/timing artifacts?)")
 
     ordered = sorted(documents, key=lambda d: provenance(d)["index"])
-    cursor = 0
     merged_rows: List[Dict[str, object]] = []
     for document in ordered:
         shard = provenance(document)
         start, stop = shard["start"], shard["stop"]
-        if start != cursor:
-            kind = "overlapping" if start < cursor else "gapped"
+        # Spans are a pure function of (index, count, total): validating
+        # against the canonical formula catches overlaps and doctored spans
+        # whether or not the neighbouring shard is present.
+        expected_start, expected_stop = shard_span(shard["index"], count,
+                                                   total_jobs)
+        if start != expected_start:
+            kind = "overlapping" if start < expected_start else "gapped"
             raise MergeError(
                 f"{kind} shard spans: shard {shard['index']} starts at job "
-                f"{start}, expected {cursor}"
+                f"{start}, expected {expected_start}"
+            )
+        if stop != expected_stop:
+            raise MergeError(
+                f"shard {shard['index']} declares the span [{start}, {stop}),"
+                f" expected [{expected_start}, {expected_stop}) for "
+                f"{total_jobs} jobs in {count} shard(s)"
             )
         rows = document["rows"]
         if len(rows) != stop - start or document.get("row_count") != len(rows):
@@ -340,16 +375,53 @@ def merge_shard_documents(
                 f"span [{start}, {stop})"
             )
         merged_rows.extend(rows)
-        cursor = stop
-    if cursor != total_jobs:
-        raise MergeError(f"shard spans cover {cursor} of {total_jobs} jobs")
 
     # Mirror CampaignRun.as_document key order exactly (bitwise contract).
+    merged: Dict[str, object] = {"schema_version": SCHEMA_VERSION,
+                                 "columns": columns[0]}
+    if missing:
+        merged["partial"] = {
+            "count": count,
+            "total_jobs": total_jobs,
+            "fingerprint": fingerprints_value,
+            "present": [i for i in range(count) if i not in missing],
+            "missing": missing_shard_spans(missing, count, total_jobs),
+        }
+    merged["row_count"] = len(merged_rows)
+    merged["rows"] = merged_rows
+    return merged
+
+
+def missing_shard_spans(missing: Sequence[int], count: int,
+                        total_jobs: int) -> List[Dict[str, int]]:
+    """The canonical ``[start, stop)`` spans of the missing shard indexes —
+    the gaps a re-plan has to cover."""
+    spans = []
+    for index in sorted(missing):
+        start, stop = shard_span(index, count, total_jobs)
+        spans.append({"index": index, "start": start, "stop": stop})
+    return spans
+
+
+def replan_document(merged: Mapping[str, object]) -> Dict[str, object]:
+    """A re-plan worklist for the gaps of a partial merge.
+
+    The returned document names the missing shards of the original plan —
+    each gap is exactly the job span of one ``campaign --shard I/N`` rerun
+    against the same grid (the fingerprint pins the scenario space).  Raises
+    :class:`ValueError` when *merged* has no gaps.
+    """
+    block = merged.get("partial")
+    if not isinstance(block, Mapping) or not block.get("missing"):
+        raise ValueError("merged document has no gaps to re-plan")
     return {
         "schema_version": SCHEMA_VERSION,
-        "columns": columns[0],
-        "row_count": len(merged_rows),
-        "rows": merged_rows,
+        "distrib_schema_version": DISTRIB_SCHEMA_VERSION,
+        "kind": "replan",
+        "fingerprint": block["fingerprint"],
+        "count": block["count"],
+        "total_jobs": block["total_jobs"],
+        "missing": list(block["missing"]),
     }
 
 
@@ -362,9 +434,10 @@ def load_artifact(path) -> Dict[str, object]:
     return document
 
 
-def merge_artifacts(paths: Sequence) -> Dict[str, object]:
+def merge_artifacts(paths: Sequence, partial: bool = False) -> Dict[str, object]:
     """:func:`merge_shard_documents` over artifacts read from *paths*."""
-    return merge_shard_documents([load_artifact(path) for path in paths])
+    return merge_shard_documents([load_artifact(path) for path in paths],
+                                 partial=partial)
 
 
 def write_merged_json(document: Mapping[str, object], path) -> None:

@@ -143,12 +143,35 @@ def format_adaptive(result) -> str:
     if result.resumed_rounds:
         footer += (f"; resumed: {result.resumed_rounds} round(s) replayed "
                    f"from the checkpoint artifact")
+    if result.round_shards:
+        footer += (f"; sharded: each round merged from "
+                   f"{result.round_shards} planned shards")
     if not result.complete:
         footer += (f"; CHECKPOINT: {len(result.rounds)} of "
                    f"{result.planned_rounds} rounds done, front pending — "
                    f"finish with --resume-from")
     return (f"rounds:\n{rounds_table}\n\n"
             f"Pareto front:\n{front_table}\n\n{footer}")
+
+
+def format_strategies() -> str:
+    """List the registered scheduler strategies, parameters and defaults."""
+    from repro.schedule.strategies import get_strategy, strategy_names
+
+    rows = []
+    for name in strategy_names():
+        strategy = get_strategy(name)
+        parameters = ", ".join(f"{p}={default} ({kind})"
+                               for p, kind, default in strategy.parameter_docs())
+        rows.append({
+            "strategy": name,
+            "parameters": parameters or "-",
+            "description": strategy.summary,
+        })
+    table = format_table(rows, ["strategy", "parameters", "description"])
+    footer = ("select with --strategy NAME[:key=val,...] on the campaign "
+              "and adaptive subcommands")
+    return f"{table}\n\n{footer}"
 
 
 def format_shard(result) -> str:
@@ -179,6 +202,13 @@ def format_merged(shard_documents: Sequence[Mapping[str, object]],
               f"{merged['row_count']} rows "
               f"(schema v{merged['schema_version']}, "
               f"space fingerprint {fingerprint[:12]})")
+    partial = merged.get("partial")
+    if partial:
+        gaps = ", ".join(f"{span['index']}/{partial['count']} "
+                         f"[{span['start']}, {span['stop']})"
+                         for span in partial["missing"])
+        footer += (f"; PARTIAL: covering {merged['row_count']} of "
+                   f"{partial['total_jobs']} jobs — missing shard(s) {gaps}")
     return f"{table}\n\n{footer}"
 
 

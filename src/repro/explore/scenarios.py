@@ -17,12 +17,21 @@ the scenario grammar for that:
 * :func:`build_scenario` — expand a spec into a concrete :class:`Scenario`:
   deterministic synthetic core descriptions (seeded,
   :class:`~repro.rtl.generate.SyntheticCoreSpec`-style), test tasks, and
-  machine-generated schedules (sequential baseline plus greedy concurrent
-  under the power budget).  ``kind="jpeg"`` scenarios map onto the paper's
-  case study instead, which is how the original single-parameter sweeps are
-  expressed as campaigns.
+  machine-generated schedules.  ``kind="jpeg"`` scenarios map onto the
+  paper's case study instead, which is how the original single-parameter
+  sweeps are expressed as campaigns.
 * :class:`ScenarioGrid` — the cross-product generator: axes of parameter
   values fanned out into a deterministic list of named, seeded specs.
+
+Schedule generation is the pluggable strategy axis: every entry of
+``ScenarioSpec.schedules`` that names a registered scheduler strategy
+(:mod:`repro.schedule.strategies`) — plain (``"greedy"``) or parameterized
+(``"anneal:steps=512,seed=9"``) — is materialized through the registry
+against the scenario's tasks, estimates and power budget.  Entries are
+canonicalized at spec construction, so equal recipes always hash, pickle and
+serialize identically.  Entries that are *not* strategy specs refer to the
+scenario's pre-built schedules (the paper's hand-written ``schedule_1`` ...
+``schedule_4`` of ``jpeg`` scenarios).
 """
 
 from __future__ import annotations
@@ -42,7 +51,13 @@ from repro.rtl.generate import SyntheticCoreSpec
 from repro.schedule.estimator import PlatformParameters, TestTimeEstimator
 from repro.schedule.model import TestKind, TestSchedule, TestTask
 from repro.schedule.power import PowerModel
-from repro.schedule.scheduler import greedy_concurrent_schedule, sequential_schedule
+from repro.schedule.strategies import (
+    ScheduleStrategySpec,
+    build_strategy_schedule,
+    canonical_schedule_name,
+    canonical_schedule_names,
+    get_strategy,
+)
 from repro.soc.system import GeneratedSocTlm, JpegSocTlm, SocConfiguration
 from repro.soc.testplan import (
     MEMORY,
@@ -93,7 +108,10 @@ class ScenarioSpec:
     #: ATE stimulus vector memory in link words (0: unlimited buffer).
     ate_vector_memory_words: int = 0
     seed: int = 1
-    #: Names of the schedules this scenario contributes to the campaign.
+    #: The schedules this scenario contributes to the campaign: scheduler
+    #: strategy specs (``"greedy"``, ``"anneal:steps=512"`` — canonicalized
+    #: on construction, built through the strategy registry) and/or names of
+    #: the scenario's pre-built schedules (``"schedule_1"`` on jpeg specs).
     schedules: Tuple[str, ...] = ("sequential", "greedy")
     #: Extra :class:`~repro.soc.system.SocConfiguration` fields as sorted
     #: ``(name, value)`` pairs (kept as a tuple so the spec stays hashable).
@@ -121,6 +139,12 @@ class ScenarioSpec:
             raise ValueError("ate_vector_memory_words cannot be negative")
         if not self.schedules:
             raise ValueError("a scenario needs at least one schedule")
+        # Canonicalize strategy spec strings (and fail fast on malformed
+        # ones) so equal schedule recipes always compare, hash and serialize
+        # equal, dropping duplicate recipes; non-strategy names pass through
+        # untouched.
+        object.__setattr__(self, "schedules",
+                           canonical_schedule_names(self.schedules))
 
     def as_dict(self) -> Dict[str, object]:
         """The spec as a flat dict (column values of a campaign result row)."""
@@ -199,24 +223,56 @@ class Scenario:
     schedules: Dict[str, TestSchedule]
     memory_words: Dict[str, int] = field(default_factory=dict)
     estimator: Optional[TestTimeEstimator] = None
+    #: The power model scheduler strategies build against (the spec's budget).
+    power_model: Optional[PowerModel] = None
+
+    def schedule_for(self, name: str) -> TestSchedule:
+        """Resolve a schedule by name, materializing strategies on demand.
+
+        Pre-built schedules (the spec's own entries, a jpeg scenario's
+        hand-written plans) are served from :attr:`schedules`; any other
+        name that parses as a registered scheduler strategy is built against
+        the scenario's tasks, estimates and power model — deterministically,
+        so lazily built schedules equal eagerly built ones — and memoized.
+        Unknown names raise :class:`KeyError`.
+        """
+        canonical = canonical_schedule_name(name)
+        schedule = self.schedules.get(canonical)
+        if schedule is not None:
+            return schedule
+        if (ScheduleStrategySpec.parse(canonical) is not None
+                and self.estimator is not None):
+            schedule = build_strategy_schedule(
+                canonical, self.tasks, self.estimator.estimate_all(self.tasks),
+                power_model=self.power_model)
+            self.schedules[canonical] = schedule
+            return schedule
+        raise KeyError(
+            f"scenario {self.spec.name!r} has no schedule {name!r}; "
+            f"available: {sorted(self.schedules)}"
+        )
 
     def selected_schedules(self) -> List[TestSchedule]:
         """The schedules named by the spec, in spec order."""
-        missing = [name for name in self.spec.schedules
-                   if name not in self.schedules]
+        selected, missing = [], []
+        for name in self.spec.schedules:
+            try:
+                selected.append(self.schedule_for(name))
+            except KeyError:
+                missing.append(name)
         if missing:
             raise KeyError(
                 f"scenario {self.spec.name!r} has no schedule(s) {missing!r}; "
                 f"available: {sorted(self.schedules)}"
             )
-        return [self.schedules[name] for name in self.spec.schedules]
+        return selected
 
     def estimated_cycles(self, schedule_name: str) -> int:
         """Coarse (estimator) makespan of one of the scenario's schedules."""
         if self.estimator is None:
             return 0
         return self.estimator.estimate_schedule_cycles(
-            self.schedules[schedule_name], self.tasks
+            self.schedule_for(schedule_name), self.tasks
         )
 
     def build_soc(self):
@@ -345,21 +401,23 @@ def generate_tasks(spec: ScenarioSpec,
 
 def generate_schedules(spec: ScenarioSpec, tasks: Mapping[str, TestTask],
                        estimator: TestTimeEstimator) -> Dict[str, TestSchedule]:
-    """Machine-generated schedules of a generated scenario."""
+    """Build the spec's strategy schedules through the strategy registry.
+
+    Every ``spec.schedules`` entry that parses as a registered scheduler
+    strategy is materialized against the scenario's tasks, coarse estimates
+    and power budget, keyed by its canonical spec string.  Entries that are
+    not strategy specs are left to the scenario's pre-built registry (and
+    surface as :class:`KeyError` from :meth:`Scenario.schedule_for` when
+    nothing provides them).
+    """
     estimates = estimator.estimate_all(tasks)
-    schedules = {
-        "sequential": sequential_schedule(
-            "sequential", tasks,
-            order=sorted(tasks, key=lambda name: estimates[name], reverse=True),
-            description="sequential baseline (longest test first)",
-        ),
-        "greedy": greedy_concurrent_schedule(
-            "greedy", tasks, estimates,
-            power_model=PowerModel(budget=spec.power_budget),
-            description=f"greedy concurrent schedule "
-                        f"(power budget {spec.power_budget:g})",
-        ),
-    }
+    power_model = PowerModel(budget=spec.power_budget)
+    schedules: Dict[str, TestSchedule] = {}
+    for entry in spec.schedules:
+        if entry in schedules or ScheduleStrategySpec.parse(entry) is None:
+            continue
+        schedules[entry] = build_strategy_schedule(
+            entry, tasks, estimates, power_model=power_model)
     return schedules
 
 
@@ -373,7 +431,8 @@ def _build_generated_scenario(spec: ScenarioSpec) -> Scenario:
     schedules = generate_schedules(spec, tasks, estimator)
     return Scenario(spec=spec, descriptions=descriptions, tasks=tasks,
                     schedules=schedules, memory_words=memory_words,
-                    estimator=estimator)
+                    estimator=estimator,
+                    power_model=PowerModel(budget=spec.power_budget))
 
 
 def _build_jpeg_scenario(spec: ScenarioSpec) -> Scenario:
@@ -394,25 +453,29 @@ def _build_jpeg_scenario(spec: ScenarioSpec) -> Scenario:
     estimator = TestTimeEstimator(descriptions, scenario_platform(spec),
                                   memory_words=memory_words)
     estimates = estimator.estimate_all(tasks)
+    power_model = PowerModel(budget=spec.power_budget)
 
     schedules = dict(build_test_schedules())
     schedules[COMPRESSED_ONLY] = TestSchedule.sequential(
         COMPRESSED_ONLY, ["t3_processor_compressed"],
         description="only the compressed processor test (sweep design point)",
     )
-    schedules["generated_sequential"] = sequential_schedule(
-        "generated_sequential", tasks,
-        order=sorted(tasks, key=lambda name: estimates[name], reverse=True),
-        description="auto-generated sequential baseline (longest first)",
-    )
-    schedules["generated_greedy"] = greedy_concurrent_schedule(
-        "generated_greedy", tasks, estimates,
-        power_model=PowerModel(budget=spec.power_budget),
-        description="auto-generated greedy concurrent schedule",
-    )
+    # Historical aliases of the default-parameter strategies over the paper's
+    # task set (pre-registry callers select them by these names).
+    schedules["generated_sequential"] = get_strategy("sequential").build(
+        tasks, estimates, power_model=power_model, name="generated_sequential")
+    schedules["generated_greedy"] = get_strategy("greedy").build(
+        tasks, estimates, power_model=power_model, name="generated_greedy")
+    # Strategy entries of the spec (e.g. "binpack:fit=worst") are built
+    # eagerly like generated scenarios do; hand-written names are already in.
+    for entry in spec.schedules:
+        if entry in schedules or ScheduleStrategySpec.parse(entry) is None:
+            continue
+        schedules[entry] = build_strategy_schedule(
+            entry, tasks, estimates, power_model=power_model)
     return Scenario(spec=spec, descriptions=descriptions, tasks=tasks,
                     schedules=schedules, memory_words=memory_words,
-                    estimator=estimator)
+                    estimator=estimator, power_model=power_model)
 
 
 def build_scenario(spec: ScenarioSpec) -> Scenario:

@@ -115,17 +115,22 @@ class ScheduleComparison:
 
 
 def schedule_exploration(power_budget: float = 6.0,
-                         workers: int = 1) -> List[ScheduleComparison]:
+                         workers: int = 1,
+                         strategies: Sequence[str] = (),
+                         ) -> List[ScheduleComparison]:
     """Compare the paper's schedules against automatically generated ones.
 
     A sequential baseline and a greedy concurrent schedule (built from the
     coarse estimates, under a peak power budget) are simulated alongside the
-    paper's four hand-written schedules.
+    paper's four hand-written schedules.  *strategies* appends further
+    scheduler-strategy recipes (``"binpack"``, ``"anneal:steps=512"`` — see
+    :mod:`repro.schedule.strategies`) to the comparison.
     """
     spec = _jpeg_spec(
         "schedule_exploration", SocConfiguration(),
         schedules=("generated_greedy", "generated_sequential",
-                   "schedule_1", "schedule_2", "schedule_3", "schedule_4"),
+                   "schedule_1", "schedule_2", "schedule_3", "schedule_4",
+                   *strategies),
         power_budget=power_budget,
     )
     # The worker rebuilds the scenario from the spec (deterministically);

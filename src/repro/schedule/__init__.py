@@ -5,28 +5,63 @@ information (estimated test lengths, resource conflicts, power budgets); the
 resulting schedule is then *validated* by simulating it on the test
 infrastructure TLM, which yields accurate test length, TAM utilization and
 power figures.  This package provides the planning side of that workflow.
+
+Schedule *construction* is a pluggable strategy subsystem
+(:mod:`repro.schedule.strategies`): every algorithm in
+:mod:`repro.schedule.scheduler` is registered under a name with a typed
+parameter dataclass, and any strategy + parameter set round-trips through a
+canonical ``NAME[:key=val,...]`` spec string — the form the exploration
+campaigns sweep as a first-class axis.
 """
 
 from repro.schedule.model import TestKind, TestSchedule, TestTask
 from repro.schedule.estimator import PlatformParameters, TestTimeEstimator
 from repro.schedule.power import PowerModel
 from repro.schedule.scheduler import (
+    binpack_power_schedule,
     greedy_concurrent_schedule,
+    local_search_schedule,
     sequential_schedule,
     schedule_makespan_estimate,
+)
+from repro.schedule.strategies import (
+    ScheduleStrategySpec,
+    SchedulerStrategy,
+    StrategyParams,
+    build_strategy_schedule,
+    canonical_schedule_name,
+    canonical_schedule_names,
+    get_strategy,
+    is_strategy,
+    register_strategy,
+    strategy_fingerprint,
+    strategy_names,
 )
 from repro.schedule.validation import ScheduleValidationReport, validate_schedule
 
 __all__ = [
     "PlatformParameters",
     "PowerModel",
+    "ScheduleStrategySpec",
+    "SchedulerStrategy",
     "ScheduleValidationReport",
+    "StrategyParams",
     "TestKind",
     "TestSchedule",
     "TestTask",
     "TestTimeEstimator",
+    "binpack_power_schedule",
+    "build_strategy_schedule",
+    "canonical_schedule_name",
+    "canonical_schedule_names",
+    "get_strategy",
     "greedy_concurrent_schedule",
+    "is_strategy",
+    "local_search_schedule",
+    "register_strategy",
     "schedule_makespan_estimate",
     "sequential_schedule",
+    "strategy_fingerprint",
+    "strategy_names",
     "validate_schedule",
 ]

@@ -1,19 +1,29 @@
-"""Test schedulers.
+"""Test-scheduling algorithms.
 
-Two classic strategies are provided:
+Four schedule construction algorithms are provided:
 
 * :func:`sequential_schedule` -- run every test one after another (the
   baseline the paper's schedules 1 and 2 correspond to),
 * :func:`greedy_concurrent_schedule` -- a longest-task-first list scheduler
   that packs compatible tests into concurrent phases subject to resource
-  conflicts and a power budget (the strategy behind schedules 3 and 4).
+  conflicts and a power budget (the strategy behind schedules 3 and 4),
+* :func:`binpack_power_schedule` -- best-fit-decreasing bin packing where
+  each phase is a power window under the budget,
+* :func:`local_search_schedule` -- seeded, deterministic simulated annealing
+  that improves an initial schedule against a configurable cost (estimated
+  makespan, peak power, or a weighted combination).
 
-Both work on the same coarse information as the estimator; the point of the
-paper is that the resulting schedules should then be validated by simulation.
+All of them work on the same coarse information as the estimator; the point
+of the paper is that the resulting schedules should then be validated by
+simulation.  The registry layer that exposes these algorithms as named,
+parameterized *strategies* (the campaign axis) lives in
+:mod:`repro.schedule.strategies`.
 """
 
 from __future__ import annotations
 
+import math
+import random
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.schedule.model import TestSchedule, TestTask
@@ -75,6 +85,212 @@ def greedy_concurrent_schedule(name: str, tasks: Mapping[str, TestTask],
         reverse=True,
     )
     schedule = TestSchedule(name=name, phases=phases, description=description)
+    schedule.validate(dict(tasks))
+    return schedule
+
+
+def _phase_feasible(task_name: str, phase: Sequence[str],
+                    tasks: Mapping[str, TestTask],
+                    power_model: PowerModel,
+                    max_concurrency: Optional[int]) -> bool:
+    """Can *task_name* join *phase* without breaking any constraint?"""
+    if max_concurrency is not None and len(phase) >= max_concurrency:
+        return False
+    task = tasks[task_name]
+    if any(task.conflicts_with(tasks[existing]) for existing in phase):
+        return False
+    return power_model.phase_fits_budget(list(phase) + [task_name], tasks)
+
+
+def binpack_power_schedule(name: str, tasks: Mapping[str, TestTask],
+                           estimates: Mapping[str, int],
+                           power_model: Optional[PowerModel] = None,
+                           max_concurrency: Optional[int] = None,
+                           fit: str = "best",
+                           description: str = "") -> TestSchedule:
+    """Best-fit-decreasing bin packing into power windows.
+
+    Each phase is one *power window*: a bin whose capacity is the peak power
+    budget.  Tasks are packed in order of decreasing estimated length; among
+    the feasible phases (no resource conflict, power budget and concurrency
+    respected) the task goes
+
+    * ``fit="best"`` -- into the phase that minimizes the estimated-makespan
+      increase: prefer a phase whose current length already covers the task
+      (smallest leftover slack), otherwise the phase the task lengthens the
+      least.  This hides short tasks under long ones, which is where the
+      greedy first-fit scheduler routinely loses time.
+    * ``fit="worst"`` -- into the feasible phase with the most remaining
+      power headroom, spreading load to flatten the simulated power profile
+      (longer schedules, lower concurrent peaks).
+
+    A new phase is opened when nothing fits.  Phases finally run longest
+    first, matching the structure of the paper's concurrent schedules.
+    """
+    if fit not in ("best", "worst"):
+        raise ValueError(f"fit must be 'best' or 'worst', got {fit!r}")
+    for task_name in tasks:
+        if task_name not in estimates:
+            raise KeyError(f"no estimate for task {task_name!r}")
+    power_model = power_model or PowerModel()
+    ordered = sorted(tasks, key=lambda task_name: estimates[task_name], reverse=True)
+    phases: List[List[str]] = []
+
+    def best_fit_key(phase: List[str], task_name: str):
+        length = max(estimates[existing] for existing in phase)
+        slack = length - estimates[task_name]
+        # Phases the task hides under (slack >= 0), tightest first, rank
+        # ahead of phases it would stretch (slack < 0), cheapest stretch
+        # first.  Phase index breaks ties deterministically.
+        return (0, slack) if slack >= 0 else (1, -slack)
+
+    def worst_fit_key(phase: List[str], task_name: str):
+        # Lowest resulting phase power == most remaining headroom under any
+        # finite budget, and still spreads load when the budget is
+        # unlimited (where headroom would be infinite for every phase).
+        return power_model.phase_power(phase + [task_name], tasks)
+
+    chooser = best_fit_key if fit == "best" else worst_fit_key
+    for task_name in ordered:
+        candidates = [
+            (chooser(phase, task_name), index)
+            for index, phase in enumerate(phases)
+            if _phase_feasible(task_name, phase, tasks, power_model,
+                               max_concurrency)
+        ]
+        if candidates:
+            _, index = min(candidates)
+            phases[index].append(task_name)
+        else:
+            phases.append([task_name])
+
+    phases.sort(
+        key=lambda phase: max(estimates[task_name] for task_name in phase),
+        reverse=True,
+    )
+    schedule = TestSchedule(name=name, phases=phases, description=description)
+    schedule.validate(dict(tasks))
+    return schedule
+
+
+def local_search_schedule(name: str, tasks: Mapping[str, TestTask],
+                          estimates: Mapping[str, int],
+                          power_model: Optional[PowerModel] = None,
+                          seed: int = 1, steps: int = 256,
+                          cost: str = "combined", peak_weight: float = 0.5,
+                          initial: Optional[TestSchedule] = None,
+                          max_concurrency: Optional[int] = None,
+                          description: str = "") -> TestSchedule:
+    """Seeded simulated annealing over schedule phases.
+
+    Starts from *initial* (default: the greedy concurrent schedule) and
+    explores neighbor schedules by moving one task to another (or a new)
+    phase, or swapping two tasks between phases — only constraint-respecting
+    neighbors are considered.  A move is accepted when it improves the cost,
+    or with the classic Metropolis probability under a geometrically cooled
+    temperature.  The whole walk is driven by ``random.Random(seed)``, so a
+    given ``(seed, steps, cost, peak_weight)`` always produces the bitwise
+    same schedule, in any process.
+
+    *cost* selects the objective over the coarse estimates:
+
+    * ``"makespan"`` -- estimated test time (sum of phase maxima),
+    * ``"peak_power"`` -- estimated peak power (max phase power),
+    * ``"combined"`` -- both, normalized by the initial schedule's values and
+      mixed with ``peak_weight`` (0: pure makespan, 1: pure peak power).
+    """
+    if cost not in ("makespan", "peak_power", "combined"):
+        raise ValueError(
+            f"cost must be 'makespan', 'peak_power' or 'combined', got {cost!r}")
+    if not 0.0 <= peak_weight <= 1.0:
+        raise ValueError("peak_weight must be in [0, 1]")
+    if steps < 0:
+        raise ValueError("steps cannot be negative")
+    for task_name in tasks:
+        if task_name not in estimates:
+            raise KeyError(f"no estimate for task {task_name!r}")
+    power_model = power_model or PowerModel()
+    if initial is None:
+        initial = greedy_concurrent_schedule(
+            name, tasks, estimates, power_model=power_model,
+            max_concurrency=max_concurrency)
+    phases = [list(phase) for phase in initial.phases]
+
+    def makespan(candidate: List[List[str]]) -> int:
+        return sum(max(estimates[task_name] for task_name in phase)
+                   for phase in candidate)
+
+    def peak(candidate: List[List[str]]) -> float:
+        return max(power_model.phase_power(phase, tasks) for phase in candidate)
+
+    makespan_scale = float(makespan(phases)) or 1.0
+    peak_scale = peak(phases) or 1.0
+    weight = {"makespan": 0.0, "peak_power": 1.0, "combined": peak_weight}[cost]
+
+    def cost_of(candidate: List[List[str]]) -> float:
+        return ((1.0 - weight) * makespan(candidate) / makespan_scale
+                + weight * peak(candidate) / peak_scale)
+
+    rng = random.Random(seed)
+    current_cost = cost_of(phases)
+    best = [list(phase) for phase in phases]
+    best_cost = current_cost
+    # Temperature in relative-cost units, cooled to ~1e-3 over the walk.
+    temperature = 0.05
+    cooling = (1e-3 / temperature) ** (1.0 / steps) if steps else 1.0
+
+    def feasible(task_name: str, phase: Sequence[str]) -> bool:
+        return _phase_feasible(task_name, phase, tasks, power_model,
+                               max_concurrency)
+
+    for _ in range(steps):
+        candidate = [list(phase) for phase in phases]
+        if len(candidate) > 1 and rng.random() < 0.5:
+            # Swap two tasks between two distinct phases.
+            source, target = rng.sample(range(len(candidate)), 2)
+            a = rng.randrange(len(candidate[source]))
+            b = rng.randrange(len(candidate[target]))
+            task_a, task_b = candidate[source][a], candidate[target][b]
+            rest_source = [t for t in candidate[source] if t != task_a]
+            rest_target = [t for t in candidate[target] if t != task_b]
+            if not (feasible(task_b, rest_source) and feasible(task_a, rest_target)):
+                temperature *= cooling
+                continue
+            candidate[source][a] = task_b
+            candidate[target][b] = task_a
+        else:
+            # Move one task to another phase, or into a brand-new phase.
+            source = rng.randrange(len(candidate))
+            task_name = candidate[source][rng.randrange(len(candidate[source]))]
+            target = rng.randrange(len(candidate) + 1)
+            if target == source:
+                temperature *= cooling
+                continue
+            if target < len(candidate) and not feasible(task_name,
+                                                        candidate[target]):
+                temperature *= cooling
+                continue
+            candidate[source].remove(task_name)
+            if target == len(candidate):
+                candidate.append([task_name])
+            else:
+                candidate[target].append(task_name)
+            candidate = [phase for phase in candidate if phase]
+        new_cost = cost_of(candidate)
+        delta = new_cost - current_cost
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+            phases = candidate
+            current_cost = new_cost
+            if new_cost < best_cost:
+                best = [list(phase) for phase in candidate]
+                best_cost = new_cost
+        temperature *= cooling
+
+    best.sort(
+        key=lambda phase: max(estimates[task_name] for task_name in phase),
+        reverse=True,
+    )
+    schedule = TestSchedule(name=name, phases=best, description=description)
     schedule.validate(dict(tasks))
     return schedule
 

@@ -21,6 +21,8 @@ from repro.soc.system import GeneratedSocTlm, JpegSocTlm, SocConfiguration
 from repro.soc.testplan import (
     build_core_descriptions,
     build_platform_parameters,
+    build_power_model,
+    build_strategy_schedules,
     build_test_schedules,
     build_test_tasks,
     MEMORY_WORDS,
@@ -38,6 +40,8 @@ __all__ = [
     "SystemBus",
     "build_core_descriptions",
     "build_platform_parameters",
+    "build_power_model",
+    "build_strategy_schedules",
     "build_test_schedules",
     "build_test_tasks",
 ]

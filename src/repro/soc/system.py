@@ -87,6 +87,14 @@ class SocConfiguration:
     ate_vector_memory_words: int = 0
     #: Stall cycles per workstation reload of the ATE vector memory.
     ate_reload_cycles: int = 25_000
+    #: Exploration fast path: ``False`` builds the transaction tracer and
+    #: activity log disabled, so every channel append reduces to one flag
+    #: check and no trace data is retained.  Simulated behaviour (test
+    #: length, activations) is untouched; the trace-derived metrics (TAM
+    #: utilization, power profile) read as zero.  Campaign workers opt in
+    #: via a ``("tracing_enabled", False)`` scenario config override when
+    #: the search objectives do not need the trace-derived columns.
+    tracing_enabled: bool = True
 
 
 @dataclass
@@ -130,8 +138,8 @@ class SocTlmBase:
         self.config = config
         self.sim = Simulator(name)
         self.clock = Clock(self.sim, "clk", config.clock_period)
-        self.tracer = TransactionTracer()
-        self.activity_log = ActivityLog()
+        self.tracer = TransactionTracer(enabled=config.tracing_enabled)
+        self.activity_log = ActivityLog(enabled=config.tracing_enabled)
 
     def _init_monitors(self) -> None:
         self.tam_monitor = TamUtilizationMonitor(self.tracer, self.bus.name,

@@ -9,12 +9,17 @@ calibration is documented in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Sequence
 
 from repro.dft.ctl import CoreTestDescription
 from repro.memory.march import MATS_PLUS
-from repro.schedule.estimator import PlatformParameters
+from repro.schedule.estimator import PlatformParameters, TestTimeEstimator
 from repro.schedule.model import TestKind, TestSchedule, TestTask
+from repro.schedule.power import PowerModel
+from repro.schedule.strategies import build_strategy_schedule, strategy_names
+
+#: Peak power budget of the case study (units of the CTL power weights).
+DEFAULT_POWER_BUDGET = 6.0
 
 #: Embedded memory: 1 MByte organised as byte-addressable words (paper: 1 MByte).
 MEMORY_WORDS = 1 << 20
@@ -201,4 +206,37 @@ def build_test_schedules() -> Dict[str, TestSchedule]:
     tasks = build_test_tasks()
     for schedule in schedules.values():
         schedule.validate(tasks)
+    return schedules
+
+
+def build_power_model(budget: float = DEFAULT_POWER_BUDGET) -> PowerModel:
+    """The case study's peak-power model (budget in CTL power units)."""
+    return PowerModel(budget=budget)
+
+
+def build_strategy_schedules(strategies: Sequence[str] = None,
+                             power_budget: float = DEFAULT_POWER_BUDGET,
+                             ) -> Dict[str, TestSchedule]:
+    """Strategy-generated schedules over the paper's seven test sequences.
+
+    Every entry of *strategies* is a scheduler-strategy spec string
+    (``"greedy"``, ``"anneal:steps=512"`` — see
+    :mod:`repro.schedule.strategies`), built against the case study's tasks,
+    coarse estimates and power budget; ``None`` builds every registered
+    strategy at default parameters.  The result is keyed by canonical spec
+    string, ready to simulate next to the hand-written
+    :func:`build_test_schedules` plans.
+    """
+    tasks = build_test_tasks()
+    estimator = TestTimeEstimator(
+        build_core_descriptions(), build_platform_parameters(),
+        memory_words={MEMORY: MEMORY_WORDS},
+    )
+    estimates = estimator.estimate_all(tasks)
+    power_model = build_power_model(power_budget)
+    schedules: Dict[str, TestSchedule] = {}
+    for text in (strategies if strategies is not None else strategy_names()):
+        schedule = build_strategy_schedule(text, tasks, estimates,
+                                           power_model=power_model)
+        schedules[schedule.name] = schedule
     return schedules

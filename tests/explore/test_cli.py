@@ -202,8 +202,8 @@ class TestExitCodes:
 
     @pytest.mark.parametrize("payload", [
         "[]",                                 # valid JSON, not an object
-        '{"schema_version": 3, "distrib_schema_version": 1, '
-        '"shard": "not-a-block"}',            # provenance block wrong shape
+        '{"schema_version": %d, "distrib_schema_version": 1, '
+        '"shard": "not-a-block"}' % SCHEMA_VERSION,  # provenance block wrong
     ])
     def test_merge_of_malformed_artifact_returns_nonzero(self, capsys,
                                                          tmp_path, payload):
@@ -249,3 +249,134 @@ class TestExitCodes:
         captured = capsys.readouterr()
         assert exit_code != 0
         assert "error:" in captured.err
+
+
+class TestStrategyCli:
+    def test_strategies_listing(self, capsys):
+        assert main(["strategies"]) == 0
+        output = capsys.readouterr().out
+        for name in ("sequential", "greedy", "binpack", "anneal"):
+            assert name in output
+        assert "--strategy" in output
+
+    def test_campaign_with_strategy_flags(self, capsys, tmp_path):
+        json_path = tmp_path / "strategies.json"
+        exit_code = main(["campaign", "--core-counts", "1", "--tam-widths",
+                          "32", "--patterns", "16", "--schedules", "greedy",
+                          "--strategy", "binpack:fit=worst",
+                          "--strategy", "anneal:seed=3,steps=64",
+                          "--json", str(json_path)])
+        capsys.readouterr()
+        assert exit_code == 0
+        document = json.loads(json_path.read_text())
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert "strategy" in document["columns"]
+        assert "strategy_params" in document["columns"]
+        schedules = [row["schedule"] for row in document["rows"]]
+        # --strategy appends to --schedules; parameters are canonicalized.
+        assert schedules == ["greedy", "binpack:fit=worst",
+                             "anneal:steps=64,seed=3"]
+        assert [row["strategy"] for row in document["rows"]] == \
+            ["greedy", "binpack", "anneal"]
+
+    def test_strategy_only_run_via_empty_schedules(self, capsys, tmp_path):
+        json_path = tmp_path / "only.json"
+        exit_code = main(["campaign", "--core-counts", "1", "--tam-widths",
+                          "32", "--patterns", "16", "--schedules",
+                          "--strategy", "binpack", "--json", str(json_path)])
+        capsys.readouterr()
+        assert exit_code == 0
+        document = json.loads(json_path.read_text())
+        assert [row["schedule"] for row in document["rows"]] == ["binpack"]
+
+    def test_no_schedules_at_all_fails_cleanly(self, capsys):
+        exit_code = main(["campaign", "--core-counts", "1", "--schedules"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "no schedules" in captured.err
+
+    @pytest.mark.parametrize("value", ["nope", "greedy:bogus=1",
+                                       "anneal:steps=x"])
+    def test_invalid_strategy_flag_rejected_at_parse_time(self, value):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["campaign", "--strategy", value])
+
+    def test_adaptive_accepts_strategies(self, capsys):
+        exit_code = main(["adaptive", "--core-counts", "1", "--tam-widths",
+                          "32", "--patterns", "16", "--schedules", "greedy",
+                          "--strategy", "binpack"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "binpack" in output
+
+
+class TestPartialMergeCli:
+    def shard_paths(self, tmp_path, capsys, count=3):
+        paths = []
+        for index in range(count):
+            path = tmp_path / f"shard{index}.json"
+            assert main(["campaign", *GRID, "--shard", f"{index}/{count}",
+                         "--json", str(path)]) == 0
+            paths.append(path)
+        capsys.readouterr()
+        return paths
+
+    def test_partial_merge_reports_gaps_and_writes_replan(self, capsys,
+                                                          tmp_path):
+        paths = self.shard_paths(tmp_path, capsys)
+        gaps_path = tmp_path / "gaps.json"
+        merged_path = tmp_path / "partial.json"
+        exit_code = main(["merge", "--partial", str(paths[0]), str(paths[2]),
+                          "--gaps", str(gaps_path),
+                          "--json", str(merged_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "missing shard 1/3" in captured.err
+        assert "PARTIAL" in captured.out
+        replan = json.loads(gaps_path.read_text())
+        assert [span["index"] for span in replan["missing"]] == [1]
+        merged = json.loads(merged_path.read_text())
+        assert merged["partial"]["present"] == [0, 2]
+
+    def test_partial_merge_of_complete_set_is_bitwise_identical(self, capsys,
+                                                                tmp_path):
+        paths = self.shard_paths(tmp_path, capsys)
+        partial_path = tmp_path / "partial.json"
+        full_path = tmp_path / "full.json"
+        assert main(["merge", "--partial", *map(str, paths),
+                     "--json", str(partial_path)]) == 0
+        assert main(["merge", *map(str, paths),
+                     "--json", str(full_path)]) == 0
+        capsys.readouterr()
+        assert partial_path.read_bytes() == full_path.read_bytes()
+
+    def test_merge_without_partial_still_rejects_gaps(self, capsys, tmp_path):
+        paths = self.shard_paths(tmp_path, capsys)
+        exit_code = main(["merge", str(paths[0]), str(paths[2])])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "missing shard index" in captured.err
+
+
+class TestAdaptiveShardCli:
+    def test_sharded_adaptive_bitwise_identical_to_unsharded(self, capsys,
+                                                             tmp_path):
+        sharded = tmp_path / "sharded.json"
+        plain = tmp_path / "plain.json"
+        assert main(["adaptive", *GRID, "--shard", "1/2",
+                     "--json", str(sharded)]) == 0
+        assert "sharded" in capsys.readouterr().out
+        assert main(["adaptive", *GRID, "--json", str(plain)]) == 0
+        capsys.readouterr()
+        assert sharded.read_bytes() == plain.read_bytes()
+
+
+class TestAdaptiveShardTimingWarning:
+    def test_shard_with_timing_warns_about_zeroed_columns(self, capsys,
+                                                          tmp_path):
+        path = tmp_path / "sharded_timing.json"
+        assert main(["adaptive", *GRID, "--shard", "0/2", "--timing",
+                     "--json", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "read as zero" in captured.err

@@ -377,3 +377,95 @@ class TestDistribAtScale:
         monolithic.write_json(mono_path, deterministic=True)
         write_merged_json(merged, merged_path)
         assert merged_path.read_bytes() == mono_path.read_bytes()
+
+
+class TestPartialMerge:
+    """merge --partial: recombine what exists, report the gaps."""
+
+    def test_complete_set_with_partial_equals_full_merge(self):
+        documents = fake_shard_documents(8, 3)
+        assert merge_shard_documents(documents, partial=True) == \
+            merge_shard_documents(documents)
+
+    def test_missing_shard_merges_present_rows_and_reports_gaps(self):
+        from repro.explore.distrib import replan_document
+
+        documents = fake_shard_documents(9, 3)
+        merged = merge_shard_documents([documents[0], documents[2]],
+                                       partial=True)
+        assert merged["row_count"] == 6
+        # Present shards in shard order: spans [0, 3) and [6, 9).
+        assert [row["estimated_cycles"] for row in merged["rows"]] == \
+            [0, 1, 2, 6, 7, 8]
+        block = merged["partial"]
+        assert block["present"] == [0, 2]
+        assert block["missing"] == [{"index": 1, "start": 3, "stop": 6}]
+        assert block["total_jobs"] == 9
+        replan = replan_document(merged)
+        assert replan["missing"] == block["missing"]
+        assert replan["fingerprint"] == block["fingerprint"]
+        assert replan["kind"] == "replan"
+
+    def test_partial_merge_of_single_shard(self):
+        documents = fake_shard_documents(10, 4)
+        merged = merge_shard_documents([documents[3]], partial=True)
+        assert merged["row_count"] == len(documents[3]["rows"])
+        assert [span["index"] for span in merged["partial"]["missing"]] == \
+            [0, 1, 2]
+
+    def test_partial_merge_still_validates_provenance(self):
+        documents = fake_shard_documents(8, 4)
+        tampered = dict(documents[1])
+        tampered["shard"] = dict(tampered["shard"], fingerprint="0" * 64)
+        with pytest.raises(MergeError, match="fingerprints disagree"):
+            merge_shard_documents([documents[0], tampered], partial=True)
+        with pytest.raises(MergeError, match="overlapping shards"):
+            merge_shard_documents([documents[0], documents[0]], partial=True)
+
+    def test_partial_merge_rejects_doctored_spans(self):
+        # Span tampering is caught against the canonical i*M/N formula even
+        # when the neighbouring shard is absent.
+        documents = fake_shard_documents(8, 4)
+        tampered = dict(documents[2])
+        tampered["shard"] = dict(tampered["shard"], start=3, stop=5)
+        tampered["rows"] = [documents[2]["rows"][0]] + documents[2]["rows"]
+        tampered["row_count"] = 3
+        with pytest.raises(MergeError, match="shard spans"):
+            merge_shard_documents([documents[0], tampered], partial=True)
+
+    def test_partial_merge_rejects_out_of_range_indexes(self):
+        documents = fake_shard_documents(8, 4)
+        tampered = dict(documents[0])
+        tampered["shard"] = dict(tampered["shard"], index=7)
+        with pytest.raises(MergeError, match="exceed"):
+            merge_shard_documents([tampered], partial=True)
+
+    def test_replan_of_a_complete_merge_is_an_error(self):
+        from repro.explore.distrib import replan_document
+
+        documents = fake_shard_documents(6, 2)
+        merged = merge_shard_documents(documents, partial=True)
+        assert "partial" not in merged
+        with pytest.raises(ValueError, match="no gaps"):
+            replan_document(merged)
+
+    def test_regular_merge_still_rejects_missing_shards(self):
+        documents = fake_shard_documents(6, 3)
+        with pytest.raises(MergeError, match="missing shard index"):
+            merge_shard_documents([documents[0], documents[2]])
+
+    def test_rerunning_the_gap_completes_the_merge(self):
+        # The re-plan worklist names exactly the shards whose rerun makes
+        # the set complete — the partial-merge workflow end to end.
+        campaign = small_campaign()
+        shards = plan_shards(campaign, 3)
+        documents = [json.loads(json.dumps(run_shard(s).as_document()))
+                     for s in (shards[0], shards[2])]
+        merged = merge_shard_documents(documents, partial=True)
+        missing = merged["partial"]["missing"]
+        assert [span["index"] for span in missing] == [1]
+        rerun = json.loads(json.dumps(
+            run_shard(shards[missing[0]["index"]]).as_document()))
+        complete = merge_shard_documents(documents + [rerun], partial=True)
+        mono = campaign.run().as_document(deterministic=True)
+        assert json.dumps(complete) == json.dumps(mono)
