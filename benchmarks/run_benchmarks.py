@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Hot-path benchmark runner emitting machine-readable ``BENCH_*.json``.
 
-Measures the four performance-critical layers of the stack:
+Measures the performance-critical layers of the stack:
 
 * ``kernel``   -- scheduler dispatch throughput on a short-delay-Timeout
                   dominated workload (many concurrent clocked processes) plus
@@ -13,8 +13,12 @@ Measures the four performance-critical layers of the stack:
 * ``schedule`` -- builds/second of every registered scheduler strategy on a
                   generated task set, plus schedule-quality deltas
                   (estimated makespan / peak power) vs the greedy baseline,
-* ``campaign`` -- scenarios/second of the 50-scenario pool run (serial and
-                  worker pool).
+* ``campaign`` -- rows/second of the 50-scenario pool run (serial and
+                  worker pool),
+* ``distrib``  -- shard planning/merge throughput of the distribution layer,
+* ``store``    -- columnar store vs dict-of-lists: streaming shard merge,
+                  vectorized Pareto ranking/pruning and store aggregation
+                  on a >=100k-row synthetic campaign.
 
 Each benchmark writes ``BENCH_<name>.json`` with the measured numbers under a
 run label (``--label``).  Passing ``--baseline-dir`` merges previously
@@ -392,9 +396,9 @@ def bench_campaign(scale: float, quick: bool = False) -> dict:
             "pool_workers": workers,
         },
         "serial_wall_seconds": round(serial.wall_seconds, 6),
-        "serial_rows_per_second": round(serial.scenarios_per_second, 3),
+        "serial_rows_per_second": round(serial.rows_per_second, 3),
         "pool_wall_seconds": round(pool.wall_seconds, 6),
-        "pool_rows_per_second": round(pool.scenarios_per_second, 3),
+        "pool_rows_per_second": round(pool.rows_per_second, 3),
         "rows_identical": True,
     }
 
@@ -462,6 +466,268 @@ def bench_distrib(scale: float) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# columnar store
+# ---------------------------------------------------------------------------
+
+def _synthetic_rows(start: int, stop: int) -> list:
+    """Deterministic campaign rows (result_columns(deterministic=True) order,
+    realistic value shapes) without running simulations."""
+    schedules = ("sequential", "greedy", "binpack:fit=worst",
+                 "anneal:steps=512")
+    strategies = ("", "", "binpack", "anneal")
+    params = ("", "", "fit=worst", "steps=512")
+    rows = []
+    for i in range(start, stop):
+        cycles = 100_000 + 19 * (i % 9931)
+        rows.append({
+            "scenario": f"scenario_{i:06d}",
+            "kind": "generated",
+            "seed": i + 1,
+            "core_count": 1 + i % 4,
+            "tam_width_bits": (8, 16, 32, 64)[i % 4],
+            "ate_width_bits": 32,
+            "compression_ratio": float((i % 7) * 16.5 + 1.0),
+            "power_budget": 3.0 + (i % 5),
+            "patterns_per_core": 64 + i % 33,
+            "memory_words": 0,
+            "wrapper_parallel_width_bits": 0,
+            "wrapper_serial_width_bits": 1,
+            "ate_vector_memory_words": 0,
+            "schedule": schedules[i % 4],
+            "strategy": strategies[i % 4],
+            "strategy_params": params[i % 4],
+            "phase_count": 1 + i % 3,
+            "task_count": 2 + i % 5,
+            "estimated_cycles": 100_000 + 17 * i,
+            "test_length_cycles": cycles,
+            "test_length_mcycles": cycles / 1e6,
+            "peak_tam_utilization": 0.25 + (i % 64) / 128.0,
+            "avg_tam_utilization": 0.125 + (i % 64) / 256.0,
+            "peak_power": 1.0 + (i % 97) / 19.0,
+            "avg_power": 0.5 + (i % 97) / 38.0,
+            "simulated_activations": 1000 + i % 701,
+        })
+    return rows
+
+
+def bench_store(scale: float) -> dict:
+    """Columnar store vs the dict-of-lists path on a synthetic campaign.
+
+    Four head-to-head measurements at >=100k rows (scale 1.0):
+
+    * *merge* — recombining shard documents into a persisted artifact:
+      ``merge_shard_documents`` + ``write_merged_json`` (in-memory row
+      concatenation, indented JSON dump) vs ``merge_documents_to_store``
+      (plan-validated typed column chunks),
+    * *pareto_ranks* — python peeling vs the vectorized dominator counting,
+      on a round-sized sample of the (length, power) objective vectors,
+    * *front_prune* — incremental python ``ParetoFront`` vs the
+      ``pareto_front_mask`` sweep over every row,
+    * *aggregate* — python per-row group-by vs the numpy ``summarize_store``.
+
+    The merged store is additionally streamed back to JSON and compared
+    byte-for-byte against the dict-path artifact (``bitwise_identical``).
+    """
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.explore.adaptive import (
+        ParetoFront, dominates, pareto_front_mask, pareto_ranks,
+    )
+    from repro.explore.campaign import SCHEMA_VERSION, result_columns
+    from repro.explore.distrib import (
+        DISTRIB_SCHEMA_VERSION, merge_shard_documents, shard_span,
+        write_merged_json,
+    )
+    from repro.explore.report import summarize_store
+    from repro.explore.store import (
+        ColumnarStore, merge_documents_to_store, write_document_json,
+    )
+
+    total = max(800, int(120_000 * scale))
+    shard_count = 8
+    columns = result_columns(deterministic=True)
+    documents = []
+    for index in range(shard_count):
+        start, stop = shard_span(index, shard_count, total)
+        documents.append({
+            "schema_version": SCHEMA_VERSION,
+            "distrib_schema_version": DISTRIB_SCHEMA_VERSION,
+            "shard": {"index": index, "count": shard_count, "start": start,
+                      "stop": stop, "total_jobs": total,
+                      "fingerprint": "0" * 64},
+            "columns": columns,
+            "row_count": stop - start,
+            "rows": _synthetic_rows(start, stop),
+        })
+
+    tmp = _Path(tempfile.mkdtemp(prefix="bench_store_"))
+
+    # -- merge: dict-of-lists vs columnar store
+    def run_dict_merge():
+        start = time.perf_counter()
+        merged = merge_shard_documents(documents)
+        write_merged_json(merged, tmp / "merged_dict.json")
+        return time.perf_counter() - start, merged
+
+    dict_wall, merged = _best_of(REPEATS, run_dict_merge)
+
+    def run_store_merge():
+        start = time.perf_counter()
+        store = merge_documents_to_store(documents, tmp / "merged.store")
+        return time.perf_counter() - start, store
+
+    store_wall, _ = _best_of(REPEATS, run_store_merge)
+    store = ColumnarStore.open(tmp / "merged.store")
+    if store.row_count != total or merged["row_count"] != total:
+        raise AssertionError("merge row counts diverged")
+
+    write_document_json(store, tmp / "merged_store.json")
+    bitwise = ((tmp / "merged_store.json").read_bytes()
+               == (tmp / "merged_dict.json").read_bytes())
+    if not bitwise:
+        raise AssertionError("store-regenerated JSON diverged from the "
+                             "dict-path artifact")
+
+    # -- pareto_ranks: python peeling vs vectorized dominator counting
+    def ranks_python(vectors):
+        vectors = [tuple(v) for v in vectors]
+        ranks = [-1] * len(vectors)
+        remaining = set(range(len(vectors)))
+        rank = 0
+        while remaining:
+            front = [i for i in remaining
+                     if not any(dominates(vectors[j], vectors[i])
+                                for j in remaining if j != i)]
+            for i in front:
+                ranks[i] = rank
+            remaining.difference_update(front)
+            rank += 1
+        return ranks
+
+    lengths = store.column("test_length_cycles")
+    powers = store.column("peak_power")
+    sample = max(64, min(int(4096 * scale) or 64, total))
+    sample_vectors = list(zip(lengths[:sample].tolist(),
+                              powers[:sample].tolist()))
+
+    def run_py_ranks():
+        start = time.perf_counter()
+        ranks = ranks_python(sample_vectors)
+        return time.perf_counter() - start, ranks
+
+    # The python peeling is quadratic — one timing pass is plenty at scale.
+    py_ranks_wall, py_ranks = _best_of(1 if scale >= 1.0 else REPEATS,
+                                       run_py_ranks)
+
+    def run_np_ranks():
+        start = time.perf_counter()
+        ranks = pareto_ranks(sample_vectors)
+        return time.perf_counter() - start, ranks
+
+    np_ranks_wall, np_ranks = _best_of(REPEATS, run_np_ranks)
+    if np_ranks != py_ranks:
+        raise AssertionError("vectorized pareto_ranks diverged from the "
+                             "python reference")
+
+    # -- front pruning over every row: python ParetoFront vs the 2-D sweep
+    all_vectors = list(zip(lengths.tolist(), powers.tolist()))
+
+    def run_py_front():
+        start = time.perf_counter()
+        front = ParetoFront()
+        for index, vector in enumerate(all_vectors):
+            front.add(index, vector=vector)
+        return time.perf_counter() - start, front
+
+    py_front_wall, py_front = _best_of(REPEATS, run_py_front)
+
+    def run_np_front():
+        start = time.perf_counter()
+        mask = pareto_front_mask(all_vectors)
+        return time.perf_counter() - start, mask
+
+    np_front_wall, np_mask = _best_of(REPEATS, run_np_front)
+    if sorted(py_front.points) != [i for i, keep in enumerate(np_mask)
+                                   if keep]:
+        raise AssertionError("pareto_front_mask diverged from the "
+                             "incremental ParetoFront")
+
+    # -- aggregation over the persisted artifact: JSON parse + python row
+    # loop vs store open + numpy summarize_store (both start from disk, the
+    # workflow being "summarize an artifact somebody handed you").
+    def run_py_aggregate():
+        start = time.perf_counter()
+        with open(tmp / "merged_dict.json") as handle:
+            document = json.load(handle)
+        groups: dict = {}
+        for row in document["rows"]:
+            entry = groups.setdefault(
+                row["schedule"], {"rows": 0, "sum": 0.0,
+                                  "min": float("inf"), "max": float("-inf")})
+            entry["rows"] += 1
+            value = row["test_length_cycles"]
+            entry["sum"] += value
+            entry["min"] = min(entry["min"], value)
+            entry["max"] = max(entry["max"], value)
+        return time.perf_counter() - start, groups
+
+    py_agg_wall, py_groups = _best_of(REPEATS, run_py_aggregate)
+
+    def run_np_aggregate():
+        start = time.perf_counter()
+        reopened = ColumnarStore.open(tmp / "merged.store")
+        summary = summarize_store(reopened, metrics=("test_length_cycles",))
+        return time.perf_counter() - start, summary
+
+    np_agg_wall, summary = _best_of(REPEATS, run_np_aggregate)
+    for entry in summary:
+        reference = py_groups[entry["schedule"]]
+        if entry["rows"] != reference["rows"] or \
+                entry["min_test_length_cycles"] != reference["min"]:
+            raise AssertionError("summarize_store diverged from the python "
+                                 "group-by")
+
+    return {
+        "workload": {
+            "rows": total, "shards": shard_count, "columns": len(columns),
+            "pareto_sample": sample, "repeats_best_of": REPEATS,
+        },
+        "merge": {
+            "dict_wall_seconds": round(dict_wall, 6),
+            "dict_rows_per_second": round(total / dict_wall, 1),
+            "store_wall_seconds": round(store_wall, 6),
+            "store_rows_per_second": round(total / store_wall, 1),
+            "speedup": round(dict_wall / store_wall, 2),
+        },
+        "pareto_ranks": {
+            "python_wall_seconds": round(py_ranks_wall, 6),
+            "numpy_wall_seconds": round(np_ranks_wall, 6),
+            "speedup": round(py_ranks_wall / np_ranks_wall, 2),
+            "identical": True,
+        },
+        "front_prune": {
+            "python_wall_seconds": round(py_front_wall, 6),
+            "numpy_wall_seconds": round(np_front_wall, 6),
+            "speedup": round(py_front_wall / np_front_wall, 2),
+            "front_size": int(sum(np_mask)),
+            "identical": True,
+        },
+        "aggregate": {
+            "python_wall_seconds": round(py_agg_wall, 6),
+            "numpy_wall_seconds": round(np_agg_wall, 6),
+            "speedup": round(py_agg_wall / np_agg_wall, 2),
+            "groups": len(summary),
+            "identical": True,
+        },
+        "bitwise_identical": bitwise,
+        "merge_speedup": round(dict_wall / store_wall, 2),
+        "pareto_speedup": round(py_ranks_wall / np_ranks_wall, 2),
+        "store_merge_rows_per_second": round(total / store_wall, 1),
+    }
+
+
+# ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
 
@@ -472,6 +738,7 @@ BENCHMARKS = {
     "schedule": bench_schedule,
     "campaign": bench_campaign,
     "distrib": bench_distrib,
+    "store": bench_store,
 }
 
 #: Headline metric of each benchmark (used for the speedup summary).
@@ -482,6 +749,7 @@ HEADLINE = {
     "schedule": "greedy_builds_per_second",
     "campaign": "pool_rows_per_second",
     "distrib": "merge_rows_per_second",
+    "store": "store_merge_rows_per_second",
 }
 
 

@@ -13,6 +13,10 @@
 * :mod:`repro.explore.distrib` -- the distribution subsystem: deterministic
   shard planning, per-host shard execution and provenance-validated artifact
   merging (merged == single-host, bitwise)
+* :mod:`repro.explore.store` -- the columnar result store: typed numpy
+  column chunks with schema/provenance metadata, streaming shard merge and
+  streaming JSON/CSV writers that stay bitwise-identical to the in-memory
+  artifact writers
 * :mod:`repro.explore.sweeps` -- design-space sweeps (compression ratio, TAM
   width, schedule exploration), expressed as thin campaign definitions
 * :mod:`repro.explore.report` -- plain-text table formatting
@@ -20,7 +24,7 @@
 
 Artifact compatibility: campaign rows follow
 :data:`~repro.explore.campaign.RESULT_COLUMNS` and are versioned by
-:data:`~repro.explore.campaign.SCHEMA_VERSION` (currently 3); adaptive
+:data:`~repro.explore.campaign.SCHEMA_VERSION` (currently 4); adaptive
 artifacts append the provenance columns of :mod:`repro.explore.adaptive`,
 versioned by :data:`~repro.explore.adaptive.ADAPTIVE_SCHEMA_VERSION`
 (currently 2, resumable checkpoints); shard artifacts embed the campaign
@@ -39,6 +43,7 @@ from repro.explore.adaptive import (
     ParetoFront,
     adaptive_search_from_axes,
     dominates,
+    pareto_front_mask,
     pareto_ranks,
     resume_search,
 )
@@ -59,11 +64,13 @@ from repro.explore.distrib import (
     DISTRIB_SCHEMA_VERSION,
     CampaignShard,
     MergeError,
+    MergePlan,
     ShardRun,
     load_artifact,
     merge_artifacts,
     merge_shard_documents,
     missing_shard_spans,
+    plan_merge,
     plan_shards,
     replan_document,
     run_shard,
@@ -91,6 +98,18 @@ from repro.explore.scenarios import (
     spec_to_dict,
 )
 from repro.explore.speedup import SpeedupResult, run_speed_comparison
+from repro.explore.store import (
+    STORE_SCHEMA_VERSION,
+    ColumnarStore,
+    StoreError,
+    merge_artifacts_to_store,
+    merge_documents_to_store,
+    store_adaptive_result,
+    store_campaign_run,
+    store_shard_run,
+    write_document_csv,
+    write_document_json,
+)
 from repro.explore.sweeps import (
     compression_ratio_sweep,
     tam_width_sweep,
@@ -107,19 +126,23 @@ __all__ = [
     "CampaignOutcome",
     "CampaignRun",
     "CampaignShard",
+    "ColumnarStore",
     "DEFAULT_OBJECTIVES",
     "DISTRIB_SCHEMA_VERSION",
     "MergeError",
+    "MergePlan",
     "Objective",
     "ParetoFront",
     "RESULT_COLUMNS",
     "SCHEMA_VERSION",
+    "STORE_SCHEMA_VERSION",
     "Scenario",
     "ScenarioGrid",
     "ScenarioResult",
     "ScenarioSpec",
     "ShardRun",
     "SpeedupResult",
+    "StoreError",
     "adaptive_search_from_axes",
     "build_scenario",
     "campaign_from_axes",
@@ -135,10 +158,14 @@ __all__ = [
     "format_table1",
     "load_artifact",
     "merge_artifacts",
+    "merge_artifacts_to_store",
+    "merge_documents_to_store",
     "merge_shard_documents",
     "missing_shard_spans",
     "outcome_from_row",
+    "pareto_front_mask",
     "pareto_ranks",
+    "plan_merge",
     "plan_shards",
     "replan_document",
     "result_columns",
@@ -152,7 +179,12 @@ __all__ = [
     "space_fingerprint",
     "spec_from_dict",
     "spec_to_dict",
+    "store_adaptive_result",
+    "store_campaign_run",
+    "store_shard_run",
     "tam_width_sweep",
+    "write_document_csv",
+    "write_document_json",
     "write_merged_csv",
     "write_merged_json",
 ]

@@ -66,7 +66,11 @@ import json
 import math
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union,
+)
+
+import numpy as np
 
 from repro.explore.campaign import (
     NONDETERMINISTIC_COLUMNS,
@@ -194,8 +198,21 @@ class ParetoFront:
         return True
 
     def extend(self, payloads: Iterable[object]) -> None:
-        for payload in payloads:
-            self.add(payload)
+        """Bulk-add payloads through one vectorized non-dominated filter.
+
+        Equivalent to calling :meth:`add` per payload (dominance is
+        transitive, so the survivors of sequential adds are exactly the
+        non-dominated subset of old-front ∪ new points, in insertion
+        order) — but one :func:`pareto_front_mask` call instead of a
+        Python scan per point.
+        """
+        new_points = [(objective_vector(payload, self.objectives), payload)
+                      for payload in payloads]
+        if not new_points:
+            return
+        combined = self._points + new_points
+        mask = pareto_front_mask([vector for vector, _ in combined])
+        self._points = [point for point, keep in zip(combined, mask) if keep]
 
     @property
     def vectors(self) -> List[Tuple[float, ...]]:
@@ -213,24 +230,116 @@ class ParetoFront:
                 f"objectives=[{', '.join(map(str, self.objectives))}])")
 
 
+#: Largest point count for which pareto_ranks keeps the full n×n dominance
+#: matrix (one byte per pair; 8192² = 64 MiB).  Beyond it the fronts are
+#: peeled with recomputed blocks instead — same result, no n² storage.
+_DOMINANCE_MATRIX_MAX_POINTS = 8192
+
+#: Broadcast block size budget: ≈32M comparison cells per temporary.
+_DOMINANCE_BLOCK_CELLS = 32_000_000
+
+
+def _dominance_block(block: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+    """Boolean matrix: ``[i, j]`` is True when ``block[i]`` dominates
+    ``vectors[j]`` (minimizing; equal vectors do not dominate)."""
+    less_equal = (block[:, None, :] <= vectors[None, :, :]).all(axis=-1)
+    less = (block[:, None, :] < vectors[None, :, :]).any(axis=-1)
+    return less_equal & less
+
+
+def _block_rows(total: int, dims: int) -> int:
+    return max(1, _DOMINANCE_BLOCK_CELLS // max(1, total * dims))
+
+
 def pareto_ranks(vectors: Sequence[Sequence[float]]) -> List[int]:
     """Non-dominated sorting: rank 0 is the front, rank 1 the front of the
-    rest, and so on.  O(n² · rounds); fine for round-sized candidate sets."""
-    vectors = [tuple(v) for v in vectors]
-    ranks = [-1] * len(vectors)
-    remaining = set(range(len(vectors)))
+    rest, and so on.  Equal vectors tie (same rank), exactly like the
+    peeling definition: a point's rank is the round in which it becomes
+    non-dominated once all earlier rounds' points are removed.
+
+    Vectorized as dominator *counting*: one blocked numpy broadcast builds
+    per-point dominator counts (and, for round-sized inputs, the dominance
+    matrix itself), then each front is the zero-count set and its outgoing
+    dominance is subtracted — O(n²·d) total work instead of O(n²·d·rounds)
+    Python-level scans.  Values are compared as float64.
+    """
+    count = len(vectors)
+    if count == 0:
+        return []
+    matrix = np.asarray([tuple(vector) for vector in vectors],
+                        dtype=np.float64)
+    dims = matrix.shape[1] if matrix.ndim == 2 else 1
+    matrix = matrix.reshape(count, dims)
+    block_rows = _block_rows(count, dims)
+    keep_matrix = count <= _DOMINANCE_MATRIX_MAX_POINTS
+    dominance = (np.empty((count, count), dtype=bool) if keep_matrix
+                 else None)
+    counts = np.zeros(count, dtype=np.int64)
+    for start in range(0, count, block_rows):
+        block = _dominance_block(matrix[start:start + block_rows], matrix)
+        if keep_matrix:
+            dominance[start:start + block_rows] = block
+        counts += block.sum(axis=0)
+
+    ranks = np.full(count, -1, dtype=np.int64)
+    unassigned = np.ones(count, dtype=bool)
     rank = 0
-    while remaining:
-        front = [i for i in remaining
-                 if not any(dominates(vectors[j], vectors[i])
-                            for j in remaining if j != i)]
-        if not front:  # pragma: no cover - defensive (cannot happen)
-            front = sorted(remaining)
-        for i in front:
-            ranks[i] = rank
-        remaining.difference_update(front)
+    while unassigned.any():
+        front = unassigned & (counts == 0)
+        if not front.any():  # pragma: no cover - defensive (cannot happen)
+            front = unassigned.copy()
+        ranks[front] = rank
+        if keep_matrix:
+            counts -= dominance[front].sum(axis=0)
+        else:
+            front_vectors = matrix[front]
+            for start in range(0, len(front_vectors), block_rows):
+                counts -= _dominance_block(
+                    front_vectors[start:start + block_rows],
+                    matrix).sum(axis=0)
+        unassigned &= ~front
         rank += 1
-    return ranks
+    return ranks.tolist()
+
+
+def pareto_front_mask(vectors: Sequence[Sequence[float]]) -> List[bool]:
+    """Vectorized non-dominated filter: ``mask[i]`` is True when no other
+    point dominates ``vectors[i]`` (minimizing; equal vectors both survive).
+
+    The two-objective case — the paper's time-vs-power trade-off and the
+    search default — runs in O(n log n) via a lexicographic sweep; higher
+    dimensions fall back to the blocked dominance broadcast.
+    """
+    count = len(vectors)
+    if count == 0:
+        return []
+    matrix = np.asarray([tuple(vector) for vector in vectors],
+                        dtype=np.float64)
+    dims = matrix.shape[1] if matrix.ndim == 2 else 1
+    matrix = matrix.reshape(count, dims)
+    if dims == 2:
+        x, y = matrix[:, 0], matrix[:, 1]
+        order = np.lexsort((y, x))
+        x_sorted, y_sorted = x[order], y[order]
+        # First position of each x-group: everything before it has strictly
+        # smaller x, so its running y-minimum is the best possible partner
+        # for an x-strict domination.
+        group_start = np.searchsorted(x_sorted, x_sorted, side="left")
+        running_min = np.minimum.accumulate(y_sorted)
+        min_y_smaller_x = np.where(
+            group_start > 0,
+            running_min[np.maximum(group_start - 1, 0)], np.inf)
+        dominated_sorted = ((min_y_smaller_x <= y_sorted)
+                            | (y_sorted[group_start] < y_sorted))
+        mask = np.ones(count, dtype=bool)
+        mask[order] = ~dominated_sorted
+        return mask.tolist()
+    dominated = np.zeros(count, dtype=bool)
+    block_rows = _block_rows(count, dims)
+    for start in range(0, count, block_rows):
+        dominated |= _dominance_block(matrix[start:start + block_rows],
+                                      matrix).any(axis=0)
+    return (~dominated).tolist()
 
 
 def _normalized_scores(vectors: Sequence[Tuple[float, ...]]) -> List[float]:
@@ -336,9 +445,10 @@ class AdaptiveResult:
                 for name, spec in specs_by_name.items()]
 
     # -- artifacts ---------------------------------------------------------
-    def rows(self, deterministic: bool = True) -> List[Dict[str, object]]:
-        """Every round's result rows plus the provenance columns."""
-        rows = []
+    def iter_rows(self, deterministic: bool = True,
+                  ) -> Iterator[Dict[str, object]]:
+        """Stream every round's result rows plus the provenance columns
+        (one row dict at a time — the columnar store's append path)."""
         for round_ in self.rounds:
             survivors = set(round_.survivors)
             for outcome in round_.run.outcomes:
@@ -347,8 +457,11 @@ class AdaptiveResult:
                 row["round"] = round_.index
                 row["budget"] = round_.budget
                 row["survivor"] = (outcome.spec.name, outcome.schedule) in survivors
-                rows.append(row)
-        return rows
+                yield row
+
+    def rows(self, deterministic: bool = True) -> List[Dict[str, object]]:
+        """Every round's result rows plus the provenance columns."""
+        return list(self.iter_rows(deterministic))
 
     def columns(self, deterministic: bool = True) -> List[str]:
         columns = [c for c in RESULT_COLUMNS

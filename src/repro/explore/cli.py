@@ -16,7 +16,12 @@ Usage::
 (``--csv`` / ``--json``) described in :mod:`repro.explore.campaign`
 (``schema_version``) and :mod:`repro.explore.adaptive`
 (``adaptive_schema_version``); the tables printed to stdout are condensed
-views and carry no schema guarantee.
+views and carry no schema guarantee.  ``campaign``, ``adaptive`` and
+``merge`` additionally take ``--store DIR`` to persist the result rows as a
+columnar store (:mod:`repro.explore.store`: typed numpy column chunks plus a
+manifest); for ``merge`` the store *is* the merge path — shard artifacts
+stream in one at a time and ``--csv``/``--json`` are regenerated from the
+columns, byte-identical to the in-memory merge.
 
 Schedule strategies: ``--strategy NAME[:key=val,...]`` (repeatable, on
 ``campaign`` and ``adaptive``) appends parameterized scheduler strategies
@@ -70,9 +75,19 @@ from repro.explore.report import (
     format_campaign,
     format_merged,
     format_shard,
+    format_store_summary,
     format_strategies,
     format_table,
     format_table1,
+)
+from repro.explore.store import (
+    ColumnarStore,
+    merge_artifacts_to_store,
+    store_adaptive_result,
+    store_campaign_run,
+    store_shard_run,
+    write_document_csv,
+    write_document_json,
 )
 from repro.explore.scenarios import ScenarioSpec
 from repro.schedule.strategies import canonical_schedule_name, is_strategy
@@ -174,6 +189,9 @@ def _run_campaign(args) -> None:
         shard = plan_shards(campaign, count)[index]
         result = run_shard(shard, workers=args.workers)
         print(format_shard(result))
+        if args.store:
+            store_shard_run(result, args.store, deterministic=deterministic)
+            print(f"wrote {args.store}")
         if args.csv:
             result.write_csv(args.csv, deterministic=deterministic)
             print(f"wrote {args.csv}")
@@ -183,6 +201,9 @@ def _run_campaign(args) -> None:
         return
     run = campaign.run(workers=args.workers)
     print(format_campaign(run))
+    if args.store:
+        store_campaign_run(run, args.store, deterministic=deterministic)
+        print(f"wrote {args.store}")
     if args.csv:
         run.write_csv(args.csv, deterministic=deterministic)
         print(f"wrote {args.csv}")
@@ -192,13 +213,29 @@ def _run_campaign(args) -> None:
 
 
 def _run_merge(args) -> None:
-    documents = [load_artifact(path) for path in args.artifacts]
-    merged = merge_shard_documents(documents, partial=args.partial)
+    if args.store:
+        # Streaming path: validate headers, append one shard at a time to
+        # the columnar store, then regenerate artifacts chunk by chunk —
+        # bitwise identical to the in-memory merge, without ever holding
+        # the full row set.
+        store, documents = merge_artifacts_to_store(
+            args.artifacts, args.store, partial=args.partial)
+        store = ColumnarStore.open(args.store)
+        merged = store.document_header
+        merged["row_count"] = store.row_count
+    else:
+        store = None
+        documents = [load_artifact(path) for path in args.artifacts]
+        merged = merge_shard_documents(documents, partial=args.partial)
     gaps = merged.get("partial", {}).get("missing", [])
     for span in gaps:
         print(f"missing shard {span['index']}/{merged['partial']['count']}: "
               f"jobs [{span['start']}, {span['stop']})", file=sys.stderr)
     print(format_merged(documents, merged))
+    if store is not None:
+        print(f"wrote {args.store}")
+        print()
+        print(format_store_summary(store))
     if args.gaps:
         if gaps:
             write_merged_json(replan_document(merged), args.gaps)
@@ -207,10 +244,16 @@ def _run_merge(args) -> None:
             print("no gaps: complete shard set, no re-plan written",
                   file=sys.stderr)
     if args.csv:
-        write_merged_csv(merged, args.csv)
+        if store is not None:
+            write_document_csv(store, args.csv)
+        else:
+            write_merged_csv(merged, args.csv)
         print(f"wrote {args.csv}")
     if args.json:
-        write_merged_json(merged, args.json)
+        if store is not None:
+            write_document_json(store, args.json)
+        else:
+            write_merged_json(merged, args.json)
         print(f"wrote {args.json}")
 
 
@@ -242,6 +285,12 @@ def _run_adaptive(args) -> None:
                             round_shards=shards, lead_shard=lead)
     print(format_adaptive(result))
     deterministic = not args.timing
+    if args.store:
+        # Row table + provenance columns only: the adaptive JSON document
+        # carries search-definition keys after the rows, so the resumable
+        # checkpoint artifact stays with --json (see store_adaptive_result).
+        store_adaptive_result(result, args.store, deterministic=deterministic)
+        print(f"wrote {args.store}")
     if args.csv:
         result.write_csv(args.csv, deterministic=deterministic)
         print(f"wrote {args.csv}")
@@ -395,6 +444,10 @@ def build_parser() -> argparse.ArgumentParser:
                                help="write result rows to this CSV file")
         subparser.add_argument("--json", default=None,
                                help="write a JSON artifact to this file")
+        subparser.add_argument("--store", default=None, metavar="DIR",
+                               help="write the result rows to a columnar "
+                                    "store directory (typed numpy column "
+                                    "chunks; see repro.explore.store)")
         subparser.add_argument("--timing", action="store_true",
                                help="keep the nondeterministic timing columns "
                                     "(cpu_seconds, worker) in the artifacts; "
@@ -425,6 +478,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the merged JSON artifact to this file "
                             "(bitwise-identical to a single-host "
                             "deterministic run)")
+    merge.add_argument("--store", default=None, metavar="DIR",
+                       help="merge through a columnar store directory: "
+                            "shards stream in one at a time (bounded "
+                            "memory) and --csv/--json are regenerated "
+                            "from the store, still bitwise-identical to "
+                            "the in-memory merge")
     merge.add_argument("--partial", action="store_true",
                        help="accept an incomplete shard set: merge the "
                             "shards that exist, report missing spans on "
@@ -478,7 +537,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         # files are operational failures, not crashes: report one line on
         # stderr and exit non-zero (regression-tested in test_cli.py).
         # Anything else is a genuine bug and keeps its traceback.
-        message = str(error) or type(error).__name__
+        if isinstance(error, KeyError):
+            # str(KeyError) is only the repr of the missing key ("'anneal2'"),
+            # which reads as a bare quoted word with no context on stderr —
+            # name the failure mode and unwrap the key.
+            key = error.args[0] if len(error.args) == 1 else error.args
+            message = f"unknown schedule/key: {key}"
+        else:
+            message = str(error) or type(error).__name__
         print(f"error: {message}", file=sys.stderr)
         return 2
     return 0 if status is None else int(status)

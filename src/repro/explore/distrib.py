@@ -47,6 +47,7 @@ from __future__ import annotations
 import csv
 import hashlib
 import json
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -269,28 +270,72 @@ def _require_version(document: Mapping[str, object], key: str, expected: int,
         )
 
 
-def merge_shard_documents(
-        documents: Sequence[Mapping[str, object]],
-        partial: bool = False) -> Dict[str, object]:
-    """Validate and recombine shard result documents into one result set.
+@dataclass(frozen=True)
+class MergePlan:
+    """The validated layout of one shard merge — everything but the rows.
 
-    The returned document has exactly the layout of
-    ``CampaignRun.as_document(deterministic=True)`` — for deterministic shard
-    artifacts it is bitwise identical (after ``json.dump``) to the artifact
-    of a monolithic single-host run.  Raises :class:`MergeError` when the
-    shards do not form exactly one complete, non-overlapping cover of one
-    campaign.
+    Produced by :func:`plan_merge`; consumed by :func:`merge_shard_documents`
+    (in-memory row concatenation) and by the columnar store's streaming merge
+    (:func:`repro.explore.store.merge_artifacts_to_store`), which never holds
+    more than one shard's rows at a time.
+    """
 
-    ``partial=True`` additionally accepts an *incomplete* shard set (lost
-    hosts, straggler shards): the present shards still have to agree on
-    provenance, sit on their canonical ``i·M/N`` spans and not overlap, and
-    their rows are recombined in shard order.  When shards are actually
-    missing, the returned document carries a ``partial`` block (present and
-    missing spans — the re-plan worklist) instead of masquerading as a
-    complete artifact; a complete set degrades to the ordinary bitwise merge.
+    count: int
+    total_jobs: int
+    fingerprint: str
+    columns: Tuple[str, ...]
+    #: Shard indexes present / absent (absent only when planned partial).
+    present: Tuple[int, ...]
+    missing: Tuple[int, ...]
+    #: Positions of the input documents in shard-index order — the order
+    #: their rows concatenate in.
+    order: Tuple[int, ...]
+    #: Declared row count of each input document (input order, not shard
+    #: order); already validated against the canonical spans.
+    row_counts: Tuple[int, ...]
+
+    @property
+    def row_count(self) -> int:
+        return sum(self.row_counts)
+
+    def header(self) -> Dict[str, object]:
+        """The merged document minus ``row_count``/``rows`` — the exact key
+        order of ``CampaignRun.as_document(deterministic=True)`` (bitwise
+        contract)."""
+        merged: Dict[str, object] = {"schema_version": SCHEMA_VERSION,
+                                     "columns": list(self.columns)}
+        if self.missing:
+            merged["partial"] = {
+                "count": self.count,
+                "total_jobs": self.total_jobs,
+                "fingerprint": self.fingerprint,
+                "present": list(self.present),
+                "missing": missing_shard_spans(self.missing, self.count,
+                                               self.total_jobs),
+            }
+        return merged
+
+
+def plan_merge(documents: Sequence[Mapping[str, object]],
+               partial: bool = False,
+               row_counts: Optional[Sequence[Optional[int]]] = None,
+               ) -> MergePlan:
+    """Validate a shard artifact set and plan its merge without touching rows.
+
+    *documents* are shard result artifacts — or row-less *headers* of them,
+    in which case *row_counts* supplies each document's row count (the
+    streaming merge path, which validates every artifact before re-reading
+    any rows).  All of :func:`merge_shard_documents`'s validation lives here:
+    schema versions, single fingerprint/count/total, exactly-once index
+    coverage (``partial=True`` tolerates gaps), canonical spans, column
+    agreement and per-span row counts.  Raises :class:`MergeError`.
     """
     if not documents:
         raise MergeError("no shard artifacts to merge")
+    declared: List[Optional[int]] = (list(row_counts) if row_counts is not None
+                                     else [None] * len(documents))
+    if len(declared) != len(documents):
+        raise MergeError("row_counts does not match the artifact list")
     for position, document in enumerate(documents):
         what = f"shard artifact #{position}"
         if not isinstance(document, Mapping):
@@ -303,8 +348,10 @@ def merge_shard_documents(
         if "adaptive_schema_version" in document:
             raise MergeError(f"{what} is an adaptive artifact, not a "
                              f"campaign shard")
-        if not isinstance(document.get("rows"), list) or \
-                "columns" not in document:
+        if declared[position] is None and isinstance(document.get("rows"),
+                                                     list):
+            declared[position] = len(document["rows"])
+        if declared[position] is None or "columns" not in document:
             hint = (" (a shard *spec* file, not a shard result artifact?)"
                     if "jobs" in document else "")
             raise MergeError(f"{what} carries no result rows/columns{hint}")
@@ -329,12 +376,16 @@ def merge_shard_documents(
     total_jobs = totals.pop()
 
     indexes = sorted(provenance(d)["index"] for d in documents)
-    duplicates = sorted({i for i in indexes if indexes.count(i) > 1})
+    # One Counter pass: coordinator-scale merges hand this hundreds of
+    # shards, where the old indexes.count(i)-per-element scan was O(n²).
+    index_counts = Counter(indexes)
+    duplicates = sorted(index for index, times in index_counts.items()
+                        if times > 1)
     if duplicates:
         raise MergeError(f"overlapping shards: index(es) {duplicates} "
                          f"supplied more than once")
-    missing = sorted(set(range(count)) - set(indexes))
-    if sorted(set(indexes) - set(range(count))):
+    missing = sorted(set(range(count)) - index_counts.keys())
+    if sorted(index_counts.keys() - set(range(count))):
         raise MergeError(f"shard indexes {indexes} exceed the shard count "
                          f"{count}")
     if missing and not partial:
@@ -346,9 +397,10 @@ def merge_shard_documents(
         raise MergeError("shard artifacts disagree on the column list "
                          "(mixed deterministic/timing artifacts?)")
 
-    ordered = sorted(documents, key=lambda d: provenance(d)["index"])
-    merged_rows: List[Dict[str, object]] = []
-    for document in ordered:
+    order = sorted(range(len(documents)),
+                   key=lambda position: provenance(documents[position])["index"])
+    for position in order:
+        document = documents[position]
         shard = provenance(document)
         start, stop = shard["start"], shard["stop"]
         # Spans are a pure function of (index, count, total): validating
@@ -368,25 +420,53 @@ def merge_shard_documents(
                 f" expected [{expected_start}, {expected_stop}) for "
                 f"{total_jobs} jobs in {count} shard(s)"
             )
-        rows = document["rows"]
-        if len(rows) != stop - start or document.get("row_count") != len(rows):
+        row_count = declared[position]
+        if row_count != stop - start or \
+                document.get("row_count") != row_count:
             raise MergeError(
-                f"shard {shard['index']} carries {len(rows)} row(s) for the "
+                f"shard {shard['index']} carries {row_count} row(s) for the "
                 f"span [{start}, {stop})"
             )
-        merged_rows.extend(rows)
 
-    # Mirror CampaignRun.as_document key order exactly (bitwise contract).
-    merged: Dict[str, object] = {"schema_version": SCHEMA_VERSION,
-                                 "columns": columns[0]}
-    if missing:
-        merged["partial"] = {
-            "count": count,
-            "total_jobs": total_jobs,
-            "fingerprint": fingerprints_value,
-            "present": [i for i in range(count) if i not in missing],
-            "missing": missing_shard_spans(missing, count, total_jobs),
-        }
+    return MergePlan(
+        count=count, total_jobs=total_jobs, fingerprint=fingerprints_value,
+        columns=tuple(columns[0]),
+        present=tuple(i for i in range(count) if i not in missing),
+        missing=tuple(missing), order=tuple(order),
+        row_counts=tuple(declared),
+    )
+
+
+def merge_shard_documents(
+        documents: Sequence[Mapping[str, object]],
+        partial: bool = False) -> Dict[str, object]:
+    """Validate and recombine shard result documents into one result set.
+
+    The returned document has exactly the layout of
+    ``CampaignRun.as_document(deterministic=True)`` — for deterministic shard
+    artifacts it is bitwise identical (after ``json.dump``) to the artifact
+    of a monolithic single-host run.  Raises :class:`MergeError` when the
+    shards do not form exactly one complete, non-overlapping cover of one
+    campaign.
+
+    ``partial=True`` additionally accepts an *incomplete* shard set (lost
+    hosts, straggler shards): the present shards still have to agree on
+    provenance, sit on their canonical ``i·M/N`` spans and not overlap, and
+    their rows are recombined in shard order.  When shards are actually
+    missing, the returned document carries a ``partial`` block (present and
+    missing spans — the re-plan worklist) instead of masquerading as a
+    complete artifact; a complete set degrades to the ordinary bitwise merge.
+
+    All validation is delegated to :func:`plan_merge`; this function only
+    concatenates rows in memory.  Callers that cannot afford the in-memory
+    concatenation stream the same plan into a columnar store instead
+    (:func:`repro.explore.store.merge_artifacts_to_store`).
+    """
+    plan = plan_merge(documents, partial=partial)
+    merged_rows: List[Dict[str, object]] = []
+    for position in plan.order:
+        merged_rows.extend(documents[position]["rows"])
+    merged = plan.header()
     merged["row_count"] = len(merged_rows)
     merged["rows"] = merged_rows
     return merged

@@ -96,7 +96,7 @@ def format_campaign(run) -> str:
     table = format_table(rows, CAMPAIGN_COLUMNS)
     footer = (f"{run.scenario_count} scenarios, {len(run.outcomes)} result rows "
               f"in {run.wall_seconds:.2f} s "
-              f"({run.scenarios_per_second:.1f} rows/s, "
+              f"({run.rows_per_second:.1f} rows/s, "
               f"{run.workers} worker{'s' if run.workers != 1 else ''})")
     return f"{table}\n\n{footer}"
 
@@ -209,6 +209,70 @@ def format_merged(shard_documents: Sequence[Mapping[str, object]],
                          for span in partial["missing"])
         footer += (f"; PARTIAL: covering {merged['row_count']} of "
                    f"{partial['total_jobs']} jobs — missing shard(s) {gaps}")
+    return f"{table}\n\n{footer}"
+
+
+#: Metrics aggregated per schedule by the store summary (column, aggregate
+#: label pairs rendered as ``mean_<column>`` etc.).
+STORE_SUMMARY_METRICS = ("test_length_cycles", "peak_tam_utilization",
+                         "peak_power")
+
+
+def summarize_store(store, group_by: str = "schedule",
+                    metrics: Sequence[str] = STORE_SUMMARY_METRICS,
+                    ) -> List[Dict[str, object]]:
+    """Vectorized per-group aggregates over a columnar store.
+
+    One ``np.unique`` pass buckets the rows by *group_by* and
+    ``np.bincount``/``np.minimum.at`` reduce each metric column — no Python
+    loop over rows, which is what makes summarizing a millions-of-rows
+    store tractable.  Returns one dict per group (sorted by key) with
+    ``rows`` and ``mean_/min_/max_`` entries per metric.
+    """
+    import numpy as np
+
+    groups = np.asarray(store.column(group_by))
+    uniques, inverse = np.unique(groups, return_inverse=True)
+    if len(uniques) == 0:
+        return []
+    counts = np.bincount(inverse, minlength=len(uniques))
+    summary: List[Dict[str, object]] = [
+        {group_by: str(value), "rows": int(count)}
+        for value, count in zip(uniques.tolist(), counts.tolist())
+    ]
+    for metric in metrics:
+        values = store.column(metric).astype(np.float64)
+        means = np.bincount(inverse, weights=values,
+                            minlength=len(uniques)) / counts
+        lows = np.full(len(uniques), np.inf)
+        highs = np.full(len(uniques), -np.inf)
+        np.minimum.at(lows, inverse, values)
+        np.maximum.at(highs, inverse, values)
+        for row, mean, low, high in zip(summary, means.tolist(),
+                                        lows.tolist(), highs.tolist()):
+            row[f"mean_{metric}"] = mean
+            row[f"min_{metric}"] = low
+            row[f"max_{metric}"] = high
+    return summary
+
+
+def format_store_summary(store, group_by: str = "schedule") -> str:
+    """Render a columnar store as a per-schedule aggregate table."""
+    summary = summarize_store(store, group_by=group_by)
+    rows = [{
+        group_by: entry[group_by],
+        "rows": entry["rows"],
+        "mean_kcycles": entry["mean_test_length_cycles"] / 1e3,
+        "min_kcycles": entry["min_test_length_cycles"] / 1e3,
+        "mean_peak_tam": f"{entry['mean_peak_tam_utilization']:.0%}",
+        "mean_peak_power": entry["mean_peak_power"],
+        "max_peak_power": entry["max_peak_power"],
+    } for entry in summary]
+    table = format_table(rows, [group_by, "rows", "mean_kcycles",
+                                "min_kcycles", "mean_peak_tam",
+                                "mean_peak_power", "max_peak_power"])
+    footer = (f"{store.row_count} rows in {store.chunk_count} chunk(s), "
+              f"schema v{store.schema_version}, grouped by {group_by}")
     return f"{table}\n\n{footer}"
 
 

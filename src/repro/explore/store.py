@@ -1,0 +1,612 @@
+"""Appendable columnar result store with streaming artifact writers.
+
+The campaign/adaptive/merge paths of :mod:`repro.explore` historically
+materialized every result row as a Python dict (``merge_shard_documents``
+concatenates complete ``rows`` lists in memory) — the ROADMAP names that the
+bottleneck on the way to millions-of-rows campaigns.  This module is the
+storage substrate underneath those paths:
+
+* :class:`ColumnarStore` — a directory of typed numpy column blocks
+  (``chunk-NNNNNN.npz``, one array per column) plus a ``manifest.json``
+  carrying the result schema (``schema_version`` +
+  :func:`~repro.explore.campaign.result_columns` column list), free-form
+  provenance ``metadata`` and the *document header* — the exact key prefix of
+  the JSON artifact the rows belong to.  Rows are appended in bounded
+  buffers and flushed as typed chunks; readers stream chunk by chunk, so
+  neither writing nor reading ever holds the full row set.
+* :func:`store_campaign_run` / :func:`store_shard_run` /
+  :func:`store_adaptive_result` — persist the existing result objects.
+* :func:`merge_artifacts_to_store` — the streaming shard merge: validate
+  every artifact through :func:`repro.explore.distrib.plan_merge` first
+  (headers only), then re-read one shard at a time, appending its rows to
+  the store.  Peak memory is one shard plus one chunk buffer, regardless of
+  how many shards merge.
+* :func:`write_document_json` / :func:`write_document_csv` — stream a
+  store back out as a JSON/CSV artifact.  The JSON writer reproduces
+  ``json.dump(document, indent=2, sort_keys=False)`` byte for byte, so a
+  store-backed ``merge --store`` artifact is **bitwise identical** to
+  ``CampaignRun.write_json(deterministic=True)`` of the monolithic run —
+  the same contract :func:`~repro.explore.distrib.merge_shard_documents`
+  honours, extended to the streaming path (pinned by ``tests/explore/
+  test_store.py`` and the CI shard-smoke ``cmp`` step).
+
+Column dtypes are *schema-typed*, not inferred: every known result column
+(:data:`repro.explore.campaign.RESULT_COLUMNS` plus the adaptive provenance
+columns) has a declared int64/float64/bool/str kind, so values survive the
+npz round trip with their JSON types intact (an int column never comes back
+``1.0``).  Unknown columns fall back to numpy's inference and are rejected
+when it produces an ``object`` array.
+
+The on-disk layout itself is versioned (``store_schema_version`` =
+:data:`STORE_SCHEMA_VERSION`) independently of the row schema it carries.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import (
+    Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple,
+)
+
+import numpy as np
+
+from repro.explore.campaign import (
+    RESULT_COLUMNS,
+    SCHEMA_VERSION,
+    result_columns,
+)
+from repro.explore.distrib import (
+    MergeError,
+    load_artifact,
+    plan_merge,
+)
+
+#: Version of the on-disk store layout (manifest + chunk files).  Independent
+#: of the row schema (``schema_version``) the store carries.
+STORE_SCHEMA_VERSION = 1
+
+#: Manifest file name inside a store directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Default rows per column chunk: large enough that per-chunk overhead
+#: (file open, npz header) amortizes, small enough that a chunk buffer stays
+#: a few megabytes even with every column present.
+DEFAULT_CHUNK_ROWS = 8192
+
+_STR_COLUMNS = ("scenario", "kind", "schedule", "strategy", "strategy_params")
+_FLOAT_COLUMNS = ("compression_ratio", "power_budget", "test_length_mcycles",
+                  "peak_tam_utilization", "avg_tam_utilization", "peak_power",
+                  "avg_power", "cpu_seconds", "budget")
+_BOOL_COLUMNS = ("survivor",)
+
+#: Declared dtype kind per known column ("int"/"float"/"str"/"bool").  Every
+#: campaign column and adaptive provenance column is covered; ints stay
+#: int64 so JSON artifacts regenerated from a store keep integer literals.
+COLUMN_KINDS: Dict[str, str] = {
+    **{column: "int" for column in RESULT_COLUMNS + ("round",)},
+    **{column: "str" for column in _STR_COLUMNS},
+    **{column: "float" for column in _FLOAT_COLUMNS},
+    **{column: "bool" for column in _BOOL_COLUMNS},
+}
+
+_KIND_DTYPES = {"int": np.dtype(np.int64), "float": np.dtype(np.float64),
+                "bool": np.dtype(bool)}
+
+
+class StoreError(ValueError):
+    """A store directory is missing, malformed or misused."""
+
+
+def _column_array(column: str, values: Sequence[object]) -> np.ndarray:
+    """One column buffer as a typed numpy array (schema-typed dtypes)."""
+    kind = COLUMN_KINDS.get(column)
+    if kind == "str":
+        return np.asarray([str(value) for value in values], dtype=np.str_)
+    if kind in _KIND_DTYPES:
+        return np.asarray(values, dtype=_KIND_DTYPES[kind])
+    array = np.asarray(values)
+    if array.dtype == object:
+        raise StoreError(
+            f"column {column!r} holds mixed/unsupported values; only "
+            f"int/float/bool/str columns can be stored"
+        )
+    if array.dtype.kind == "U":
+        return array
+    if array.dtype.kind in "iu":
+        return array.astype(np.int64)
+    if array.dtype.kind == "f":
+        return array.astype(np.float64)
+    if array.dtype.kind == "b":
+        return array
+    raise StoreError(f"column {column!r} has unsupported dtype {array.dtype}")
+
+
+class ColumnarStore:
+    """An appendable directory of typed numpy column chunks.
+
+    Create with :meth:`create` (write mode: :meth:`append_row` /
+    :meth:`append_rows` / :meth:`append_columns`, then :meth:`close` — or use
+    the instance as a context manager), reopen with :meth:`open` (read mode).
+    Readers stream: :meth:`iter_column_chunks` yields one column mapping per
+    chunk, :meth:`iter_rows` re-materializes dict rows with native Python
+    scalars (``.tolist()``), which is what keeps regenerated JSON/CSV
+    artifacts bitwise identical to the dict-of-lists writers.
+    """
+
+    def __init__(self, path: Path, columns: Sequence[str],
+                 schema_version: int, document_header: Mapping[str, object],
+                 metadata: Mapping[str, object], chunk_rows: int,
+                 writable: bool,
+                 chunks: Optional[List[str]] = None,
+                 chunk_row_counts: Optional[List[int]] = None,
+                 row_count: int = 0):
+        self.path = Path(path)
+        self._columns: Tuple[str, ...] = tuple(columns)
+        self._schema_version = int(schema_version)
+        self._document_header = dict(document_header)
+        self._metadata = dict(metadata)
+        self._chunk_rows = int(chunk_rows)
+        self._writable = writable
+        self._chunks: List[str] = list(chunks or [])
+        self._chunk_row_counts: List[int] = list(chunk_row_counts or [])
+        self._row_count = int(row_count)
+        self._buffer: List[List[object]] = [[] for _ in self._columns]
+
+    # -- lifecycle ----------------------------------------------------------
+    @classmethod
+    def create(cls, path, columns: Sequence[str],
+               schema_version: int = SCHEMA_VERSION,
+               document_header: Optional[Mapping[str, object]] = None,
+               metadata: Optional[Mapping[str, object]] = None,
+               chunk_rows: int = DEFAULT_CHUNK_ROWS) -> "ColumnarStore":
+        """Create (or atomically replace) a store directory for writing."""
+        if chunk_rows < 1:
+            raise StoreError("chunk_rows must be >= 1")
+        if not columns:
+            raise StoreError("a store needs at least one column")
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        if path.exists():
+            if not path.is_dir():
+                raise StoreError(f"{path} exists and is not a directory")
+            if manifest_path.exists():
+                # An existing store: drop its chunks so the rewrite cannot
+                # leave stale blocks behind a fresh manifest.
+                old = json.loads(manifest_path.read_text())
+                for name in old.get("chunks", []):
+                    chunk = path / name
+                    if chunk.exists():
+                        chunk.unlink()
+                manifest_path.unlink()
+            elif any(path.iterdir()):
+                raise StoreError(
+                    f"{path} exists, is not empty and carries no "
+                    f"{MANIFEST_NAME} — refusing to overwrite")
+        else:
+            path.mkdir(parents=True)
+        return cls(path, columns=columns, schema_version=schema_version,
+                   document_header=document_header or {},
+                   metadata=metadata or {}, chunk_rows=chunk_rows,
+                   writable=True)
+
+    @classmethod
+    def open(cls, path) -> "ColumnarStore":
+        """Open an existing store directory for streaming reads."""
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise StoreError(f"{path} is not a columnar store "
+                             f"(no {MANIFEST_NAME})")
+        manifest = json.loads(manifest_path.read_text())
+        version = manifest.get("store_schema_version")
+        if version != STORE_SCHEMA_VERSION:
+            raise StoreError(
+                f"{path} has store_schema_version={version!r}, expected "
+                f"{STORE_SCHEMA_VERSION}")
+        return cls(path, columns=manifest["columns"],
+                   schema_version=manifest["schema_version"],
+                   document_header=manifest.get("document_header", {}),
+                   metadata=manifest.get("metadata", {}),
+                   chunk_rows=manifest.get("chunk_rows", DEFAULT_CHUNK_ROWS),
+                   writable=False,
+                   chunks=manifest["chunks"],
+                   chunk_row_counts=manifest["chunk_row_counts"],
+                   row_count=manifest["row_count"])
+
+    def __enter__(self) -> "ColumnarStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def columns(self) -> List[str]:
+        return list(self._columns)
+
+    @property
+    def schema_version(self) -> int:
+        return self._schema_version
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count + (len(self._buffer[0]) if self._writable
+                                  else 0)
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def document_header(self) -> Dict[str, object]:
+        return dict(self._document_header)
+
+    @property
+    def metadata(self) -> Dict[str, object]:
+        return dict(self._metadata)
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __repr__(self):
+        return (f"ColumnarStore({str(self.path)!r}, {self.row_count} rows in "
+                f"{self.chunk_count} chunk(s), "
+                f"{len(self._columns)} columns)")
+
+    # -- writing ------------------------------------------------------------
+    def _require_writable(self) -> None:
+        if not self._writable:
+            raise StoreError(f"{self.path} is not open for writing")
+
+    def append_row(self, row: Mapping[str, object]) -> None:
+        """Buffer one dict row (must cover every store column)."""
+        self._require_writable()
+        try:
+            for buffer, column in zip(self._buffer, self._columns):
+                buffer.append(row[column])
+        except KeyError as error:
+            raise StoreError(f"row is missing column {error.args[0]!r}")
+        if len(self._buffer[0]) >= self._chunk_rows:
+            self.flush()
+
+    def append_rows(self, rows: Iterable[Mapping[str, object]]) -> None:
+        for row in rows:
+            self.append_row(row)
+
+    def append_columns(self, columns: Mapping[str, Sequence[object]]) -> None:
+        """Append a block of whole columns (the vectorized fast path).
+
+        Flushes any buffered rows first, then writes the block directly as
+        typed chunks of at most ``chunk_rows`` rows (array slices, no
+        per-row Python objects).
+        """
+        self._require_writable()
+        missing = [c for c in self._columns if c not in columns]
+        if missing:
+            raise StoreError(f"column block is missing column(s) {missing}")
+        lengths = {len(columns[c]) for c in self._columns}
+        if len(lengths) > 1:
+            raise StoreError(f"column lengths disagree: {sorted(lengths)}")
+        length = lengths.pop()
+        if length == 0:
+            return
+        self.flush()
+        arrays = {c: _column_array(c, columns[c]) for c in self._columns}
+        for start in range(0, length, self._chunk_rows):
+            stop = min(start + self._chunk_rows, length)
+            self._write_chunk({c: arrays[c][start:stop]
+                               for c in self._columns}, stop - start)
+
+    def _write_chunk(self, arrays: Mapping[str, np.ndarray],
+                     rows: int) -> None:
+        name = f"chunk-{len(self._chunks):06d}.npz"
+        # Uncompressed: column blocks are already compact binary and the
+        # store optimizes for append/stream throughput, not disk size.
+        np.savez(self.path / name, **arrays)
+        self._chunks.append(name)
+        self._chunk_row_counts.append(rows)
+        self._row_count += rows
+
+    def flush(self) -> None:
+        """Write the buffered rows out as one typed chunk."""
+        self._require_writable()
+        buffered = len(self._buffer[0])
+        if not buffered:
+            return
+        arrays = {column: _column_array(column, buffer)
+                  for column, buffer in zip(self._columns, self._buffer)}
+        self._write_chunk(arrays, buffered)
+        self._buffer = [[] for _ in self._columns]
+
+    def close(self) -> None:
+        """Flush and write the manifest; the store then serves reads."""
+        if not self._writable:
+            return
+        self.flush()
+        manifest = {
+            "store_schema_version": STORE_SCHEMA_VERSION,
+            "schema_version": self._schema_version,
+            "columns": list(self._columns),
+            "row_count": self._row_count,
+            "chunk_rows": self._chunk_rows,
+            "chunks": list(self._chunks),
+            "chunk_row_counts": list(self._chunk_row_counts),
+            "document_header": self._document_header,
+            "metadata": self._metadata,
+        }
+        (self.path / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=False) + "\n")
+        self._writable = False
+
+    # -- reading ------------------------------------------------------------
+    def _require_readable(self) -> None:
+        if self._writable:
+            raise StoreError(
+                f"{self.path} is still open for writing — close() it first")
+
+    def iter_column_chunks(self) -> Iterator[Dict[str, np.ndarray]]:
+        """Yield one ``column -> array`` mapping per chunk, in row order."""
+        self._require_readable()
+        for name in self._chunks:
+            with np.load(self.path / name) as data:
+                yield {column: data[column] for column in self._columns}
+
+    def iter_row_chunks(self) -> Iterator[List[Dict[str, object]]]:
+        """Yield one list of dict rows per chunk (native Python scalars)."""
+        for chunk in self.iter_column_chunks():
+            lists = [chunk[column].tolist() for column in self._columns]
+            yield [dict(zip(self._columns, values))
+                   for values in zip(*lists)]
+
+    def iter_rows(self) -> Iterator[Dict[str, object]]:
+        """Stream every row as a dict (one chunk in memory at a time)."""
+        for rows in self.iter_row_chunks():
+            yield from rows
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Every row, materialized (convenience for small stores/tests)."""
+        return list(self.iter_rows())
+
+    def column(self, name: str) -> np.ndarray:
+        """One full column as a single typed array (the analytics view)."""
+        self._require_readable()
+        if name not in self._columns:
+            raise StoreError(f"store has no column {name!r}")
+        parts = [chunk[name] for chunk in self.iter_column_chunks()]
+        if not parts:
+            kind = COLUMN_KINDS.get(name)
+            return np.empty(0, dtype=_KIND_DTYPES.get(kind, np.float64))
+        return np.concatenate(parts)
+
+    def document(self) -> Dict[str, object]:
+        """The full JSON document (header + rows), materialized."""
+        document = dict(self._document_header)
+        document["row_count"] = self.row_count
+        document["rows"] = self.rows()
+        return document
+
+
+# -- persisting result objects ----------------------------------------------
+def store_campaign_run(run, path, deterministic: bool = True,
+                       chunk_rows: int = DEFAULT_CHUNK_ROWS) -> ColumnarStore:
+    """Persist a :class:`~repro.explore.campaign.CampaignRun` as a store.
+
+    The document header mirrors :meth:`CampaignRun.as_document`'s key order,
+    so :func:`write_document_json` on the result is bitwise identical to
+    :meth:`CampaignRun.write_json` with the same *deterministic* flag.
+    """
+    columns = result_columns(deterministic)
+    header: Dict[str, object] = {"schema_version": SCHEMA_VERSION,
+                                 "columns": columns}
+    if not deterministic:
+        header["workers"] = run.workers
+        header["wall_seconds"] = run.wall_seconds
+    store = ColumnarStore.create(
+        path, columns, document_header=header,
+        metadata={"kind": "campaign", "deterministic": deterministic},
+        chunk_rows=chunk_rows)
+    with store:
+        for outcome in run.outcomes:
+            store.append_row(outcome.deterministic_row() if deterministic
+                             else outcome.as_row())
+    return store
+
+
+def store_shard_run(result, path, deterministic: bool = True,
+                    chunk_rows: int = DEFAULT_CHUNK_ROWS) -> ColumnarStore:
+    """Persist a :class:`~repro.explore.distrib.ShardRun` as a store.
+
+    The header carries the shard provenance block exactly like the shard
+    JSON artifact, so :func:`write_document_json` output is bitwise
+    identical to :meth:`ShardRun.write_json` — and therefore mergeable.
+    """
+    from repro.explore.distrib import DISTRIB_SCHEMA_VERSION
+
+    columns = result_columns(deterministic)
+    header: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "distrib_schema_version": DISTRIB_SCHEMA_VERSION,
+        "shard": result.shard.provenance(),
+        "columns": columns,
+    }
+    if not deterministic:
+        header["workers"] = result.run.workers
+        header["wall_seconds"] = result.run.wall_seconds
+    store = ColumnarStore.create(
+        path, columns, document_header=header,
+        metadata={"kind": "shard", "deterministic": deterministic,
+                  "shard": result.shard.provenance()},
+        chunk_rows=chunk_rows)
+    with store:
+        for outcome in result.run.outcomes:
+            store.append_row(outcome.deterministic_row() if deterministic
+                             else outcome.as_row())
+    return store
+
+
+def store_adaptive_result(result, path, deterministic: bool = True,
+                          chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                          ) -> ColumnarStore:
+    """Persist an adaptive search's result *rows* (all rounds + provenance
+    columns) as a store.
+
+    Adaptive JSON artifacts carry search-definition keys *after* the rows
+    (``front``), so they are not reconstructable by the header-then-rows
+    streaming writer; the store therefore keeps the row table plus the
+    search provenance in ``metadata`` and leaves the checkpoint JSON
+    artifact to :meth:`AdaptiveResult.write_json`.  CSV output *is*
+    equivalent: :func:`write_document_csv` matches
+    :meth:`AdaptiveResult.write_csv` byte for byte.
+    """
+    from repro.explore.adaptive import ADAPTIVE_SCHEMA_VERSION
+
+    columns = result.columns(deterministic)
+    header: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "adaptive_schema_version": ADAPTIVE_SCHEMA_VERSION,
+        "columns": columns,
+    }
+    store = ColumnarStore.create(
+        path, columns, document_header=header,
+        metadata={
+            "kind": "adaptive", "deterministic": deterministic,
+            "objectives": [str(o) for o in result.objectives],
+            "complete": result.complete,
+            "planned_rounds": result.planned_rounds,
+            "completed_rounds": len(result.rounds),
+            "front_size": len(result.front),
+        },
+        chunk_rows=chunk_rows)
+    with store:
+        store.append_rows(result.iter_rows(deterministic))
+    return store
+
+
+# -- streaming shard merge ---------------------------------------------------
+def _create_merge_store(plan, store_path, chunk_rows: int) -> ColumnarStore:
+    """A writable store carrying a validated merge plan's header/provenance."""
+    return ColumnarStore.create(
+        store_path, plan.columns, document_header=plan.header(),
+        metadata={
+            "kind": "merged-campaign",
+            "fingerprint": plan.fingerprint,
+            "shard_count": plan.count,
+            "total_jobs": plan.total_jobs,
+            "present": list(plan.present),
+            "missing": list(plan.missing),
+        },
+        chunk_rows=chunk_rows)
+
+
+def _append_shard_rows(store: ColumnarStore, columns: Sequence[str],
+                       rows: Sequence[Mapping[str, object]]) -> None:
+    # Column-block append: one list comprehension per column beats 26 dict
+    # lookups per row by a wide margin at merge scale.
+    store.append_columns({column: [row[column] for row in rows]
+                          for column in columns})
+
+
+def merge_documents_to_store(documents: Sequence[Mapping[str, object]],
+                             store_path, partial: bool = False,
+                             chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                             ) -> ColumnarStore:
+    """Merge already-loaded shard documents into a store.
+
+    The columnar counterpart of
+    :func:`~repro.explore.distrib.merge_shard_documents` — same
+    :func:`~repro.explore.distrib.plan_merge` validation, same shard order,
+    but the rows land as typed column chunks instead of one concatenated
+    Python list.  When the artifacts live on disk, prefer
+    :func:`merge_artifacts_to_store`, which never loads them all at once.
+    """
+    plan = plan_merge(documents, partial=partial)
+    store = _create_merge_store(plan, store_path, chunk_rows)
+    with store:
+        for position in plan.order:
+            _append_shard_rows(store, plan.columns,
+                               documents[position]["rows"])
+    return store
+
+
+def merge_artifacts_to_store(paths: Sequence, store_path,
+                             partial: bool = False,
+                             chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                             ) -> Tuple[ColumnarStore, List[Dict[str, object]]]:
+    """Merge shard JSON artifacts into a store without holding all rows.
+
+    Two passes: first every artifact is loaded once for validation and its
+    row-less header is kept (:func:`~repro.explore.distrib.plan_merge` runs
+    the full shard-set validation on those headers); then the artifacts are
+    re-read one at a time in shard-index order, their rows appended to the
+    store and dropped.  Peak memory is one shard plus one chunk buffer —
+    independent of the shard count — while the resulting store regenerates
+    (:func:`write_document_json`) the exact bytes of
+    :func:`~repro.explore.distrib.merge_shard_documents` +
+    ``write_merged_json``.
+
+    Returns ``(store, headers)`` — the headers (shard artifacts minus their
+    rows) feed the CLI's merge report.  Raises
+    :class:`~repro.explore.distrib.MergeError` like the in-memory merge.
+    """
+    headers: List[Dict[str, object]] = []
+    row_counts: List[Optional[int]] = []
+    for path in paths:
+        document = load_artifact(path)
+        rows = document.get("rows")
+        row_counts.append(len(rows) if isinstance(rows, list) else None)
+        headers.append({key: value for key, value in document.items()
+                        if key != "rows"})
+        del document, rows
+    plan = plan_merge(headers, partial=partial, row_counts=row_counts)
+
+    store = _create_merge_store(plan, store_path, chunk_rows)
+    with store:
+        for position in plan.order:
+            document = load_artifact(paths[position])
+            rows = document.get("rows")
+            if not isinstance(rows, list) or \
+                    len(rows) != plan.row_counts[position]:
+                raise MergeError(
+                    f"{paths[position]} changed between validation and merge")
+            _append_shard_rows(store, plan.columns, rows)
+            del document, rows
+    return store, headers
+
+
+# -- streaming artifact writers ----------------------------------------------
+def write_document_json(store: ColumnarStore, path) -> None:
+    """Stream a store out as a JSON artifact, chunk by chunk.
+
+    Reproduces ``json.dump(store.document(), handle, indent=2,
+    sort_keys=False)`` plus the trailing newline *byte for byte* without
+    ever materializing the row list — the bitwise-identity contract of the
+    artifact writers, extended to the streaming path.
+    """
+    header = store.document_header
+    header["row_count"] = store.row_count
+    with open(path, "w") as handle:
+        handle.write("{\n")
+        for key, value in header.items():
+            text = json.dumps(value, indent=2).replace("\n", "\n  ")
+            handle.write(f"  {json.dumps(key)}: {text},\n")
+        handle.write('  "rows": [')
+        first = True
+        for rows in store.iter_row_chunks():
+            for row in rows:
+                text = json.dumps(row, indent=2).replace("\n", "\n    ")
+                handle.write("\n    " if first else ",\n    ")
+                handle.write(text)
+                first = False
+        handle.write("]\n}\n" if first else "\n  ]\n}\n")
+
+
+def write_document_csv(store: ColumnarStore, path) -> None:
+    """Stream a store out as a CSV artifact (header = its column list)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=store.columns)
+        writer.writeheader()
+        for rows in store.iter_row_chunks():
+            writer.writerows(rows)

@@ -4,6 +4,8 @@ import csv
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.explore.adaptive import (
     ADAPTIVE_SCHEMA_VERSION,
@@ -16,6 +18,7 @@ from repro.explore.adaptive import (
     dominates,
     objective_vector,
     parse_objective,
+    pareto_front_mask,
     pareto_ranks,
 )
 from repro.explore.campaign import (
@@ -392,3 +395,92 @@ class TestRoundSharding:
         result = self.search().run(round_shards=2)
         document = result.as_document()
         assert "round_shards" not in json.dumps(document)
+
+
+# -- vectorized Pareto analytics vs the definitional reference ----------------
+
+objective_values = st.integers(min_value=0, max_value=6)
+vector_lists = st.integers(min_value=1, max_value=4).flatmap(
+    lambda dims: st.lists(
+        st.tuples(*[objective_values] * dims), max_size=40))
+
+
+#: Real result columns standing in for up-to-4-dimensional objectives
+#: (Objective validates its column against RESULT_COLUMNS).
+_OBJECTIVE_COLUMNS = ("test_length_cycles", "peak_power", "avg_power",
+                      "estimated_cycles")
+
+
+class _Point:
+    """A payload whose as_row() exposes one column per objective dim."""
+
+    def __init__(self, index, vector):
+        self.index = index
+        self._row = dict(zip(_OBJECTIVE_COLUMNS, vector))
+
+    def as_row(self):
+        return self._row
+
+
+def reference_ranks(vectors):
+    """Literal front-by-front peeling with scalar dominates()."""
+    vectors = [tuple(float(v) for v in vector) for vector in vectors]
+    ranks = [-1] * len(vectors)
+    remaining = set(range(len(vectors)))
+    rank = 0
+    while remaining:
+        front = [i for i in remaining
+                 if not any(dominates(vectors[j], vectors[i])
+                            for j in remaining if j != i)]
+        for index in front:
+            ranks[index] = rank
+        remaining.difference_update(front)
+        rank += 1
+    return ranks
+
+
+class TestVectorizedPareto:
+    """The numpy pareto_ranks / pareto_front_mask / ParetoFront.extend
+    must be indistinguishable from the scalar definitions — small integer
+    coordinates force plenty of ties, duplicates and dominance chains."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(vectors=vector_lists)
+    def test_pareto_ranks_match_reference_peeling(self, vectors):
+        assert pareto_ranks(vectors) == reference_ranks(vectors)
+
+    @settings(max_examples=120, deadline=None)
+    @given(vectors=vector_lists)
+    def test_front_mask_is_rank_zero(self, vectors):
+        ranks = reference_ranks(vectors)
+        assert pareto_front_mask(vectors) \
+            == [rank == 0 for rank in ranks]
+
+    @settings(max_examples=80, deadline=None)
+    @given(batches=st.integers(min_value=1, max_value=4).flatmap(
+        lambda dims: st.lists(
+            st.lists(st.tuples(*[objective_values] * dims), max_size=15),
+            min_size=1, max_size=3)))
+    def test_extend_equals_sequential_adds(self, batches):
+        """Bulk extend() after any prefix of adds leaves exactly the points
+        (and insertion order) that one-at-a-time add() would have kept."""
+        dims = len(batches[0][0]) if batches[0] else \
+            next((len(b[0]) for b in batches if b), 2)
+        batches = [[v for v in batch if len(v) == dims] for batch in batches]
+        objectives = tuple(Objective(column)
+                           for column in _OBJECTIVE_COLUMNS[:dims])
+
+        sequential = ParetoFront(objectives=objectives)
+        staged = ParetoFront(objectives=objectives)
+        index = 0
+        for batch in batches:
+            points = [_Point(index + offset, vector)
+                      for offset, vector in enumerate(batch)]
+            index += len(batch)
+            for point in points:
+                sequential.add(point,
+                               vector=objective_vector(point, objectives))
+            staged.extend(points)
+            assert [p.index for p in staged.points] \
+                == [p.index for p in sequential.points]
+            assert staged.vectors == sequential.vectors

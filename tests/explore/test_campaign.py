@@ -416,3 +416,43 @@ class TestCampaignAtScale:
 
         serial = campaign.run(workers=1)
         assert serial.deterministic_rows() == parallel.deterministic_rows()
+
+
+class TestRunTiming:
+    def test_cpu_seconds_measures_process_time(self, monkeypatch):
+        """Regression: cpu_seconds was measured with time.perf_counter(),
+        folding scheduler queueing / co-tenant wall time into the paper's
+        "CPU [s]" column.  It must come from time.process_time()."""
+        import repro.explore.campaign as campaign_module
+
+        ticks = [100.0, 102.5]
+        monkeypatch.setattr(campaign_module.time, "process_time",
+                            lambda: ticks.pop(0) if ticks else 102.5)
+        # perf_counter poisoned: using it for cpu_seconds becomes obvious.
+        monkeypatch.setattr(campaign_module.time, "perf_counter",
+                            lambda: 1e9)
+        job = CampaignJob(spec=small_spec(core_count=1, patterns_per_core=8),
+                          schedule="sequential")
+        outcome = execute_job(job)
+        assert outcome.cpu_seconds == pytest.approx(2.5)
+
+    def test_rows_per_second_counts_rows(self):
+        from repro.explore.campaign import CampaignRun
+
+        run = campaign_from_axes(
+            {"core_count": [1, 2]},
+            base=ScenarioSpec(name="base", patterns_per_core=8, seed=3,
+                              schedules=("sequential", "greedy")),
+        ).run(workers=1)
+        assert len(run.outcomes) == 4  # 2 scenarios x 2 schedules
+        assert run.rows_per_second == pytest.approx(
+            len(run.outcomes) / run.wall_seconds)
+        assert CampaignRun(outcomes=[], wall_seconds=0.0).rows_per_second \
+            == 0.0
+
+    def test_scenarios_per_second_is_a_deprecated_alias(self):
+        from repro.explore.campaign import CampaignRun
+
+        run = CampaignRun(outcomes=[], workers=1, wall_seconds=1.0)
+        with pytest.deprecated_call(match="use rows_per_second"):
+            assert run.scenarios_per_second == run.rows_per_second

@@ -185,6 +185,10 @@ class TestExitCodes:
         assert exit_code != 0
         assert "error:" in captured.err
         assert "nope" in captured.err
+        # Regression: a bare KeyError used to render as `error: 'nope'` —
+        # just the repr of the missing key, with no hint what went wrong.
+        assert "error: unknown schedule/key:" in captured.err
+        assert captured.err.strip() != "error: 'nope'"
 
     def test_merge_of_missing_file_returns_nonzero(self, capsys, tmp_path):
         exit_code = main(["merge", str(tmp_path / "missing.json")])
@@ -380,3 +384,76 @@ class TestAdaptiveShardTimingWarning:
                      "--json", str(path)]) == 0
         captured = capsys.readouterr()
         assert "read as zero" in captured.err
+
+
+class TestStoreCli:
+    """--store wires the columnar store through campaign, merge and
+    adaptive; the merge path's regenerated artifacts stay bitwise identical
+    to the monolithic run."""
+
+    def test_campaign_store_holds_the_json_rows(self, capsys, tmp_path):
+        from repro.explore.store import ColumnarStore
+
+        json_path = tmp_path / "run.json"
+        store_path = tmp_path / "run.store"
+        assert main(["campaign", *GRID, "--json", str(json_path),
+                     "--store", str(store_path)]) == 0
+        assert f"wrote {store_path}" in capsys.readouterr().out
+
+        store = ColumnarStore.open(store_path)
+        document = json.loads(json_path.read_text())
+        assert store.rows() == document["rows"]
+        assert store.metadata["kind"] == "campaign"
+
+    def test_merge_store_regenerates_monolithic_bitwise(self, capsys,
+                                                        tmp_path):
+        paths = []
+        for index in range(2):
+            path = tmp_path / f"shard{index}.json"
+            assert main(["campaign", *GRID, "--shard", f"{index}/2",
+                         "--json", str(path)]) == 0
+            paths.append(path)
+        mono = tmp_path / "mono.json"
+        mono_csv = tmp_path / "mono.csv"
+        assert main(["campaign", *GRID, "--json", str(mono),
+                     "--csv", str(mono_csv)]) == 0
+        capsys.readouterr()
+
+        store_path = tmp_path / "merged.store"
+        merged_json = tmp_path / "merged.json"
+        merged_csv = tmp_path / "merged.csv"
+        assert main(["merge", *map(str, paths), "--store", str(store_path),
+                     "--json", str(merged_json),
+                     "--csv", str(merged_csv)]) == 0
+        output = capsys.readouterr().out
+        assert "merged 2 shard artifact(s)" in output
+        assert f"wrote {store_path}" in output
+        assert "grouped by schedule" in output  # the store summary table
+
+        assert merged_json.read_bytes() == mono.read_bytes()
+        assert merged_csv.read_bytes() == mono_csv.read_bytes()
+
+    def test_shard_campaign_store_carries_provenance(self, capsys, tmp_path):
+        from repro.explore.store import ColumnarStore
+
+        store_path = tmp_path / "shard.store"
+        assert main(["campaign", *GRID, "--shard", "0/2",
+                     "--store", str(store_path)]) == 0
+        capsys.readouterr()
+        store = ColumnarStore.open(store_path)
+        assert store.metadata["kind"] == "shard"
+        assert store.document_header["shard"]["index"] == 0
+
+    def test_adaptive_store_holds_all_round_rows(self, capsys, tmp_path):
+        from repro.explore.store import ColumnarStore
+
+        json_path = tmp_path / "adaptive.json"
+        store_path = tmp_path / "adaptive.store"
+        assert main(["adaptive", *GRID, "--json", str(json_path),
+                     "--store", str(store_path)]) == 0
+        capsys.readouterr()
+        store = ColumnarStore.open(store_path)
+        document = json.loads(json_path.read_text())
+        assert store.rows() == document["rows"]
+        assert store.metadata["kind"] == "adaptive"
+        assert "round" in store.columns

@@ -469,3 +469,48 @@ class TestPartialMerge:
         complete = merge_shard_documents(documents + [rerun], partial=True)
         mono = campaign.run().as_document(deterministic=True)
         assert json.dumps(complete) == json.dumps(mono)
+
+
+class TestMergePlanning:
+    """plan_merge: the header-level validation pass behind both the
+    in-memory merge and the streaming store merge."""
+
+    def test_every_duplicate_index_is_listed_once(self):
+        # Regression: duplicate detection was an O(n^2) per-element
+        # .count() scan; the Counter pass must still report each
+        # duplicated index exactly once, sorted.
+        documents = fake_shard_documents(8, 4)
+        with pytest.raises(MergeError,
+                           match=r"index\(es\) \[0, 2\] supplied more than "
+                                 r"once"):
+            merge_shard_documents([documents[0], documents[0], documents[1],
+                                   documents[2], documents[2], documents[2],
+                                   documents[3]])
+
+    def test_plan_validates_rowless_headers(self):
+        from repro.explore.distrib import plan_merge
+
+        documents = fake_shard_documents(6, 3)
+        headers = [{key: value for key, value in document.items()
+                    if key != "rows"} for document in documents]
+        row_counts = [document["row_count"] for document in documents]
+        plan = plan_merge(headers, row_counts=row_counts)
+        assert plan.count == 3
+        assert plan.row_count == 6
+        assert [headers[position]["shard"]["index"]
+                for position in plan.order] == [0, 1, 2]
+        # The plan's header is exactly the merged document minus its rows.
+        merged = merge_shard_documents(documents)
+        expected = {key: value for key, value in merged.items()
+                    if key not in ("row_count", "rows")}
+        assert plan.header() == expected
+        assert list(plan.header()) == list(expected)
+
+    def test_plan_rejects_headers_without_row_counts(self):
+        from repro.explore.distrib import plan_merge
+
+        documents = fake_shard_documents(4, 2)
+        headers = [{key: value for key, value in document.items()
+                    if key != "rows"} for document in documents]
+        with pytest.raises(MergeError, match="no result rows"):
+            plan_merge(headers)
