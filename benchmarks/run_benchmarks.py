@@ -187,6 +187,27 @@ def bench_tracing(scale: float) -> dict:
         "tam", SimTime(0), SimTime(count * 1000))
     query_wall = time.perf_counter() - start
 
+    # Windowed profile query (the Table-I peak-utilization path): many
+    # busy-in-window probes over the same channel, which is where the
+    # merged-interval cache + searchsorted implementation earns its keep.
+    profile_result: dict = {}
+    if hasattr(enabled, "utilization_profile"):
+        window_fs = 50_000  # ~20 windows per 1000 appended transactions
+
+        def run_profile():
+            start = time.perf_counter()
+            profile = enabled.utilization_profile("tam", SimTime(window_fs))
+            return time.perf_counter() - start, profile
+
+        profile_wall, profile = _best_of(REPEATS, run_profile)
+        profile_result = {
+            "profile_wall_seconds": round(profile_wall, 6),
+            "profile_windows": len(profile),
+            "profile_windows_per_second": round(
+                len(profile) / profile_wall, 1),
+            "profile_checksum": round(sum(profile), 6),
+        }
+
     log_result: dict = {}
     try:
         from repro.dft.monitor import ActivityLog
@@ -213,6 +234,7 @@ def bench_tracing(scale: float) -> dict:
             "busy_fs": busy.femtoseconds,
             "utilization": round(utilization, 6),
         },
+        **profile_result,
         **log_result,
     }
 
@@ -728,6 +750,189 @@ def bench_store(scale: float) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# surrogate tier
+# ---------------------------------------------------------------------------
+
+def _surrogate_space(quick: bool):
+    """The surrogate acceptance space: >=50 scenarios x 4 strategy recipes.
+
+    The ``patterns_per_core`` axis deliberately includes a dominated half
+    (64-pattern scenarios can never beat their 32-pattern siblings), the
+    shape of real design-space sweeps and the region the estimator screen
+    is supposed to prune without simulating.
+    """
+    from repro.explore.scenarios import ScenarioGrid, ScenarioSpec
+
+    schedules = ("sequential", "greedy", "binpack",
+                 "portfolio:members=greedy|binpack|anneal")
+    if quick:
+        axes = {"core_count": [1, 2], "tam_width_bits": [16, 32],
+                "patterns_per_core": [24, 48]}
+    else:
+        axes = {"core_count": [1, 2], "tam_width_bits": [8, 16, 32, 64],
+                "compression_ratio": [10.0, 100.0],
+                "power_budget": [3.0, 8.0],
+                "patterns_per_core": [32, 64]}
+    grid = ScenarioGrid(axes, base=ScenarioSpec(name="base", seed=5,
+                                                schedules=schedules))
+    return grid.specs()
+
+
+def bench_surrogate(scale: float, quick: bool = False) -> dict:
+    """The surrogate-tier win: batch estimator throughput and the
+    full-fidelity jobs avoided by ``--surrogate --race``.
+
+    Four measurements on the 64-scenario acceptance space:
+
+    * *estimation* — task cycles/second under N scalar
+      ``estimate_task_cycles`` calls vs one vectorized
+      :class:`BatchEstimator` pass over the same rows (bit-exactness
+      asserted),
+    * *screen* — candidates/second through the end-to-end surrogate
+      screen (batch build + scoring + Pareto ranking),
+    * *search* — one full-simulation adaptive run vs the identical search
+      with ``surrogate=True, race=True``: wall-clock speedup and the
+      full-fidelity job reduction (the headline),
+    * *front* — the two runs must reach the identical final Pareto front;
+      divergence is an error, not a data point.
+
+    Everything here is deterministic (same seeds, same selection order), so
+    the reduction and front-equality numbers are exactly reproducible.
+    """
+    from repro.explore.adaptive import (
+        DEFAULT_OBJECTIVES, AdaptiveSearch, surrogate_screen_candidates,
+    )
+    from repro.explore.campaign import cached_scenario
+    from repro.schedule.estimator import BatchEstimator
+
+    quick = quick or scale < 1.0
+    specs = _surrogate_space(quick)
+    search = AdaptiveSearch(specs)
+    candidates = search.candidates()
+
+    # Warm the scenario/schedule caches so the timed regions measure
+    # estimation and screening, not task generation or strategy builds.
+    for spec, schedule_name in candidates:
+        cached_scenario(spec).schedule_for(schedule_name)
+
+    # Task-cycle estimation throughput: N python estimate_task_cycles calls
+    # vs one vectorized pass over the same N task rows.  The batch is built
+    # outside the timed region on both sides — the comparison isolates the
+    # arithmetic, which is what repeated scoring (budget ladders, sweeps)
+    # actually re-runs.
+    def run_scalar_eval():
+        start = time.perf_counter()
+        estimates = {}
+        for spec in specs:
+            scenario = cached_scenario(spec)
+            per_task = scenario.estimator.estimate_all(scenario.tasks)
+            for name, cycles in per_task.items():
+                estimates[(spec.name, name)] = cycles
+        return time.perf_counter() - start, estimates
+
+    scalar_wall, scalar_estimates = _best_of(REPEATS, run_scalar_eval)
+
+    batch = BatchEstimator()
+    batch_rows = {}
+    for spec in specs:
+        scenario = cached_scenario(spec)
+        batch_rows[spec.name] = batch.add_estimator_tasks(scenario.estimator,
+                                                          scenario.tasks)
+
+    def run_batch_eval():
+        batch._cycles = None  # force a fresh vectorized pass
+        start = time.perf_counter()
+        cycles = batch.task_cycles()
+        return time.perf_counter() - start, cycles
+
+    batch_wall, batch_cycles = _best_of(REPEATS, run_batch_eval)
+    batch_estimates = {
+        (spec_name, task_name): int(batch_cycles[row])
+        for spec_name, rows in batch_rows.items()
+        for task_name, row in rows.items()
+    }
+    if batch_estimates != scalar_estimates:
+        raise AssertionError("batch estimator task cycles diverged from the "
+                             "scalar estimator")
+    task_count = len(scalar_estimates)
+
+    def run_screen():
+        start = time.perf_counter()
+        screen, kept = surrogate_screen_candidates(
+            specs, candidates, DEFAULT_OBJECTIVES, 0.25)
+        return time.perf_counter() - start, screen
+
+    screen_wall, screen = _best_of(REPEATS, run_screen)
+
+    # End-to-end searches are the expensive part: one timed pass each
+    # (the searches are deterministic, so repetition buys nothing but heat).
+    start = time.perf_counter()
+    full = AdaptiveSearch(specs).run()
+    full_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    raced = AdaptiveSearch(specs, surrogate=True, surrogate_keep=0.25,
+                           race=True).run()
+    raced_wall = time.perf_counter() - start
+
+    if quick:
+        # The tiny smoke space makes every strategy tie on the same
+        # objective vector, so member identity is down to which duplicate
+        # survives selection; compare the objective-vector front instead.
+        full_front = sorted(set((o.test_length_cycles, round(o.peak_power, 9))
+                                for o in full.front))
+        raced_front = sorted(set((o.test_length_cycles, round(o.peak_power, 9))
+                                 for o in raced.front))
+    else:
+        full_front = sorted((o.spec.name, o.schedule) for o in full.front)
+        raced_front = sorted((o.spec.name, o.schedule) for o in raced.front)
+    if full_front != raced_front:
+        raise AssertionError(
+            "surrogate+race search reached a different Pareto front than "
+            "the full-simulation search")
+
+    reduction = full.full_fidelity_jobs / max(1, raced.full_fidelity_jobs)
+    return {
+        "workload": {
+            "scenarios": len(specs),
+            "candidates": len(candidates),
+            "surrogate_keep": 0.25,
+            "repeats_best_of": REPEATS,
+        },
+        "estimation": {
+            "tasks": task_count,
+            "scalar_wall_seconds": round(scalar_wall, 6),
+            "scalar_tasks_per_second": round(task_count / scalar_wall, 1),
+            "batch_wall_seconds": round(batch_wall, 6),
+            "batch_tasks_per_second": round(task_count / batch_wall, 1),
+            "speedup": round(scalar_wall / batch_wall, 2),
+            "bit_exact": True,
+        },
+        "screen": {
+            "wall_seconds": round(screen_wall, 6),
+            "candidates_per_second": round(len(candidates) / screen_wall, 1),
+            "screened": screen.screened,
+            "kept": screen.kept,
+        },
+        "search": {
+            "full_wall_seconds": round(full_wall, 6),
+            "raced_wall_seconds": round(raced_wall, 6),
+            "wall_speedup": round(full_wall / raced_wall, 2),
+            "full_fidelity_jobs_full": full.full_fidelity_jobs,
+            "full_fidelity_jobs_raced": raced.full_fidelity_jobs,
+            "total_jobs_full": full.total_jobs,
+            "total_jobs_raced": raced.total_jobs,
+            "race_stopped_jobs": raced.race_stopped_jobs,
+            "front_size": len(full.front),
+            "same_front": True,
+        },
+        "batch_candidates_per_second": round(
+            len(candidates) / screen_wall, 1),
+        "batch_tasks_per_second": round(task_count / batch_wall, 1),
+        "full_fidelity_reduction": round(reduction, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
 
@@ -739,6 +944,7 @@ BENCHMARKS = {
     "campaign": bench_campaign,
     "distrib": bench_distrib,
     "store": bench_store,
+    "surrogate": bench_surrogate,
 }
 
 #: Headline metric of each benchmark (used for the speedup summary).
@@ -750,6 +956,7 @@ HEADLINE = {
     "campaign": "pool_rows_per_second",
     "distrib": "merge_rows_per_second",
     "store": "store_merge_rows_per_second",
+    "surrogate": "batch_candidates_per_second",
 }
 
 
@@ -815,7 +1022,7 @@ def main(argv=None) -> int:
     args.out.mkdir(parents=True, exist_ok=True)
     for name in names:
         bench = BENCHMARKS[name]
-        if name == "campaign":
+        if name in ("campaign", "surrogate"):
             result = bench(scale, quick=args.quick)
         else:
             result = bench(scale)

@@ -79,6 +79,8 @@ from repro.explore.campaign import (
     CampaignJob,
     CampaignOutcome,
     CampaignRun,
+    cached_scenario,
+    execute_job_raced,
     outcome_from_row,
     run_jobs,
 )
@@ -93,6 +95,7 @@ from repro.explore.scenarios import (
     spec_from_dict,
     spec_to_dict,
 )
+from repro.schedule.estimator import BatchEstimator
 from repro.schedule.strategies import canonical_schedule_names
 
 #: Version of the adaptive provenance schema (see the module docstring).
@@ -343,26 +346,246 @@ def pareto_front_mask(vectors: Sequence[Sequence[float]]) -> List[bool]:
 
 
 def _normalized_scores(vectors: Sequence[Tuple[float, ...]]) -> List[float]:
-    """Scalarized tie-break: sum of min-max-normalized objective values."""
+    """Scalarized tie-break: sum of min-max-normalized objective values.
+
+    Vectorized: per-objective min/max plus one broadcast normalization pass.
+    Degenerate objectives (zero span) contribute nothing, exactly like the
+    original per-element loop; the per-point summation order over the (few)
+    objectives is unchanged, so scores — and the selection tie-breaks built
+    on them — are bit-identical to the scalar implementation.
+    """
     if not vectors:
         return []
-    dims = len(vectors[0])
-    lows = [min(v[d] for v in vectors) for d in range(dims)]
-    highs = [max(v[d] for v in vectors) for d in range(dims)]
-    scores = []
-    for vector in vectors:
-        score = 0.0
-        for d in range(dims):
-            span = highs[d] - lows[d]
-            if span > 0:
-                score += (vector[d] - lows[d]) / span
-        scores.append(score)
-    return scores
+    matrix = np.asarray([tuple(vector) for vector in vectors],
+                        dtype=np.float64)
+    matrix = matrix.reshape(len(vectors), -1)
+    lows = matrix.min(axis=0)
+    spans = matrix.max(axis=0) - lows
+    live = spans > 0
+    if not live.any():
+        return [0.0] * len(vectors)
+    normalized = (matrix[:, live] - lows[live]) / spans[live]
+    return normalized.sum(axis=1).tolist()
 
 
 # -- the search ------------------------------------------------------------------
 #: One search candidate: (scenario name, schedule name).
 CandidateKey = Tuple[str, str]
+
+#: Objective columns the surrogate tier can score under the batch estimator.
+SURROGATE_OBJECTIVE_COLUMNS = ("test_length_cycles", "test_length_mcycles",
+                               "peak_power")
+
+#: Objective columns whose partial values are provable lower bounds during a
+#: bounded simulation (the soundness requirement of racing).  The makespan
+#: objective must be ``test_length_cycles`` — its integer cycle count maps
+#: exactly onto the simulation horizon.
+RACE_OBJECTIVE_COLUMNS = ("test_length_cycles", "peak_power")
+
+
+def validate_surrogate_objectives(objectives: Sequence[Objective]) -> None:
+    """Reject objective sets the batch estimator cannot score."""
+    unsupported = [str(o) for o in objectives
+                   if o.maximize or o.column not in SURROGATE_OBJECTIVE_COLUMNS]
+    if unsupported:
+        raise ValueError(
+            f"the surrogate tier only scores minimizing objectives "
+            f"over {list(SURROGATE_OBJECTIVE_COLUMNS)}; "
+            f"unsupported: {unsupported}")
+
+
+def validate_race_objectives(objectives: Sequence[Objective]) -> None:
+    """Reject objective sets whose partial values are not lower bounds."""
+    unsupported = [str(o) for o in objectives
+                   if o.maximize or o.column not in RACE_OBJECTIVE_COLUMNS]
+    if unsupported:
+        raise ValueError(
+            f"racing needs provable lower bounds: only minimizing "
+            f"objectives over {list(RACE_OBJECTIVE_COLUMNS)} are "
+            f"supported; unsupported: {unsupported}")
+    if all(o.column != "test_length_cycles" for o in objectives):
+        raise ValueError(
+            "racing requires the test_length_cycles objective "
+            "(the makespan horizon is derived from it)")
+
+
+@dataclass
+class SurrogateEntry:
+    """The surrogate tier's verdict on one candidate pair."""
+
+    scenario: str
+    schedule: str
+    #: Estimated schedule makespan under the vectorized batch estimator.
+    cycles: int
+    #: Power-model peak over the schedule's phases.
+    peak_power: float
+    #: Whether the candidate advanced into the simulated rounds.
+    kept: bool = True
+
+    @property
+    def key(self) -> CandidateKey:
+        return (self.scenario, self.schedule)
+
+
+@dataclass
+class SurrogateScreen:
+    """Provenance of the estimator pre-screening round."""
+
+    #: The exploration margin: fraction of the estimator-dominated
+    #: candidates forwarded into simulation anyway.
+    keep: float
+    #: One entry per screened candidate, in candidate order.
+    entries: List[SurrogateEntry] = field(default_factory=list)
+
+    @property
+    def screened(self) -> int:
+        return len(self.entries)
+
+    @property
+    def kept(self) -> int:
+        return sum(1 for entry in self.entries if entry.kept)
+
+    def scores(self) -> Dict[CandidateKey, Tuple[int, float]]:
+        """``(scenario, schedule) -> (cycles, peak_power)`` of every entry."""
+        return {entry.key: (entry.cycles, entry.peak_power)
+                for entry in self.entries}
+
+
+def _surrogate_vector(cycles: int, peak: float,
+                      objectives: Sequence[Objective]) -> Tuple[float, ...]:
+    """Surrogate scores mapped onto the search objectives (minimizing)."""
+    values = {"test_length_cycles": float(cycles),
+              "test_length_mcycles": cycles / 1e6,
+              "peak_power": peak}
+    return tuple(values[o.column] for o in objectives)
+
+
+def surrogate_screen_candidates(
+    specs: Sequence[ScenarioSpec],
+    candidates: List[Tuple[ScenarioSpec, str]],
+    objectives: Sequence[Objective],
+    keep: float,
+) -> Tuple[SurrogateScreen, List[Tuple[ScenarioSpec, str]]]:
+    """Score candidate pairs under the batch estimator and keep the
+    estimator Pareto front plus the exploration margin.
+
+    Every scenario's task set is appended into one
+    :class:`~repro.schedule.estimator.BatchEstimator` (per-row platform
+    parameters, so mixed platforms vectorize together); each candidate's
+    score is then a phase-max sum over the shared cycles array plus the
+    power model's peak.  ``keep`` is the fraction of the estimator-dominated
+    candidates forwarded into simulation anyway — 0 trusts the estimator
+    front alone, 1 disables pruning.  Selection order (Pareto rank,
+    normalized score, names) matches the simulated rounds' selection, so
+    screening is fully deterministic.
+    """
+    validate_surrogate_objectives(objectives)
+    if not 0.0 <= keep <= 1.0:
+        raise ValueError("surrogate_keep must be in [0, 1]")
+    batch = BatchEstimator()
+    scenarios = {}
+    task_rows = {}
+    for spec in specs:
+        scenario = cached_scenario(spec)
+        scenarios[spec.name] = scenario
+        task_rows[spec.name] = batch.add_estimator_tasks(
+            scenario.estimator, scenario.tasks)
+    entries: List[SurrogateEntry] = []
+    vectors: List[Tuple[float, ...]] = []
+    for spec, schedule_name in candidates:
+        scenario = scenarios[spec.name]
+        schedule = scenario.schedule_for(schedule_name)
+        cycles = batch.schedule_cycles(schedule, task_rows[spec.name])
+        peak = scenario.power_model.schedule_peak_power(
+            schedule, scenario.tasks)
+        entries.append(SurrogateEntry(scenario=spec.name,
+                                      schedule=schedule_name,
+                                      cycles=cycles, peak_power=peak,
+                                      kept=False))
+        vectors.append(_surrogate_vector(cycles, peak, objectives))
+    ranks = pareto_ranks(vectors)
+    scores = _normalized_scores(vectors)
+    front_size = sum(1 for rank in ranks if rank == 0)
+    margin = math.ceil(keep * (len(candidates) - front_size))
+    order = sorted(
+        range(len(candidates)),
+        key=lambda i: (ranks[i], scores[i],
+                       entries[i].scenario, entries[i].schedule))
+    for index in order[:front_size + margin]:
+        entries[index].kept = True
+    kept_pairs = [candidate for candidate, entry in zip(candidates, entries)
+                  if entry.kept]
+    return SurrogateScreen(keep=keep, entries=entries), kept_pairs
+
+
+def _race_horizon(front: "ParetoFront", power_lb: float,
+                  objectives: Sequence[Objective]) -> Optional[int]:
+    """Largest makespan (cycles) a candidate may reach before the incumbent
+    front provably dominates any completion.
+
+    A candidate's final vector is bounded below by ``(L, power_lb)``: the
+    simulated makespan only grows, and the simulated peak power is at least
+    the largest task power in the schedule (every task records one activity
+    interval at its own power).  A front point with ``peak_power <=
+    power_lb`` therefore dominates every completion whose length reaches the
+    returned horizon, so stopping there is provably sound — the stopped
+    candidate could never have joined the front.  Returns None when no front
+    point constrains the candidate.
+    """
+    columns = [o.column for o in objectives]
+    length_index = columns.index("test_length_cycles")
+    power_index = (columns.index("peak_power")
+                   if "peak_power" in columns else None)
+    horizon: Optional[int] = None
+    for vector in front.vectors:
+        length = int(vector[length_index])
+        if power_index is None:
+            bound = length + 1
+        elif vector[power_index] < power_lb:
+            bound = length
+        elif vector[power_index] == power_lb:
+            bound = length + 1
+        else:
+            continue
+        if horizon is None or bound < horizon:
+            horizon = bound
+    return horizon
+
+
+def race_jobs(jobs: Sequence[CampaignJob],
+              objectives: Sequence[Objective] = None,
+              ) -> Tuple[CampaignRun, List[CandidateKey]]:
+    """Run campaign jobs sequentially, racing against the incumbent front.
+
+    Each completed job tightens a shared :class:`ParetoFront`; a later job
+    is abandoned at the horizon where its completion provably cannot join
+    that front.  Returns the run holding only the *completed* outcomes (in
+    job order) plus the stopped candidate keys — stopped jobs carry partial
+    lower-bound metrics that would poison a flat campaign artifact, so they
+    are dropped from the rows rather than recorded.
+    """
+    if objectives is None:
+        objectives = DEFAULT_OBJECTIVES
+    validate_race_objectives(objectives)
+    wall_start = time.perf_counter()
+    incumbent = ParetoFront(objectives)
+    completed: List[CampaignOutcome] = []
+    stopped: List[CandidateKey] = []
+    for job in jobs:
+        scenario = cached_scenario(job.spec)
+        schedule = scenario.schedule_for(job.schedule)
+        power_lb = max((scenario.tasks[name].power
+                        for name in schedule.task_names), default=0.0)
+        horizon = _race_horizon(incumbent, power_lb, objectives)
+        outcome, was_stopped = execute_job_raced(job, horizon)
+        if was_stopped:
+            stopped.append((job.spec.name, job.schedule))
+        else:
+            completed.append(outcome)
+            incumbent.add(outcome)
+    run = CampaignRun(outcomes=completed, workers=1,
+                      wall_seconds=time.perf_counter() - wall_start)
+    return run, stopped
 
 
 @dataclass
@@ -381,11 +604,19 @@ class AdaptiveRound:
     #: earlier outcome — determinism makes the reuse exact — and do not
     #: count as simulated again.
     simulated_jobs: int = 0
+    #: Candidates whose simulation was early-stopped by racing (their rows
+    #: hold partial lower bounds; they never join fronts or the job memo).
+    race_stopped: List[CandidateKey] = field(default_factory=list)
 
     @property
     def job_count(self) -> int:
         """Result rows of this round (simulated + reused)."""
         return len(self.run.outcomes)
+
+    @property
+    def completed_jobs(self) -> int:
+        """Jobs simulated to completion this round (stopped ones excluded)."""
+        return self.simulated_jobs - len(self.race_stopped)
 
 
 @dataclass
@@ -419,6 +650,10 @@ class AdaptiveResult:
     #: the provenance-validated merger and stay bitwise identical to
     #: unsharded rounds.
     round_shards: Optional[int] = None
+    #: The estimator pre-screening provenance (None: surrogate tier off).
+    surrogate: Optional[SurrogateScreen] = None
+    #: Whether in-round simulation racing was enabled.
+    race: bool = False
 
     @property
     def total_jobs(self) -> int:
@@ -427,8 +662,14 @@ class AdaptiveResult:
 
     @property
     def full_fidelity_jobs(self) -> int:
-        """Jobs simulated at budget 1.0 (what halving is meant to minimize)."""
-        return sum(r.simulated_jobs for r in self.rounds if r.budget >= 1.0)
+        """Jobs simulated *to completion* at budget 1.0 (what halving,
+        surrogate screening and racing are all meant to minimize)."""
+        return sum(r.completed_jobs for r in self.rounds if r.budget >= 1.0)
+
+    @property
+    def race_stopped_jobs(self) -> int:
+        """Simulations early-stopped by racing, across all rounds."""
+        return sum(len(r.race_stopped) for r in self.rounds)
 
     def survivor_specs(self) -> List[ScenarioSpec]:
         """Full-budget specs of the final front, schedules narrowed to the
@@ -449,14 +690,24 @@ class AdaptiveResult:
                   ) -> Iterator[Dict[str, object]]:
         """Stream every round's result rows plus the provenance columns
         (one row dict at a time — the columnar store's append path)."""
+        surrogate_scores = (self.surrogate.scores()
+                            if self.surrogate is not None else None)
         for round_ in self.rounds:
             survivors = set(round_.survivors)
+            stopped = set(round_.race_stopped)
             for outcome in round_.run.outcomes:
                 row = (outcome.deterministic_row() if deterministic
                        else outcome.as_row())
+                key = (outcome.spec.name, outcome.schedule)
                 row["round"] = round_.index
                 row["budget"] = round_.budget
-                row["survivor"] = (outcome.spec.name, outcome.schedule) in survivors
+                row["survivor"] = key in survivors
+                if surrogate_scores is not None:
+                    cycles, peak = surrogate_scores[key]
+                    row["surrogate_cycles"] = cycles
+                    row["surrogate_peak_power"] = peak
+                if self.race:
+                    row["race_stopped"] = key in stopped
                 yield row
 
     def rows(self, deterministic: bool = True) -> List[Dict[str, object]]:
@@ -466,7 +717,14 @@ class AdaptiveResult:
     def columns(self, deterministic: bool = True) -> List[str]:
         columns = [c for c in RESULT_COLUMNS
                    if not deterministic or c not in NONDETERMINISTIC_COLUMNS]
-        return columns + list(PROVENANCE_COLUMNS)
+        columns += list(PROVENANCE_COLUMNS)
+        # The surrogate/race provenance columns appear only when the feature
+        # ran, so default searches keep writing byte-identical artifacts.
+        if self.surrogate is not None:
+            columns += ["surrogate_cycles", "surrogate_peak_power"]
+        if self.race:
+            columns += ["race_stopped"]
+        return columns
 
     def write_csv(self, path, deterministic: bool = True) -> None:
         """Write all rounds as CSV (campaign schema + provenance columns)."""
@@ -497,7 +755,9 @@ class AdaptiveResult:
             "round_stats": [
                 {"index": r.index, "budget": r.budget,
                  "simulated_jobs": r.simulated_jobs,
-                 "survivors": len(r.survivors)}
+                 "survivors": len(r.survivors),
+                 **({"race_stopped": len(r.race_stopped)} if self.race
+                    else {})}
                 for r in self.rounds
             ],
             "exhaustive_jobs": self.exhaustive_jobs,
@@ -516,6 +776,24 @@ class AdaptiveResult:
                 for outcome in self.front
             ],
         }
+        # Feature blocks appear only when the feature ran (default artifacts
+        # stay byte-identical); their presence is also what tells
+        # from_document to re-enable the feature on resume.
+        if self.surrogate is not None:
+            document["surrogate"] = {
+                "keep": self.surrogate.keep,
+                "screened": self.surrogate.screened,
+                "kept": self.surrogate.kept,
+                "scores": [
+                    {"scenario": entry.scenario, "schedule": entry.schedule,
+                     "surrogate_cycles": entry.cycles,
+                     "surrogate_peak_power": entry.peak_power,
+                     "kept": entry.kept}
+                    for entry in self.surrogate.entries
+                ],
+            }
+        if self.race:
+            document["race"] = {"stopped_jobs": self.race_stopped_jobs}
         if not deterministic:
             # Placement/timing metadata varies run to run, exactly like the
             # cpu_seconds/worker row columns it accompanies.
@@ -541,7 +819,9 @@ class AdaptiveSearch:
     def __init__(self, specs: Union[ScenarioGrid, Iterable[ScenarioSpec]],
                  schedules: Optional[Sequence[str]] = None,
                  objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
-                 eta: float = 2.0, min_budget: float = 0.25):
+                 eta: float = 2.0, min_budget: float = 0.25,
+                 surrogate: bool = False, surrogate_keep: float = 0.25,
+                 race: bool = False):
         if isinstance(specs, ScenarioGrid):
             specs = specs.specs()
         self.specs: List[ScenarioSpec] = list(specs)
@@ -558,6 +838,15 @@ class AdaptiveSearch:
             raise ValueError("min_budget must be in (0, 1]")
         self.eta = float(eta)
         self.min_budget = float(min_budget)
+        self.surrogate = bool(surrogate)
+        self.surrogate_keep = float(surrogate_keep)
+        self.race = bool(race)
+        if not 0.0 <= self.surrogate_keep <= 1.0:
+            raise ValueError("surrogate_keep must be in [0, 1]")
+        if self.surrogate:
+            validate_surrogate_objectives(self.objectives)
+        if self.race:
+            validate_race_objectives(self.objectives)
         names = [spec.name for spec in self.specs]
         duplicates = sorted({n for n in names if names.count(n) > 1})
         if duplicates:
@@ -592,18 +881,81 @@ class AdaptiveSearch:
         return replace(spec, patterns_per_core=patterns)
 
     # -- selection ----------------------------------------------------------
-    def _select(self, outcomes: List[CampaignOutcome],
-                keep: int) -> List[CandidateKey]:
-        vectors = [objective_vector(o, self.objectives) for o in outcomes]
+    def _select(self, outcomes: List[CampaignOutcome], keep: int,
+                stopped: Sequence[CandidateKey] = (),
+                ) -> List[CandidateKey]:
+        """The best *keep* candidate keys, Pareto-rank order.
+
+        Race-stopped outcomes carry partial lower bounds, not comparable to
+        completed metrics, so they are excluded from the rank computation
+        and sorted (by name) behind every completed candidate — they advance
+        only when the keep quota exceeds the completed field.
+        """
+        stopped_keys = set(stopped)
+        completed = [o for o in outcomes
+                     if (o.spec.name, o.schedule) not in stopped_keys]
+        vectors = [objective_vector(o, self.objectives) for o in completed]
         ranks = pareto_ranks(vectors)
         scores = _normalized_scores(vectors)
         order = sorted(
-            range(len(outcomes)),
+            range(len(completed)),
             key=lambda i: (ranks[i], scores[i],
-                           outcomes[i].spec.name, outcomes[i].schedule),
+                           completed[i].spec.name, completed[i].schedule),
         )
-        return [(outcomes[i].spec.name, outcomes[i].schedule)
-                for i in order[:keep]]
+        selected = [(completed[i].spec.name, completed[i].schedule)
+                    for i in order]
+        selected += sorted(stopped_keys)
+        return selected[:keep]
+
+    # -- surrogate screening --------------------------------------------------
+    def _surrogate_screen(self, candidates: List[Tuple[ScenarioSpec, str]],
+                          ) -> Tuple[SurrogateScreen,
+                                     List[Tuple[ScenarioSpec, str]]]:
+        return surrogate_screen_candidates(
+            self.specs, candidates, self.objectives, self.surrogate_keep)
+
+    # -- racing ---------------------------------------------------------------
+    def _race_horizon(self, front: ParetoFront,
+                      power_lb: float) -> Optional[int]:
+        return _race_horizon(front, power_lb, self.objectives)
+
+    def _run_round_raced(self, jobs: Sequence[CampaignJob],
+                         evaluated: Dict[CampaignJob, CampaignOutcome],
+                         ) -> Tuple[Dict[CampaignJob, CampaignOutcome],
+                                    List[CandidateKey], float]:
+        """Race one round in-process: jobs run sequentially against a shared
+        incumbent front, and a job is abandoned at the horizon where its
+        completion provably cannot join the front.
+
+        Returns ``(outcomes by job, stopped keys, wall seconds)``.  Reused
+        outcomes seed the front before any new job runs; each completed job
+        tightens it.  Stopped outcomes never enter the cross-round memo (a
+        later round re-simulates them fresh) and never join a front.
+        """
+        wall_start = time.perf_counter()
+        incumbent = ParetoFront(self.objectives)
+        for job in jobs:
+            if job in evaluated:
+                incumbent.add(evaluated[job])
+        outcomes: Dict[CampaignJob, CampaignOutcome] = {}
+        stopped: List[CandidateKey] = []
+        for job in jobs:
+            if job in evaluated:
+                outcomes[job] = evaluated[job]
+                continue
+            scenario = cached_scenario(job.spec)
+            schedule = scenario.schedule_for(job.schedule)
+            power_lb = max((scenario.tasks[name].power
+                            for name in schedule.task_names), default=0.0)
+            horizon = self._race_horizon(incumbent, power_lb)
+            outcome, was_stopped = execute_job_raced(job, horizon)
+            outcomes[job] = outcome
+            if was_stopped:
+                stopped.append((job.spec.name, job.schedule))
+            else:
+                evaluated[job] = outcome
+                incumbent.add(outcome)
+        return outcomes, stopped, time.perf_counter() - wall_start
 
     # -- resume -------------------------------------------------------------
     @classmethod
@@ -617,6 +969,7 @@ class AdaptiveSearch:
         _validate_resume_versions(document)
         specs = [spec_from_dict(entry) for entry in document["specs"]]
         schedules = document.get("schedules_override")
+        surrogate_block = document.get("surrogate")
         return cls(
             specs,
             schedules=tuple(schedules) if schedules is not None else None,
@@ -624,6 +977,10 @@ class AdaptiveSearch:
                              for text in document["objectives"]),
             eta=float(document["eta"]),
             min_budget=float(document["min_budget"]),
+            surrogate=surrogate_block is not None,
+            surrogate_keep=(float(surrogate_block["keep"])
+                            if surrogate_block is not None else 0.25),
+            race="race" in document,
         )
 
     def _replayable_rounds(self, document: Mapping[str, object],
@@ -742,8 +1099,22 @@ class AdaptiveSearch:
             raise ValueError(
                 f"lead_shard must be in [0, {round_shards}) "
                 f"for {round_shards} shard(s)")
+        if self.race and round_shards is not None and round_shards > 1:
+            raise ValueError(
+                "racing runs each round in-process against a shared "
+                "incumbent front; it cannot be combined with round shards")
+        if self.race and workers > 1:
+            raise ValueError(
+                "racing runs each round in-process against a shared "
+                "incumbent front; it cannot be combined with workers > 1")
         candidates = self.candidates()
         exhaustive_jobs = len(candidates)
+        surrogate_screen: Optional[SurrogateScreen] = None
+        if self.surrogate:
+            # The estimator pre-screen is deterministic and cheap, so a
+            # resumed run simply recomputes it; the replay validation below
+            # would catch any divergence in the surviving candidate set.
+            surrogate_screen, candidates = self._surrogate_screen(candidates)
         budgets = self.budgets()
         replayable = (self._replayable_rounds(resume_from, budgets)
                       if resume_from is not None else {})
@@ -754,6 +1125,8 @@ class AdaptiveSearch:
         # Budget quantization (max(1, round(patterns * b))) can map nearby
         # budgets to identical budgeted specs; evaluated jobs are memoized so
         # such repeats reuse the (deterministic) earlier outcome for free.
+        # Race-stopped outcomes are never memoized: their partial metrics are
+        # only meaningful against the round front that stopped them.
         evaluated: Dict[CampaignJob, CampaignOutcome] = {}
         resumed_rounds = 0
         wall_start = time.perf_counter()
@@ -762,11 +1135,17 @@ class AdaptiveSearch:
                                 schedule=schedule)
                     for spec, schedule in candidates]
             new_jobs = [job for job in jobs if job not in evaluated]
+            stopped_keys: List[CandidateKey] = []
+            round_outcomes: Optional[Dict[CampaignJob, CampaignOutcome]] = None
             if index in replayable:
-                self._replay_round(index, jobs, new_jobs, replayable[index],
-                                   resume_from, evaluated)
+                stopped_keys, round_outcomes = self._replay_round(
+                    index, jobs, new_jobs, replayable[index],
+                    resume_from, evaluated)
                 resumed_rounds += 1
                 wall_seconds = 0.0
+            elif self.race:
+                round_outcomes, stopped_keys, wall_seconds = \
+                    self._run_round_raced(jobs, evaluated)
             elif new_jobs:
                 outcomes, wall_seconds = self._run_round_jobs(
                     new_jobs, workers, mp_context, batch_size,
@@ -774,15 +1153,19 @@ class AdaptiveSearch:
                 evaluated.update(zip(new_jobs, outcomes))
             else:
                 wall_seconds = 0.0
-            run = CampaignRun(outcomes=[evaluated[job] for job in jobs],
+            if round_outcomes is None:
+                round_outcomes = {job: evaluated[job] for job in jobs}
+            run = CampaignRun(outcomes=[round_outcomes[job] for job in jobs],
                               workers=workers, wall_seconds=wall_seconds)
             final = index == len(budgets) - 1
+            stopped_set = set(stopped_keys)
             if final:
-                front.extend(run.outcomes)
+                front.extend([o for o in run.outcomes
+                              if (o.spec.name, o.schedule) not in stopped_set])
                 survivors = [(o.spec.name, o.schedule) for o in front.points]
             else:
                 keep = max(1, math.ceil(len(candidates) / self.eta))
-                survivors = self._select(run.outcomes, keep)
+                survivors = self._select(run.outcomes, keep, stopped_keys)
                 surviving = set(survivors)
                 candidates = [(spec, schedule) for spec, schedule in candidates
                               if (spec.name, schedule) in surviving]
@@ -796,7 +1179,8 @@ class AdaptiveSearch:
                     )
             rounds.append(AdaptiveRound(index=index, budget=budget, run=run,
                                         survivors=list(survivors),
-                                        simulated_jobs=len(new_jobs)))
+                                        simulated_jobs=len(new_jobs),
+                                        race_stopped=list(stopped_keys)))
         wall_seconds = time.perf_counter() - wall_start
         return AdaptiveResult(
             objectives=self.objectives, eta=self.eta,
@@ -808,14 +1192,22 @@ class AdaptiveSearch:
             resumed_rounds=resumed_rounds,
             round_shards=(round_shards if round_shards
                           and round_shards > 1 else None),
+            surrogate=surrogate_screen, race=self.race,
         )
 
-    def _replay_round(self, index: int, jobs: Sequence[CampaignJob],
-                      new_jobs: Sequence[CampaignJob],
-                      rows_by_key: Mapping[CandidateKey, Mapping],
-                      document: Mapping[str, object],
-                      evaluated: Dict[CampaignJob, CampaignOutcome]) -> None:
-        """Load one completed round's outcomes from artifact rows."""
+    def _replay_round(
+        self, index: int, jobs: Sequence[CampaignJob],
+        new_jobs: Sequence[CampaignJob],
+        rows_by_key: Mapping[CandidateKey, Mapping],
+        document: Mapping[str, object],
+        evaluated: Dict[CampaignJob, CampaignOutcome],
+    ) -> Tuple[List[CandidateKey], Dict[CampaignJob, CampaignOutcome]]:
+        """Load one completed round's outcomes from artifact rows.
+
+        Returns the race-stopped candidate keys recorded for the round and
+        the per-job outcome map.  Stopped outcomes carry partial lower-bound
+        metrics and are deliberately *not* memoized into ``evaluated``.
+        """
         job_keys = [(job.spec.name, job.schedule) for job in jobs]
         if set(job_keys) != set(rows_by_key):
             raise ValueError(
@@ -831,9 +1223,18 @@ class AdaptiveSearch:
                     f"resume artifact recorded {recorded} simulated job(s) "
                     f"in round {index}, replay derives {len(new_jobs)}"
                 )
+        stopped_keys: List[CandidateKey] = []
+        round_outcomes: Dict[CampaignJob, CampaignOutcome] = {}
         for job, key in zip(jobs, job_keys):
+            row = rows_by_key[key]
+            if bool(row.get("race_stopped", False)):
+                stopped_keys.append(key)
+                round_outcomes[job] = outcome_from_row(row, job.spec)
+                continue
             if job not in evaluated:
-                evaluated[job] = outcome_from_row(rows_by_key[key], job.spec)
+                evaluated[job] = outcome_from_row(row, job.spec)
+            round_outcomes[job] = evaluated[job]
+        return stopped_keys, round_outcomes
 
 
 def _validate_resume_versions(document: Mapping[str, object]) -> None:

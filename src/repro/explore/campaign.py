@@ -39,7 +39,7 @@ import time
 import warnings
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.explore.scenarios import Scenario, ScenarioGrid, ScenarioSpec, build_scenario
 from repro.schedule.strategies import canonical_schedule_names, strategy_fingerprint
@@ -264,6 +264,42 @@ def execute_job(job: CampaignJob) -> CampaignOutcome:
         cpu_seconds=cpu_seconds,
         worker=os.getpid(),
     )
+
+
+def execute_job_raced(job: CampaignJob,
+                      horizon_cycles: Optional[int],
+                      ) -> Tuple[CampaignOutcome, bool]:
+    """Run one campaign job under a makespan horizon (the racing path).
+
+    Returns ``(outcome, stopped)``.  With ``horizon_cycles=None`` this is
+    exactly :func:`execute_job`.  A job whose simulated makespan exceeds the
+    horizon is abandoned (``stopped=True``); its outcome then holds the
+    *partial* metrics — deterministic lower bounds of the full run, never
+    comparable to completed outcomes on the Pareto front.
+    """
+    scenario = cached_scenario(job.spec)
+    schedule = scenario.schedule_for(job.schedule)
+    soc = scenario.build_soc()
+    cpu_start = time.process_time()
+    metrics = soc.run_test_schedule(schedule, scenario.tasks,
+                                    horizon_cycles=horizon_cycles)
+    cpu_seconds = time.process_time() - cpu_start
+    outcome = CampaignOutcome(
+        spec=job.spec,
+        schedule=job.schedule,
+        phase_count=schedule.phase_count,
+        task_count=len(schedule.task_names),
+        estimated_cycles=scenario.estimated_cycles(job.schedule),
+        test_length_cycles=metrics.test_length_cycles,
+        peak_tam_utilization=metrics.peak_tam_utilization,
+        avg_tam_utilization=metrics.avg_tam_utilization,
+        peak_power=metrics.peak_power,
+        avg_power=metrics.avg_power,
+        simulated_activations=metrics.simulated_activations,
+        cpu_seconds=cpu_seconds,
+        worker=os.getpid(),
+    )
+    return outcome, not metrics.completed
 
 
 def _execute_job_batch(jobs: Sequence[CampaignJob]) -> List[CampaignOutcome]:

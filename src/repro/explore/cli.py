@@ -57,9 +57,11 @@ from repro.explore.adaptive import (
     DEFAULT_OBJECTIVES,
     adaptive_search_from_axes,
     parse_objective,
+    race_jobs,
     resume_search,
+    surrogate_screen_candidates,
 )
-from repro.explore.campaign import campaign_from_axes
+from repro.explore.campaign import CampaignJob, campaign_from_axes, run_jobs
 from repro.explore.distrib import (
     load_artifact,
     merge_shard_documents,
@@ -185,6 +187,10 @@ def _run_campaign(args) -> None:
     campaign = campaign_from_axes(_scenario_axes(args), base=_scenario_base(args))
     deterministic = not args.timing
     if args.shard is not None:
+        if args.surrogate or args.race:
+            raise ValueError(
+                "--shard plans the full deterministic job grid; it cannot "
+                "be combined with --surrogate or --race")
         index, count = args.shard
         shard = plan_shards(campaign, count)[index]
         result = run_shard(shard, workers=args.workers)
@@ -199,7 +205,29 @@ def _run_campaign(args) -> None:
             result.write_json(args.json, deterministic=deterministic)
             print(f"wrote {args.json}")
         return
-    run = campaign.run(workers=args.workers)
+    if args.race and args.workers > 1:
+        raise ValueError(
+            "racing runs jobs in-process against a shared incumbent front; "
+            "it cannot be combined with --workers > 1")
+    jobs = campaign.jobs()
+    if args.surrogate:
+        pairs = [(job.spec, job.schedule) for job in jobs]
+        screen, kept = surrogate_screen_candidates(
+            campaign.specs, pairs, DEFAULT_OBJECTIVES, args.surrogate_keep)
+        jobs = [CampaignJob(spec=spec, schedule=schedule)
+                for spec, schedule in kept]
+        print(f"surrogate screen: kept {screen.kept} of {screen.screened} "
+              f"candidate(s)", file=sys.stderr)
+    if args.race:
+        run, stopped = race_jobs(jobs)
+        if stopped:
+            print(f"racing stopped {len(stopped)} dominated job(s) early; "
+                  f"the artifact keeps {len(run.outcomes)} completed row(s)",
+                  file=sys.stderr)
+    elif args.surrogate:
+        run = run_jobs(jobs, workers=args.workers)
+    else:
+        run = campaign.run(workers=args.workers)
     print(format_campaign(run))
     if args.store:
         store_campaign_run(run, args.store, deterministic=deterministic)
@@ -280,7 +308,9 @@ def _run_adaptive(args) -> None:
                       else DEFAULT_OBJECTIVES)
         search = adaptive_search_from_axes(
             _scenario_axes(args), base=_scenario_base(args),
-            objectives=objectives, eta=args.eta, min_budget=args.min_budget)
+            objectives=objectives, eta=args.eta, min_budget=args.min_budget,
+            surrogate=args.surrogate, surrogate_keep=args.surrogate_keep,
+            race=args.race)
         result = search.run(workers=args.workers, max_rounds=args.max_rounds,
                             round_shards=shards, lead_shard=lead)
     print(format_adaptive(result))
@@ -346,6 +376,13 @@ def _budget_fraction(text: str) -> float:
     value = float(text)
     if not 0.0 < value <= 1.0:
         raise argparse.ArgumentTypeError("min-budget must be in (0, 1]")
+    return value
+
+
+def _keep_fraction(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError("surrogate-keep must be in [0, 1]")
     return value
 
 
@@ -453,6 +490,35 @@ def build_parser() -> argparse.ArgumentParser:
                                     "(cpu_seconds, worker) in the artifacts; "
                                     "timing artifacts are not bitwise "
                                     "mergeable/resumable")
+        surrogate = subparser.add_mutually_exclusive_group()
+        surrogate.add_argument("--surrogate", dest="surrogate",
+                               action="store_true", default=False,
+                               help="pre-screen the candidate grid under the "
+                                    "vectorized batch estimator and simulate "
+                                    "only the estimator Pareto front plus the "
+                                    "--surrogate-keep margin")
+        surrogate.add_argument("--no-surrogate", dest="surrogate",
+                               action="store_false",
+                               help="simulate the full candidate grid "
+                                    "(the default; artifacts are "
+                                    "bitwise-identical to pre-surrogate runs)")
+        subparser.add_argument("--surrogate-keep", type=_keep_fraction,
+                               default=0.25, metavar="FRACTION",
+                               help="fraction of the estimator-dominated "
+                                    "candidates forwarded into simulation "
+                                    "anyway (0: trust the estimator front "
+                                    "alone, 1: disable pruning; default 0.25)")
+        race = subparser.add_mutually_exclusive_group()
+        race.add_argument("--race", dest="race", action="store_true",
+                          default=False,
+                          help="race simulations in-process against the "
+                               "incumbent Pareto front and early-stop jobs "
+                               "that provably cannot join it (requires the "
+                               "default minimizing objectives; incompatible "
+                               "with --workers > 1 and --shard)")
+        race.add_argument("--no-race", dest="race", action="store_false",
+                          help="simulate every job to completion "
+                               "(the default)")
 
     campaign = subparsers.add_parser(
         "campaign",

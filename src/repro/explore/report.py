@@ -112,17 +112,22 @@ def format_adaptive(result) -> str:
     round_rows = []
     for round_ in result.rounds:
         replayed = round_.index < result.resumed_rounds
-        round_rows.append({
+        row = {
             "round": round_.index,
             "budget": f"{round_.budget:g}",
             "jobs": round_.job_count,
             "simulated": round_.simulated_jobs,
             "survivors": len(round_.survivors),
             "wall_s": "resumed" if replayed else f"{round_.run.wall_seconds:.2f}",
-        })
-    rounds_table = format_table(
-        round_rows,
-        ["round", "budget", "jobs", "simulated", "survivors", "wall_s"])
+        }
+        if result.race:
+            row["stopped"] = len(round_.race_stopped)
+        round_rows.append(row)
+    round_columns = ["round", "budget", "jobs", "simulated", "survivors"]
+    if result.race:
+        round_columns.append("stopped")
+    round_columns.append("wall_s")
+    rounds_table = format_table(round_rows, round_columns)
 
     front_rows = []
     for outcome in result.front:
@@ -140,6 +145,13 @@ def format_adaptive(result) -> str:
               f"front size {len(result.front)}, "
               f"{result.wall_seconds:.2f} s with {result.workers} "
               f"worker{'s' if result.workers != 1 else ''}")
+    if result.surrogate is not None:
+        footer += (f"; surrogate: {result.surrogate.kept} of "
+                   f"{result.surrogate.screened} candidate(s) past the "
+                   f"estimator screen (keep={result.surrogate.keep:g})")
+    if result.race:
+        footer += (f"; racing stopped {result.race_stopped_jobs} "
+                   f"dominated job(s) early")
     if result.resumed_rounds:
         footer += (f"; resumed: {result.resumed_rounds} round(s) replayed "
                    f"from the checkpoint artifact")

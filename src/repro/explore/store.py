@@ -78,14 +78,15 @@ DEFAULT_CHUNK_ROWS = 8192
 _STR_COLUMNS = ("scenario", "kind", "schedule", "strategy", "strategy_params")
 _FLOAT_COLUMNS = ("compression_ratio", "power_budget", "test_length_mcycles",
                   "peak_tam_utilization", "avg_tam_utilization", "peak_power",
-                  "avg_power", "cpu_seconds", "budget")
-_BOOL_COLUMNS = ("survivor",)
+                  "avg_power", "cpu_seconds", "budget", "surrogate_peak_power")
+_BOOL_COLUMNS = ("survivor", "race_stopped")
 
 #: Declared dtype kind per known column ("int"/"float"/"str"/"bool").  Every
 #: campaign column and adaptive provenance column is covered; ints stay
 #: int64 so JSON artifacts regenerated from a store keep integer literals.
 COLUMN_KINDS: Dict[str, str] = {
-    **{column: "int" for column in RESULT_COLUMNS + ("round",)},
+    **{column: "int"
+       for column in RESULT_COLUMNS + ("round", "surrogate_cycles")},
     **{column: "str" for column in _STR_COLUMNS},
     **{column: "float" for column in _FLOAT_COLUMNS},
     **{column: "bool" for column in _BOOL_COLUMNS},

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.kernel.simtime import SimTime
 
 
@@ -65,7 +67,8 @@ class TransactionTracer:
     """Collects transaction data during a simulation (columnar storage)."""
 
     __slots__ = ("enabled", "_channels", "_kinds", "_starts_fs", "_ends_fs",
-                 "_initiators", "_addresses", "_data_bits", "_attributes")
+                 "_initiators", "_addresses", "_data_bits", "_attributes",
+                 "_merged_cache")
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
@@ -77,6 +80,10 @@ class TransactionTracer:
         self._addresses: List[Optional[int]] = []
         self._data_bits: List[int] = []
         self._attributes: List[Optional[Dict[str, object]]] = []
+        # channel -> (record count at build, merged starts, merged ends,
+        # busy-length prefix sums); rebuilt when the record count moves.
+        self._merged_cache: Dict[str, Tuple[int, np.ndarray, np.ndarray,
+                                            np.ndarray]] = {}
 
     # -- recording ----------------------------------------------------------
     def record_fs(self, channel: str, kind: str, start_fs: int, end_fs: int,
@@ -116,6 +123,7 @@ class TransactionTracer:
                        self._ends_fs, self._initiators, self._addresses,
                        self._data_bits, self._attributes):
             column.clear()
+        self._merged_cache.clear()
 
     # -- materialization ----------------------------------------------------
     def _materialize(self, index: int) -> TransactionRecord:
@@ -169,30 +177,63 @@ class TransactionTracer:
         bits = self._data_bits
         return sum(bits[index] for index in self._channel_indices(channel))
 
+    def _channel_merged(self, channel: str) -> Tuple[np.ndarray, np.ndarray,
+                                                     np.ndarray]:
+        """Disjoint sorted busy intervals of *channel* plus prefix sums.
+
+        Returns ``(starts, ends, prefix)`` where the intervals are merged
+        (overlapping and touching transactions coalesced) and ``prefix[i]``
+        is the total busy length of the first ``i`` intervals, so any
+        windowed busy-time query becomes two :func:`numpy.searchsorted`
+        probes plus boundary clips.  Cached per channel; the tracer is
+        append-only, so a changed record count is the only invalidation.
+        """
+        count = len(self._channels)
+        cached = self._merged_cache.get(channel)
+        if cached is not None and cached[0] == count:
+            return cached[1], cached[2], cached[3]
+        indices = self._channel_indices(channel)
+        starts = np.asarray([self._starts_fs[i] for i in indices],
+                            dtype=np.int64)
+        ends = np.asarray([self._ends_fs[i] for i in indices], dtype=np.int64)
+        if len(starts):
+            order = np.lexsort((ends, starts))
+            starts, ends = starts[order], ends[order]
+            running = np.maximum.accumulate(ends)
+            breaks = np.empty(len(starts), dtype=bool)
+            breaks[0] = True
+            breaks[1:] = starts[1:] > running[:-1]
+            merged_starts = starts[breaks]
+            last = np.append(np.flatnonzero(breaks)[1:] - 1, len(starts) - 1)
+            merged_ends = running[last]
+        else:
+            merged_starts = starts
+            merged_ends = ends
+        prefix = np.concatenate(
+            ([0], np.cumsum(merged_ends - merged_starts)))
+        self._merged_cache[channel] = (count, merged_starts, merged_ends,
+                                       prefix)
+        return merged_starts, merged_ends, prefix
+
     def total_busy_time(self, channel: str) -> SimTime:
         """Total busy duration of *channel*, merging overlapping transactions."""
-        starts = self._starts_fs
-        ends = self._ends_fs
-        intervals = [(starts[index], ends[index])
-                     for index in self._channel_indices(channel)]
-        return SimTime(_merged_busy_fs(intervals))
+        _, _, prefix = self._channel_merged(channel)
+        return SimTime(int(prefix[-1]))
 
     def busy_fs_in_window(self, channel: str, window_start_fs: int,
                           window_end_fs: int) -> int:
         """Busy femtoseconds of *channel* clipped to [start, end)."""
         if window_end_fs < window_start_fs:
             raise ValueError("window end precedes window start")
-        starts = self._starts_fs
-        ends = self._ends_fs
-        intervals = []
-        for index, name in enumerate(self._channels):
-            if name != channel:
-                continue
-            start, end = starts[index], ends[index]
-            if start < window_end_fs and end > window_start_fs:
-                intervals.append((max(start, window_start_fs),
-                                  min(end, window_end_fs)))
-        return _merged_busy_fs(intervals)
+        starts, ends, prefix = self._channel_merged(channel)
+        lo = int(np.searchsorted(ends, window_start_fs, side="right"))
+        hi = int(np.searchsorted(starts, window_end_fs, side="left"))
+        if lo >= hi:
+            return 0
+        busy = int(prefix[hi] - prefix[lo])
+        busy -= max(0, window_start_fs - int(starts[lo]))
+        busy -= max(0, int(ends[hi - 1]) - window_end_fs)
+        return busy
 
     def utilization(self, channel: str, window_start: SimTime,
                     window_end: SimTime) -> float:
@@ -221,15 +262,26 @@ class TransactionTracer:
         window_fs = window.femtoseconds
         if window_fs <= 0:
             raise ValueError("window must be a positive duration")
-        profile = []
-        cursor = start_fs
-        while cursor < end_fs:
-            upper = min(cursor + window_fs, end_fs)
-            span = upper - cursor
-            busy = self.busy_fs_in_window(channel, cursor, upper)
-            profile.append(busy / span if span else 0.0)
-            cursor += window_fs
-        return profile
+        if end_fs <= start_fs:
+            return []
+        starts, ends, prefix = self._channel_merged(channel)
+        window_count = -((start_fs - end_fs) // window_fs)
+        lows = start_fs + window_fs * np.arange(window_count, dtype=np.int64)
+        highs = np.minimum(lows + window_fs, end_fs)
+        lo = np.searchsorted(ends, lows, side="right")
+        hi = np.searchsorted(starts, highs, side="left")
+        occupied = lo < hi
+        # Clipped indices keep the gathers in bounds; the `occupied` mask
+        # zeroes every window the clip would otherwise misattribute.
+        lo_safe = np.minimum(lo, max(len(starts) - 1, 0))
+        hi_safe = np.maximum(hi, 1)
+        busy = np.where(
+            occupied,
+            prefix[hi] - prefix[lo]
+            - np.maximum(0, lows - starts[lo_safe])
+            - np.maximum(0, ends[hi_safe - 1] - highs),
+            0)
+        return (busy / (highs - lows)).tolist()
 
     def __len__(self) -> int:
         return len(self._channels)

@@ -27,7 +27,7 @@ Adding a strategy is three steps: write the builder function (in
 dataclass, and call :func:`register_strategy`.  See ``docs/scheduling.md``
 for a worked example.
 
-Registered strategies (the built-in four):
+Registered strategies (the built-in five):
 
 ======================  =====================================================
 ``sequential``          one task at a time, longest first (``order=name``
@@ -38,6 +38,8 @@ Registered strategies (the built-in four):
                         (``fit=worst`` spreads load to flatten power)
 ``anneal``              seeded deterministic simulated annealing improving an
                         initial schedule against a configurable cost
+``portfolio``           best-of-N member pick per scenario under the coarse
+                        estimator (``portfolio:members=greedy|binpack``)
 ======================  =====================================================
 """
 
@@ -133,6 +135,36 @@ class AnnealParams(StrategyParams):
                              f"got {self.init!r}")
         if self.max_concurrency < 0:
             raise ValueError("max_concurrency cannot be negative")
+
+
+@dataclass(frozen=True)
+class PortfolioParams(StrategyParams):
+    #: ``|``-separated member strategy names (``|`` is not a spec-string
+    #: delimiter, so the list survives the canonical ``key=value`` form).
+    #: Members are plain registered strategy names with default parameters.
+    members: str = "greedy|binpack|anneal"
+
+    def __post_init__(self):
+        names = self.members.split("|") if self.members else []
+        if not names or any(not name for name in names):
+            raise ValueError(
+                f"members must be a non-empty |-separated list of strategy "
+                f"names, got {self.members!r}")
+        seen = set()
+        for name in names:
+            if name == "portfolio":
+                raise ValueError("a portfolio cannot contain itself")
+            if any(c in name for c in _RESERVED) or name not in _REGISTRY:
+                raise ValueError(
+                    f"portfolio member {name!r} is not a registered "
+                    f"strategy; registered: {strategy_names()}")
+            if name in seen:
+                raise ValueError(f"duplicate portfolio member {name!r}")
+            seen.add(name)
+
+    @property
+    def member_names(self) -> Tuple[str, ...]:
+        return tuple(self.members.split("|"))
 
 
 # -- the registry ------------------------------------------------------------
@@ -431,6 +463,32 @@ def _build_anneal(name, tasks, estimates, power_model, params):
                     f"({params.steps} steps, cost {params.cost})")
 
 
+def estimated_makespan(schedule: TestSchedule,
+                       estimates: Mapping[str, int]) -> int:
+    """Estimator makespan of *schedule*: phases back to back, tasks in a
+    phase fully concurrent (the coarse scheduler assumption, shared with
+    :meth:`repro.schedule.estimator.TestTimeEstimator.estimate_schedule_cycles`)."""
+    return sum(max(estimates[name] for name in phase)
+               for phase in schedule.phases)
+
+
+def _build_portfolio(name, tasks, estimates, power_model, params):
+    best = None
+    for member in params.member_names:
+        candidate = _REGISTRY[member].build(
+            tasks, estimates, power_model=power_model, name=name)
+        key = (estimated_makespan(candidate, estimates),
+               power_model.schedule_peak_power(candidate, tasks),
+               member)
+        if best is None or key < best[0]:
+            best = (key, candidate, member)
+    _, schedule, member = best
+    schedule.description = (
+        f"portfolio best-of-{len(params.member_names)} under the estimator: "
+        f"picked {member} ({best[0][0]} cycles, peak {best[0][1]:g})")
+    return schedule
+
+
 register_strategy(SchedulerStrategy(
     name="sequential", params_type=SequentialParams,
     builder=_build_sequential,
@@ -444,3 +502,6 @@ register_strategy(SchedulerStrategy(
 register_strategy(SchedulerStrategy(
     name="anneal", params_type=AnnealParams, builder=_build_anneal,
     summary="seeded simulated annealing over a configurable cost"))
+register_strategy(SchedulerStrategy(
+    name="portfolio", params_type=PortfolioParams, builder=_build_portfolio,
+    summary="best-of-N member pick per scenario under the coarse estimator"))

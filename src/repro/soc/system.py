@@ -110,6 +110,9 @@ class TestRunMetrics:
     cpu_seconds: float = 0.0
     simulated_activations: int = 0
     execution: Optional[ScheduleExecutionResult] = None
+    #: False when a ``horizon_cycles`` run was abandoned at the horizon; the
+    #: metric fields then hold partial lower bounds (``execution`` is None).
+    completed: bool = True
 
     @property
     def test_length_mcycles(self) -> float:
@@ -155,11 +158,20 @@ class SocTlmBase:
 
     # -- test mode ----------------------------------------------------------------
     def run_test_schedule(self, schedule: Union[str, TestSchedule],
-                          tasks: Optional[Mapping[str, TestTask]] = None) -> TestRunMetrics:
+                          tasks: Optional[Mapping[str, TestTask]] = None,
+                          horizon_cycles: Optional[int] = None) -> TestRunMetrics:
         """Simulate the execution of a complete test schedule.
 
         Returns the :class:`TestRunMetrics` corresponding to one row of the
         paper's Table I (CPU time is filled in by the experiment runner).
+
+        ``horizon_cycles`` bounds the simulated makespan (the racing hook of
+        the adaptive search): when the schedule has not finished within the
+        horizon the run is abandoned and the metrics come back with
+        ``completed=False``, every field a *lower bound* of the full run —
+        the test length is at least the horizon, and monitors only ever grow.
+        A schedule that finishes inside the horizon drains its trailing
+        events and produces metrics identical to an unbounded run.
         """
         if tasks is None:
             tasks = self._default_tasks()
@@ -176,9 +188,17 @@ class SocTlmBase:
             holder["result"] = result
 
         self.sim.spawn(test_flow(), name=f"ate_{schedule.name}")
-        self.sim.run()
+        if horizon_cycles is None:
+            self.sim.run()
+        else:
+            self.sim.run(until=start + self.clock.cycles(horizon_cycles))
+            if "result" in holder:
+                # Finished inside the horizon: drain the trailing events so
+                # the metrics match the unbounded path exactly.
+                self.sim.run()
         end = self.sim.now
-        execution: ScheduleExecutionResult = holder["result"]
+        completed = "result" in holder
+        execution: Optional[ScheduleExecutionResult] = holder.get("result")
 
         peak = self.tam_monitor.peak_utilization(
             window_cycles=self.config.peak_window_cycles, start=start, end=end,
@@ -186,7 +206,8 @@ class SocTlmBase:
         average = self.tam_monitor.average_utilization(start=start, end=end)
         return TestRunMetrics(
             schedule_name=schedule.name,
-            test_length_cycles=execution.cycles,
+            test_length_cycles=(execution.cycles if completed
+                                else self.clock.cycles_between(start, end)),
             peak_tam_utilization=peak,
             avg_tam_utilization=average,
             peak_power=self.power_monitor.peak_power(),
@@ -194,6 +215,7 @@ class SocTlmBase:
             simulated_activations=(self.sim.dispatched_activations
                                    - activations_before),
             execution=execution,
+            completed=completed,
         )
 
     # -- convenience ------------------------------------------------------------

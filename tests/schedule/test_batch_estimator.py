@@ -1,0 +1,221 @@
+"""Differential tests of the vectorized batch estimator.
+
+The batch estimator advertises bit-exactness with
+``TestTimeEstimator.estimate_task_cycles``; these tests hold it to that
+over hypothesis-generated platforms and task sets covering every test
+kind, every bandwidth-limited regime (ATE-, TAM- and shift-limited) and
+the ATE vector-memory reload branch.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dft.ctl import CoreTestDescription
+from repro.memory.march import MARCH_C_MINUS, MATS_PLUS
+from repro.schedule import (
+    PlatformParameters,
+    TestKind,
+    TestSchedule,
+    TestTask,
+    TestTimeEstimator,
+)
+from repro.schedule.estimator import BatchEstimator, estimate_batch
+
+_MARCHES = (MATS_PLUS, MARCH_C_MINUS)
+
+
+@st.composite
+def platforms(draw):
+    """Platforms spanning the estimator's branch space, including finite
+    ATE vector memories (the reload-stall branch) and narrow wrapper
+    parallel ports."""
+    return PlatformParameters(
+        tam_width_bits=draw(st.sampled_from([8, 16, 32, 64])),
+        ate_width_bits=draw(st.sampled_from([1, 8, 16, 32])),
+        tam_overhead_cycles=draw(st.integers(min_value=0, max_value=4)),
+        configuration_cycles=draw(st.integers(min_value=0, max_value=128)),
+        setup_transactions=draw(st.integers(min_value=0, max_value=8)),
+        wrapper_parallel_width_bits=draw(st.sampled_from([0, 1, 2, 8, 64])),
+        ate_vector_memory_words=draw(st.sampled_from([0, 64, 1000, 100_000])),
+        ate_reload_cycles=draw(st.integers(min_value=0, max_value=50_000)),
+        controller_cycles_per_memory_op=draw(st.floats(
+            min_value=0.5, max_value=8.0, allow_nan=False)),
+        processor_cycles_per_memory_op=draw(st.floats(
+            min_value=0.5, max_value=8.0, allow_nan=False)),
+    )
+
+
+@st.composite
+def scenario_tasks(draw):
+    """(descriptions, memory_words, tasks) with one task per test kind
+    drawn for a handful of random cores."""
+    descriptions = {}
+    memory_words = {}
+    tasks = {}
+    for index in range(draw(st.integers(min_value=1, max_value=5))):
+        core = f"core{index}"
+        chain_count = draw(st.integers(min_value=1, max_value=48))
+        cells = draw(st.integers(min_value=chain_count, max_value=60_000))
+        internal = draw(st.one_of(
+            st.none(), st.integers(min_value=1, max_value=256)))
+        descriptions[core] = CoreTestDescription.describe(
+            core, chain_count, cells, internal_chain_count=internal,
+            has_logic_bist=True)
+        memory_words[core] = draw(st.integers(min_value=1, max_value=65_536))
+        kind = draw(st.sampled_from(list(TestKind)))
+        name = f"t{index}"
+        if kind in (TestKind.LOGIC_BIST, TestKind.EXTERNAL_SCAN,
+                    TestKind.EXTERNAL_SCAN_COMPRESSED):
+            tasks[name] = TestTask(
+                name=name, kind=kind, core=core,
+                pattern_count=draw(st.integers(min_value=1, max_value=5000)),
+                compression_ratio=(draw(st.floats(
+                    min_value=1.0, max_value=200.0, allow_nan=False))
+                    if kind is TestKind.EXTERNAL_SCAN_COMPRESSED else 1.0))
+        elif kind in (TestKind.MEMORY_BIST_CONTROLLER,
+                      TestKind.MEMORY_MARCH_PROCESSOR):
+            tasks[name] = TestTask(
+                name=name, kind=kind, core=core,
+                march=draw(st.sampled_from(_MARCHES)),
+                pattern_backgrounds=draw(st.integers(min_value=0,
+                                                     max_value=4)))
+        else:
+            tasks[name] = TestTask(
+                name=name, kind=kind, core=core,
+                attributes={"functional_cycles": draw(
+                    st.integers(min_value=0, max_value=10**7))})
+    return descriptions, memory_words, tasks
+
+
+@settings(max_examples=60, deadline=None)
+@given(platforms(), scenario_tasks())
+def test_batch_matches_scalar_estimator(platform, scenario):
+    descriptions, memory_words, tasks = scenario
+    estimator = TestTimeEstimator(descriptions, platform,
+                                  memory_words=memory_words)
+    scalar = estimator.estimate_all(tasks)
+    assert estimate_batch(estimator, tasks) == scalar
+
+
+@settings(max_examples=25, deadline=None)
+@given(platforms(), st.lists(scenario_tasks(), min_size=2, max_size=4))
+def test_batch_mixes_platforms_across_scenarios(platform, scenarios):
+    """Rows from different estimators (different platforms per scenario)
+    evaluate independently inside one batch."""
+    batch = BatchEstimator()
+    rows = []
+    expected = []
+    for index, (descriptions, memory_words, tasks) in enumerate(scenarios):
+        # Vary the platform per scenario so cross-row mixups would show.
+        scenario_platform = PlatformParameters(
+            tam_width_bits=platform.tam_width_bits,
+            ate_width_bits=platform.ate_width_bits,
+            tam_overhead_cycles=platform.tam_overhead_cycles + index,
+            configuration_cycles=platform.configuration_cycles,
+            setup_transactions=platform.setup_transactions,
+            wrapper_parallel_width_bits=platform.wrapper_parallel_width_bits,
+            ate_vector_memory_words=platform.ate_vector_memory_words,
+            ate_reload_cycles=platform.ate_reload_cycles)
+        estimator = TestTimeEstimator(descriptions, scenario_platform,
+                                      memory_words=memory_words)
+        rows.append(batch.add_estimator_tasks(estimator, tasks))
+        expected.append(estimator.estimate_all(tasks))
+    cycles = batch.task_cycles()
+    for scenario_rows, scenario_expected in zip(rows, expected):
+        for name, row in scenario_rows.items():
+            assert int(cycles[row]) == scenario_expected[name]
+
+
+def _reload_platform():
+    # 400-bit patterns over a 16-bit link: 25 ATE words per pattern, so a
+    # 100-word vector memory holds 4 patterns -> ceil(10/4)-1 = 2 reloads.
+    return PlatformParameters(ate_width_bits=16,
+                              ate_vector_memory_words=100,
+                              ate_reload_cycles=7_000)
+
+
+class TestReloadBranch:
+    """The ATE vector-memory reload stalls, pinned by construction."""
+
+    def setup_method(self):
+        self.platform = _reload_platform()
+        self.descriptions = {
+            "c": CoreTestDescription.describe("c", 4, 400,
+                                              internal_chain_count=16)}
+        self.estimator = TestTimeEstimator(self.descriptions, self.platform)
+        self.task = TestTask(name="x", kind=TestKind.EXTERNAL_SCAN, core="c",
+                             pattern_count=10)
+
+    def test_scalar_counts_two_reloads(self):
+        without = TestTimeEstimator(
+            self.descriptions,
+            PlatformParameters(ate_width_bits=16))
+        delta = (self.estimator.estimate_task_cycles(self.task)
+                 - without.estimate_task_cycles(self.task))
+        assert delta == 2 * 7_000
+
+    def test_batch_matches_scalar_with_reloads(self):
+        assert (estimate_batch(self.estimator, {"x": self.task})
+                == self.estimator.estimate_all({"x": self.task}))
+
+    def test_compressed_reload_uses_compressed_ate_words(self):
+        task = TestTask(name="x", kind=TestKind.EXTERNAL_SCAN_COMPRESSED,
+                        core="c", pattern_count=500, compression_ratio=50.0)
+        assert (estimate_batch(self.estimator, {"x": task})
+                == self.estimator.estimate_all({"x": task}))
+
+
+class TestBatchScheduleCycles:
+    def test_matches_estimate_schedule_cycles(self):
+        descriptions = {
+            "a": CoreTestDescription.describe("a", 8, 4_000),
+            "b": CoreTestDescription.describe("b", 4, 1_000),
+        }
+        estimator = TestTimeEstimator(descriptions, PlatformParameters())
+        tasks = {
+            "ta": TestTask(name="ta", kind=TestKind.EXTERNAL_SCAN, core="a",
+                           pattern_count=100),
+            "tb": TestTask(name="tb", kind=TestKind.LOGIC_BIST, core="b",
+                           pattern_count=300),
+        }
+        schedule = TestSchedule(name="s", phases=[["ta", "tb"]])
+        batch = BatchEstimator()
+        rows = batch.add_estimator_tasks(estimator, tasks)
+        assert (batch.schedule_cycles(schedule, rows)
+                == estimator.estimate_schedule_cycles(schedule, tasks))
+
+
+class TestBatchErrors:
+    def test_scan_task_requires_description(self):
+        batch = BatchEstimator()
+        task = TestTask(name="x", kind=TestKind.EXTERNAL_SCAN, core="c",
+                        pattern_count=1)
+        with pytest.raises(KeyError):
+            batch.add_task(task, PlatformParameters())
+
+    def test_memory_task_requires_words(self):
+        batch = BatchEstimator()
+        task = TestTask(name="m", kind=TestKind.MEMORY_BIST_CONTROLLER,
+                        core="c", march=MATS_PLUS)
+        with pytest.raises(KeyError):
+            batch.add_task(task, PlatformParameters())
+
+    def test_empty_batch_evaluates_to_nothing(self):
+        assert len(BatchEstimator().task_cycles()) == 0
+
+
+class TestPlatformValidation:
+    """Regression: a zero or negative clock silently produced inf/negative
+    seconds from cycles_to_seconds instead of failing at construction."""
+
+    @pytest.mark.parametrize("clock", [0.0, -100.0])
+    def test_non_positive_clock_rejected(self, clock):
+        with pytest.raises(ValueError, match="clock_mhz"):
+            PlatformParameters(clock_mhz=clock)
+
+    def test_positive_clock_accepted(self):
+        assert PlatformParameters(clock_mhz=50.0).cycles_to_seconds(
+            50_000_000) == pytest.approx(1.0)

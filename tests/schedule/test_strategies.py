@@ -17,11 +17,13 @@ from repro.schedule.scheduler import (
 from repro.schedule.strategies import (
     AnnealParams,
     BinpackParams,
+    PortfolioParams,
     ScheduleStrategySpec,
     SchedulerStrategy,
     StrategyParams,
     build_strategy_schedule,
     canonical_schedule_name,
+    estimated_makespan,
     get_strategy,
     is_strategy,
     register_strategy,
@@ -53,7 +55,8 @@ def estimates():
 
 class TestRegistry:
     def test_builtin_strategies_registered(self):
-        assert strategy_names() == ["sequential", "greedy", "binpack", "anneal"]
+        assert strategy_names() == ["sequential", "greedy", "binpack",
+                                    "anneal", "portfolio"]
         for name in strategy_names():
             assert is_strategy(name)
             assert get_strategy(name).summary
@@ -284,3 +287,67 @@ class TestAnneal:
             AnnealParams(init="x")
         with pytest.raises(ValueError):
             AnnealParams(peak_weight=-0.1)
+
+
+class TestPortfolio:
+    def test_picks_the_best_member_under_the_estimator(self, tasks,
+                                                       estimates):
+        model = PowerModel(budget=3.5)
+        portfolio = build_strategy_schedule(
+            "portfolio:members=greedy|binpack", tasks, estimates,
+            power_model=model)
+        members = [build_strategy_schedule(member, tasks, estimates,
+                                           power_model=model)
+                   for member in ("greedy", "binpack")]
+        best = min(
+            (estimated_makespan(m, estimates),
+             model.schedule_peak_power(m, tasks)) for m in members)
+        assert (estimated_makespan(portfolio, estimates),
+                model.schedule_peak_power(portfolio, tasks)) == best
+
+    def test_never_worse_than_any_member(self, tasks, estimates):
+        model = PowerModel(budget=6.0)
+        portfolio = build_strategy_schedule(
+            "portfolio", tasks, estimates, power_model=model)
+        portfolio.validate(tasks)
+        for member in PortfolioParams().member_names:
+            schedule = build_strategy_schedule(member, tasks, estimates,
+                                               power_model=model)
+            assert estimated_makespan(portfolio, estimates) <= \
+                estimated_makespan(schedule, estimates)
+
+    def test_description_names_the_winner(self, tasks, estimates):
+        model = PowerModel(budget=3.0)
+        schedule = build_strategy_schedule(
+            "portfolio:members=greedy|binpack", tasks, estimates,
+            power_model=model)
+        assert "portfolio best-of-2" in schedule.description
+        assert ("picked greedy" in schedule.description
+                or "picked binpack" in schedule.description)
+
+    def test_member_order_breaks_exact_ties_deterministically(self, tasks,
+                                                              estimates):
+        # binpack|greedy vs greedy|binpack must both resolve ties by member
+        # *name*, not list position, so the two spellings agree.
+        model = PowerModel(budget=3.0)
+        first = build_strategy_schedule(
+            "portfolio:members=greedy|binpack", tasks, estimates,
+            power_model=model)
+        second = build_strategy_schedule(
+            "portfolio:members=binpack|greedy", tasks, estimates,
+            power_model=model)
+        assert sorted(map(tuple, first.phases)) == \
+            sorted(map(tuple, second.phases))
+
+    @pytest.mark.parametrize("members", [
+        "", "greedy|", "greedy|greedy", "portfolio", "greedy|nope",
+        "greedy|anneal:steps=5",
+    ])
+    def test_invalid_member_lists_rejected(self, members):
+        with pytest.raises(ValueError):
+            PortfolioParams(members=members)
+
+    def test_canonical_spec_string_round_trips(self):
+        name = canonical_schedule_name("portfolio:members=binpack|greedy")
+        assert name == "portfolio:members=binpack|greedy"
+        assert canonical_schedule_name("portfolio") == "portfolio"

@@ -25,6 +25,7 @@ PARAMETERIZED = {
     "anneal": ["anneal:steps=32,seed=5", "anneal:steps=24,cost=makespan",
                "anneal:steps=24,cost=peak_power,seed=11",
                "anneal:steps=24,init=binpack,peak_weight=0.25"],
+    "portfolio": ["portfolio", "portfolio:members=greedy|binpack"],
 }
 
 ALL_SPECS = [spec for specs in PARAMETERIZED.values() for spec in specs]
