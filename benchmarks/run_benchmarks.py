@@ -18,7 +18,11 @@ Measures the performance-critical layers of the stack:
 * ``distrib``  -- shard planning/merge throughput of the distribution layer,
 * ``store``    -- columnar store vs dict-of-lists: streaming shard merge,
                   vectorized Pareto ranking/pruning and store aggregation
-                  on a >=100k-row synthetic campaign.
+                  on a >=100k-row synthetic campaign,
+* ``coordinator`` -- live-coordination overhead: lease/complete operation
+                  throughput of the span queue, steal-path scan cost, and
+                  out-of-order streamed-merge rows/second (with the bitwise
+                  identity of the regenerated artifact asserted).
 
 Each benchmark writes ``BENCH_<name>.json`` with the measured numbers under a
 run label (``--label``).  Passing ``--baseline-dir`` merges previously
@@ -933,6 +937,192 @@ def bench_surrogate(scale: float, quick: bool = False) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# coordinator
+# ---------------------------------------------------------------------------
+
+class _ManualClock:
+    """Injected monotonic clock: lease expiry without real waiting."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def bench_coordinator(scale: float) -> dict:
+    """Live-coordination overhead: the non-simulation cost of running a
+    campaign through the coordinator instead of ``--shard I/N`` hosts.
+
+    Three measurements, all with synthetic shard results so the numbers
+    isolate the coordination layer:
+
+    * *queue* — lease/complete operation throughput of an in-process
+      :class:`Coordinator` draining a many-span campaign (grant, validate,
+      ingest; the headline ``lease_ops_per_second``),
+    * *steal* — the lazy-expiry scan: every span leased to a straggler, the
+      injected clock jumps past the lease timeout, and one :meth:`tick`
+      re-queues the lot (steals/second bounds how fast a dead fleet's work
+      comes back),
+    * *stream* — rows/second through :class:`IncrementalShardMerge` fed in
+      scrambled completion order, with the regenerated JSON compared
+      byte-for-byte against the dict-path artifact (``bitwise_identical``).
+    """
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.explore.campaign import (
+        SCHEMA_VERSION as CAMPAIGN_SCHEMA_VERSION,
+        CampaignJob, CampaignOutcome, CampaignRun, result_columns,
+    )
+    from repro.explore.coordinator import Coordinator
+    from repro.explore.distrib import (
+        DISTRIB_SCHEMA_VERSION, ShardRun, merge_shard_documents, plan_shards,
+        shard_span, write_merged_json,
+    )
+    from repro.explore.scenarios import ScenarioSpec
+    from repro.explore.store import IncrementalShardMerge, write_document_json
+
+    jobs = []
+    for index in range(max(96, int(2400 * scale))):
+        spec = ScenarioSpec(name=f"s{index:05d}", core_count=1 + index % 3,
+                            patterns_per_core=16 + index % 7, seed=index + 1)
+        jobs.append(CampaignJob(spec=spec, schedule="sequential"))
+    spans = max(12, int(240 * scale))
+
+    def outcome(job, salt):
+        return CampaignOutcome(
+            spec=job.spec, schedule=job.schedule, phase_count=1, task_count=2,
+            estimated_cycles=1000 + salt, test_length_cycles=5000 + salt,
+            peak_tam_utilization=0.5, avg_tam_utilization=0.25,
+            peak_power=2.0, avg_power=1.0, simulated_activations=100 + salt,
+        )
+
+    # Pre-build the completion document for every span from the same
+    # plan_shards() call the coordinator makes, so the timed loop measures
+    # grant + validation + ingestion, not document construction.
+    documents = {}
+    for shard in plan_shards(jobs, spans):
+        run = CampaignRun(outcomes=[outcome(job, shard.start + i)
+                                    for i, job in enumerate(shard.jobs)])
+        documents[shard.index] = json.loads(json.dumps(
+            ShardRun(shard, run).as_document()))
+
+    # -- queue: grant/complete a full campaign through the span queue
+    def run_drain():
+        clock = _ManualClock()
+        coordinator = Coordinator(lease_timeout=300.0, clock=clock)
+        coordinator.submit_jobs(jobs, spans)
+        start = time.perf_counter()
+        drained = 0
+        while True:
+            granted = coordinator.request_lease("bench")
+            if granted is None:
+                break
+            lease, shard = granted
+            coordinator.complete_lease(lease.lease_id,
+                                       documents[shard.index])
+            drained += 1
+        wall = time.perf_counter() - start
+        coordinator.close()
+        return wall, drained
+
+    drain_wall, drained = _best_of(REPEATS, run_drain)
+    if drained != spans:
+        raise AssertionError("coordinator drain completed the wrong number "
+                             "of spans")
+
+    # -- steal: lease everything to a straggler, expire it, tick
+    steal_rounds = 4
+
+    def run_steals():
+        clock = _ManualClock()
+        coordinator = Coordinator(lease_timeout=60.0, clock=clock)
+        coordinator.submit_jobs(jobs, spans)
+        stolen = 0
+        tick_wall = 0.0
+        for _ in range(steal_rounds):
+            while coordinator.request_lease("straggler") is not None:
+                pass
+            clock.advance(61.0)
+            start = time.perf_counter()
+            stolen += len(coordinator.tick())
+            tick_wall += time.perf_counter() - start
+        coordinator.close()
+        return tick_wall, stolen
+
+    steal_wall, stolen = _best_of(REPEATS, run_steals)
+    if stolen != steal_rounds * spans:
+        raise AssertionError("steal pass recovered the wrong number of "
+                             "leases")
+
+    # -- stream: out-of-order ingestion through IncrementalShardMerge
+    total = max(800, int(80_000 * scale))
+    stream_shards = 8
+    columns = result_columns(deterministic=True)
+    stream_documents = []
+    for index in range(stream_shards):
+        start, stop = shard_span(index, stream_shards, total)
+        stream_documents.append({
+            "schema_version": CAMPAIGN_SCHEMA_VERSION,
+            "distrib_schema_version": DISTRIB_SCHEMA_VERSION,
+            "shard": {"index": index, "count": stream_shards, "start": start,
+                      "stop": stop, "total_jobs": total,
+                      "fingerprint": "0" * 64},
+            "columns": columns,
+            "row_count": stop - start,
+            "rows": _synthetic_rows(start, stop),
+        })
+    # Scrambled completion order (stride permutation): shard 0 does not
+    # arrive first, so the in-order drain has to buffer and catch up.
+    order = [(index * 5) % stream_shards for index in range(stream_shards)]
+
+    tmp = _Path(tempfile.mkdtemp(prefix="bench_coordinator_"))
+
+    def run_stream():
+        start = time.perf_counter()
+        merge = IncrementalShardMerge(
+            tmp / "stream.store", count=stream_shards, total_jobs=total,
+            fingerprint="0" * 64, columns=columns)
+        for index in order:
+            merge.add_shard_document(stream_documents[index])
+        store = merge.finalize()
+        return time.perf_counter() - start, store
+
+    stream_wall, store = _best_of(REPEATS, run_stream)
+
+    write_document_json(store, tmp / "stream.json")
+    write_merged_json(merge_shard_documents(stream_documents),
+                      tmp / "merged_dict.json")
+    bitwise = ((tmp / "stream.json").read_bytes()
+               == (tmp / "merged_dict.json").read_bytes())
+    if not bitwise:
+        raise AssertionError("streamed-merge JSON diverged from the "
+                             "dict-path artifact")
+
+    return {
+        "workload": {
+            "jobs": len(jobs), "spans": spans,
+            "steal_rounds": steal_rounds,
+            "stream_rows": total, "stream_shards": stream_shards,
+            "repeats_best_of": REPEATS,
+        },
+        "drain_wall_seconds": round(drain_wall, 6),
+        "lease_ops_per_second": round(2 * spans / drain_wall, 1),
+        "spans_per_second": round(spans / drain_wall, 1),
+        "queue_jobs_per_second": round(len(jobs) / drain_wall, 1),
+        "steal_wall_seconds": round(steal_wall, 6),
+        "steals_per_second": round(steal_rounds * spans / steal_wall, 1),
+        "stream_wall_seconds": round(stream_wall, 6),
+        "stream_rows_per_second": round(total / stream_wall, 1),
+        "bitwise_identical": bitwise,
+    }
+
+
+# ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
 
@@ -945,6 +1135,7 @@ BENCHMARKS = {
     "distrib": bench_distrib,
     "store": bench_store,
     "surrogate": bench_surrogate,
+    "coordinator": bench_coordinator,
 }
 
 #: Headline metric of each benchmark (used for the speedup summary).
@@ -957,6 +1148,7 @@ HEADLINE = {
     "distrib": "merge_rows_per_second",
     "store": "store_merge_rows_per_second",
     "surrogate": "batch_candidates_per_second",
+    "coordinator": "lease_ops_per_second",
 }
 
 

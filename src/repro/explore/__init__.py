@@ -17,6 +17,12 @@
   column chunks with schema/provenance metadata, streaming shard merge and
   streaming JSON/CSV writers that stay bitwise-identical to the in-memory
   artifact writers
+* :mod:`repro.explore.coordinator` -- the live control plane: fair-share
+  campaign queue, span leases over a localhost socket, heartbeats, work
+  stealing and incremental streaming merge (coordinated == single-host,
+  bitwise)
+* :mod:`repro.explore.worker` -- the execution plane: the lease/execute/
+  complete worker loop, over TCP or in process
 * :mod:`repro.explore.sweeps` -- design-space sweeps (compression ratio, TAM
   width, schedule exploration), expressed as thin campaign definitions
 * :mod:`repro.explore.report` -- plain-text table formatting
@@ -60,6 +66,14 @@ from repro.explore.campaign import (
     result_columns,
     run_jobs,
 )
+from repro.explore.coordinator import (
+    COORDINATOR_SCHEMA_VERSION,
+    Coordinator,
+    CoordinatorClient,
+    CoordinatorError,
+    CoordinatorServer,
+    SpanLease,
+)
 from repro.explore.distrib import (
     DISTRIB_SCHEMA_VERSION,
     CampaignShard,
@@ -76,6 +90,7 @@ from repro.explore.distrib import (
     run_shard,
     shard_span,
     space_fingerprint,
+    validate_shard_result,
     write_merged_csv,
     write_merged_json,
 )
@@ -83,11 +98,13 @@ from repro.explore.experiments import ScenarioResult, run_table1
 from repro.explore.report import (
     format_adaptive,
     format_campaign,
+    format_coordinator_status,
     format_merged,
     format_shard,
     format_strategies,
     format_table,
     format_table1,
+    format_worker_stats,
 )
 from repro.explore.scenarios import (
     Scenario,
@@ -101,6 +118,7 @@ from repro.explore.speedup import SpeedupResult, run_speed_comparison
 from repro.explore.store import (
     STORE_SCHEMA_VERSION,
     ColumnarStore,
+    IncrementalShardMerge,
     StoreError,
     merge_artifacts_to_store,
     merge_documents_to_store,
@@ -115,24 +133,34 @@ from repro.explore.sweeps import (
     tam_width_sweep,
     schedule_exploration,
 )
+from repro.explore.worker import CampaignWorker, InProcessClient
 
 __all__ = [
     "ADAPTIVE_SCHEMA_VERSION",
     "AdaptiveResult",
     "AdaptiveRound",
     "AdaptiveSearch",
+    "COORDINATOR_SCHEMA_VERSION",
     "Campaign",
     "CampaignJob",
     "CampaignOutcome",
     "CampaignRun",
     "CampaignShard",
+    "CampaignWorker",
     "ColumnarStore",
+    "Coordinator",
+    "CoordinatorClient",
+    "CoordinatorError",
+    "CoordinatorServer",
     "DEFAULT_OBJECTIVES",
     "DISTRIB_SCHEMA_VERSION",
+    "InProcessClient",
+    "IncrementalShardMerge",
     "MergeError",
     "MergePlan",
     "Objective",
     "ParetoFront",
+    "SpanLease",
     "RESULT_COLUMNS",
     "SCHEMA_VERSION",
     "STORE_SCHEMA_VERSION",
@@ -151,11 +179,13 @@ __all__ = [
     "execute_job",
     "format_adaptive",
     "format_campaign",
+    "format_coordinator_status",
     "format_merged",
     "format_shard",
     "format_strategies",
     "format_table",
     "format_table1",
+    "format_worker_stats",
     "load_artifact",
     "merge_artifacts",
     "merge_artifacts_to_store",
@@ -183,6 +213,7 @@ __all__ = [
     "store_campaign_run",
     "store_shard_run",
     "tam_width_sweep",
+    "validate_shard_result",
     "write_document_csv",
     "write_document_json",
     "write_merged_csv",

@@ -11,6 +11,9 @@ Usage::
     python -m repro.explore campaign          # exhaustive scenario campaign
     python -m repro.explore adaptive          # Pareto + successive halving
     python -m repro.explore merge             # recombine shard artifacts
+    python -m repro.explore serve             # live campaign coordinator
+    python -m repro.explore work              # attach a worker process
+    python -m repro.explore submit            # queue a campaign on a coordinator
 
 ``campaign`` and ``adaptive`` write the versioned CSV/JSON artifacts
 (``--csv`` / ``--json``) described in :mod:`repro.explore.campaign`
@@ -42,14 +45,29 @@ shard plan/run/merge machinery (executing all N shards locally, starting at
 shard I — round selection is global, so a single invocation needs every
 shard's rows) and stays bitwise-identical to an unsharded run.
 
+Live coordination: ``serve`` runs a long-lived coordinator
+(:mod:`repro.explore.coordinator`) on a localhost socket; ``work`` attaches
+a worker process that leases deterministically planned spans, executes them
+on the standard shard path and streams the results back; ``submit`` queues
+a campaign (the same axes flags as ``campaign``) and can wait for the
+merged artifacts — which are bitwise-identical to a single-host
+``campaign`` run of the same grid, even across worker death and work
+stealing.
+
 Exit status: 0 on success, 2 when the requested work fails (a job fails, an
 artifact is invalid or unreadable, a merge is rejected) — operational
 failures are reported as one ``error:`` line on stderr and never exit 0.
+``merge --partial`` with a gapped shard set exits 3
+(:data:`EXIT_REPLANNABLE_GAPS`): the merge itself succeeded and the
+written artifact is valid-but-partial, but jobs remain re-plannable via
+``--gaps`` — machine-distinguishable from a rejected merge (2) and from a
+complete one (0).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -62,7 +80,14 @@ from repro.explore.adaptive import (
     surrogate_screen_candidates,
 )
 from repro.explore.campaign import CampaignJob, campaign_from_axes, run_jobs
+from repro.explore.coordinator import (
+    DEFAULT_LEASE_TIMEOUT,
+    Coordinator,
+    CoordinatorClient,
+    CoordinatorServer,
+)
 from repro.explore.distrib import (
+    job_to_dict,
     load_artifact,
     merge_shard_documents,
     plan_shards,
@@ -75,13 +100,16 @@ from repro.explore.experiments import run_table1
 from repro.explore.report import (
     format_adaptive,
     format_campaign,
+    format_coordinator_status,
     format_merged,
     format_shard,
     format_store_summary,
     format_strategies,
     format_table,
     format_table1,
+    format_worker_stats,
 )
+from repro.explore.worker import CampaignWorker
 from repro.explore.store import (
     ColumnarStore,
     merge_artifacts_to_store,
@@ -240,7 +268,13 @@ def _run_campaign(args) -> None:
         print(f"wrote {args.json}")
 
 
-def _run_merge(args) -> None:
+#: ``merge --partial`` exit status when the merged artifact has gaps that a
+#: re-plan can cover: success-with-work-remaining, distinct from validation
+#: failure (2) and a complete merge (0).
+EXIT_REPLANNABLE_GAPS = 3
+
+
+def _run_merge(args) -> Optional[int]:
     if args.store:
         # Streaming path: validate headers, append one shard at a time to
         # the columnar store, then regenerate artifacts chunk by chunk —
@@ -283,6 +317,12 @@ def _run_merge(args) -> None:
         else:
             write_merged_json(merged, args.json)
         print(f"wrote {args.json}")
+    if gaps:
+        # All requested outputs were written (valid, marked partial); the
+        # distinct status tells automation "re-plan and merge again" without
+        # parsing stderr.  Regression-tested in test_cli.py.
+        return EXIT_REPLANNABLE_GAPS
+    return None
 
 
 def _run_strategies(args) -> None:
@@ -327,6 +367,103 @@ def _run_adaptive(args) -> None:
     if args.json:
         result.write_json(args.json, deterministic=deterministic)
         print(f"wrote {args.json}")
+
+
+def _run_serve(args) -> None:
+    coordinator = Coordinator(
+        lease_timeout=args.lease_timeout,
+        on_event=lambda message: print(message, file=sys.stderr, flush=True))
+    server = CoordinatorServer(coordinator, (args.host, args.port))
+    # The chosen port is the line automation waits for (--port 0 binds an
+    # ephemeral port); flush so a pipe reader sees it before serve blocks.
+    print(f"coordinator listening on {args.host}:{server.port}", flush=True)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        coordinator.drain()
+    finally:
+        server.server_close()
+    print(format_coordinator_status(coordinator.status()))
+    coordinator.close()
+
+
+def _connect_value(text: str):
+    """Parse ``--connect HOST:PORT``."""
+    host, separator, port_text = text.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not separator or not host or not 0 < port < 65536:
+        raise argparse.ArgumentTypeError(
+            f"connect must be HOST:PORT (e.g. 127.0.0.1:7621), got {text!r}")
+    return host, port
+
+
+def _run_work(args) -> None:
+    host, port = args.connect
+    client = CoordinatorClient(host, port)
+    worker = CampaignWorker(
+        client, args.id or f"worker-{os.getpid()}",
+        poll_interval=args.poll,
+        max_idle_polls=args.max_idle_polls,
+        status_callback=lambda message: print(message, file=sys.stderr,
+                                              flush=True))
+    stats = worker.run()
+    print(format_worker_stats(worker.worker_id, stats))
+
+
+def _run_submit(args) -> None:
+    if args.timing or args.surrogate or args.race:
+        raise ValueError(
+            "submit queues the full deterministic job grid on the "
+            "coordinator; it cannot be combined with --timing, --surrogate "
+            "or --race")
+    if args.shutdown_after and not args.wait:
+        raise ValueError("--shutdown-after requires --wait: shutting down "
+                         "right after submitting would drain the queue "
+                         "before the campaign runs")
+    if args.workers != 1:
+        raise ValueError(
+            "submit does not run jobs itself: parallelism comes from the "
+            "'work' processes attached to the coordinator, not --workers")
+    campaign = campaign_from_axes(_scenario_axes(args),
+                                  base=_scenario_base(args))
+    jobs = campaign.jobs()
+    # The coordinator process writes the artifacts, possibly from another
+    # working directory — pin the paths before they cross the socket.
+    resolve = lambda path: os.path.abspath(path) if path else None
+    host, port = args.connect
+    client = CoordinatorClient(host, port)
+    campaign_id = client.submit(
+        [job_to_dict(job) for job in jobs], args.shards,
+        label=args.label, json_path=resolve(args.json),
+        csv_path=resolve(args.csv), store_path=resolve(args.store))
+    print(f"submitted {campaign_id}: {len(jobs)} job(s) in "
+          f"{args.shards} span(s)")
+    if args.wait:
+        import time as _time
+        while True:
+            progress = client.campaign_progress(campaign_id)
+            if progress["complete"]:
+                break
+            print(f"{campaign_id}: {progress['completed']}/"
+                  f"{progress['spans']} span(s) done, "
+                  f"{progress['pending']} pending, "
+                  f"{progress['leased']} leased, "
+                  f"{progress['steals']} steal(s)",
+                  file=sys.stderr, flush=True)
+            _time.sleep(args.poll)
+        progress = client.campaign_progress(campaign_id)
+        print(f"{campaign_id} complete: {progress['row_count']} row(s) "
+              f"from {progress['spans']} span(s), "
+              f"{progress['steals']} steal(s)")
+        for path in (resolve(args.json), resolve(args.csv),
+                     resolve(args.store)):
+            if path:
+                print(f"wrote {path}")
+    if args.shutdown_after:
+        client.shutdown()
 
 
 def _shard_value(text: str):
@@ -589,6 +726,68 @@ def build_parser() -> argparse.ArgumentParser:
                                "selection needs every row; results are "
                                "bitwise-identical to an unsharded run)")
     adaptive.set_defaults(handler=_run_adaptive)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the live campaign coordinator on a localhost socket "
+             "(fair-share queue, span leases, work stealing, streaming "
+             "merge; see docs/coordinator.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1; the "
+                            "protocol is unauthenticated and meant for "
+                            "localhost)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port to bind (0: pick an ephemeral port; "
+                            "the chosen port is printed on stdout)")
+    serve.add_argument("--lease-timeout", type=float,
+                       default=DEFAULT_LEASE_TIMEOUT, metavar="SECONDS",
+                       help="seconds a lease may go without a heartbeat "
+                            "before its span is stolen back into the queue")
+    serve.set_defaults(handler=_run_serve)
+
+    work = subparsers.add_parser(
+        "work",
+        help="attach a worker to a coordinator: lease spans, execute them "
+             "on the standard shard path, stream the results back")
+    work.add_argument("--connect", type=_connect_value, required=True,
+                      metavar="HOST:PORT",
+                      help="coordinator address printed by 'serve'")
+    work.add_argument("--id", default=None,
+                      help="worker name in leases and status documents "
+                           "(default: worker-<pid>)")
+    work.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                      help="sleep between lease requests while the queue "
+                           "is empty")
+    work.add_argument("--max-idle-polls", type=int, default=None, metavar="N",
+                      help="exit after N consecutive empty polls "
+                           "(default: keep polling until the coordinator "
+                           "shuts down)")
+    work.set_defaults(handler=_run_work)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="queue a campaign on a coordinator (same scenario-space flags "
+             "as 'campaign'); artifacts are written by the coordinator and "
+             "are bitwise-identical to a single-host run")
+    add_scenario_space_arguments(submit)
+    submit.add_argument("--connect", type=_connect_value, required=True,
+                        metavar="HOST:PORT",
+                        help="coordinator address printed by 'serve'")
+    submit.add_argument("--shards", type=int, default=4, metavar="N",
+                        help="number of deterministic spans to plan the "
+                             "campaign into (the unit of leasing/stealing; "
+                             "must not exceed the job count)")
+    submit.add_argument("--label", default=None,
+                        help="human-readable campaign label in status output")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll the coordinator until the campaign "
+                             "completes, reporting span progress on stderr")
+    submit.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                        help="progress-poll interval for --wait")
+    submit.add_argument("--shutdown-after", action="store_true",
+                        help="with --wait: drain and stop the coordinator "
+                             "once this campaign completes")
+    submit.set_defaults(handler=_run_submit)
     return parser
 
 

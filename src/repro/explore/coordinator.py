@@ -1,0 +1,634 @@
+"""Live campaign coordinator: fair-share queue, span leases, work stealing.
+
+The distribution subsystem (:mod:`repro.explore.distrib`) made campaigns a
+pure-data problem — deterministic shard plans in, provenance-validated shard
+artifacts out — but execution stayed one-shot: a human assigns ``--shard
+I/N`` to hosts and a dead host stalls the merge until someone re-plans the
+gap by hand.  This module is the missing control plane, ROADMAP item 1:
+
+* :class:`Coordinator` — a transport-agnostic state machine that accepts
+  campaign submissions into a fair-share queue, leases each campaign's
+  deterministic spans (planned once via :func:`~repro.explore.distrib.
+  plan_shards`) to workers, heartbeats lease age, *steals* expired leases
+  back from stragglers and dead hosts (the span simply re-enters the queue:
+  spans are pure data, so a re-run is bitwise identical to the lost run),
+  and streams completed shard documents into a
+  :class:`~repro.explore.store.IncrementalShardMerge` the moment they
+  arrive.  When the last span lands, the final JSON/CSV artifacts are
+  regenerated from the store — **bitwise identical** to a single-host
+  ``campaign`` run of the same grid, the invariant the fault-injection
+  differential tests pin down.
+* :class:`CoordinatorServer` / :class:`CoordinatorClient` — a localhost
+  TCP transport for the state machine: one JSON object per line, one
+  request/response per connection (so heartbeat threads never share a
+  socket with the work loop).  The worker side lives in
+  :mod:`repro.explore.worker`.
+
+Determinism and fault injection: the coordinator takes its wall clock as a
+constructor argument (``clock=time.monotonic``), performs *no* waiting of
+its own (expiry is evaluated lazily on every public call), and mutates
+state only inside its public methods — so a test can drive arbitrary
+interleavings of grant/complete/expire/heartbeat against a fake clock and
+fake workers, byte-compare the final artifacts, and never sleep.
+
+Exactly-once: every span is *executed* at-least-once (steals re-run lost
+work) and *merged* exactly once — a completion for an already-merged span
+is acknowledged as ``stale`` and dropped before any row lands, and the
+incremental merge independently rejects double ingestion.  Because jobs are
+deterministic, at-least-once execution plus exactly-once ingestion equals
+the monolithic artifact.
+
+The status document (:meth:`Coordinator.status`) is versioned
+(``coordinator_schema_version`` = :data:`COORDINATOR_SCHEMA_VERSION`) and
+carries the operational counters the ROADMAP's observability item asks
+for: queue depth, active lease ages, steal/stale counts, spans and rows
+per second, per-campaign progress.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import shutil
+import socket
+import socketserver
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.explore.campaign import SCHEMA_VERSION, CampaignJob, result_columns
+from repro.explore.distrib import (
+    CampaignShard,
+    MergeError,
+    job_from_dict,
+    plan_shards,
+)
+from repro.explore.store import (
+    ColumnarStore,
+    IncrementalShardMerge,
+    write_document_csv,
+    write_document_json,
+)
+
+#: Version of the coordinator status document and wire protocol.
+COORDINATOR_SCHEMA_VERSION = 1
+
+#: Default seconds a lease may go without a heartbeat before it is stolen.
+DEFAULT_LEASE_TIMEOUT = 60.0
+
+
+class CoordinatorError(ValueError):
+    """A submission, lease operation or protocol message is invalid."""
+
+
+@dataclass
+class SpanLease:
+    """One grant of one campaign span to one worker."""
+
+    lease_id: int
+    campaign_id: str
+    shard_index: int
+    worker: str
+    granted_at: float
+    deadline: float
+
+    def as_document(self) -> Dict[str, object]:
+        return {
+            "lease_id": self.lease_id,
+            "campaign_id": self.campaign_id,
+            "shard_index": self.shard_index,
+            "worker": self.worker,
+        }
+
+
+class _CampaignState:
+    """Internal bookkeeping of one submitted campaign."""
+
+    def __init__(self, campaign_id: str, label: str, sequence: int,
+                 shards: List[CampaignShard], merge: IncrementalShardMerge,
+                 submitted_at: float,
+                 json_path: Optional[str], csv_path: Optional[str]):
+        self.campaign_id = campaign_id
+        self.label = label
+        self.sequence = sequence
+        self.shards = shards
+        self.merge = merge
+        self.submitted_at = submitted_at
+        self.json_path = json_path
+        self.csv_path = csv_path
+        #: Spans waiting for a worker, as a min-heap of shard indexes so a
+        #: stolen span re-enters ahead of later work.
+        self.pending: List[int] = list(range(len(shards)))
+        heapq.heapify(self.pending)
+        #: Active lease per outstanding span.
+        self.leases: Dict[int, SpanLease] = {}
+        self.completed: set = set()
+        self.steals = 0
+        self.row_count = 0
+        self.finished_at: Optional[float] = None
+        self.store: Optional[ColumnarStore] = None
+
+    @property
+    def span_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.completed) == self.span_count
+
+    @property
+    def in_flight(self) -> int:
+        """Spans granted or done — the fair-share load measure."""
+        return len(self.leases) + len(self.completed)
+
+    def progress(self) -> Dict[str, object]:
+        return {
+            "campaign": self.campaign_id,
+            "label": self.label,
+            "spans": self.span_count,
+            "total_jobs": self.shards[0].total_jobs,
+            "pending": len(self.pending),
+            "leased": len(self.leases),
+            "completed": len(self.completed),
+            "complete": self.complete,
+            "row_count": self.row_count,
+            "steals": self.steals,
+            "artifacts": {key: value for key, value in
+                          (("json", self.json_path), ("csv", self.csv_path),
+                           ("store", str(self.merge._store.path)))
+                          if value},
+        }
+
+
+class Coordinator:
+    """The lease/steal/merge state machine (transport-agnostic).
+
+    All waiting is the caller's problem: expiry is evaluated lazily at the
+    top of every public method (:meth:`tick`), so idle-polling workers are
+    what drives stealing — no timer thread, no hidden clock reads.  The
+    *clock* only needs to be monotone; tests inject a fake.
+
+    Not thread-safe by itself; :class:`CoordinatorServer` serializes calls
+    under one lock.
+    """
+
+    def __init__(self, lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+                 clock: Callable[[], float] = time.monotonic,
+                 work_dir=None,
+                 on_event: Optional[Callable[[str], None]] = None):
+        if lease_timeout <= 0:
+            raise CoordinatorError("lease timeout must be > 0")
+        self._lease_timeout = float(lease_timeout)
+        self._clock = clock
+        self._on_event = on_event
+        self._work_dir = Path(work_dir) if work_dir is not None else None
+        self._owns_work_dir = False
+        self._campaigns: Dict[str, _CampaignState] = {}
+        self._sequence = itertools.count(1)
+        self._lease_sequence = itertools.count(1)
+        #: Every lease ever granted, by id — completions may legitimately
+        #: arrive for leases that have long been stolen.
+        self._leases: Dict[int, SpanLease] = {}
+        #: Worker name -> last-seen timestamp.
+        self._workers: Dict[str, float] = {}
+        self._draining = False
+        self._started = clock()
+        self._completed_spans = 0
+        self._completed_rows = 0
+        self._steals = 0
+        self._stale_completions = 0
+
+    # -- plumbing -----------------------------------------------------------
+    def _now(self) -> float:
+        return self._clock()
+
+    def _event(self, message: str) -> None:
+        if self._on_event is not None:
+            self._on_event(message)
+
+    def _ensure_work_dir(self) -> Path:
+        if self._work_dir is None:
+            self._work_dir = Path(tempfile.mkdtemp(prefix="repro-coord-"))
+            self._owns_work_dir = True
+        return self._work_dir
+
+    def close(self) -> None:
+        """Drop the coordinator's own spool directory (not user artifacts)."""
+        if self._owns_work_dir and self._work_dir is not None and \
+                self._work_dir.exists():
+            shutil.rmtree(self._work_dir, ignore_errors=True)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self) -> None:
+        """Stop granting leases; outstanding completions are still accepted."""
+        self._draining = True
+        self._event("draining: no further leases will be granted")
+
+    @property
+    def is_idle(self) -> bool:
+        """No pending or leased span anywhere."""
+        return all(not state.pending and not state.leases
+                   for state in self._campaigns.values())
+
+    # -- submissions --------------------------------------------------------
+    def submit_jobs(self, jobs: Sequence[CampaignJob], shard_count: int,
+                    label: Optional[str] = None,
+                    json_path: Optional[str] = None,
+                    csv_path: Optional[str] = None,
+                    store_path=None) -> str:
+        """Queue a campaign: plan *jobs* into spans, return the campaign id.
+
+        Artifact paths are written by the coordinator process at
+        finalization; *store_path* defaults to a spool directory.  Planning
+        is the same :func:`~repro.explore.distrib.plan_shards` call a
+        ``--shard I/N`` host makes, so the spans — and the final merged
+        artifact — are identical to the offline path.
+        """
+        if self._draining:
+            raise CoordinatorError("coordinator is draining; "
+                                   "submission rejected")
+        shards = plan_shards(list(jobs), shard_count)
+        sequence = next(self._sequence)
+        campaign_id = f"c{sequence:04d}"
+        if store_path is None:
+            store_path = self._ensure_work_dir() / f"{campaign_id}.store"
+        merge = IncrementalShardMerge(
+            store_path, count=shard_count, total_jobs=shards[0].total_jobs,
+            fingerprint=shards[0].fingerprint,
+            columns=result_columns(deterministic=True),
+            metadata={"campaign": campaign_id})
+        state = _CampaignState(campaign_id, label or campaign_id, sequence,
+                               shards, merge, self._now(), json_path,
+                               csv_path)
+        self._campaigns[campaign_id] = state
+        self._event(f"submitted {campaign_id} ({state.label}): "
+                    f"{shards[0].total_jobs} job(s) in "
+                    f"{shard_count} span(s)")
+        return campaign_id
+
+    def submit_job_documents(self, documents: Sequence[Mapping[str, object]],
+                             shard_count: int, **kwargs) -> str:
+        """:meth:`submit_jobs` over wire-format job dicts (the submit op)."""
+        return self.submit_jobs([job_from_dict(doc) for doc in documents],
+                                shard_count, **kwargs)
+
+    # -- leases -------------------------------------------------------------
+    def tick(self) -> List[SpanLease]:
+        """Expire overdue leases, re-queueing their spans (the steal).
+
+        Called implicitly by every public operation; returns the leases
+        stolen by this pass.
+        """
+        now = self._now()
+        stolen: List[SpanLease] = []
+        for state in self._campaigns.values():
+            for index, lease in list(state.leases.items()):
+                if lease.deadline <= now:
+                    del state.leases[index]
+                    heapq.heappush(state.pending, index)
+                    state.steals += 1
+                    self._steals += 1
+                    stolen.append(lease)
+                    self._event(
+                        f"stole span {lease.campaign_id}/{index} from "
+                        f"{lease.worker} (lease {lease.lease_id} aged out)")
+        return stolen
+
+    def _pick_campaign(self) -> Optional[_CampaignState]:
+        """Fair share: the least-served campaign with pending spans.
+
+        Load is the fraction of a campaign's spans already granted or done,
+        so a freshly submitted campaign immediately receives a share of the
+        fleet instead of queueing behind an earlier large submission;
+        submission order breaks ties deterministically.
+        """
+        candidates = [state for state in self._campaigns.values()
+                      if state.pending]
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda state: (state.in_flight / state.span_count,
+                                      state.sequence))
+
+    def request_lease(self, worker: str
+                      ) -> Optional[Tuple[SpanLease, CampaignShard]]:
+        """Grant the next span to *worker*, or None when nothing is pending.
+
+        The returned shard document is self-contained (it carries its job
+        list), so the worker needs no grid flags — exactly the file a
+        ``campaign --shard I/N`` host would have been shipped.
+        """
+        self.tick()
+        now = self._now()
+        self._workers[worker] = now
+        if self._draining:
+            return None
+        state = self._pick_campaign()
+        if state is None:
+            return None
+        index = heapq.heappop(state.pending)
+        lease = SpanLease(
+            lease_id=next(self._lease_sequence),
+            campaign_id=state.campaign_id, shard_index=index, worker=worker,
+            granted_at=now, deadline=now + self._lease_timeout)
+        state.leases[index] = lease
+        self._leases[lease.lease_id] = lease
+        return lease, state.shards[index]
+
+    def heartbeat(self, lease_id: int) -> bool:
+        """Extend a lease's deadline; False when the lease is no longer
+        live (stolen or its span already completed) — the worker's cue to
+        abandon cooperatively."""
+        self.tick()
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            raise CoordinatorError(f"unknown lease id {lease_id}")
+        state = self._campaigns[lease.campaign_id]
+        if state.leases.get(lease.shard_index) is not lease:
+            return False
+        now = self._now()
+        lease.deadline = now + self._lease_timeout
+        self._workers[lease.worker] = now
+        return True
+
+    def complete_lease(self, lease_id: int,
+                       document: Mapping[str, object]) -> bool:
+        """Ingest a completed span; returns False for stale completions.
+
+        Validation happens *before* any bookkeeping: a document that fails
+        provenance/span/row checks raises
+        :class:`~repro.explore.distrib.MergeError` and changes nothing, so a
+        misbehaving worker cannot poison a campaign.  A valid completion for
+        a span that someone else already completed (a steal raced the
+        original worker, or a duplicate send) is acknowledged as stale and
+        dropped — rows are merged exactly once.
+        """
+        self.tick()
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            raise CoordinatorError(f"unknown lease id {lease_id}")
+        state = self._campaigns[lease.campaign_id]
+        self._workers[lease.worker] = self._now()
+        if lease.shard_index in state.completed:
+            self._stale_completions += 1
+            return False
+        # Validate against the planned shard before touching any state; a
+        # bad artifact must not consume the span.
+        index = state.merge.add_shard_document(document)
+        if index != lease.shard_index:  # pragma: no cover - defensive
+            raise MergeError(
+                f"lease {lease_id} covers span {lease.shard_index} but the "
+                f"document declares shard {index}")
+        state.completed.add(index)
+        # Cancel whichever lease is currently active on the span — possibly
+        # a re-grant to another worker after this one was presumed dead.
+        state.leases.pop(index, None)
+        # A stolen span may sit back in the queue when its original worker's
+        # completion arrives; leaving it there would hand an already-merged
+        # span to the next worker (found by the lease-lifecycle property
+        # suite).
+        if index in state.pending:
+            state.pending.remove(index)
+            heapq.heapify(state.pending)
+        rows = int(document["row_count"])
+        state.row_count += rows
+        self._completed_spans += 1
+        self._completed_rows += rows
+        if state.complete:
+            self._finalize(state)
+        return True
+
+    def _finalize(self, state: _CampaignState) -> None:
+        state.store = state.merge.finalize()
+        if state.json_path:
+            write_document_json(state.store, state.json_path)
+        if state.csv_path:
+            write_document_csv(state.store, state.csv_path)
+        state.finished_at = self._now()
+        wrote = [path for path in (state.json_path, state.csv_path) if path]
+        self._event(f"completed {state.campaign_id} ({state.label}): "
+                    f"{state.row_count} row(s) from {state.span_count} "
+                    f"span(s), {state.steals} steal(s)"
+                    + (f" -> {', '.join(wrote)}" if wrote else ""))
+
+    def campaign_store(self, campaign_id: str) -> ColumnarStore:
+        """The finalized store of a completed campaign."""
+        state = self._state(campaign_id)
+        if state.store is None:
+            raise CoordinatorError(f"campaign {campaign_id} is not complete")
+        return state.store
+
+    def _state(self, campaign_id: str) -> _CampaignState:
+        state = self._campaigns.get(campaign_id)
+        if state is None:
+            raise CoordinatorError(f"unknown campaign {campaign_id!r}")
+        return state
+
+    # -- observability ------------------------------------------------------
+    def campaign_progress(self, campaign_id: str) -> Dict[str, object]:
+        self.tick()
+        return self._state(campaign_id).progress()
+
+    def status(self) -> Dict[str, object]:
+        """The structured operational status document (versioned)."""
+        self.tick()
+        now = self._now()
+        uptime = max(now - self._started, 0.0)
+        lease_ages = [now - lease.granted_at
+                      for state in self._campaigns.values()
+                      for lease in state.leases.values()]
+        return {
+            "coordinator_schema_version": COORDINATOR_SCHEMA_VERSION,
+            "uptime_seconds": uptime,
+            "lease_timeout_seconds": self._lease_timeout,
+            "draining": self._draining,
+            "workers": {
+                name: {"last_seen_seconds": now - seen}
+                for name, seen in sorted(self._workers.items())
+            },
+            "queue_depth": sum(len(state.pending)
+                               for state in self._campaigns.values()),
+            "active_leases": len(lease_ages),
+            "max_lease_age_seconds": max(lease_ages, default=0.0),
+            "completed_spans": self._completed_spans,
+            "completed_rows": self._completed_rows,
+            "steals": self._steals,
+            "stale_completions": self._stale_completions,
+            "spans_per_second": (self._completed_spans / uptime
+                                 if uptime > 0 else 0.0),
+            "rows_per_second": (self._completed_rows / uptime
+                                if uptime > 0 else 0.0),
+            "campaigns": [state.progress()
+                          for state in self._campaigns.values()],
+        }
+
+
+# -- wire protocol -----------------------------------------------------------
+#
+# One JSON object per line, one request/response pair per connection:
+#
+#   {"op": "lease", "worker": W}       -> {"ok": true, "lease": .., "shard": ..}
+#                                       | {"ok": true, "idle": true}
+#                                       | {"ok": true, "shutdown": true}
+#   {"op": "heartbeat", "lease_id": L} -> {"ok": true, "live": bool}
+#   {"op": "complete", "lease_id": L,
+#    "document": shard_result}         -> {"ok": true, "accepted": bool}
+#   {"op": "submit", "jobs": [..],
+#    "shards": N, "label"/"json"/
+#    "csv"/"store": ..}                -> {"ok": true, "campaign": id}
+#   {"op": "campaign", "campaign": id} -> {"ok": true, "progress": {..}}
+#   {"op": "status"}                   -> {"ok": true, "status": {..}}
+#   {"op": "shutdown"}                 -> {"ok": true}   (server then stops)
+#
+# Failures answer {"ok": false, "error": msg}.  The per-connection model
+# keeps the server handler trivial and lets worker heartbeat threads run
+# without sharing a socket with the execution loop.
+
+class _CoordinatorHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        line = self.rfile.readline()
+        if not line:
+            return
+        try:
+            request = json.loads(line)
+            response = self.server.dispatch(request)  # type: ignore[attr-defined]
+        except (ValueError, KeyError, TypeError) as error:
+            response = {"ok": False, "error": str(error) or repr(error)}
+        self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+
+
+class CoordinatorServer(socketserver.ThreadingTCPServer):
+    """Serve a :class:`Coordinator` over localhost TCP (JSONL protocol)."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, coordinator: Coordinator,
+                 address: Tuple[str, int] = ("127.0.0.1", 0)):
+        super().__init__(address, _CoordinatorHandler)
+        self.coordinator = coordinator
+        self._lock = threading.Lock()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def dispatch(self, request: Mapping[str, object]) -> Dict[str, object]:
+        op = request.get("op")
+        with self._lock:
+            coordinator = self.coordinator
+            if op == "lease":
+                granted = coordinator.request_lease(str(request["worker"]))
+                if granted is None:
+                    if coordinator.draining:
+                        return {"ok": True, "shutdown": True}
+                    return {"ok": True, "idle": True}
+                lease, shard = granted
+                return {"ok": True, "lease": lease.as_document(),
+                        "heartbeat_seconds": coordinator._lease_timeout / 3.0,
+                        "shard": shard.as_document()}
+            if op == "heartbeat":
+                live = coordinator.heartbeat(int(request["lease_id"]))
+                return {"ok": True, "live": live}
+            if op == "complete":
+                accepted = coordinator.complete_lease(
+                    int(request["lease_id"]), request["document"])
+                return {"ok": True, "accepted": accepted}
+            if op == "submit":
+                campaign_id = coordinator.submit_job_documents(
+                    request["jobs"], int(request["shards"]),
+                    label=request.get("label"),
+                    json_path=request.get("json"),
+                    csv_path=request.get("csv"),
+                    store_path=request.get("store"))
+                return {"ok": True, "campaign": campaign_id}
+            if op == "campaign":
+                progress = coordinator.campaign_progress(
+                    str(request["campaign"]))
+                return {"ok": True, "progress": progress}
+            if op == "status":
+                return {"ok": True, "status": coordinator.status()}
+            if op == "shutdown":
+                coordinator.drain()
+                # shutdown() blocks until serve_forever returns, so it must
+                # not run on this handler thread; closing the listening
+                # socket afterwards turns further connects into refusals
+                # instead of hangs.
+                threading.Thread(target=self._stop, daemon=True).start()
+                return {"ok": True}
+        raise CoordinatorError(f"unknown op {op!r}")
+
+    def _stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+
+
+class CoordinatorClient:
+    """Stateless client: one fresh connection per operation.
+
+    Matches :class:`repro.explore.worker.InProcessClient` method for
+    method, so workers and the submit CLI run unchanged over TCP or against
+    an in-process coordinator (the deterministic test seam).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: Optional[float] = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def call(self, request: Mapping[str, object]) -> Dict[str, object]:
+        with socket.create_connection((self.host, self.port),
+                                      timeout=self.timeout) as connection:
+            connection.sendall(json.dumps(request).encode("utf-8") + b"\n")
+            with connection.makefile("rb") as reader:
+                line = reader.readline()
+        if not line:
+            raise ConnectionError("coordinator closed the connection "
+                                  "without a response")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise CoordinatorError(response.get("error", "request failed"))
+        return response
+
+    # -- worker plane -------------------------------------------------------
+    def request_lease(self, worker: str) -> Dict[str, object]:
+        return self.call({"op": "lease", "worker": worker})
+
+    def heartbeat(self, lease_id: int) -> bool:
+        return bool(self.call({"op": "heartbeat",
+                               "lease_id": lease_id})["live"])
+
+    def complete(self, lease_id: int,
+                 document: Mapping[str, object]) -> bool:
+        return bool(self.call({"op": "complete", "lease_id": lease_id,
+                               "document": document})["accepted"])
+
+    # -- control plane ------------------------------------------------------
+    def submit(self, job_documents: Sequence[Mapping[str, object]],
+               shards: int, label: Optional[str] = None,
+               json_path: Optional[str] = None,
+               csv_path: Optional[str] = None,
+               store_path: Optional[str] = None) -> str:
+        return str(self.call({
+            "op": "submit", "jobs": list(job_documents), "shards": shards,
+            "label": label, "json": json_path, "csv": csv_path,
+            "store": store_path,
+        })["campaign"])
+
+    def campaign_progress(self, campaign_id: str) -> Dict[str, object]:
+        return self.call({"op": "campaign",
+                          "campaign": campaign_id})["progress"]
+
+    def status(self) -> Dict[str, object]:
+        return self.call({"op": "status"})["status"]
+
+    def shutdown(self) -> None:
+        self.call({"op": "shutdown"})

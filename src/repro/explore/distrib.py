@@ -437,6 +437,64 @@ def plan_merge(documents: Sequence[Mapping[str, object]],
     )
 
 
+def validate_shard_result(document: Mapping[str, object], *,
+                          count: int, total_jobs: int, fingerprint: str,
+                          columns: Optional[Sequence[str]] = None) -> int:
+    """Validate a single shard *result* document against a known plan.
+
+    The per-document half of :func:`plan_merge`, for callers that receive
+    shard artifacts one at a time instead of as a complete set — the live
+    coordinator's completion path and the incremental streaming merge
+    (:class:`repro.explore.store.IncrementalShardMerge`).  Checks schema and
+    envelope versions, the provenance block (shard count, total job count,
+    scenario-space fingerprint), the canonical ``i·M/N`` span, the declared
+    and actual row counts, and — when *columns* is given — the column list.
+    Returns the shard index; raises :class:`MergeError` on any mismatch, so
+    a worker returning a doctored, truncated or foreign-campaign artifact is
+    rejected before any of its rows land anywhere.
+    """
+    what = "shard result"
+    if not isinstance(document, Mapping):
+        raise MergeError(f"{what} is not a JSON object")
+    _require_version(document, "schema_version", SCHEMA_VERSION, what)
+    _require_version(document, "distrib_schema_version",
+                     DISTRIB_SCHEMA_VERSION, what)
+    shard = document.get("shard")
+    if not isinstance(shard, Mapping):
+        raise MergeError(f"{what} carries no shard provenance block")
+    index = int(shard["index"])
+    if shard["count"] != count:
+        raise MergeError(f"{what} was planned into {shard['count']} shard(s),"
+                         f" expected {count}")
+    if shard["total_jobs"] != total_jobs:
+        raise MergeError(f"{what} declares {shard['total_jobs']} total "
+                         f"job(s), expected {total_jobs}")
+    if shard["fingerprint"] != fingerprint:
+        raise MergeError(
+            "scenario-space fingerprints disagree — the shard was planned "
+            f"from a different campaign: {shard['fingerprint']!r}")
+    if not 0 <= index < count:
+        raise MergeError(f"shard index {index} exceeds the shard count "
+                         f"{count}")
+    expected_start, expected_stop = shard_span(index, count, total_jobs)
+    if (shard["start"], shard["stop"]) != (expected_start, expected_stop):
+        raise MergeError(
+            f"shard {index} declares the span [{shard['start']}, "
+            f"{shard['stop']}), expected [{expected_start}, {expected_stop})")
+    rows = document.get("rows")
+    if not isinstance(rows, list):
+        raise MergeError(f"{what} carries no result rows")
+    if len(rows) != expected_stop - expected_start or \
+            document.get("row_count") != len(rows):
+        raise MergeError(f"shard {index} carries {len(rows)} row(s) for the "
+                         f"span [{expected_start}, {expected_stop})")
+    if columns is not None and list(document.get("columns", ())) != \
+            list(columns):
+        raise MergeError(f"shard {index} disagrees on the column list "
+                         f"(mixed deterministic/timing artifacts?)")
+    return index
+
+
 def merge_shard_documents(
         documents: Sequence[Mapping[str, object]],
         partial: bool = False) -> Dict[str, object]:

@@ -288,6 +288,58 @@ def format_store_summary(store, group_by: str = "schedule") -> str:
     return f"{table}\n\n{footer}"
 
 
+def format_coordinator_status(status: Mapping[str, object]) -> str:
+    """Render a coordinator status document as a live-operations view.
+
+    One row per submitted campaign (progress, queue position, steals)
+    followed by the fleet counters (queue depth, lease ages, throughput).
+    The input is the versioned document from
+    :meth:`~repro.explore.coordinator.Coordinator.status`.
+    """
+    campaigns = status.get("campaigns", [])
+    rows = []
+    for entry in campaigns:
+        done = entry["completed"]
+        spans = entry["spans"]
+        rows.append({
+            "campaign": entry["campaign"],
+            "label": entry["label"],
+            "jobs": entry["total_jobs"],
+            "spans": f"{done}/{spans}",
+            "pending": entry["pending"],
+            "leased": entry["leased"],
+            "rows": entry["row_count"],
+            "steals": entry["steals"],
+            "state": "done" if entry["complete"] else "running",
+        })
+    table = format_table(rows, ["campaign", "label", "jobs", "spans",
+                                "pending", "leased", "rows", "steals",
+                                "state"]) if rows else "no campaigns submitted"
+    workers = status.get("workers", {})
+    footer = (f"queue depth {status['queue_depth']}, "
+              f"{status['active_leases']} active lease(s) "
+              f"(oldest {status['max_lease_age_seconds']:.1f} s), "
+              f"{status['steals']} steal(s), "
+              f"{status['stale_completions']} stale completion(s); "
+              f"{status['completed_spans']} span(s) / "
+              f"{status['completed_rows']} row(s) done "
+              f"({status['spans_per_second']:.2f} spans/s, "
+              f"{status['rows_per_second']:.1f} rows/s) "
+              f"over {status['uptime_seconds']:.1f} s; "
+              f"{len(workers)} worker(s) seen")
+    if status.get("draining"):
+        footer += "; DRAINING"
+    return f"{table}\n\n{footer}"
+
+
+def format_worker_stats(worker_id: str, stats: Mapping[str, int]) -> str:
+    """One summary line for a finished :class:`~repro.explore.worker.
+    CampaignWorker` run."""
+    return (f"worker {worker_id}: {stats['completed']} span(s) completed, "
+            f"{stats['stale']} stale, {stats['leases']} lease(s), "
+            f"{stats['idle_polls']} idle poll(s)")
+
+
 def _percent(value) -> str:
     return f"{value:.0%}" if isinstance(value, (int, float)) else ""
 

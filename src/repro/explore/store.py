@@ -61,6 +61,7 @@ from repro.explore.distrib import (
     MergeError,
     load_artifact,
     plan_merge,
+    validate_shard_result,
 )
 
 #: Version of the on-disk store layout (manifest + chunk files).  Independent
@@ -575,6 +576,115 @@ def merge_artifacts_to_store(paths: Sequence, store_path,
             _append_shard_rows(store, plan.columns, rows)
             del document, rows
     return store, headers
+
+
+class IncrementalShardMerge:
+    """Streaming merge that accepts shard result documents in *completion*
+    order — the live coordinator's ingestion path.
+
+    :func:`merge_artifacts_to_store` needs the whole shard set on disk before
+    it starts; a coordinator instead receives shard documents one at a time,
+    in whatever order the worker fleet completes them.  This class keeps the
+    store's rows in canonical shard order anyway: a document whose shard
+    index is next in line is appended to the :class:`ColumnarStore`
+    immediately (and its rows dropped), out-of-order arrivals are buffered
+    until the gap before them closes.  Peak memory is therefore bounded by
+    the out-of-order window, not the campaign: with a fleet completing
+    roughly in order it stays at one shard.
+
+    Every document is validated on arrival against the plan the merge was
+    created from (:func:`repro.explore.distrib.validate_shard_result`:
+    versions, provenance, canonical span, row counts, column agreement) and
+    duplicate shard indexes are rejected — the exactly-once guarantee the
+    coordinator's lease bookkeeping relies on.  After :meth:`finalize`, the
+    closed store regenerates (:func:`write_document_json` /
+    :func:`write_document_csv`) artifacts **bitwise identical** to the
+    single-host deterministic run, exactly like the offline merge paths.
+    """
+
+    def __init__(self, store_path, *, count: int, total_jobs: int,
+                 fingerprint: str, columns: Sequence[str],
+                 schema_version: int = SCHEMA_VERSION,
+                 metadata: Optional[Mapping[str, object]] = None,
+                 chunk_rows: int = DEFAULT_CHUNK_ROWS):
+        self._count = int(count)
+        self._total_jobs = int(total_jobs)
+        self._fingerprint = str(fingerprint)
+        self._columns = tuple(columns)
+        # The header of the *complete* merged artifact: exactly the key
+        # prefix of CampaignRun.as_document(deterministic=True).
+        header: Dict[str, object] = {"schema_version": schema_version,
+                                     "columns": list(self._columns)}
+        self._store = ColumnarStore.create(
+            store_path, self._columns, schema_version=schema_version,
+            document_header=header,
+            metadata={
+                "kind": "coordinated-campaign",
+                "fingerprint": self._fingerprint,
+                "shard_count": self._count,
+                "total_jobs": self._total_jobs,
+                **dict(metadata or {}),
+            },
+            chunk_rows=chunk_rows)
+        self._next = 0
+        self._buffered: Dict[int, List[Mapping[str, object]]] = {}
+        self._merged: set = set()
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def merged_count(self) -> int:
+        """Shards accepted so far (appended or buffered)."""
+        return len(self._merged)
+
+    @property
+    def buffered_count(self) -> int:
+        """Accepted shards still waiting for an earlier gap to close."""
+        return len(self._buffered)
+
+    @property
+    def is_complete(self) -> bool:
+        return len(self._merged) == self._count
+
+    @property
+    def missing(self) -> List[int]:
+        return [index for index in range(self._count)
+                if index not in self._merged]
+
+    # -- ingestion ----------------------------------------------------------
+    def add_shard_document(self, document: Mapping[str, object]) -> int:
+        """Validate and ingest one shard result document; returns its index.
+
+        Raises :class:`~repro.explore.distrib.MergeError` when the document
+        does not belong to this merge's plan or its shard index was already
+        ingested (double completion of the same span).
+        """
+        index = validate_shard_result(
+            document, count=self._count, total_jobs=self._total_jobs,
+            fingerprint=self._fingerprint, columns=self._columns)
+        if index in self._merged:
+            raise MergeError(f"shard {index} was already merged "
+                             f"(double completion)")
+        self._merged.add(index)
+        self._buffered[index] = list(document["rows"])
+        # Drain the in-order prefix: everything contiguous from _next flows
+        # straight into typed column chunks and is dropped from memory.
+        while self._next in self._buffered:
+            _append_shard_rows(self._store, self._columns,
+                               self._buffered.pop(self._next))
+            self._next += 1
+        return index
+
+    def finalize(self) -> ColumnarStore:
+        """Close the store once every shard arrived; returns it readable."""
+        if not self.is_complete:
+            raise MergeError(f"incomplete shard set: missing shard index(es) "
+                             f"{self.missing} of {self._count}")
+        self._store.close()
+        return self._store
 
 
 # -- streaming artifact writers ----------------------------------------------

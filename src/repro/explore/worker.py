@@ -1,0 +1,187 @@
+"""Campaign worker: the execution plane for the live coordinator.
+
+A worker is deliberately dumb: it leases a span, executes it on the
+standard :func:`~repro.explore.distrib.run_shard` path (the *same* code a
+``campaign --shard I/N`` host runs, which is what keeps coordinated
+artifacts bitwise identical to monolithic ones), posts the deterministic
+shard document back, and repeats.  All scheduling intelligence — fairness,
+stealing, merge order — lives in the coordinator.
+
+Two client flavours plug into the same loop:
+
+* :class:`~repro.explore.coordinator.CoordinatorClient` — the TCP wire
+  client; used by the ``work`` CLI subcommand.
+* :class:`InProcessClient` — direct method calls against a
+  :class:`~repro.explore.coordinator.Coordinator`; the deterministic test
+  seam (no sockets, no threads unless the test asks for them).
+
+While a span executes, an optional daemon thread heartbeats the lease so a
+*slow* worker is distinguishable from a *dead* one.  A heartbeat answered
+with ``live=False`` means the coordinator already stole the lease; the
+loop notes it and keeps going — its eventual completion is acknowledged as
+stale and merged by nobody, preserving exactly-once ingestion.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+from repro.explore.coordinator import Coordinator
+from repro.explore.distrib import CampaignShard, run_shard
+
+
+class InProcessClient:
+    """The wire-client API as direct calls on a local coordinator."""
+
+    def __init__(self, coordinator: Coordinator):
+        self._coordinator = coordinator
+
+    def request_lease(self, worker: str) -> Dict[str, object]:
+        granted = self._coordinator.request_lease(worker)
+        if granted is None:
+            if self._coordinator.draining:
+                return {"ok": True, "shutdown": True}
+            return {"ok": True, "idle": True}
+        lease, shard = granted
+        return {"ok": True, "lease": lease.as_document(),
+                "heartbeat_seconds": self._coordinator._lease_timeout / 3.0,
+                "shard": shard.as_document()}
+
+    def heartbeat(self, lease_id: int) -> bool:
+        return self._coordinator.heartbeat(lease_id)
+
+    def complete(self, lease_id: int,
+                 document: Mapping[str, object]) -> bool:
+        return self._coordinator.complete_lease(lease_id, document)
+
+    def submit(self, job_documents: Sequence[Mapping[str, object]],
+               shards: int, **kwargs) -> str:
+        return self._coordinator.submit_job_documents(
+            job_documents, shards,
+            label=kwargs.get("label"), json_path=kwargs.get("json_path"),
+            csv_path=kwargs.get("csv_path"),
+            store_path=kwargs.get("store_path"))
+
+    def campaign_progress(self, campaign_id: str) -> Dict[str, object]:
+        return self._coordinator.campaign_progress(campaign_id)
+
+    def status(self) -> Dict[str, object]:
+        return self._coordinator.status()
+
+    def shutdown(self) -> None:
+        self._coordinator.drain()
+
+
+def _default_executor(shard: CampaignShard) -> Dict[str, object]:
+    return run_shard(shard).as_document(deterministic=True)
+
+
+class CampaignWorker:
+    """Lease/execute/complete loop against a coordinator client."""
+
+    def __init__(self, client, worker_id: str,
+                 poll_interval: float = 0.5,
+                 max_idle_polls: Optional[int] = None,
+                 heartbeat_interval: Optional[float] = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 executor: Callable[[CampaignShard],
+                                    Mapping[str, object]] = _default_executor,
+                 should_run: Optional[Callable[[], bool]] = None,
+                 status_callback: Optional[Callable[[str], None]] = None):
+        self.client = client
+        self.worker_id = worker_id
+        self.poll_interval = poll_interval
+        self.max_idle_polls = max_idle_polls
+        self.heartbeat_interval = heartbeat_interval
+        self._sleep = sleep
+        self._executor = executor
+        self._should_run = should_run
+        self._status = status_callback
+        self.stats: Dict[str, int] = {
+            "leases": 0, "completed": 0, "stale": 0, "idle_polls": 0,
+        }
+
+    def _report(self, message: str) -> None:
+        if self._status is not None:
+            self._status(f"[{self.worker_id}] {message}")
+
+    def _heartbeat_loop(self, lease_id: int, interval: float,
+                        stop: threading.Event) -> None:
+        while not stop.wait(interval):
+            try:
+                if not self.client.heartbeat(lease_id):
+                    self._report(f"lease {lease_id} was stolen; "
+                                 "finishing anyway")
+                    return
+            except (OSError, ValueError):
+                # Coordinator unreachable mid-span: keep computing; the
+                # completion attempt will surface the failure.
+                return
+
+    def run_one(self) -> bool:
+        """Lease and execute one span.  False when no work was granted."""
+        response = self.client.request_lease(self.worker_id)
+        if response.get("shutdown"):
+            raise StopIteration
+        if response.get("idle"):
+            return False
+        lease = response["lease"]
+        lease_id = int(lease["lease_id"])
+        shard = CampaignShard.from_document(response["shard"])
+        self.stats["leases"] += 1
+        self._report(f"leased span {lease['campaign_id']}/"
+                     f"{lease['shard_index']} "
+                     f"({len(shard.jobs)} job(s))")
+        interval = self.heartbeat_interval
+        if interval is None:
+            interval = float(response.get("heartbeat_seconds") or 0) or None
+        stop = threading.Event()
+        beat: Optional[threading.Thread] = None
+        if interval is not None and interval > 0:
+            beat = threading.Thread(
+                target=self._heartbeat_loop, args=(lease_id, interval, stop),
+                daemon=True)
+            beat.start()
+        try:
+            document = self._executor(shard)
+        finally:
+            stop.set()
+            if beat is not None:
+                beat.join(timeout=5.0)
+        if self.client.complete(lease_id, document):
+            self.stats["completed"] += 1
+            self._report(f"completed span {lease['campaign_id']}/"
+                         f"{lease['shard_index']}")
+        else:
+            self.stats["stale"] += 1
+            self._report(f"span {lease['campaign_id']}/"
+                         f"{lease['shard_index']} already completed "
+                         "elsewhere (stale)")
+        return True
+
+    def run(self) -> Dict[str, int]:
+        """Loop until the coordinator drains, idle polls run out, or
+        ``should_run`` turns false.  Returns the stats counters."""
+        idle = 0
+        while self._should_run is None or self._should_run():
+            try:
+                worked = self.run_one()
+            except StopIteration:
+                self._report("coordinator is draining; exiting")
+                break
+            except ConnectionError:
+                self._report("coordinator unreachable; exiting")
+                break
+            if worked:
+                idle = 0
+                continue
+            idle += 1
+            self.stats["idle_polls"] += 1
+            if self.max_idle_polls is not None and idle >= self.max_idle_polls:
+                self._report("no work after "
+                             f"{idle} poll(s); exiting")
+                break
+            self._sleep(self.poll_interval)
+        return dict(self.stats)

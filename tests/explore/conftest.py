@@ -1,0 +1,72 @@
+"""Shared fakes for the explore test suite.
+
+The coordinator's liveness machinery (leases, heartbeats, stealing) is
+driven entirely by an injected clock and performs no waiting of its own, so
+the fault-injection tests replace both sides of the wire:
+
+* :class:`FakeClock` — a manually advanced monotonic clock; "a worker went
+  silent for 90 s" is one ``advance(90)`` call, deterministic and instant.
+* :class:`FlakyClient` — wraps a client and raises ``ConnectionError`` for
+  a scripted number of calls: a network partition between worker and
+  coordinator, without sockets.
+
+Real sockets are exercised separately by the protocol tests in
+``test_coordinator.py``; everything else runs through
+:class:`repro.explore.worker.InProcessClient` so arbitrary interleavings
+can be scripted without threads or sleeps.
+"""
+
+import pytest
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        assert seconds >= 0, "monotonic clocks do not run backwards"
+        self.now += seconds
+
+
+class FlakyClient:
+    """Delegate to *client*, failing the next *failures* calls.
+
+    Models a partition between one worker and the coordinator: calls raise
+    ``ConnectionError`` while the partition lasts, then heal.  The worker
+    loop treats that as "coordinator unreachable" and exits; the remaining
+    workers (and the lease-timeout steal) absorb its work.
+    """
+
+    def __init__(self, client, failures: int = 0):
+        self._client = client
+        self.failures = failures
+
+    def partition(self, calls: int) -> None:
+        self.failures = calls
+
+    def _check(self):
+        if self.failures > 0:
+            self.failures -= 1
+            raise ConnectionError("injected partition")
+
+    def request_lease(self, worker):
+        self._check()
+        return self._client.request_lease(worker)
+
+    def heartbeat(self, lease_id):
+        self._check()
+        return self._client.heartbeat(lease_id)
+
+    def complete(self, lease_id, document):
+        self._check()
+        return self._client.complete(lease_id, document)
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    return FakeClock()

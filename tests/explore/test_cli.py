@@ -335,13 +335,44 @@ class TestPartialMergeCli:
                           "--gaps", str(gaps_path),
                           "--json", str(merged_path)])
         captured = capsys.readouterr()
-        assert exit_code == 0
+        # rc 3 (EXIT_REPLANNABLE_GAPS): the merge succeeded but spans are
+        # missing — after the artifact and re-plan worklist were written.
+        assert exit_code == 3
         assert "missing shard 1/3" in captured.err
         assert "PARTIAL" in captured.out
         replan = json.loads(gaps_path.read_text())
         assert [span["index"] for span in replan["missing"]] == [1]
         merged = json.loads(merged_path.read_text())
         assert merged["partial"]["present"] == [0, 2]
+
+    def test_replannable_gaps_exit_distinct_from_validation_error(
+            self, capsys, tmp_path):
+        # Regression for the latent issue: automation previously had to
+        # parse stderr to tell "merged but gapped, re-plan and rerun" (now
+        # rc 3) from "the shard set is invalid" (rc 2) — and rc 3 must not
+        # leak onto complete merges (rc 0).
+        paths = self.shard_paths(tmp_path, capsys)
+        assert main(["merge", "--partial", *map(str, paths)]) == 0
+        assert main(["merge", "--partial", str(paths[0]),
+                     str(paths[2])]) == 3
+        assert main(["merge", "--partial", str(paths[0]),
+                     str(tmp_path / "nonexistent.json")]) == 2
+        tampered = tmp_path / "tampered.json"
+        document = json.loads(paths[0].read_text())
+        document["shard"]["fingerprint"] = "0" * 64
+        tampered.write_text(json.dumps(document))
+        assert main(["merge", "--partial", str(tampered),
+                     str(paths[2])]) == 2
+        capsys.readouterr()
+
+    def test_partial_store_merge_also_exits_replannable(self, capsys,
+                                                        tmp_path):
+        paths = self.shard_paths(tmp_path, capsys)
+        exit_code = main(["merge", "--partial", str(paths[1]),
+                          "--store", str(tmp_path / "gapped.store")])
+        captured = capsys.readouterr()
+        assert exit_code == 3
+        assert "missing shard 0/3" in captured.err
 
     def test_partial_merge_of_complete_set_is_bitwise_identical(self, capsys,
                                                                 tmp_path):
@@ -361,6 +392,37 @@ class TestPartialMergeCli:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "missing shard index" in captured.err
+
+
+class TestCoordinatorCli:
+    def test_connect_argument_rejects_malformed_addresses(self):
+        parser = build_parser()
+        for bad in ("localhost", "1.2.3.4:", ":80", "host:notaport",
+                    "host:0"):
+            with pytest.raises(SystemExit):
+                parser.parse_args(["work", "--connect", bad])
+
+    def test_submit_rejects_incompatible_modes_before_connecting(self,
+                                                                 capsys):
+        # Validation fires before any socket is opened, so a dead address
+        # is fine here; each incompatible flag is an operational error (2).
+        base = ["submit", "--connect", "127.0.0.1:1"]
+        for extra in (["--race"], ["--surrogate"], ["--timing"],
+                      ["--workers", "2"], ["--shutdown-after"]):
+            exit_code = main(base + extra)
+            captured = capsys.readouterr()
+            assert exit_code == 2, extra
+            assert captured.err.startswith("error:")
+
+    def test_worker_exits_cleanly_when_coordinator_is_unreachable(
+            self, capsys):
+        # Port 1 refuses connections: the worker loop treats that as the
+        # coordinator going away and reports its (empty) stats.
+        exit_code = main(["work", "--connect", "127.0.0.1:1", "--id", "w0"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "unreachable" in captured.err
+        assert "worker w0: 0 span(s) completed" in captured.out
 
 
 class TestAdaptiveShardCli:
