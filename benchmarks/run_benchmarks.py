@@ -22,7 +22,10 @@ Measures the performance-critical layers of the stack:
 * ``coordinator`` -- live-coordination overhead: lease/complete operation
                   throughput of the span queue, steal-path scan cost, and
                   out-of-order streamed-merge rows/second (with the bitwise
-                  identity of the regenerated artifact asserted).
+                  identity of the regenerated artifact asserted),
+* ``metrics``  -- observability overhead: instrumented (structured log +
+                  live /metrics exporter) vs bare coordinator drain, with
+                  the within-5% invariant, plus exporter scrape latency.
 
 Each benchmark writes ``BENCH_<name>.json`` with the measured numbers under a
 run label (``--label``).  Passing ``--baseline-dir`` merges previously
@@ -1123,6 +1126,165 @@ def bench_coordinator(scale: float) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# metrics / observability
+# ---------------------------------------------------------------------------
+
+def bench_metrics(scale: float) -> dict:
+    """Observability overhead: what the metrics registry, structured log and
+    live ``/metrics`` exporter cost the coordinator hot path.
+
+    Three head-to-head drains of the same synthetic campaign (identical
+    workload constants to ``bench_coordinator``, so the ops/second numbers
+    line up), interleaved per repeat so host drift hits all three equally:
+
+    * *bare* — a default :class:`Coordinator` (the registry is always on;
+      this is the shipping configuration),
+    * *exporter* — the same drain with a live :class:`MetricsServer`
+      thread attached and answering scrapes,
+    * *instrumented* — exporter plus a :class:`StructuredLog` writing
+      (and flushing, for live tailing) every lease/complete event to disk.
+
+    ``overhead_within_5_percent`` is the acceptance invariant: enabling
+    the exporter must keep the drain within 5% of the bare drain (plus a
+    5 ms absolute floor so quick-mode walls of a few ms cannot flap the
+    boolean).  The structured log's per-event fsync discipline costs a few
+    percent more; that is reported (``log_overhead_percent``) and bounded
+    only by the ordinary throughput tolerance.  A final measurement times
+    exporter scrapes against the fully-populated registry
+    (``scrapes_per_second``, payload size).
+    """
+    import tempfile
+    import urllib.request
+    from pathlib import Path as _Path
+
+    from repro.explore.campaign import CampaignJob, CampaignOutcome, CampaignRun
+    from repro.explore.coordinator import Coordinator
+    from repro.explore.distrib import ShardRun, plan_shards
+    from repro.explore.metrics import MetricsServer, StructuredLog
+    from repro.explore.scenarios import ScenarioSpec
+
+    jobs = []
+    for index in range(max(96, int(2400 * scale))):
+        spec = ScenarioSpec(name=f"s{index:05d}", core_count=1 + index % 3,
+                            patterns_per_core=16 + index % 7, seed=index + 1)
+        jobs.append(CampaignJob(spec=spec, schedule="sequential"))
+    spans = max(12, int(240 * scale))
+
+    def outcome(job, salt):
+        return CampaignOutcome(
+            spec=job.spec, schedule=job.schedule, phase_count=1, task_count=2,
+            estimated_cycles=1000 + salt, test_length_cycles=5000 + salt,
+            peak_tam_utilization=0.5, avg_tam_utilization=0.25,
+            peak_power=2.0, avg_power=1.0, simulated_activations=100 + salt,
+        )
+
+    documents = {}
+    for shard in plan_shards(jobs, spans):
+        run = CampaignRun(outcomes=[outcome(job, shard.start + i)
+                                    for i, job in enumerate(shard.jobs)])
+        documents[shard.index] = json.loads(json.dumps(
+            ShardRun(shard, run).as_document()))
+
+    tmp = _Path(tempfile.mkdtemp(prefix="bench_metrics_"))
+    repeats = 5  # the 5% boolean needs tighter best-of than the default 3
+
+    def drain(log_path=None, with_server=False):
+        clock = _ManualClock()
+        log = StructuredLog(log_path, clock=clock) if log_path else None
+        coordinator = Coordinator(lease_timeout=300.0, clock=clock, log=log)
+        server = None
+        if with_server:
+            server = MetricsServer(coordinator.metrics)
+            server.start()
+        coordinator.submit_jobs(jobs, spans)
+        start = time.perf_counter()
+        drained = 0
+        while True:
+            granted = coordinator.request_lease("bench")
+            if granted is None:
+                break
+            lease, shard = granted
+            coordinator.complete_lease(lease.lease_id,
+                                       documents[shard.index])
+            drained += 1
+        wall = time.perf_counter() - start
+        spans_total = coordinator.metrics.value(
+            "coordinator_spans_completed_total")
+        if server is not None:
+            server.stop()
+        coordinator.close()
+        if log is not None:
+            log.close()
+        if drained != spans or int(spans_total) != spans:
+            raise AssertionError("metrics drain completed the wrong number "
+                                 "of spans")
+        return wall
+
+    # Interleaved repeats: one bare / exporter / instrumented drain per
+    # round, best-of over rounds, so slow-host drift cannot masquerade as
+    # observability overhead.
+    bare_wall = exporter_wall = instr_wall = float("inf")
+    for round_index in range(repeats):
+        bare_wall = min(bare_wall, drain())
+        exporter_wall = min(exporter_wall, drain(with_server=True))
+        instr_wall = min(instr_wall, drain(
+            log_path=tmp / f"drain{round_index}.log", with_server=True))
+    log_events = sum(1 for _ in open(tmp / "drain0.log"))
+
+    # -- scrape latency against the populated post-drain registry
+    clock = _ManualClock()
+    coordinator = Coordinator(lease_timeout=300.0, clock=clock)
+    coordinator.submit_jobs(jobs, spans)
+    while True:
+        granted = coordinator.request_lease("bench")
+        if granted is None:
+            break
+        lease, shard = granted
+        coordinator.complete_lease(lease.lease_id, documents[shard.index])
+    server = MetricsServer(coordinator.metrics)
+    server.start()
+    url = f"http://127.0.0.1:{server.port}/metrics"
+    scrapes = max(10, int(50 * scale))
+
+    def run_scrapes():
+        start = time.perf_counter()
+        payload = b""
+        for _ in range(scrapes):
+            payload = urllib.request.urlopen(url, timeout=10).read()
+        return time.perf_counter() - start, payload
+
+    scrape_wall, payload = _best_of(REPEATS, run_scrapes)
+    server.stop()
+    coordinator.close()
+    if b"coordinator_spans_completed_total" not in payload:
+        raise AssertionError("scrape payload is missing the span counter")
+
+    within = exporter_wall <= bare_wall / 0.95 + 0.005
+    return {
+        "workload": {
+            "jobs": len(jobs), "spans": spans, "scrapes": scrapes,
+            "repeats_best_of": repeats,
+        },
+        "bare_wall_seconds": round(bare_wall, 6),
+        "bare_ops_per_second": round(2 * spans / bare_wall, 1),
+        "exporter_wall_seconds": round(exporter_wall, 6),
+        "exporter_ops_per_second": round(2 * spans / exporter_wall, 1),
+        "exporter_overhead_percent": round(
+            (exporter_wall / bare_wall - 1.0) * 100, 2),
+        "overhead_within_5_percent": within,
+        "instrumented_wall_seconds": round(instr_wall, 6),
+        "instrumented_ops_per_second": round(2 * spans / instr_wall, 1),
+        "log_overhead_percent": round(
+            (instr_wall / bare_wall - 1.0) * 100, 2),
+        "log_events": log_events,
+        "scrape_wall_seconds": round(scrape_wall, 6),
+        "scrapes_per_second": round(scrapes / scrape_wall, 1),
+        "scrape_payload_bytes": len(payload),
+        "counters_match_drain": True,
+    }
+
+
+# ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
 
@@ -1136,6 +1298,7 @@ BENCHMARKS = {
     "store": bench_store,
     "surrogate": bench_surrogate,
     "coordinator": bench_coordinator,
+    "metrics": bench_metrics,
 }
 
 #: Headline metric of each benchmark (used for the speedup summary).
@@ -1149,6 +1312,7 @@ HEADLINE = {
     "store": "store_merge_rows_per_second",
     "surrogate": "batch_candidates_per_second",
     "coordinator": "lease_ops_per_second",
+    "metrics": "instrumented_ops_per_second",
 }
 
 

@@ -211,22 +211,37 @@ def outcome_from_row(row: Mapping[str, object],
 #: cache tests).  Bounded FIFO so huge grids cannot exhaust worker memory.
 _SCENARIO_CACHE: Dict[ScenarioSpec, Scenario] = {}
 _SCENARIO_CACHE_MAX = 256
+_SCENARIO_CACHE_HITS = 0
+_SCENARIO_CACHE_MISSES = 0
 
 
 def cached_scenario(spec: ScenarioSpec) -> Scenario:
     """`build_scenario` with per-process memoization (worker fast path)."""
+    global _SCENARIO_CACHE_HITS, _SCENARIO_CACHE_MISSES
     scenario = _SCENARIO_CACHE.get(spec)
     if scenario is None:
+        _SCENARIO_CACHE_MISSES += 1
         scenario = build_scenario(spec)
         if len(_SCENARIO_CACHE) >= _SCENARIO_CACHE_MAX:
             _SCENARIO_CACHE.pop(next(iter(_SCENARIO_CACHE)))
         _SCENARIO_CACHE[spec] = scenario
+    else:
+        _SCENARIO_CACHE_HITS += 1
     return scenario
+
+
+def scenario_cache_stats() -> Dict[str, int]:
+    """Hit/miss counts since process start (scraped by the metrics plane)."""
+    return {"hits": _SCENARIO_CACHE_HITS, "misses": _SCENARIO_CACHE_MISSES,
+            "size": len(_SCENARIO_CACHE)}
 
 
 def clear_scenario_cache() -> None:
     """Drop the per-process scenario memo (test isolation hook)."""
+    global _SCENARIO_CACHE_HITS, _SCENARIO_CACHE_MISSES
     _SCENARIO_CACHE.clear()
+    _SCENARIO_CACHE_HITS = 0
+    _SCENARIO_CACHE_MISSES = 0
 
 
 def execute_job(job: CampaignJob) -> CampaignOutcome:

@@ -14,6 +14,7 @@ Usage::
     python -m repro.explore serve             # live campaign coordinator
     python -m repro.explore work              # attach a worker process
     python -m repro.explore submit            # queue a campaign on a coordinator
+    python -m repro.explore status            # inspect a running coordinator
 
 ``campaign`` and ``adaptive`` write the versioned CSV/JSON artifacts
 (``--csv`` / ``--json``) described in :mod:`repro.explore.campaign`
@@ -52,7 +53,13 @@ on the standard shard path and streams the results back; ``submit`` queues
 a campaign (the same axes flags as ``campaign``) and can wait for the
 merged artifacts — which are bitwise-identical to a single-host
 ``campaign`` run of the same grid, even across worker death and work
-stealing.
+stealing.  ``status`` renders a running coordinator's status document; an
+unreachable coordinator is an operational failure (one ``error:`` line,
+exit 2), not a traceback.  Observability: ``serve --metrics-port`` exposes
+a Prometheus ``/metrics`` endpoint backed by the same registry as the
+status document, and ``--log-file`` (on ``serve`` and ``work``) appends
+structured JSONL run events (:mod:`repro.explore.metrics`; see
+docs/observability.md).
 
 Exit status: 0 on success, 2 when the requested work fails (a job fails, an
 artifact is invalid or unreadable, a merge is rejected) — operational
@@ -67,6 +74,7 @@ complete one (0).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -97,6 +105,7 @@ from repro.explore.distrib import (
     write_merged_json,
 )
 from repro.explore.experiments import run_table1
+from repro.explore.metrics import MetricsServer, StructuredLog
 from repro.explore.report import (
     format_adaptive,
     format_campaign,
@@ -370,19 +379,32 @@ def _run_adaptive(args) -> None:
 
 
 def _run_serve(args) -> None:
+    log = StructuredLog(args.log_file) if args.log_file else None
     coordinator = Coordinator(
         lease_timeout=args.lease_timeout,
-        on_event=lambda message: print(message, file=sys.stderr, flush=True))
+        on_event=lambda message: print(message, file=sys.stderr, flush=True),
+        log=log)
     server = CoordinatorServer(coordinator, (args.host, args.port))
+    metrics_server = None
     # The chosen port is the line automation waits for (--port 0 binds an
     # ephemeral port); flush so a pipe reader sees it before serve blocks.
     print(f"coordinator listening on {args.host}:{server.port}", flush=True)
+    if args.metrics_port is not None:
+        metrics_server = MetricsServer(coordinator.metrics,
+                                       (args.host, args.metrics_port))
+        metrics_server.start()
+        print(f"metrics listening on {args.host}:{metrics_server.port}",
+              flush=True)
     try:
         server.serve_forever(poll_interval=0.1)
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         coordinator.drain()
     finally:
         server.server_close()
+        if metrics_server is not None:
+            metrics_server.stop()
+        if log is not None:
+            log.close()
     print(format_coordinator_status(coordinator.status()))
     coordinator.close()
 
@@ -403,14 +425,41 @@ def _connect_value(text: str):
 def _run_work(args) -> None:
     host, port = args.connect
     client = CoordinatorClient(host, port)
+    log = StructuredLog(args.log_file) if args.log_file else None
     worker = CampaignWorker(
         client, args.id or f"worker-{os.getpid()}",
         poll_interval=args.poll,
         max_idle_polls=args.max_idle_polls,
         status_callback=lambda message: print(message, file=sys.stderr,
-                                              flush=True))
-    stats = worker.run()
+                                              flush=True),
+        log=log)
+    try:
+        stats = worker.run()
+    finally:
+        if log is not None:
+            log.close()
     print(format_worker_stats(worker.worker_id, stats))
+
+
+def _run_status(args) -> None:
+    host, port = args.connect
+    client = CoordinatorClient(host, port, timeout=args.timeout)
+    try:
+        status = client.status()
+    except OSError as error:
+        # ConnectionRefusedError etc. carry no address; re-raise with one so
+        # the one-line `error:` report (main's rc-2 path) says *which*
+        # coordinator is unreachable instead of a bare errno string.
+        detail = getattr(error, "strerror", None) or str(error) \
+            or type(error).__name__
+        raise ConnectionError(
+            f"coordinator at {host}:{port} is unreachable ({detail})"
+        ) from error
+    if args.json:
+        json.dump(status, sys.stdout, indent=2)
+        print()
+    else:
+        print(format_coordinator_status(status))
 
 
 def _run_submit(args) -> None:
@@ -743,6 +792,15 @@ def build_parser() -> argparse.ArgumentParser:
                        default=DEFAULT_LEASE_TIMEOUT, metavar="SECONDS",
                        help="seconds a lease may go without a heartbeat "
                             "before its span is stolen back into the queue")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="also serve a Prometheus-text-format /metrics "
+                            "endpoint on this port (0: ephemeral; the "
+                            "chosen port is printed on stdout; see "
+                            "docs/observability.md)")
+    serve.add_argument("--log-file", default=None, metavar="PATH",
+                       help="append structured JSONL run events (one per "
+                            "lease/steal/completion/merge-drain) to PATH")
     serve.set_defaults(handler=_run_serve)
 
     work = subparsers.add_parser(
@@ -762,7 +820,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="exit after N consecutive empty polls "
                            "(default: keep polling until the coordinator "
                            "shuts down)")
+    work.add_argument("--log-file", default=None, metavar="PATH",
+                      help="append structured JSONL worker events (leases, "
+                           "completions, exits) to PATH")
     work.set_defaults(handler=_run_work)
+
+    status = subparsers.add_parser(
+        "status",
+        help="fetch and render a running coordinator's status document "
+             "(the same registry the /metrics endpoint exposes)")
+    status.add_argument("--connect", type=_connect_value, required=True,
+                        metavar="HOST:PORT",
+                        help="coordinator address printed by 'serve'")
+    status.add_argument("--timeout", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="socket timeout for the status request")
+    status.add_argument("--json", action="store_true",
+                        help="print the raw versioned status document "
+                             "instead of the table")
+    status.set_defaults(handler=_run_status)
 
     submit = subparsers.add_parser(
         "submit",

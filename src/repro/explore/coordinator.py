@@ -60,12 +60,22 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.explore.campaign import SCHEMA_VERSION, CampaignJob, result_columns
+from repro.explore.campaign import (
+    SCHEMA_VERSION,
+    CampaignJob,
+    result_columns,
+    scenario_cache_stats,
+)
 from repro.explore.distrib import (
     CampaignShard,
     MergeError,
     job_from_dict,
     plan_shards,
+)
+from repro.explore.metrics import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    StructuredLog,
 )
 from repro.explore.store import (
     ColumnarStore,
@@ -74,8 +84,11 @@ from repro.explore.store import (
     write_document_json,
 )
 
-#: Version of the coordinator status document and wire protocol.
-COORDINATOR_SCHEMA_VERSION = 1
+#: Version of the coordinator status document and wire protocol.  v2 adds
+#: the registry-backed counters (leases granted, heartbeats, invalid
+#: documents) so the status document and the /metrics exposition render
+#: the same numbers.
+COORDINATOR_SCHEMA_VERSION = 2
 
 #: Default seconds a lease may go without a heartbeat before it is stolen.
 DEFAULT_LEASE_TIMEOUT = 60.0
@@ -179,7 +192,9 @@ class Coordinator:
     def __init__(self, lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
                  clock: Callable[[], float] = time.monotonic,
                  work_dir=None,
-                 on_event: Optional[Callable[[str], None]] = None):
+                 on_event: Optional[Callable[[str], None]] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 log: Optional[StructuredLog] = None):
         if lease_timeout <= 0:
             raise CoordinatorError("lease timeout must be > 0")
         self._lease_timeout = float(lease_timeout)
@@ -197,10 +212,75 @@ class Coordinator:
         self._workers: Dict[str, float] = {}
         self._draining = False
         self._started = clock()
-        self._completed_spans = 0
-        self._completed_rows = 0
-        self._steals = 0
-        self._stale_completions = 0
+        #: Optional structured JSONL run log (one event per lease / steal /
+        #: completion / merge-drain, timestamped by the injected clock).
+        self._log = log
+        #: The registry is always live — instrumentation is the status
+        #: document's single source of truth, the exporter just renders it.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        metrics = self.metrics
+        self._m_submitted = metrics.counter(
+            "coordinator_campaigns_submitted_total",
+            "Campaigns accepted into the fair-share queue.")
+        self._m_campaigns_done = metrics.counter(
+            "coordinator_campaigns_completed_total",
+            "Campaigns whose final span landed and artifacts finalized.")
+        self._m_granted = metrics.counter(
+            "coordinator_leases_granted_total",
+            "Span leases handed to workers (including re-grants).")
+        self._m_heartbeats = metrics.counter(
+            "coordinator_heartbeats_total",
+            "Heartbeat calls received (live or not).")
+        self._m_steals = metrics.counter(
+            "coordinator_leases_stolen_total",
+            "Expired leases stolen back into the queue.")
+        self._m_spans = metrics.counter(
+            "coordinator_spans_completed_total",
+            "Span completions accepted and merged exactly once.")
+        self._m_rows = metrics.counter(
+            "coordinator_rows_merged_total",
+            "Result rows accepted from completed spans (jobs finished).")
+        self._m_stale = metrics.counter(
+            "coordinator_stale_completions_total",
+            "Valid completions dropped because the span already merged.")
+        self._m_invalid = metrics.counter(
+            "coordinator_invalid_documents_total",
+            "Completions rejected by provenance/span/row validation.")
+        self._m_queue = metrics.gauge(
+            "coordinator_queue_depth",
+            "Spans waiting for a worker, per campaign.")
+        self._m_active = metrics.gauge(
+            "coordinator_active_leases",
+            "Leases currently outstanding across all campaigns.")
+        self._m_draining = metrics.gauge(
+            "coordinator_draining",
+            "1 while the coordinator refuses new leases and submissions.")
+        self._m_lease_age = metrics.histogram(
+            "coordinator_lease_age_seconds",
+            "Age of a lease when it ended (completed or stolen).",
+            LATENCY_BUCKETS)
+        self._m_span_latency = metrics.histogram(
+            "coordinator_span_latency_seconds",
+            "Grant-to-accepted-completion latency per span.",
+            LATENCY_BUCKETS)
+        metrics.gauge(
+            "coordinator_uptime_seconds",
+            "Seconds since the coordinator started (injected clock)."
+        ).set_function(lambda: max(self._now() - self._started, 0.0))
+        cache = metrics.gauge(
+            "scenario_cache_entries",
+            "Scenario cache outcomes in this process (hits/misses/size).")
+        cache.set_function(lambda: scenario_cache_stats()["hits"],
+                           outcome="hit")
+        cache.set_function(lambda: scenario_cache_stats()["misses"],
+                           outcome="miss")
+        cache.set_function(lambda: scenario_cache_stats()["size"],
+                           outcome="size")
+        self._m_draining.set(0)
+        self._m_active.set(0)
 
     # -- plumbing -----------------------------------------------------------
     def _now(self) -> float:
@@ -209,6 +289,18 @@ class Coordinator:
     def _event(self, message: str) -> None:
         if self._on_event is not None:
             self._on_event(message)
+
+    def _emit(self, event: str, **fields: object) -> None:
+        if self._log is not None:
+            self._log.emit(event, **fields)
+
+    def _refresh_gauges(self) -> None:
+        """Re-derive queue/lease gauges after any state mutation."""
+        self._m_active.set(sum(len(state.leases)
+                               for state in self._campaigns.values()))
+        for state in self._campaigns.values():
+            self._m_queue.set(len(state.pending),
+                              campaign=state.campaign_id)
 
     def _ensure_work_dir(self) -> Path:
         if self._work_dir is None:
@@ -229,7 +321,9 @@ class Coordinator:
     def drain(self) -> None:
         """Stop granting leases; outstanding completions are still accepted."""
         self._draining = True
+        self._m_draining.set(1)
         self._event("draining: no further leases will be granted")
+        self._emit("draining")
 
     @property
     def is_idle(self) -> bool:
@@ -263,14 +357,19 @@ class Coordinator:
             store_path, count=shard_count, total_jobs=shards[0].total_jobs,
             fingerprint=shards[0].fingerprint,
             columns=result_columns(deterministic=True),
-            metadata={"campaign": campaign_id})
+            metadata={"campaign": campaign_id},
+            metrics=self.metrics, log=self._log)
         state = _CampaignState(campaign_id, label or campaign_id, sequence,
                                shards, merge, self._now(), json_path,
                                csv_path)
         self._campaigns[campaign_id] = state
+        self._m_submitted.inc()
+        self._refresh_gauges()
         self._event(f"submitted {campaign_id} ({state.label}): "
                     f"{shards[0].total_jobs} job(s) in "
                     f"{shard_count} span(s)")
+        self._emit("submit", campaign=campaign_id, label=state.label,
+                   jobs=shards[0].total_jobs, spans=shard_count)
         return campaign_id
 
     def submit_job_documents(self, documents: Sequence[Mapping[str, object]],
@@ -294,11 +393,18 @@ class Coordinator:
                     del state.leases[index]
                     heapq.heappush(state.pending, index)
                     state.steals += 1
-                    self._steals += 1
                     stolen.append(lease)
+                    age = now - lease.granted_at
+                    self._m_steals.inc()
+                    self._m_lease_age.observe(age)
                     self._event(
                         f"stole span {lease.campaign_id}/{index} from "
                         f"{lease.worker} (lease {lease.lease_id} aged out)")
+                    self._emit("steal", campaign=lease.campaign_id,
+                               span=index, lease=lease.lease_id,
+                               worker=lease.worker, age=round(age, 6))
+        if stolen:
+            self._refresh_gauges()
         return stolen
 
     def _pick_campaign(self) -> Optional[_CampaignState]:
@@ -340,6 +446,10 @@ class Coordinator:
             granted_at=now, deadline=now + self._lease_timeout)
         state.leases[index] = lease
         self._leases[lease.lease_id] = lease
+        self._m_granted.inc()
+        self._refresh_gauges()
+        self._emit("lease", campaign=state.campaign_id, span=index,
+                   lease=lease.lease_id, worker=worker)
         return lease, state.shards[index]
 
     def heartbeat(self, lease_id: int) -> bool:
@@ -347,6 +457,7 @@ class Coordinator:
         live (stolen or its span already completed) — the worker's cue to
         abandon cooperatively."""
         self.tick()
+        self._m_heartbeats.inc()
         lease = self._leases.get(lease_id)
         if lease is None:
             raise CoordinatorError(f"unknown lease id {lease_id}")
@@ -375,13 +486,24 @@ class Coordinator:
         if lease is None:
             raise CoordinatorError(f"unknown lease id {lease_id}")
         state = self._campaigns[lease.campaign_id]
-        self._workers[lease.worker] = self._now()
+        now = self._now()
+        self._workers[lease.worker] = now
         if lease.shard_index in state.completed:
-            self._stale_completions += 1
+            self._m_stale.inc()
+            self._emit("stale-completion", campaign=lease.campaign_id,
+                       span=lease.shard_index, lease=lease_id,
+                       worker=lease.worker)
             return False
         # Validate against the planned shard before touching any state; a
         # bad artifact must not consume the span.
-        index = state.merge.add_shard_document(document)
+        try:
+            index = state.merge.add_shard_document(document)
+        except MergeError as error:
+            self._m_invalid.inc()
+            self._emit("invalid-document", campaign=lease.campaign_id,
+                       span=lease.shard_index, lease=lease_id,
+                       worker=lease.worker, error=str(error))
+            raise
         if index != lease.shard_index:  # pragma: no cover - defensive
             raise MergeError(
                 f"lease {lease_id} covers span {lease.shard_index} but the "
@@ -399,8 +521,15 @@ class Coordinator:
             heapq.heapify(state.pending)
         rows = int(document["row_count"])
         state.row_count += rows
-        self._completed_spans += 1
-        self._completed_rows += rows
+        latency = now - lease.granted_at
+        self._m_spans.inc()
+        self._m_rows.inc(rows)
+        self._m_span_latency.observe(latency)
+        self._m_lease_age.observe(latency)
+        self._refresh_gauges()
+        self._emit("complete", campaign=lease.campaign_id, span=index,
+                   lease=lease_id, worker=lease.worker, rows=rows,
+                   latency=round(latency, 6))
         if state.complete:
             self._finalize(state)
         return True
@@ -412,11 +541,15 @@ class Coordinator:
         if state.csv_path:
             write_document_csv(state.store, state.csv_path)
         state.finished_at = self._now()
+        self._m_campaigns_done.inc()
         wrote = [path for path in (state.json_path, state.csv_path) if path]
         self._event(f"completed {state.campaign_id} ({state.label}): "
                     f"{state.row_count} row(s) from {state.span_count} "
                     f"span(s), {state.steals} steal(s)"
                     + (f" -> {', '.join(wrote)}" if wrote else ""))
+        self._emit("campaign-complete", campaign=state.campaign_id,
+                   rows=state.row_count, spans=state.span_count,
+                   steals=state.steals)
 
     def campaign_store(self, campaign_id: str) -> ColumnarStore:
         """The finalized store of a completed campaign."""
@@ -437,13 +570,20 @@ class Coordinator:
         return self._state(campaign_id).progress()
 
     def status(self) -> Dict[str, object]:
-        """The structured operational status document (versioned)."""
+        """The structured operational status document (versioned).
+
+        Every counter is read back from the metrics registry — the same
+        numbers a ``/metrics`` scrape renders — so the CLI status table and
+        the exporter cannot disagree.
+        """
         self.tick()
         now = self._now()
         uptime = max(now - self._started, 0.0)
         lease_ages = [now - lease.granted_at
                       for state in self._campaigns.values()
                       for lease in state.leases.values()]
+        completed_spans = int(self._m_spans.total())
+        completed_rows = int(self._m_rows.total())
         return {
             "coordinator_schema_version": COORDINATOR_SCHEMA_VERSION,
             "uptime_seconds": uptime,
@@ -457,13 +597,16 @@ class Coordinator:
                                for state in self._campaigns.values()),
             "active_leases": len(lease_ages),
             "max_lease_age_seconds": max(lease_ages, default=0.0),
-            "completed_spans": self._completed_spans,
-            "completed_rows": self._completed_rows,
-            "steals": self._steals,
-            "stale_completions": self._stale_completions,
-            "spans_per_second": (self._completed_spans / uptime
+            "leases_granted": int(self._m_granted.total()),
+            "heartbeats": int(self._m_heartbeats.total()),
+            "completed_spans": completed_spans,
+            "completed_rows": completed_rows,
+            "steals": int(self._m_steals.total()),
+            "stale_completions": int(self._m_stale.total()),
+            "invalid_documents": int(self._m_invalid.total()),
+            "spans_per_second": (completed_spans / uptime
                                  if uptime > 0 else 0.0),
-            "rows_per_second": (self._completed_rows / uptime
+            "rows_per_second": (completed_rows / uptime
                                 if uptime > 0 else 0.0),
             "campaigns": [state.progress()
                           for state in self._campaigns.values()],

@@ -1,0 +1,443 @@
+"""Dependency-free observability plane: metrics registry + structured logs.
+
+The live coordinator (ROADMAP item 1) runs as a long-lived service, and a
+service that can only be inspected through a one-shot ``status()`` call is
+a black box: you cannot plot queue depth over a night run, correlate a
+steal burst with a worker death, or prove that an hour-long campaign is
+still making progress.  This module is the observability plane ROADMAP
+item 5 asks for, in the shape the ATS-node exemplar pairs with its test
+execution plane — a Prometheus exporter plus structured run logs — with
+two hard constraints carried over from the rest of the stack:
+
+* **No dependencies.**  The registry renders the Prometheus text
+  exposition format itself (it is a line protocol, not a library), and the
+  ``/metrics`` endpoint is a stdlib :mod:`http.server`.  Nothing here
+  imports outside the standard library.
+* **Injected clocks, deterministic output.**  :class:`StructuredLog`
+  timestamps events with a caller-supplied monotonic clock, and its JSON
+  field order is fixed — so a fault-injection test driving a
+  :class:`FakeClock` replays the *byte-identical* event stream on every
+  run, and the log itself becomes an assertable artifact (the same
+  determinism contract the campaign artifacts already honour).
+
+Three instrument kinds, all label-aware and thread-safe behind one
+re-entrant lock per registry:
+
+* :class:`Counter` — monotone; ``inc()`` rejects negative deltas.
+* :class:`Gauge` — settable, or backed by a callback
+  (:meth:`Gauge.set_function`) for values best computed at scrape time.
+* :class:`Histogram` — fixed, finite bucket bounds chosen at registration
+  (lease age, span latency, merge drain size); renders cumulative
+  ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+
+The :class:`Coordinator` derives its ``status()`` counters *from* the
+registry, so the CLI status table and a scrape of ``/metrics`` can never
+disagree — one source of truth, two renderings.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, IO, List, Optional, Sequence, Tuple
+
+#: Version of the structured-log event schema (the ``v`` field).
+LOG_SCHEMA_VERSION = 1
+
+#: Content type of the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Bucket bounds (seconds) for lease ages and span latencies: sub-second
+#: spans up to a stalled multi-minute lease.
+LATENCY_BUCKETS = (0.01, 0.05, 0.25, 1.0, 5.0, 15.0, 60.0, 300.0)
+
+#: Bucket bounds (rows) for merge drain sizes: one shard's worth up to a
+#: large out-of-order backlog draining at once.
+DRAIN_ROW_BUCKETS = (1.0, 8.0, 64.0, 512.0, 4096.0, 32768.0)
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class MetricsError(ValueError):
+    """A metric registration or observation is invalid."""
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integral floats as integers, rest as repr."""
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        return {float("inf"): "+Inf", float("-inf"): "-Inf"}.get(value, "NaN")
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label_value(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    for name in labels:
+        if not _LABEL_NAME.match(name):
+            raise MetricsError(f"invalid label name {name!r}")
+    return tuple(sorted((name, str(value))
+                        for name, value in labels.items()))
+
+
+def _render_labels(key: Tuple[Tuple[str, str], ...],
+                   extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape_label_value(value)}"'
+                    for name, value in pairs)
+    return "{" + body + "}"
+
+
+class _Metric:
+    """Shared bookkeeping: name, help text, per-labelset samples."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, lock: threading.RLock):
+        if not _METRIC_NAME.match(name):
+            raise MetricsError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help_text
+        self._lock = lock
+
+    def samples(self) -> List[Tuple[Tuple[Tuple[str, str], ...], float]]:
+        raise NotImplementedError
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} {self.kind}"]
+        for key, value in self.samples():
+            lines.append(f"{self.name}{_render_labels(key)} "
+                         f"{_format_value(value)}")
+        return lines
+
+
+class Counter(_Metric):
+    """A monotonically increasing value (events since process start)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, lock: threading.RLock):
+        super().__init__(name, help_text, lock)
+        self._values: Dict[Tuple[Tuple[str, str], ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise MetricsError(
+                f"counter {self.name} cannot decrease (inc {amount})")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every labelset (convenience for status documents)."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def samples(self):
+        with self._lock:
+            return sorted(self._values.items())
+
+
+class Gauge(_Metric):
+    """A value that can go up and down, or be computed at scrape time."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, lock: threading.RLock):
+        super().__init__(name, help_text, lock)
+        self._values: Dict[Tuple[Tuple[str, str], ...], float] = {}
+        self._functions: Dict[Tuple[Tuple[str, str], ...],
+                              Callable[[], float]] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def set_function(self, function: Callable[[], float],
+                     **labels: str) -> None:
+        """Compute the gauge at scrape time (e.g. cache hit counts)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._functions[key] = function
+
+    def remove(self, **labels: str) -> None:
+        """Drop a labelset (e.g. a finished campaign's queue gauge)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._values.pop(key, None)
+            self._functions.pop(key, None)
+
+    def value(self, **labels: str) -> float:
+        key = _label_key(labels)
+        with self._lock:
+            function = self._functions.get(key)
+            if function is not None:
+                return float(function())
+            return self._values.get(key, 0.0)
+
+    def samples(self):
+        with self._lock:
+            merged = dict(self._values)
+            for key, function in self._functions.items():
+                merged[key] = float(function())
+            return sorted(merged.items())
+
+
+class Histogram(_Metric):
+    """Distribution over fixed, finite bucket bounds set at registration."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str, lock: threading.RLock,
+                 buckets: Sequence[float]):
+        super().__init__(name, help_text, lock)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise MetricsError(
+                f"histogram {name} needs strictly increasing bounds, "
+                f"got {buckets!r}")
+        self.bounds = bounds
+        # Per labelset: per-bound event counts (not cumulative), sum, count.
+        self._counts: Dict[Tuple[Tuple[str, str], ...], List[int]] = {}
+        self._sums: Dict[Tuple[Tuple[str, str], ...], float] = {}
+        self._totals: Dict[Tuple[Tuple[str, str], ...], int] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        value = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            counts = self._counts.setdefault(
+                key, [0] * (len(self.bounds) + 1))
+            slot = len(self.bounds)
+            for position, bound in enumerate(self.bounds):
+                if value <= bound:
+                    slot = position
+                    break
+            counts[slot] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: str) -> int:
+        with self._lock:
+            return self._totals.get(_label_key(labels), 0)
+
+    def sum(self, **labels: str) -> float:
+        with self._lock:
+            return self._sums.get(_label_key(labels), 0.0)
+
+    def samples(self):  # pragma: no cover - histograms render specially
+        return []
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} {self.kind}"]
+        with self._lock:
+            for key in sorted(self._counts):
+                counts = self._counts[key]
+                running = 0
+                for bound, count in zip(self.bounds, counts):
+                    running += count
+                    labels = _render_labels(
+                        key, [("le", _format_value(bound))])
+                    lines.append(f"{self.name}_bucket{labels} {running}")
+                running += counts[-1]
+                labels = _render_labels(key, [("le", "+Inf")])
+                lines.append(f"{self.name}_bucket{labels} {running}")
+                lines.append(f"{self.name}_sum{_render_labels(key)} "
+                             f"{_format_value(self._sums[key])}")
+                lines.append(f"{self.name}_count{_render_labels(key)} "
+                             f"{self._totals[key]}")
+        return lines
+
+
+class MetricsRegistry:
+    """Registration-ordered collection of instruments with one renderer.
+
+    Registration is idempotent: asking for an existing name returns the
+    existing instrument (so the coordinator and the merge it owns can share
+    one registry without coordinating creation), but re-registering a name
+    as a different kind is an error.
+    """
+
+    def __init__(self) -> None:
+        # Re-entrant: a scrape-time gauge callback may read other metrics.
+        self._lock = threading.RLock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _register(self, name: str, factory: Callable[[], _Metric],
+                  kind: type) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise MetricsError(
+                        f"metric {name} already registered as "
+                        f"{existing.kind}")
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        return self._register(
+            name, lambda: Counter(name, help_text, self._lock), Counter)
+
+    def gauge(self, name: str, help_text: str) -> Gauge:
+        return self._register(
+            name, lambda: Gauge(name, help_text, self._lock), Gauge)
+
+    def histogram(self, name: str, help_text: str,
+                  buckets: Sequence[float]) -> Histogram:
+        return self._register(
+            name, lambda: Histogram(name, help_text, self._lock, buckets),
+            Histogram)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def value(self, name: str, **labels: str) -> float:
+        """Current value of a counter or gauge (0.0 when unregistered)."""
+        metric = self.get(name)
+        if metric is None:
+            return 0.0
+        return metric.value(**labels)  # type: ignore[attr-defined]
+
+    def render(self) -> str:
+        """The Prometheus text exposition document (trailing newline)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+
+# -- structured run logs ------------------------------------------------------
+
+class StructuredLog:
+    """Append-only JSONL event log with an injected monotonic clock.
+
+    One event per line: ``{"v": 1, "ts": <clock>, "event": <kind>, ...}``.
+    Field order is fixed (insertion order, never sorted) and floats are
+    emitted by :func:`json.dumps` defaults, so two runs under the same fake
+    clock produce byte-identical files — the replayability contract the
+    fault-injection suite pins.
+
+    *sink* is a path (opened for append) or any object with ``write``.
+    Writes are flushed per event: a ``kill -9`` mid-run must not lose the
+    events that explain the death.
+    """
+
+    def __init__(self, sink, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        if hasattr(sink, "write"):
+            self._handle: IO[str] = sink
+            self._owns_handle = False
+        else:
+            self._handle = open(sink, "a", encoding="utf-8")
+            self._owns_handle = True
+
+    def emit(self, event: str, **fields: object) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "v": LOG_SCHEMA_VERSION,
+            "ts": round(float(self._clock()), 6),
+            "event": event,
+        }
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+        return record
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+
+
+def read_log(path) -> List[Dict[str, object]]:
+    """Parse a structured log back into its event dicts (test helper)."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+# -- the /metrics endpoint ----------------------------------------------------
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
+        if self.path.split("?", 1)[0] != "/metrics":
+            self.send_error(404, "only /metrics is served")
+            return
+        payload = self.server.registry.render().encode("utf-8")  # type: ignore[attr-defined]
+        self.send_response(200)
+        self.send_header("Content-Type", METRICS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Scrapes are periodic; stderr chatter would drown real events."""
+
+
+class MetricsServer(ThreadingHTTPServer):
+    """Serve a registry's text exposition on GET ``/metrics``.
+
+    Runs beside the coordinator's JSONL socket on its own port (``serve
+    --metrics-port``); scrape threads only take the registry lock, never
+    the coordinator lock, so a slow scraper cannot stall lease traffic.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, registry: MetricsRegistry,
+                 address: Tuple[str, int] = ("127.0.0.1", 0)):
+        super().__init__(address, _MetricsHandler)
+        self.registry = registry
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def start(self) -> threading.Thread:
+        """Serve on a daemon thread; pair with :meth:`stop`."""
+        thread = threading.Thread(target=self.serve_forever,
+                                  kwargs={"poll_interval": 0.1}, daemon=True)
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()

@@ -294,7 +294,9 @@ def format_coordinator_status(status: Mapping[str, object]) -> str:
     One row per submitted campaign (progress, queue position, steals)
     followed by the fleet counters (queue depth, lease ages, throughput).
     The input is the versioned document from
-    :meth:`~repro.explore.coordinator.Coordinator.status`.
+    :meth:`~repro.explore.coordinator.Coordinator.status`; because those
+    counters are read from the coordinator's metrics registry, this table
+    shows the same numbers a ``/metrics`` scrape exposes.
     """
     campaigns = status.get("campaigns", [])
     rows = []
@@ -327,6 +329,12 @@ def format_coordinator_status(status: Mapping[str, object]) -> str:
               f"{status['rows_per_second']:.1f} rows/s) "
               f"over {status['uptime_seconds']:.1f} s; "
               f"{len(workers)} worker(s) seen")
+    # v2 registry-backed counters; absent when rendering a v1 document.
+    if "leases_granted" in status:
+        footer += (f"; {status['leases_granted']} lease(s) granted, "
+                   f"{status['heartbeats']} heartbeat(s)")
+    if status.get("invalid_documents"):
+        footer += f", {status['invalid_documents']} invalid document(s)"
     if status.get("draining"):
         footer += "; DRAINING"
     return f"{table}\n\n{footer}"

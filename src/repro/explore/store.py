@@ -63,6 +63,7 @@ from repro.explore.distrib import (
     plan_merge,
     validate_shard_result,
 )
+from repro.explore.metrics import DRAIN_ROW_BUCKETS
 
 #: Version of the on-disk store layout (manifest + chunk files).  Independent
 #: of the row schema (``schema_version``) the store carries.
@@ -606,7 +607,8 @@ class IncrementalShardMerge:
                  fingerprint: str, columns: Sequence[str],
                  schema_version: int = SCHEMA_VERSION,
                  metadata: Optional[Mapping[str, object]] = None,
-                 chunk_rows: int = DEFAULT_CHUNK_ROWS):
+                 chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                 metrics=None, log=None):
         self._count = int(count)
         self._total_jobs = int(total_jobs)
         self._fingerprint = str(fingerprint)
@@ -629,6 +631,23 @@ class IncrementalShardMerge:
         self._next = 0
         self._buffered: Dict[int, List[Mapping[str, object]]] = {}
         self._merged: set = set()
+        # Optional observability plane (repro.explore.metrics): a shared
+        # MetricsRegistry and/or StructuredLog; the campaign label keeps
+        # multi-campaign coordinators apart on one registry.
+        self._campaign = str(dict(metadata or {}).get("campaign", ""))
+        self._log = log
+        if metrics is not None:
+            self._m_rows = metrics.counter(
+                "merge_rows_appended_total",
+                "Rows drained from the in-order prefix into the store.")
+            self._m_drains = metrics.histogram(
+                "merge_drain_rows",
+                "Rows appended per in-order drain pass.", DRAIN_ROW_BUCKETS)
+            self._m_buffered = metrics.gauge(
+                "merge_buffered_shards",
+                "Accepted shards waiting for an earlier gap to close.")
+        else:
+            self._m_rows = self._m_drains = self._m_buffered = None
 
     # -- introspection ------------------------------------------------------
     @property
@@ -672,10 +691,24 @@ class IncrementalShardMerge:
         self._buffered[index] = list(document["rows"])
         # Drain the in-order prefix: everything contiguous from _next flows
         # straight into typed column chunks and is dropped from memory.
+        drained_rows = 0
+        drained_shards = 0
         while self._next in self._buffered:
-            _append_shard_rows(self._store, self._columns,
-                               self._buffered.pop(self._next))
+            rows = self._buffered.pop(self._next)
+            _append_shard_rows(self._store, self._columns, rows)
+            drained_rows += len(rows)
+            drained_shards += 1
             self._next += 1
+        if self._m_rows is not None:
+            if drained_shards:
+                self._m_rows.inc(drained_rows)
+                self._m_drains.observe(drained_rows)
+            self._m_buffered.set(len(self._buffered))
+        if self._log is not None:
+            self._log.emit("merge-drain", campaign=self._campaign,
+                           shard=index, drained_shards=drained_shards,
+                           drained_rows=drained_rows,
+                           buffered=len(self._buffered))
         return index
 
     def finalize(self) -> ColumnarStore:

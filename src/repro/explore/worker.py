@@ -30,6 +30,11 @@ from typing import Callable, Dict, Mapping, Optional, Sequence
 
 from repro.explore.coordinator import Coordinator
 from repro.explore.distrib import CampaignShard, run_shard
+from repro.explore.metrics import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    StructuredLog,
+)
 
 
 class InProcessClient:
@@ -89,7 +94,10 @@ class CampaignWorker:
                  executor: Callable[[CampaignShard],
                                     Mapping[str, object]] = _default_executor,
                  should_run: Optional[Callable[[], bool]] = None,
-                 status_callback: Optional[Callable[[str], None]] = None):
+                 status_callback: Optional[Callable[[str], None]] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 log: Optional[StructuredLog] = None,
+                 clock: Callable[[], float] = time.monotonic):
         self.client = client
         self.worker_id = worker_id
         self.poll_interval = poll_interval
@@ -99,9 +107,26 @@ class CampaignWorker:
         self._executor = executor
         self._should_run = should_run
         self._status = status_callback
+        self._log = log
+        self._clock = clock
         self.stats: Dict[str, int] = {
             "leases": 0, "completed": 0, "stale": 0, "idle_polls": 0,
         }
+        # Worker-side observability: its own registry (the coordinator's
+        # lives in another process), dominated by the heartbeat RTT
+        # histogram — the one latency only the worker can measure.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_rtt = self.metrics.histogram(
+            "worker_heartbeat_rtt_seconds",
+            "Round-trip time of heartbeat calls to the coordinator.",
+            LATENCY_BUCKETS)
+        self._m_spans = self.metrics.counter(
+            "worker_spans_total",
+            "Spans executed, by acceptance outcome.")
+
+    def _emit(self, event: str, **fields: object) -> None:
+        if self._log is not None:
+            self._log.emit(event, worker=self.worker_id, **fields)
 
     def _report(self, message: str) -> None:
         if self._status is not None:
@@ -111,7 +136,10 @@ class CampaignWorker:
                         stop: threading.Event) -> None:
         while not stop.wait(interval):
             try:
-                if not self.client.heartbeat(lease_id):
+                sent = self._clock()
+                live = self.client.heartbeat(lease_id)
+                self._m_rtt.observe(self._clock() - sent)
+                if not live:
                     self._report(f"lease {lease_id} was stolen; "
                                  "finishing anyway")
                     return
@@ -134,6 +162,9 @@ class CampaignWorker:
         self._report(f"leased span {lease['campaign_id']}/"
                      f"{lease['shard_index']} "
                      f"({len(shard.jobs)} job(s))")
+        self._emit("worker-lease", campaign=lease["campaign_id"],
+                   span=lease["shard_index"], lease=lease_id,
+                   jobs=len(shard.jobs))
         interval = self.heartbeat_interval
         if interval is None:
             interval = float(response.get("heartbeat_seconds") or 0) or None
@@ -152,13 +183,21 @@ class CampaignWorker:
                 beat.join(timeout=5.0)
         if self.client.complete(lease_id, document):
             self.stats["completed"] += 1
+            self._m_spans.inc(outcome="accepted")
             self._report(f"completed span {lease['campaign_id']}/"
                          f"{lease['shard_index']}")
+            self._emit("worker-complete", campaign=lease["campaign_id"],
+                       span=lease["shard_index"], lease=lease_id,
+                       accepted=True)
         else:
             self.stats["stale"] += 1
+            self._m_spans.inc(outcome="stale")
             self._report(f"span {lease['campaign_id']}/"
                          f"{lease['shard_index']} already completed "
                          "elsewhere (stale)")
+            self._emit("worker-complete", campaign=lease["campaign_id"],
+                       span=lease["shard_index"], lease=lease_id,
+                       accepted=False)
         return True
 
     def run(self) -> Dict[str, int]:
@@ -170,9 +209,11 @@ class CampaignWorker:
                 worked = self.run_one()
             except StopIteration:
                 self._report("coordinator is draining; exiting")
+                self._emit("worker-exit", reason="draining")
                 break
             except ConnectionError:
                 self._report("coordinator unreachable; exiting")
+                self._emit("worker-exit", reason="unreachable")
                 break
             if worked:
                 idle = 0
@@ -182,6 +223,7 @@ class CampaignWorker:
             if self.max_idle_polls is not None and idle >= self.max_idle_polls:
                 self._report("no work after "
                              f"{idle} poll(s); exiting")
+                self._emit("worker-exit", reason="idle")
                 break
             self._sleep(self.poll_interval)
         return dict(self.stats)

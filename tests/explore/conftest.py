@@ -16,7 +16,54 @@ Real sockets are exercised separately by the protocol tests in
 can be scripted without threads or sleeps.
 """
 
+import re
+
 import pytest
+
+#: One Prometheus text-format sample line: name, optional {labels}, value.
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>[+-]?(?:Inf|NaN|[0-9.eE+-]+))$")
+_LABEL = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def parse_prometheus_text(payload: str):
+    """Validate a text-exposition payload line by line; return the samples.
+
+    Every non-comment line must be a well-formed sample; HELP/TYPE comments
+    must precede their metric's samples.  Returns ``{(name, labels): value}``
+    with labels as a sorted tuple of (key, value) pairs — the shape the
+    monotone-counter assertions diff between scrapes.
+    """
+    samples = {}
+    typed = set()
+    for line in payload.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            assert parts[1] in ("HELP", "TYPE"), f"bad comment: {line!r}"
+            if parts[1] == "TYPE":
+                typed.add(parts[2])
+            continue
+        match = _SAMPLE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in typed or base in typed, \
+            f"sample {name!r} before its # TYPE line"
+        labels = []
+        if match.group("labels"):
+            for pair in match.group("labels").split(","):
+                label = _LABEL.match(pair)
+                assert label, f"malformed label in line: {line!r}"
+                labels.append((label.group(1), label.group(2)))
+        value = match.group("value")
+        samples[(name, tuple(sorted(labels)))] = float(
+            value.replace("Inf", "inf").replace("NaN", "nan"))
+    assert payload.endswith("\n"), "exposition must end with a newline"
+    return samples
 
 
 class FakeClock:

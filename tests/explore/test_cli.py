@@ -402,6 +402,28 @@ class TestCoordinatorCli:
             with pytest.raises(SystemExit):
                 parser.parse_args(["work", "--connect", bad])
 
+    def test_observability_arguments(self, tmp_path):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--metrics-port", "0",
+                                  "--log-file", str(tmp_path / "s.log")])
+        assert args.metrics_port == 0
+        assert args.log_file == str(tmp_path / "s.log")
+        assert parser.parse_args(["serve"]).metrics_port is None
+        args = parser.parse_args(["work", "--connect", "127.0.0.1:4000",
+                                  "--log-file", str(tmp_path / "w.log")])
+        assert args.log_file == str(tmp_path / "w.log")
+
+    def test_status_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["status", "--connect", "127.0.0.1:4000",
+                                  "--timeout", "2.5", "--json"])
+        assert args.connect == ("127.0.0.1", 4000)
+        assert args.timeout == 2.5
+        assert args.json
+        assert callable(args.handler)
+        with pytest.raises(SystemExit):
+            parser.parse_args(["status"])  # --connect is required
+
     def test_submit_rejects_incompatible_modes_before_connecting(self,
                                                                  capsys):
         # Validation fires before any socket is opened, so a dead address
@@ -423,6 +445,48 @@ class TestCoordinatorCli:
         assert exit_code == 0
         assert "unreachable" in captured.err
         assert "worker w0: 0 span(s) completed" in captured.out
+
+    def test_status_of_unreachable_coordinator_is_an_operational_error(
+            self, capsys):
+        # Unlike `work` (a refused connection means "drained, go home"),
+        # `status` exists to answer a question — failing to connect is a
+        # failure: rc 2, one error line naming the address, no traceback.
+        exit_code = main(["status", "--connect", "127.0.0.1:1"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.out == ""
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("error:")
+        assert "127.0.0.1:1" in lines[0]
+        assert "unreachable" in lines[0]
+        assert "Traceback" not in captured.err
+
+    def test_status_round_trip_against_a_live_coordinator(self, capsys):
+        import threading
+
+        from repro.explore.coordinator import Coordinator, CoordinatorServer
+
+        coordinator = Coordinator()
+        server = CoordinatorServer(coordinator)
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        try:
+            address = f"127.0.0.1:{server.port}"
+            assert main(["status", "--connect", address]) == 0
+            rendered = capsys.readouterr().out
+            assert "campaigns" in rendered
+            assert main(["status", "--connect", address, "--json"]) == 0
+            document = json.loads(capsys.readouterr().out)
+            assert document["campaigns"] == []
+            assert document["leases_granted"] == 0
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+            coordinator.close()
 
 
 class TestAdaptiveShardCli:

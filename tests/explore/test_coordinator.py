@@ -33,6 +33,7 @@ once per worker-count.
 
 import json
 import threading
+import urllib.request
 
 import pytest
 from hypothesis import given, settings
@@ -52,11 +53,21 @@ from repro.explore.coordinator import (
     CoordinatorServer,
 )
 from repro.explore.distrib import MergeError, ShardRun, job_to_dict, plan_shards
+from repro.explore.metrics import (
+    MetricsRegistry,
+    MetricsServer,
+    StructuredLog,
+    read_log,
+)
 from repro.explore.report import format_coordinator_status
 from repro.explore.scenarios import ScenarioSpec
 from repro.explore.store import IncrementalShardMerge, write_document_json
 from repro.explore.worker import CampaignWorker, InProcessClient
-from tests.explore.conftest import FakeClock, FlakyClient
+from tests.explore.conftest import (
+    FakeClock,
+    FlakyClient,
+    parse_prometheus_text,
+)
 
 
 # -- pure-data campaign fixtures ---------------------------------------------
@@ -199,6 +210,38 @@ class TestIncrementalShardMerge:
             merge.add_shard_document(foreign)
         assert merge.merged_count == 0
         merge.add_shard_document(documents[0])  # the span is still open
+
+    def test_metrics_and_log_record_every_drain(self, tmp_path):
+        jobs = fake_jobs(10)
+        shards = plan_shards(jobs, 4)
+        documents = [scripted_executor(shard) for shard in shards]
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        log_path = tmp_path / "merge.log"
+        log = StructuredLog(log_path, clock=clock)
+        merge = IncrementalShardMerge(
+            tmp_path / "store", count=4, total_jobs=len(jobs),
+            fingerprint=shards[0].fingerprint,
+            columns=documents[0]["columns"],
+            metadata={"campaign": "c0001"},
+            metrics=registry, log=log)
+        merge.add_shard_document(documents[2])
+        merge.add_shard_document(documents[3])
+        assert registry.value("merge_rows_appended_total") == 0
+        assert registry.value("merge_buffered_shards") == 2
+        merge.add_shard_document(documents[0])  # drains shard 0 only
+        merge.add_shard_document(documents[1])  # drains the backlog 1..3
+        log.close()
+        assert registry.value("merge_rows_appended_total") == len(jobs)
+        assert registry.value("merge_buffered_shards") == 0
+        histogram = registry.get("merge_drain_rows")
+        assert histogram.count() == 2  # two passes actually appended rows
+        assert histogram.sum() == len(jobs)
+        events = read_log(log_path)
+        assert [event["event"] for event in events] == ["merge-drain"] * 4
+        assert [event["drained_shards"] for event in events] == [0, 0, 1, 3]
+        assert [event["buffered"] for event in events] == [1, 2, 2, 0]
+        assert all(event["campaign"] == "c0001" for event in events)
 
 
 # -- lease lifecycle against the fake clock ----------------------------------
@@ -429,6 +472,119 @@ class TestFaultInjection:
         assert_bitwise_identical(second_paths)
 
 
+# -- structured-log event streams under faults -------------------------------
+
+def _killed_worker_scenario(coordinator, clock, log, tmp_path):
+    """A worker takes a lease and dies; a survivor drains the campaign."""
+    submit_fake(coordinator, tmp_path, 10, 5)
+    coordinator.request_lease("victim")
+    clock.advance(61)
+    scripted_worker(coordinator, "survivor", log=log).run()
+
+
+def _duplicated_completion_scenario(coordinator, clock, log, tmp_path):
+    """A retry loop re-sends one completion three times."""
+    submit_fake(coordinator, tmp_path, 9, 4)
+    lease, shard = coordinator.request_lease("dup")
+    document = scripted_executor(shard)
+    assert coordinator.complete_lease(lease.lease_id, document) is True
+    for _ in range(3):
+        assert coordinator.complete_lease(lease.lease_id, document) is False
+    scripted_worker(coordinator, "rest", log=log).run()
+
+
+def _partition_scenario(coordinator, clock, log, tmp_path):
+    """A worker partitions away mid-lease; the lease ages out and a
+    survivor absorbs the work."""
+    submit_fake(coordinator, tmp_path, 10, 5)
+    flaky = FlakyClient(InProcessClient(coordinator))
+    partitioned = scripted_worker(coordinator, "partitioned", client=flaky,
+                                  max_idle_polls=10, log=log)
+    coordinator.request_lease("partitioned")
+    flaky.partition(1000)
+    partitioned.run()
+    clock.advance(61)
+    scripted_worker(coordinator, "survivor", log=log).run()
+
+
+class TestEventStreamPinning:
+    """The structured log is an assertable artifact: under a fixed clock
+    each fault scenario replays the exact same event stream, byte for byte
+    — coordinator and worker events interleaved deterministically because
+    everything runs in-process on one thread."""
+
+    def run_logged(self, scenario, base_path) -> bytes:
+        base_path.mkdir()
+        log_path = base_path / "events.log"
+        clock = FakeClock()
+        log = StructuredLog(log_path, clock=clock)
+        coordinator = Coordinator(lease_timeout=60.0, clock=clock, log=log)
+        try:
+            scenario(coordinator, clock, log, base_path)
+            assert_metrics_match_status(coordinator)
+        finally:
+            coordinator.close()
+            log.close()
+        return log_path.read_bytes()
+
+    def events(self, payload: bytes):
+        return [json.loads(line) for line in
+                payload.decode("utf-8").splitlines()]
+
+    def test_killed_worker_event_stream_is_pinned(self, tmp_path):
+        payload = self.run_logged(_killed_worker_scenario, tmp_path / "a")
+        events = self.events(payload)
+        span_cycle = ["lease", "worker-lease", "merge-drain", "complete",
+                      "worker-complete"]
+        expected = (["submit", "lease", "steal"]
+                    + span_cycle * 4
+                    + span_cycle[:4] + ["campaign-complete"]
+                    + span_cycle[4:] + ["worker-exit"])
+        assert [event["event"] for event in events] == expected
+        steal = next(e for e in events if e["event"] == "steal")
+        assert steal["worker"] == "victim" and steal["lease"] == 1
+        assert steal["age"] == 61
+        # The survivor's re-grant covers the stolen span first.
+        regrant = events[3]
+        assert regrant["event"] == "lease" and regrant["span"] == \
+            steal["span"] and regrant["worker"] == "survivor"
+        # Timestamps are monotone under the injected clock.
+        stamps = [event["ts"] for event in events]
+        assert stamps == sorted(stamps)
+        # Replayable: a second run produces the byte-identical stream.
+        assert payload == self.run_logged(_killed_worker_scenario,
+                                          tmp_path / "b")
+
+    def test_duplicated_completion_event_stream_is_pinned(self, tmp_path):
+        payload = self.run_logged(_duplicated_completion_scenario,
+                                  tmp_path / "a")
+        events = self.events(payload)
+        kinds = [event["event"] for event in events]
+        assert kinds.count("stale-completion") == 3
+        assert kinds.count("complete") == 4  # one per span, dups dropped
+        assert kinds.count("merge-drain") == 4
+        stale = [e for e in events if e["event"] == "stale-completion"]
+        assert all(e["worker"] == "dup" and e["span"] == 0 and
+                   e["lease"] == 1 for e in stale)
+        assert payload == self.run_logged(_duplicated_completion_scenario,
+                                          tmp_path / "b")
+
+    def test_partition_event_stream_is_pinned(self, tmp_path):
+        payload = self.run_logged(_partition_scenario, tmp_path / "a")
+        events = self.events(payload)
+        kinds = [event["event"] for event in events]
+        # The partitioned worker exits on first contact, before any lease
+        # of its own; its in-flight span is stolen and re-run.
+        exits = [e for e in events if e["event"] == "worker-exit"]
+        assert [e["reason"] for e in exits] == ["unreachable", "idle"]
+        assert [e["worker"] for e in exits] == ["partitioned", "survivor"]
+        assert kinds.count("steal") == 1
+        assert kinds.count("complete") == 5
+        assert kinds[-1] == "worker-exit"
+        assert payload == self.run_logged(_partition_scenario,
+                                          tmp_path / "b")
+
+
 # -- hypothesis: arbitrary interleavings -------------------------------------
 
 def assert_span_partition(coordinator) -> None:
@@ -443,6 +599,50 @@ def assert_span_partition(coordinator) -> None:
         assert pending | leased | completed == set(range(state.span_count))
 
 
+def assert_metrics_match_status(coordinator) -> None:
+    """Registry, status document and per-campaign bookkeeping agree.
+
+    The status counters are *read from* the registry, so the real content
+    of this invariant is the third leg: the independently maintained
+    per-campaign state (heaps, lease maps, row counts) must sum to the
+    event-sourced registry totals after any interleaving — the exporter
+    and the CLI can never tell different stories.
+    """
+    status = coordinator.status()
+    metrics = coordinator.metrics
+    states = list(coordinator._campaigns.values())
+    assert status["steals"] \
+        == metrics.value("coordinator_leases_stolen_total") \
+        == sum(state.steals for state in states)
+    assert status["completed_spans"] \
+        == metrics.value("coordinator_spans_completed_total") \
+        == sum(len(state.completed) for state in states)
+    assert status["completed_rows"] \
+        == metrics.value("coordinator_rows_merged_total") \
+        == sum(state.row_count for state in states)
+    assert status["stale_completions"] \
+        == metrics.value("coordinator_stale_completions_total")
+    assert status["leases_granted"] \
+        == metrics.value("coordinator_leases_granted_total")
+    assert status["heartbeats"] \
+        == metrics.value("coordinator_heartbeats_total")
+    assert status["active_leases"] \
+        == metrics.value("coordinator_active_leases") \
+        == sum(len(state.leases) for state in states)
+    for state in states:
+        assert metrics.value("coordinator_queue_depth",
+                             campaign=state.campaign_id) \
+            == len(state.pending)
+    # A lease ends exactly once, by completion or steal; the lease-age
+    # histogram must have observed every ending and nothing else.
+    assert metrics.get("coordinator_lease_age_seconds").count() \
+        == status["completed_spans"] + status["steals"]
+    assert metrics.get("coordinator_span_latency_seconds").count() \
+        == status["completed_spans"]
+    # And the registry must render as a valid exposition document.
+    parse_prometheus_text(metrics.render())
+
+
 class TestLeaseLifecycleProperties:
     @settings(max_examples=50, deadline=None)
     @given(data=st.data())
@@ -450,8 +650,9 @@ class TestLeaseLifecycleProperties:
                                                              tmp_path_factory):
         """Exactly-once coverage: under arbitrary grant/complete/expire/
         heartbeat interleavings over N workers, the span partition invariant
-        holds after every step and the final artifact is bitwise identical
-        to the monolithic run (each span's rows exactly once, in order)."""
+        and the metrics/status consistency invariant hold after every step,
+        and the final artifact is bitwise identical to the monolithic run
+        (each span's rows exactly once, in order)."""
         job_count = data.draw(st.integers(2, 10), label="jobs")
         shard_count = data.draw(st.integers(1, job_count), label="spans")
         worker_count = data.draw(st.integers(1, 4), label="workers")
@@ -485,6 +686,7 @@ class TestLeaseLifecycleProperties:
                     lease, _ = held[salt % len(held)]
                     coordinator.heartbeat(lease.lease_id)
                 assert_span_partition(coordinator)
+                assert_metrics_match_status(coordinator)
 
             # Drain: an honest worker finishes whatever the script left.
             for _ in range(10 * shard_count + 10):
@@ -498,6 +700,7 @@ class TestLeaseLifecycleProperties:
                 coordinator.complete_lease(lease.lease_id,
                                            scripted_executor(shard))
                 assert_span_partition(coordinator)
+            assert_metrics_match_status(coordinator)
             status = coordinator.status()
             assert all(entry["complete"] for entry in status["campaigns"])
             assert_bitwise_identical(paths)
@@ -662,6 +865,76 @@ class TestSocketProtocol:
         # The server survives malformed traffic and still answers.
         assert client.status()["coordinator_schema_version"] == \
             COORDINATOR_SCHEMA_VERSION
+
+    def test_metrics_endpoint_under_concurrent_scrapes(self, live_server,
+                                                       tmp_path,
+                                                       monolithic_reference):
+        """A 2-worker TCP campaign drains while scraper threads hammer
+        /metrics: every payload must parse as valid exposition format, the
+        counters must be monotone scrape over scrape, and the final scrape
+        must agree with the status document."""
+        coordinator, server = live_server
+        metrics_server = MetricsServer(coordinator.metrics)
+        metrics_server.start()
+        url = f"http://127.0.0.1:{metrics_server.port}/metrics"
+        stop = threading.Event()
+        scrapes = {"a": [], "b": []}
+        failures = []
+
+        def scraper(bucket):
+            try:
+                while not stop.is_set():
+                    payload = urllib.request.urlopen(
+                        url, timeout=10).read().decode("utf-8")
+                    assert payload, "empty exposition payload"
+                    bucket.append(parse_prometheus_text(payload))
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        client = CoordinatorClient(port=server.port)
+        json_path = tmp_path / "coord.json"
+        client.submit([job_to_dict(job)
+                       for job in monolithic_reference["jobs"]], 4,
+                      label="scraped", json_path=str(json_path))
+        workers = [
+            threading.Thread(target=CampaignWorker(
+                CoordinatorClient(port=server.port), f"scrape-w{index}",
+                poll_interval=0.01, max_idle_polls=3).run)
+            for index in range(2)
+        ]
+        scrapers = [threading.Thread(target=scraper, args=(bucket,))
+                    for bucket in scrapes.values()]
+        try:
+            for thread in scrapers + workers:
+                thread.start()
+            for thread in workers:
+                thread.join(timeout=60.0)
+        finally:
+            stop.set()
+            for thread in scrapers:
+                thread.join(timeout=30.0)
+        # One settled scrape after the campaign finished, for the finale.
+        final = parse_prometheus_text(urllib.request.urlopen(
+            url, timeout=10).read().decode("utf-8"))
+        metrics_server.stop()
+        assert not failures
+        assert all(scrapes.values()), "scrapers never completed a scrape"
+        for bucket in scrapes.values():
+            for earlier, later in zip(bucket, bucket[1:]):
+                for key, value in earlier.items():
+                    name = key[0]
+                    if name.endswith(("_total", "_bucket", "_count")):
+                        assert later.get(key, 0) >= value, \
+                            f"counter {key} went backwards"
+        status = client.status()
+        assert status["completed_spans"] == 4
+        spans_key = ("coordinator_spans_completed_total", ())
+        assert final[spans_key] == status["completed_spans"]
+        assert final[("coordinator_rows_merged_total", ())] == \
+            status["completed_rows"]
+        assert final[("coordinator_queue_depth",
+                      (("campaign", "c0001"),))] == 0
+        assert json_path.read_bytes() == monolithic_reference["json"]
 
     def test_shutdown_op_drains_and_stops_the_server(self, live_server):
         import time

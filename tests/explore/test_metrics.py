@@ -1,0 +1,269 @@
+"""Unit tests for the observability plane (:mod:`repro.explore.metrics`).
+
+The registry's rendering is pinned against a line-by-line text-exposition
+parser (``tests.explore.conftest.parse_prometheus_text``) rather than a
+handful of substring checks: every non-comment line must parse as a
+sample, every sample must follow its ``# TYPE`` comment, and histogram
+buckets must be cumulative — the properties a real Prometheus scraper
+relies on.  The structured log's byte-stability contract (same fake clock
+=> same bytes) is asserted here in isolation; the fault-injection suite in
+``test_coordinator.py`` asserts it for whole coordinator runs.
+"""
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.explore.metrics import (
+    LATENCY_BUCKETS,
+    LOG_SCHEMA_VERSION,
+    METRICS_CONTENT_TYPE,
+    MetricsError,
+    MetricsRegistry,
+    MetricsServer,
+    StructuredLog,
+    read_log,
+)
+from tests.explore.conftest import FakeClock, parse_prometheus_text
+
+
+class TestCounter:
+    def test_counts_and_reads_back(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "Operations.")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+        assert counter.total() == 3.5
+
+    def test_labelsets_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "Operations.")
+        counter.inc(outcome="hit")
+        counter.inc(3, outcome="miss")
+        assert counter.value(outcome="hit") == 1
+        assert counter.value(outcome="miss") == 3
+        assert counter.value(outcome="other") == 0
+        assert counter.total() == 4
+
+    def test_rejects_decrease(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "Operations.")
+        with pytest.raises(MetricsError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_rejects_invalid_names(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError, match="invalid metric name"):
+            registry.counter("bad-name", "Hyphens are not allowed.")
+        counter = registry.counter("ops_total", "Operations.")
+        with pytest.raises(MetricsError, match="invalid label name"):
+            counter.inc(**{"0bad": "x"})
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "Queue depth.")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6
+
+    def test_callback_gauges_compute_at_read_time(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("cache", "Cache stats.")
+        backing = {"hits": 0}
+        gauge.set_function(lambda: backing["hits"], outcome="hit")
+        assert gauge.value(outcome="hit") == 0
+        backing["hits"] = 7
+        assert gauge.value(outcome="hit") == 7
+        assert registry.value("cache", outcome="hit") == 7
+
+    def test_remove_drops_a_labelset(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "Queue depth.")
+        gauge.set(3, campaign="c0001")
+        gauge.remove(campaign="c0001")
+        assert gauge.samples() == []
+
+
+class TestHistogram:
+    def test_observations_land_in_the_right_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency", "Latency.",
+                                       buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count() == 5
+        assert histogram.sum() == pytest.approx(56.05)
+        samples = parse_prometheus_text(registry.render())
+        bucket = lambda le: samples[("latency_bucket", (("le", le),))]
+        assert bucket("0.1") == 1
+        assert bucket("1") == 3       # cumulative: 0.05, 0.5, 0.5
+        assert bucket("10") == 4
+        assert bucket("+Inf") == 5
+        assert samples[("latency_count", ())] == 5
+
+    def test_boundary_value_is_inclusive(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency", "Latency.", buckets=(1.0,))
+        histogram.observe(1.0)
+        samples = parse_prometheus_text(registry.render())
+        assert samples[("latency_bucket", (("le", "1"),))] == 1
+
+    def test_rejects_unsorted_bounds(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError, match="strictly increasing"):
+            registry.histogram("latency", "Latency.", buckets=(1.0, 1.0))
+        with pytest.raises(MetricsError, match="strictly increasing"):
+            registry.histogram("latency2", "Latency.", buckets=())
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("ops_total", "Operations.")
+        second = registry.counter("ops_total", "Operations.")
+        assert first is second
+
+    def test_kind_conflicts_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", "Operations.")
+        with pytest.raises(MetricsError, match="already registered"):
+            registry.gauge("ops_total", "Operations.")
+
+    def test_render_is_valid_exposition_format(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "Operations so far.")
+        counter.inc(3, campaign="c0001", kind="lease")
+        registry.gauge("depth", "Queue depth.").set(2.5)
+        registry.histogram("age", "Lease age.", LATENCY_BUCKETS).observe(0.2)
+        payload = registry.render()
+        samples = parse_prometheus_text(payload)
+        key = ("ops_total", (("campaign", "c0001"), ("kind", "lease")))
+        assert samples[key] == 3
+        assert samples[("depth", ())] == 2.5
+        # Registration order is preserved so dashboards diff cleanly.
+        names = [line.split()[2] for line in payload.splitlines()
+                 if line.startswith("# TYPE")]
+        assert names == ["ops_total", "depth", "age"]
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", "Operations.").inc(
+            label='quote " slash \\ newline \n')
+        payload = registry.render()
+        assert ('ops_total{label="quote \\" slash \\\\ newline \\n"} 1'
+                in payload)
+        parse_prometheus_text(payload)
+
+    def test_unregistered_value_reads_zero(self):
+        assert MetricsRegistry().value("missing_total") == 0.0
+
+
+class TestStructuredLog:
+    def test_events_carry_schema_version_and_clock(self):
+        clock = FakeClock(5.0)
+        sink = io.StringIO()
+        log = StructuredLog(sink, clock=clock)
+        log.emit("lease", campaign="c0001", span=0)
+        clock.advance(1.5)
+        log.emit("complete", campaign="c0001", span=0)
+        events = [json.loads(line) for line in
+                  sink.getvalue().splitlines()]
+        assert events[0] == {"v": LOG_SCHEMA_VERSION, "ts": 5.0,
+                             "event": "lease", "campaign": "c0001",
+                             "span": 0}
+        assert events[1]["ts"] == 6.5
+
+    def test_same_clock_means_identical_bytes(self):
+        def run() -> bytes:
+            clock = FakeClock()
+            sink = io.StringIO()
+            log = StructuredLog(sink, clock=clock)
+            for span in range(3):
+                log.emit("lease", span=span, worker="w1")
+                clock.advance(0.25)
+                log.emit("complete", span=span, worker="w1", rows=4)
+            return sink.getvalue().encode("utf-8")
+
+        assert run() == run()
+
+    def test_file_sink_round_trips(self, tmp_path):
+        path = tmp_path / "run.log"
+        log = StructuredLog(path, clock=FakeClock(1.0))
+        log.emit("submit", campaign="c0001")
+        log.close()
+        events = read_log(path)
+        assert [event["event"] for event in events] == ["submit"]
+        # Append mode: a second serve run extends the same file.
+        log = StructuredLog(path, clock=FakeClock(2.0))
+        log.emit("draining")
+        log.close()
+        assert [event["event"] for event in read_log(path)] == \
+            ["submit", "draining"]
+
+
+class TestMetricsServer:
+    def test_serves_the_registry_on_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", "Operations.").inc(9)
+        server = MetricsServer(registry)
+        server.start()
+        try:
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{server.port}/metrics",
+                    timeout=10) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == \
+                    METRICS_CONTENT_TYPE
+                payload = response.read().decode("utf-8")
+        finally:
+            server.stop()
+        assert parse_prometheus_text(payload)[("ops_total", ())] == 9
+
+    def test_other_paths_are_404(self):
+        server = MetricsServer(MetricsRegistry())
+        server.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{server.port}/", timeout=10)
+            assert excinfo.value.code == 404
+        finally:
+            server.stop()
+
+    def test_concurrent_scrapes_see_consistent_snapshots(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "Operations.")
+        server = MetricsServer(registry)
+        server.start()
+        url = f"http://127.0.0.1:{server.port}/metrics"
+        failures = []
+
+        def scrape():
+            try:
+                for _ in range(10):
+                    payload = urllib.request.urlopen(
+                        url, timeout=10).read().decode("utf-8")
+                    parse_prometheus_text(payload)
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        threads = [threading.Thread(target=scrape) for _ in range(4)]
+        try:
+            for thread in threads:
+                thread.start()
+            for _ in range(500):
+                counter.inc()
+            for thread in threads:
+                thread.join(timeout=30)
+        finally:
+            server.stop()
+        assert not failures
+        assert counter.value() == 500
