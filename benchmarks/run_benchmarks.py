@@ -50,11 +50,13 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
 
 from repro.kernel import NS, SimTime, Simulator, Timeout  # noqa: E402
 from repro.kernel.tracing import TransactionRecord, TransactionTracer  # noqa: E402
@@ -972,16 +974,26 @@ def bench_coordinator(scale: float) -> dict:
       comes back),
     * *stream* — rows/second through :class:`IncrementalShardMerge` fed in
       scrambled completion order, with the regenerated JSON compared
-      byte-for-byte against the dict-path artifact (``bitwise_identical``).
+      byte-for-byte against the dict-path artifact (``bitwise_identical``),
+    * *wire* — the same drain and a bulk-ingest campaign over real localhost
+      sockets with the client in a subprocess (a real worker process), once
+      per protocol: v1 (connection per op, JSON row payloads) against v2
+      (one framed session, ``prefetch`` span batching, pipelined completion
+      flights, binary columnar payloads for bulk spans), with both
+      protocols' campaign artifacts compared byte-for-byte against the
+      dict-path merge (``wire.bitwise_identical``).
     """
     import tempfile
+    import threading
     from pathlib import Path as _Path
 
     from repro.explore.campaign import (
         SCHEMA_VERSION as CAMPAIGN_SCHEMA_VERSION,
         CampaignJob, CampaignOutcome, CampaignRun, result_columns,
     )
-    from repro.explore.coordinator import Coordinator
+    from repro.explore.coordinator import (
+        Coordinator, CoordinatorServer,
+    )
     from repro.explore.distrib import (
         DISTRIB_SCHEMA_VERSION, ShardRun, merge_shard_documents, plan_shards,
         shard_span, write_merged_json,
@@ -1106,11 +1118,209 @@ def bench_coordinator(scale: float) -> dict:
         raise AssertionError("streamed-merge JSON diverged from the "
                              "dict-path artifact")
 
+    # -- wire: the same coordination work over real localhost sockets ------
+    wire_prefetch = 16
+
+    def serve(coordinator):
+        server = CoordinatorServer(coordinator)
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"poll_interval": 0.05}, daemon=True)
+        thread.start()
+        return server, thread
+
+    def stop(server, thread):
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+    # The wire clients run as real subprocesses: an in-process client would
+    # share the GIL with the coordinator's serving thread and serialize the
+    # very overlap (client encoding span n+1 while the server ingests span
+    # n) that the pipelined v2 session exists to exploit.  The child times
+    # itself and reports the walls on stdout.
+    wire_client_script = r"""
+import json, sys, time
+protocol, port, docs_path, prefetch, mode = (
+    sys.argv[1], int(sys.argv[2]), sys.argv[3], int(sys.argv[4]), sys.argv[5])
+from repro.explore.coordinator import CoordinatorClient, CoordinatorSession
+with open(docs_path, "r", encoding="utf-8") as handle:
+    documents = {int(key): value for key, value in json.load(handle).items()}
+drained = 0
+completion = 0.0
+if protocol == "v2" and mode == "drain":
+    # Fully pipelined drain: each flight carries the current batch's
+    # completions plus the next lease request, so grant latency is hidden
+    # behind completion processing.
+    client = CoordinatorSession(port=port)
+    start = time.perf_counter()
+    pending = client.request_leases("bench", prefetch).get("leases") or []
+    while pending:
+        requests = [{"op": "complete",
+                     "lease_id": int(entry["lease"]["lease_id"]),
+                     "document": documents[entry["shard"]["shard"]["index"]]}
+                    for entry in pending]
+        requests.append({"op": "lease", "worker": "bench",
+                         "count": prefetch})
+        responses = client.call_many(requests)
+        drained += sum(1 for response in responses[:-1]
+                       if response.get("accepted"))
+        pending = responses[-1].get("leases") or []
+    wall = time.perf_counter() - start
+    completion = wall
+    client.close()
+elif protocol == "v2":
+    client = CoordinatorSession(port=port)
+    start = time.perf_counter()
+    while True:
+        leases = client.request_leases("bench", prefetch).get("leases") or []
+        if not leases:
+            break
+        pairs = [(int(entry["lease"]["lease_id"]),
+                  documents[entry["shard"]["shard"]["index"]])
+                 for entry in leases]
+        began = time.perf_counter()
+        drained += sum(client.complete_many(pairs))
+        completion += time.perf_counter() - began
+    wall = time.perf_counter() - start
+    client.close()
+else:
+    client = CoordinatorClient(port=port)
+    start = time.perf_counter()
+    while True:
+        response = client.request_lease("bench")
+        if "lease" not in response:
+            break
+        index = response["shard"]["shard"]["index"]
+        began = time.perf_counter()
+        if client.complete(int(response["lease"]["lease_id"]),
+                           documents[index]):
+            drained += 1
+        completion += time.perf_counter() - began
+    wall = time.perf_counter() - start
+print(json.dumps({"wall": wall, "completion_wall": completion,
+                  "drained": drained}))
+"""
+
+    def run_wire_client(protocol, port, docs_path, mode):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(ROOT / "src")] +
+            ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        proc = subprocess.run(
+            [sys.executable, "-c", wire_client_script, protocol, str(port),
+             str(docs_path), str(wire_prefetch), mode],
+            capture_output=True, text=True, env=env, timeout=600)
+        if proc.returncode != 0:
+            raise AssertionError(f"wire client ({protocol}) failed:\n"
+                                 f"{proc.stderr}")
+        return json.loads(proc.stdout)
+
+    drain_docs_path = tmp / "wire_drain_documents.json"
+    with open(drain_docs_path, "w", encoding="utf-8") as handle:
+        json.dump({str(index): document
+                   for index, document in documents.items()}, handle)
+
+    def run_wire_drain(protocol):
+        """Grant + complete every span over the socket from a subprocess
+        worker; v2 batches leases and pipelines completions, v1 opens a
+        connection per op."""
+        coordinator = Coordinator(lease_timeout=300.0, clock=_ManualClock())
+        coordinator.submit_jobs(jobs, spans,
+                                store_path=str(tmp / f"drain-{protocol}"
+                                               / "campaign.store"))
+        server, thread = serve(coordinator)
+        try:
+            report = run_wire_client(protocol, server.port,
+                                      drain_docs_path, "drain")
+        finally:
+            stop(server, thread)
+            coordinator.close()
+        if report["drained"] != spans:
+            raise AssertionError(f"wire drain ({protocol}) completed "
+                                 f"{report['drained']} of {spans} span(s)")
+        return report["wall"], report["drained"]
+
+    wire_walls = {
+        protocol: _best_of(REPEATS,
+                           lambda protocol=protocol:
+                           run_wire_drain(protocol))[0]
+        for protocol in ("v1", "v2")
+    }
+
+    # Bulk ingest: few spans, many rows — the completion-payload path.
+    ingest_jobs = []
+    for index in range(total):
+        spec = ScenarioSpec(name=f"i{index:06d}", core_count=1 + index % 3,
+                            patterns_per_core=16 + index % 7, seed=index + 1)
+        ingest_jobs.append(CampaignJob(spec=spec, schedule="sequential"))
+    ingest_documents = []
+    for shard in plan_shards(ingest_jobs, stream_shards):
+        ingest_documents.append({
+            "schema_version": CAMPAIGN_SCHEMA_VERSION,
+            "distrib_schema_version": DISTRIB_SCHEMA_VERSION,
+            "shard": shard.provenance(),
+            "columns": columns,
+            "row_count": shard.stop - shard.start,
+            "rows": _synthetic_rows(shard.start, shard.stop),
+        })
+
+    ingest_docs_path = tmp / "wire_ingest_documents.json"
+    with open(ingest_docs_path, "w", encoding="utf-8") as handle:
+        json.dump({str(index): document
+                   for index, document in enumerate(ingest_documents)},
+                  handle)
+
+    def run_wire_ingest(protocol):
+        """Ship ``total`` rows through ``stream_shards`` completions over
+        the socket from a subprocess worker.  The v1 client embeds the rows
+        in a JSON request line; the v2 session pipelines binary columnar
+        blocks (encode cost deliberately inside the timed loop — workers
+        pay it too).  The reported wall covers only the completion calls —
+        the lease-grant path has its own measurement above — and the JSON
+        artifact is written from the finalized store after the clock stops,
+        mirroring the in-process *stream* measurement."""
+        coordinator = Coordinator(lease_timeout=300.0, clock=_ManualClock())
+        work_dir = tmp / f"ingest-{protocol}"
+        json_path = work_dir / "campaign.json"
+        campaign = coordinator.submit_jobs(
+            ingest_jobs, stream_shards,
+            store_path=str(work_dir / "campaign.store"))
+        server, thread = serve(coordinator)
+        try:
+            report = run_wire_client(protocol, server.port,
+                                      ingest_docs_path, "ingest")
+            write_document_json(coordinator.campaign_store(campaign),
+                                json_path)
+        finally:
+            stop(server, thread)
+            coordinator.close()
+        if report["drained"] != stream_shards:
+            raise AssertionError(f"wire ingest ({protocol}) completed "
+                                 f"{report['drained']} of {stream_shards} "
+                                 f"span(s)")
+        return report["completion_wall"], json_path
+
+    ingest_walls = {}
+    ingest_artifacts = {}
+    for protocol in ("v1", "v2"):
+        ingest_walls[protocol], ingest_artifacts[protocol] = _best_of(
+            REPEATS, lambda protocol=protocol: run_wire_ingest(protocol))
+
+    write_merged_json(merge_shard_documents(ingest_documents),
+                      tmp / "ingest_dict.json")
+    reference = (tmp / "ingest_dict.json").read_bytes()
+    wire_bitwise = all(ingest_artifacts[protocol].read_bytes() == reference
+                       for protocol in ("v1", "v2"))
+    if not wire_bitwise:
+        raise AssertionError("wire-ingested campaign JSON diverged from the "
+                             "dict-path artifact")
+
     return {
         "workload": {
             "jobs": len(jobs), "spans": spans,
             "steal_rounds": steal_rounds,
             "stream_rows": total, "stream_shards": stream_shards,
+            "wire_prefetch": wire_prefetch,
             "repeats_best_of": REPEATS,
         },
         "drain_wall_seconds": round(drain_wall, 6),
@@ -1122,6 +1332,16 @@ def bench_coordinator(scale: float) -> dict:
         "stream_wall_seconds": round(stream_wall, 6),
         "stream_rows_per_second": round(total / stream_wall, 1),
         "bitwise_identical": bitwise,
+        "wire": {
+            "v1_lease_ops_per_second": round(2 * spans / wire_walls["v1"], 1),
+            "lease_ops_per_second": round(2 * spans / wire_walls["v2"], 1),
+            "lease_speedup": round(wire_walls["v1"] / wire_walls["v2"], 2),
+            "v1_ingest_rows_per_second": round(total / ingest_walls["v1"], 1),
+            "ingest_rows_per_second": round(total / ingest_walls["v2"], 1),
+            "ingest_speedup": round(ingest_walls["v1"]
+                                    / ingest_walls["v2"], 2),
+            "bitwise_identical": wire_bitwise,
+        },
     }
 
 

@@ -92,6 +92,7 @@ from repro.explore.coordinator import (
     DEFAULT_LEASE_TIMEOUT,
     Coordinator,
     CoordinatorClient,
+    CoordinatorSession,
     CoordinatorServer,
 )
 from repro.explore.distrib import (
@@ -424,18 +425,27 @@ def _connect_value(text: str):
 
 def _run_work(args) -> None:
     host, port = args.connect
-    client = CoordinatorClient(host, port)
+    if args.protocol == "v1":
+        client = CoordinatorClient(host, port)
+    else:
+        client = CoordinatorSession(host, port)
     log = StructuredLog(args.log_file) if args.log_file else None
     worker = CampaignWorker(
         client, args.id or f"worker-{os.getpid()}",
         poll_interval=args.poll,
         max_idle_polls=args.max_idle_polls,
+        prefetch=args.prefetch,
+        reconnect_tries=args.reconnect_tries,
+        reconnect_backoff=args.reconnect_backoff,
         status_callback=lambda message: print(message, file=sys.stderr,
                                               flush=True),
         log=log)
     try:
         stats = worker.run()
     finally:
+        close = getattr(client, "close", None)
+        if close is not None:
+            close()
         if log is not None:
             log.close()
     print(format_worker_stats(worker.worker_id, stats))
@@ -823,6 +833,23 @@ def build_parser() -> argparse.ArgumentParser:
     work.add_argument("--log-file", default=None, metavar="PATH",
                       help="append structured JSONL worker events (leases, "
                            "completions, exits) to PATH")
+    work.add_argument("--protocol", choices=("v1", "v2"), default="v2",
+                      help="wire protocol: v2 pipelines framed ops over one "
+                           "persistent socket with binary columnar "
+                           "completions; v1 is the legacy connection-per-op "
+                           "JSONL client (default: v2)")
+    work.add_argument("--prefetch", type=int, default=1, metavar="N",
+                      help="lease up to N spans per round trip and coalesce "
+                           "their heartbeats into one frame (default: 1)")
+    work.add_argument("--reconnect-tries", type=int, default=3, metavar="N",
+                      help="retry a lost coordinator connection up to N "
+                           "times with exponential backoff before "
+                           "abandoning leases and exiting (0 disables; "
+                           "default: 3)")
+    work.add_argument("--reconnect-backoff", type=float, default=0.5,
+                      metavar="SECONDS",
+                      help="initial backoff before the first reconnect "
+                           "attempt; doubles per retry (default: 0.5)")
     work.set_defaults(handler=_run_work)
 
     status = subparsers.add_parser(

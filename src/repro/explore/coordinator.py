@@ -18,11 +18,18 @@ gap by hand.  This module is the missing control plane, ROADMAP item 1:
   regenerated from the store — **bitwise identical** to a single-host
   ``campaign`` run of the same grid, the invariant the fault-injection
   differential tests pin down.
-* :class:`CoordinatorServer` / :class:`CoordinatorClient` — a localhost
-  TCP transport for the state machine: one JSON object per line, one
-  request/response per connection (so heartbeat threads never share a
-  socket with the work loop).  The worker side lives in
-  :mod:`repro.explore.worker`.
+* :class:`CoordinatorServer` / :class:`CoordinatorSession` — a localhost
+  TCP transport for the state machine, protocol v2: persistent
+  length-prefixed framed sessions (one socket per worker for its whole
+  lifetime), batched ops (multi-span lease prefetch, one coalesced
+  heartbeat frame for every held lease) and *binary columnar completion
+  payloads* (:func:`~repro.explore.store.encode_shard_block`), so a
+  completed span streams from worker to :class:`~repro.explore.store.
+  ColumnarStore` without ever round-tripping through per-row dicts or
+  JSON.  The v1 JSONL protocol (one request per connection,
+  :class:`CoordinatorClient`) stays served by the same port — the server
+  sniffs the first byte of each connection — so old workers keep working.
+  The worker side lives in :mod:`repro.explore.worker`.
 
 Determinism and fault injection: the coordinator takes its wall clock as a
 constructor argument (``clock=time.monotonic``), performs *no* waiting of
@@ -53,12 +60,16 @@ import json
 import shutil
 import socket
 import socketserver
+import struct
 import tempfile
 import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    BinaryIO, Callable, Dict, Iterable, List, Mapping, Optional, Sequence,
+    Tuple, Union,
+)
 
 from repro.explore.campaign import (
     SCHEMA_VERSION,
@@ -80,22 +91,126 @@ from repro.explore.metrics import (
 from repro.explore.store import (
     ColumnarStore,
     IncrementalShardMerge,
+    ShardBlock,
+    StoreError,
+    decode_shard_block,
+    encode_shard_block,
     write_document_csv,
     write_document_json,
 )
 
-#: Version of the coordinator status document and wire protocol.  v2 adds
+#: Version of the coordinator status document and wire protocol.  v2 added
 #: the registry-backed counters (leases granted, heartbeats, invalid
-#: documents) so the status document and the /metrics exposition render
-#: the same numbers.
-COORDINATOR_SCHEMA_VERSION = 2
+#: documents); v3 is the framed-session transport (persistent sessions,
+#: batched ops, binary completion payloads, ``protocol_errors`` counter).
+COORDINATOR_SCHEMA_VERSION = 3
 
 #: Default seconds a lease may go without a heartbeat before it is stolen.
 DEFAULT_LEASE_TIMEOUT = 60.0
 
+#: Preamble a protocol-v2 client sends once per connection; the server
+#: sniffs the first byte to tell a framed session (``R``) from a legacy
+#: JSONL request (``{``) on the same port.
+PROTOCOL_MAGIC = b"RXP2"
+
+#: Frame header: big-endian u32 payload length + u8 frame kind.
+FRAME_HEADER = struct.Struct(">IB")
+
+#: Frame kinds: a JSON control/op payload, or a completion carrying a
+#: binary columnar shard block after a short JSON meta prefix.
+FRAME_KIND_JSON = 0x4A
+FRAME_KIND_BLOCK = 0x43
+
+#: Upper bound on a single frame (and on a v1 request line).  Far above any
+#: legitimate op — a shard block of a million-row span is a few tens of MB —
+#: while bounding what a misbehaving client can make the server buffer.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
 
 class CoordinatorError(ValueError):
     """A submission, lease operation or protocol message is invalid."""
+
+
+class FrameError(CoordinatorError):
+    """A wire frame is malformed, truncated or oversized."""
+
+
+# -- frame codec --------------------------------------------------------------
+def encode_frame(kind: int, payload: bytes) -> bytes:
+    """One length-prefixed frame: ``u32 len | u8 kind | payload``."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(payload)} byte(s) exceeds the "
+                         f"{MAX_FRAME_BYTES}-byte limit")
+    return FRAME_HEADER.pack(len(payload), kind) + payload
+
+
+def encode_json_frame(request: Mapping[str, object]) -> bytes:
+    """A JSON op as one frame (compact separators: wire bytes, not art)."""
+    return encode_frame(FRAME_KIND_JSON,
+                        json.dumps(request, separators=(",", ":"))
+                        .encode("utf-8"))
+
+
+def encode_block_frame(meta: Mapping[str, object], block: bytes) -> bytes:
+    """A completion frame: ``u32 meta_len | meta_json | shard_block``.
+
+    The meta prefix carries the op and lease id; the block bytes are an
+    :func:`~repro.explore.store.encode_shard_block` payload passed through
+    opaquely — the server hands them to the merge without JSON-parsing a
+    single row.
+    """
+    meta_bytes = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+    return encode_frame(FRAME_KIND_BLOCK,
+                        struct.pack(">I", len(meta_bytes)) + meta_bytes
+                        + block)
+
+
+def decode_block_payload(payload: bytes) -> Tuple[Dict[str, object], bytes]:
+    """Split a completion frame payload into (meta, shard block bytes)."""
+    if len(payload) < 4:
+        raise FrameError("truncated completion frame")
+    (meta_len,) = struct.unpack_from(">I", payload, 0)
+    if len(payload) < 4 + meta_len:
+        raise FrameError(f"truncated completion meta ({len(payload)} "
+                         f"byte(s), meta needs {4 + meta_len})")
+    try:
+        meta = json.loads(payload[4:4 + meta_len].decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise FrameError(f"malformed completion meta: {error}")
+    if not isinstance(meta, dict):
+        raise FrameError("completion meta is not a JSON object")
+    return meta, payload[4 + meta_len:]
+
+
+def _read_exact(reader: BinaryIO, size: int) -> Optional[bytes]:
+    """Read exactly *size* bytes; None at clean EOF, FrameError mid-frame."""
+    data = reader.read(size)
+    if not data and size:
+        return None
+    if len(data) != size:
+        raise FrameError(f"connection closed mid-frame ({len(data)} of "
+                         f"{size} byte(s))")
+    return data
+
+
+def read_frame(reader: BinaryIO) -> Optional[Tuple[int, bytes]]:
+    """Read one frame; None at a clean end-of-stream.
+
+    Raises :class:`FrameError` for an oversized declared length or a
+    stream truncated inside a frame.
+    """
+    header = _read_exact(reader, FRAME_HEADER.size)
+    if header is None:
+        return None
+    length, kind = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {length} byte(s) exceeds the "
+                         f"{MAX_FRAME_BYTES}-byte limit")
+    payload = _read_exact(reader, length)
+    if payload is None and length:
+        raise FrameError("connection closed mid-frame (0 of "
+                         f"{length} byte(s))")
+    return kind, payload if length else b""
 
 
 @dataclass
@@ -249,6 +364,16 @@ class Coordinator:
         self._m_invalid = metrics.counter(
             "coordinator_invalid_documents_total",
             "Completions rejected by provenance/span/row validation.")
+        self._m_protocol_errors = metrics.counter(
+            "coordinator_protocol_errors_total",
+            "Malformed or oversized wire frames answered with a structured "
+            "error.")
+        self._m_worker_rtt = metrics.histogram(
+            "worker_heartbeat_rtt_seconds",
+            "Worker-observed heartbeat round-trip time, shipped in "
+            "heartbeat frames and aggregated per worker.", LATENCY_BUCKETS)
+        #: Last cumulative RTT snapshot per worker (delta-merge baseline).
+        self._worker_rtt_seen: Dict[str, Tuple[List[int], float, int]] = {}
         self._m_queue = metrics.gauge(
             "coordinator_queue_depth",
             "Spans waiting for a worker, per campaign.")
@@ -452,6 +577,23 @@ class Coordinator:
                    lease=lease.lease_id, worker=worker)
         return lease, state.shards[index]
 
+    def request_leases(self, worker: str, count: int = 1
+                       ) -> List[Tuple[SpanLease, CampaignShard]]:
+        """Grant up to *count* spans in one call (the ``--prefetch`` batch).
+
+        Stops early when the queue runs dry or the coordinator drains; the
+        grants follow the same fair-share order as *count* single requests.
+        """
+        if count < 1:
+            raise CoordinatorError("lease count must be >= 1")
+        granted: List[Tuple[SpanLease, CampaignShard]] = []
+        for _ in range(count):
+            one = self.request_lease(worker)
+            if one is None:
+                break
+            granted.append(one)
+        return granted
+
     def heartbeat(self, lease_id: int) -> bool:
         """Extend a lease's deadline; False when the lease is no longer
         live (stolen or its span already completed) — the worker's cue to
@@ -469,6 +611,72 @@ class Coordinator:
         self._workers[lease.worker] = now
         return True
 
+    def heartbeat_many(self, lease_ids: Sequence[int]) -> Dict[int, bool]:
+        """Batched heartbeat: every held lease extended from one frame.
+
+        Unlike :meth:`heartbeat`, an unknown lease id maps to ``False``
+        instead of raising — in a coalesced batch one stale id (a span
+        completed between frames) must not poison the extension of the
+        others.
+        """
+        self.tick()
+        now = self._now()
+        results: Dict[int, bool] = {}
+        for raw_id in lease_ids:
+            lease_id = int(raw_id)
+            self._m_heartbeats.inc()
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                results[lease_id] = False
+                continue
+            state = self._campaigns[lease.campaign_id]
+            if state.leases.get(lease.shard_index) is not lease:
+                results[lease_id] = False
+                continue
+            lease.deadline = now + self._lease_timeout
+            self._workers[lease.worker] = now
+            results[lease_id] = True
+        return results
+
+    def record_worker_rtt(self, worker: str,
+                          snapshot: Mapping[str, object]) -> None:
+        """Aggregate a worker-shipped heartbeat-RTT histogram snapshot.
+
+        Workers piggyback their *cumulative* local
+        ``worker_heartbeat_rtt_seconds`` state on heartbeat frames; the
+        coordinator keeps the last snapshot per worker and merges only the
+        delta into its registry (labelled by worker), so retransmits are
+        idempotent and a restarted worker — whose cumulative counts reset —
+        simply starts a fresh baseline.
+        """
+        bounds = tuple(float(bound) for bound in snapshot.get("bounds", ()))
+        if bounds != self._m_worker_rtt.bounds:
+            raise CoordinatorError(
+                f"worker {worker!r} ships RTT bucket bounds {list(bounds)}, "
+                f"expected {list(self._m_worker_rtt.bounds)}")
+        counts = [int(count) for count in snapshot.get("counts", ())]
+        total = int(snapshot.get("count", 0))
+        value_sum = float(snapshot.get("sum", 0.0))
+        previous = self._worker_rtt_seen.get(worker)
+        if previous is not None and len(previous[0]) == len(counts) and \
+                total >= previous[2] and \
+                all(now >= then for now, then in zip(counts, previous[0])):
+            deltas = [now - then
+                      for now, then in zip(counts, previous[0])]
+            delta_sum = value_sum - previous[1]
+            delta_total = total - previous[2]
+        else:
+            deltas, delta_sum, delta_total = counts, value_sum, total
+        self._worker_rtt_seen[worker] = (counts, value_sum, total)
+        if delta_total:
+            self._m_worker_rtt.merge_counts(deltas, delta_sum, delta_total,
+                                            worker=worker)
+
+    def protocol_error(self, message: str) -> None:
+        """Count one malformed/oversized wire frame (server handler hook)."""
+        self._m_protocol_errors.inc()
+        self._emit("protocol-error", error=message)
+
     def complete_lease(self, lease_id: int,
                        document: Mapping[str, object]) -> bool:
         """Ingest a completed span; returns False for stale completions.
@@ -481,6 +689,38 @@ class Coordinator:
         original worker, or a duplicate send) is acknowledged as stale and
         dropped — rows are merged exactly once.
         """
+        def ingest(state: _CampaignState) -> Tuple[int, int]:
+            return (state.merge.add_shard_document(document),
+                    int(document["row_count"]))
+        return self._complete(lease_id, ingest)
+
+    def complete_lease_block(self, lease_id: int,
+                             block: Union[ShardBlock, bytes, bytearray,
+                                          memoryview]) -> bool:
+        """:meth:`complete_lease` over a binary columnar shard payload.
+
+        The protocol-v2 completion path: *block* is an
+        :func:`~repro.explore.store.encode_shard_block` payload (or an
+        already-decoded :class:`~repro.explore.store.ShardBlock`); its
+        decoded column arrays are validated and merged without ever
+        materializing per-row dicts.  Decode failures are treated exactly
+        like invalid documents — counted, logged, raised as
+        :class:`~repro.explore.distrib.MergeError`, and the lease stays
+        live.
+        """
+        def ingest(state: _CampaignState) -> Tuple[int, int]:
+            decoded = block
+            if isinstance(decoded, (bytes, bytearray, memoryview)):
+                try:
+                    decoded = decode_shard_block(decoded)
+                except StoreError as error:
+                    raise MergeError(str(error))
+            return state.merge.add_shard_block(decoded), decoded.row_count
+        return self._complete(lease_id, ingest)
+
+    def _complete(self, lease_id: int,
+                  ingest: Callable[["_CampaignState"], Tuple[int, int]]
+                  ) -> bool:
         self.tick()
         lease = self._leases.get(lease_id)
         if lease is None:
@@ -497,7 +737,7 @@ class Coordinator:
         # Validate against the planned shard before touching any state; a
         # bad artifact must not consume the span.
         try:
-            index = state.merge.add_shard_document(document)
+            index, rows = ingest(state)
         except MergeError as error:
             self._m_invalid.inc()
             self._emit("invalid-document", campaign=lease.campaign_id,
@@ -519,7 +759,6 @@ class Coordinator:
         if index in state.pending:
             state.pending.remove(index)
             heapq.heapify(state.pending)
-        rows = int(document["row_count"])
         state.row_count += rows
         latency = now - lease.granted_at
         self._m_spans.inc()
@@ -604,6 +843,7 @@ class Coordinator:
             "steals": int(self._m_steals.total()),
             "stale_completions": int(self._m_stale.total()),
             "invalid_documents": int(self._m_invalid.total()),
+            "protocol_errors": int(self._m_protocol_errors.total()),
             "spans_per_second": (completed_spans / uptime
                                  if uptime > 0 else 0.0),
             "rows_per_second": (completed_rows / uptime
@@ -615,14 +855,36 @@ class Coordinator:
 
 # -- wire protocol -----------------------------------------------------------
 #
-# One JSON object per line, one request/response pair per connection:
+# Two protocols share the port; the server sniffs the first byte of every
+# connection.
+#
+# v1 (legacy, CoordinatorClient): first byte "{" — one JSON object per
+# line, one request/response pair per connection.
+#
+# v2 (CoordinatorSession): the connection opens with the 4-byte preamble
+# b"RXP2", then carries length-prefixed frames (u32 payload length + u8
+# kind) in both directions over one persistent socket — lease, heartbeat
+# and complete ops for a worker's whole lifetime are pipelined on a single
+# connection.  Frame kinds: 0x4A = JSON op payload, 0x43 = completion
+# (u32 meta length + meta JSON + binary columnar shard block).  Responses
+# are always JSON frames.
+#
+# Ops (both protocols; batched forms are v2 idioms but protocol-agnostic):
 #
 #   {"op": "lease", "worker": W}       -> {"ok": true, "lease": .., "shard": ..}
 #                                       | {"ok": true, "idle": true}
 #                                       | {"ok": true, "shutdown": true}
+#   {"op": "lease", "worker": W,
+#    "count": N}                       -> {"ok": true, "leases": [{lease,
+#                                          shard}, ..]} (possibly empty)
+#                                       | {"ok": true, "shutdown": true}
 #   {"op": "heartbeat", "lease_id": L} -> {"ok": true, "live": bool}
+#   {"op": "heartbeat", "lease_ids":
+#    [..], "worker": W, "rtt": {..}}   -> {"ok": true, "live": {id: bool}}
 #   {"op": "complete", "lease_id": L,
 #    "document": shard_result}         -> {"ok": true, "accepted": bool}
+#   (0x43 frame, meta {"op": "complete",
+#    "lease_id": L} + block bytes)     -> {"ok": true, "accepted": bool}
 #   {"op": "submit", "jobs": [..],
 #    "shards": N, "label"/"json"/
 #    "csv"/"store": ..}                -> {"ok": true, "campaign": id}
@@ -630,25 +892,117 @@ class Coordinator:
 #   {"op": "status"}                   -> {"ok": true, "status": {..}}
 #   {"op": "shutdown"}                 -> {"ok": true}   (server then stops)
 #
-# Failures answer {"ok": false, "error": msg}.  The per-connection model
-# keeps the server handler trivial and lets worker heartbeat threads run
-# without sharing a socket with the execution loop.
+# Failures answer {"ok": false, "error": msg} and the client raises
+# CoordinatorError.  Malformed or oversized frames/lines are answered with
+# the same structured error (never silently dropped) and counted in
+# coordinator_protocol_errors_total; only a frame whose *framing* is lost
+# (truncation, oversized length prefix) also closes the connection, since
+# the stream cannot be resynchronized.  All coordinator state changes
+# happen under one server-side lock, frame by frame.
 
 class _CoordinatorHandler(socketserver.StreamRequestHandler):
+    # Framed request/response round trips on a persistent socket stall for
+    # tens of milliseconds under Nagle + delayed-ACK; answer frames must
+    # leave immediately.
+    disable_nagle_algorithm = True
+
     def handle(self) -> None:
-        line = self.rfile.readline()
-        if not line:
+        first = self.rfile.read(1)
+        if not first:
+            return
+        if first == PROTOCOL_MAGIC[:1]:
+            rest = self.rfile.read(len(PROTOCOL_MAGIC) - 1)
+            if rest != PROTOCOL_MAGIC[1:]:
+                self._answer_line(self._protocol_error(
+                    f"unrecognized protocol preamble {(first + rest)!r}"))
+                return
+            self._handle_session()
+        elif first == b"{":
+            self._handle_v1(first)
+        else:
+            self._answer_line(self._protocol_error(
+                f"unrecognized protocol preamble {first!r}"))
+
+    # -- v1: one JSONL request per connection ------------------------------
+    def _handle_v1(self, first: bytes) -> None:
+        line = first + self.rfile.readline(MAX_FRAME_BYTES + 1)
+        if len(line) > MAX_FRAME_BYTES:
+            self._answer_line(self._protocol_error(
+                f"request line exceeds the {MAX_FRAME_BYTES}-byte limit"))
             return
         try:
             request = json.loads(line)
+        except ValueError as error:
+            self._answer_line(self._protocol_error(
+                f"malformed JSON request: {error}"))
+            return
+        try:
             response = self.server.dispatch(request)  # type: ignore[attr-defined]
         except (ValueError, KeyError, TypeError) as error:
             response = {"ok": False, "error": str(error) or repr(error)}
-        self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+        self._answer_line(response)
+
+    def _answer_line(self, response: Mapping[str, object]) -> None:
+        try:
+            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+        except OSError:  # pragma: no cover - peer vanished mid-answer
+            pass
+
+    # -- v2: persistent framed session -------------------------------------
+    def _handle_session(self) -> None:
+        while True:
+            try:
+                frame = read_frame(self.rfile)
+            except FrameError as error:
+                # Framing is lost — answer once, then close: the stream
+                # cannot be resynchronized after a bad length prefix.
+                self._answer_frame(self._protocol_error(str(error)))
+                return
+            except OSError:  # pragma: no cover - peer reset mid-read
+                return
+            if frame is None:
+                return
+            kind, payload = frame
+            try:
+                response = self._dispatch_frame(kind, payload)
+            except FrameError as error:
+                # Payload-level defect; framing is intact, session survives.
+                response = self._protocol_error(str(error))
+            except (ValueError, KeyError, TypeError) as error:
+                response = {"ok": False, "error": str(error) or repr(error)}
+            if not self._answer_frame(response):
+                return
+
+    def _dispatch_frame(self, kind: int,
+                        payload: bytes) -> Dict[str, object]:
+        server = self.server
+        if kind == FRAME_KIND_JSON:
+            try:
+                request = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as error:
+                raise FrameError(f"malformed JSON frame: {error}")
+            if not isinstance(request, dict):
+                raise FrameError("JSON frame is not an object")
+            return server.dispatch(request)  # type: ignore[attr-defined]
+        if kind == FRAME_KIND_BLOCK:
+            meta, block = decode_block_payload(payload)
+            return server.dispatch_block(meta, block)  # type: ignore[attr-defined]
+        raise FrameError(f"unknown frame kind 0x{kind:02x}")
+
+    def _answer_frame(self, response: Mapping[str, object]) -> bool:
+        try:
+            self.wfile.write(encode_json_frame(response))
+            return True
+        except OSError:  # pragma: no cover - peer vanished mid-answer
+            return False
+
+    def _protocol_error(self, message: str) -> Dict[str, object]:
+        self.server.count_protocol_error(message)  # type: ignore[attr-defined]
+        return {"ok": False, "error": message}
 
 
 class CoordinatorServer(socketserver.ThreadingTCPServer):
-    """Serve a :class:`Coordinator` over localhost TCP (JSONL protocol)."""
+    """Serve a :class:`Coordinator` over localhost TCP (v1 + v2 protocols)."""
 
     allow_reuse_address = True
     daemon_threads = True
@@ -663,11 +1017,39 @@ class CoordinatorServer(socketserver.ThreadingTCPServer):
     def port(self) -> int:
         return self.server_address[1]
 
+    def count_protocol_error(self, message: str) -> None:
+        with self._lock:
+            self.coordinator.protocol_error(message)
+
+    def dispatch_block(self, meta: Mapping[str, object],
+                       block: bytes) -> Dict[str, object]:
+        """A completion frame: lease id from the meta, rows from the block."""
+        if meta.get("op") != "complete":
+            raise FrameError(f"unexpected op {meta.get('op')!r} in a "
+                             f"completion frame")
+        with self._lock:
+            accepted = self.coordinator.complete_lease_block(
+                int(meta["lease_id"]), block)
+            return {"ok": True, "accepted": accepted}
+
     def dispatch(self, request: Mapping[str, object]) -> Dict[str, object]:
         op = request.get("op")
         with self._lock:
             coordinator = self.coordinator
             if op == "lease":
+                if "count" in request:
+                    granted = coordinator.request_leases(
+                        str(request["worker"]), int(request["count"]))
+                    if not granted and coordinator.draining:
+                        return {"ok": True, "shutdown": True}
+                    return {
+                        "ok": True,
+                        "heartbeat_seconds":
+                            coordinator._lease_timeout / 3.0,
+                        "leases": [{"lease": lease.as_document(),
+                                    "shard": shard.as_document()}
+                                   for lease, shard in granted],
+                    }
                 granted = coordinator.request_lease(str(request["worker"]))
                 if granted is None:
                     if coordinator.draining:
@@ -678,6 +1060,17 @@ class CoordinatorServer(socketserver.ThreadingTCPServer):
                         "heartbeat_seconds": coordinator._lease_timeout / 3.0,
                         "shard": shard.as_document()}
             if op == "heartbeat":
+                if "lease_ids" in request:
+                    rtt = request.get("rtt")
+                    if rtt is not None:
+                        coordinator.record_worker_rtt(
+                            str(request.get("worker", "")), rtt)
+                    live = coordinator.heartbeat_many(
+                        [int(lease_id)
+                         for lease_id in request["lease_ids"]])
+                    return {"ok": True,
+                            "live": {str(lease_id): alive
+                                     for lease_id, alive in live.items()}}
                 live = coordinator.heartbeat(int(request["lease_id"]))
                 return {"ok": True, "live": live}
             if op == "complete":
@@ -745,14 +1138,272 @@ class CoordinatorClient:
     def request_lease(self, worker: str) -> Dict[str, object]:
         return self.call({"op": "lease", "worker": worker})
 
+    def request_leases(self, worker: str, count: int) -> Dict[str, object]:
+        return self.call({"op": "lease", "worker": worker,
+                          "count": int(count)})
+
     def heartbeat(self, lease_id: int) -> bool:
         return bool(self.call({"op": "heartbeat",
                                "lease_id": lease_id})["live"])
+
+    def heartbeat_many(self, lease_ids: Sequence[int],
+                       worker: Optional[str] = None,
+                       rtt: Optional[Mapping[str, object]] = None,
+                       ) -> Dict[int, bool]:
+        request: Dict[str, object] = {"op": "heartbeat",
+                                      "lease_ids": list(lease_ids)}
+        if worker is not None:
+            request["worker"] = worker
+        if rtt is not None:
+            request["rtt"] = dict(rtt)
+        live = self.call(request)["live"]
+        return {int(lease_id): bool(alive)
+                for lease_id, alive in live.items()}
 
     def complete(self, lease_id: int,
                  document: Mapping[str, object]) -> bool:
         return bool(self.call({"op": "complete", "lease_id": lease_id,
                                "document": document})["accepted"])
+
+    # -- control plane ------------------------------------------------------
+    def submit(self, job_documents: Sequence[Mapping[str, object]],
+               shards: int, label: Optional[str] = None,
+               json_path: Optional[str] = None,
+               csv_path: Optional[str] = None,
+               store_path: Optional[str] = None) -> str:
+        return str(self.call({
+            "op": "submit", "jobs": list(job_documents), "shards": shards,
+            "label": label, "json": json_path, "csv": csv_path,
+            "store": store_path,
+        })["campaign"])
+
+    def campaign_progress(self, campaign_id: str) -> Dict[str, object]:
+        return self.call({"op": "campaign",
+                          "campaign": campaign_id})["progress"]
+
+    def status(self) -> Dict[str, object]:
+        return self.call({"op": "status"})["status"]
+
+    def shutdown(self) -> None:
+        self.call({"op": "shutdown"})
+
+
+#: Smallest span (in result rows) that a session ships as a binary shard
+#: block.  Below this the numpy codec's fixed cost exceeds the JSON rows it
+#: saves, so tiny completions ride in ordinary JSON op frames instead.
+SESSION_BLOCK_MIN_ROWS = 128
+
+
+class CoordinatorSession:
+    """Persistent protocol-v2 client: framed ops pipelined over one socket.
+
+    Opens a single connection (lazily, on first use), announces itself with
+    the ``RXP2`` preamble, and then exchanges length-prefixed frames for the
+    session's whole lifetime — no per-op connection setup.  Completions of
+    at least ``block_min_rows`` rows travel as binary columnar shard blocks;
+    smaller ones go as JSON op frames, and ``json_payloads`` forces JSON for
+    every completion (the differential-test seam).  An internal lock
+    serializes round trips, so a worker's heartbeat thread can share the
+    session with its execution loop.  Any transport fault closes the socket
+    and raises :class:`ConnectionError`; the next call transparently
+    reconnects.
+
+    API-compatible superset of :class:`CoordinatorClient` /
+    :class:`repro.explore.worker.InProcessClient`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: Optional[float] = 60.0,
+                 json_payloads: bool = False,
+                 block_min_rows: Optional[int] = None):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.json_payloads = json_payloads
+        self.block_min_rows = (SESSION_BLOCK_MIN_ROWS
+                               if block_min_rows is None
+                               else max(0, int(block_min_rows)))
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._reader: Optional[BinaryIO] = None
+
+    # -- connection lifecycle -----------------------------------------------
+    def _connect(self) -> None:
+        connection = socket.create_connection((self.host, self.port),
+                                              timeout=self.timeout)
+        try:
+            # The session is a stream of small request/response frames;
+            # Nagle would batch them against the delayed ACK and add tens
+            # of milliseconds per round trip.
+            connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            connection.sendall(PROTOCOL_MAGIC)
+        except OSError:
+            connection.close()
+            raise
+        self._sock = connection
+        self._reader = connection.makefile("rb")
+
+    def _drop(self) -> None:
+        reader, sock = self._reader, self._sock
+        self._reader = None
+        self._sock = None
+        for resource in (reader, sock):
+            if resource is not None:
+                try:
+                    resource.close()
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop()
+
+    def reconnect(self) -> None:
+        """Drop the current socket; the next call opens a fresh one."""
+        self.close()
+
+    def __enter__(self) -> "CoordinatorSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- framed round trips --------------------------------------------------
+    def _round_trip(self, frame: bytes) -> Dict[str, object]:
+        return self._exchange([frame])[0]
+
+    def _exchange(self, frames: Iterable[bytes]) -> List[Dict[str, object]]:
+        """Pipelined frame exchange: every request frame is written before
+        the first response is awaited (frames from a lazy iterable are
+        encoded just-in-time, interleaved with the sends).  The server
+        answers frames strictly in order, so with *n* requests in flight
+        the per-op cost collapses from ``client + wire + server`` to
+        whichever side is slowest.
+        """
+        answers = []
+        with self._lock:
+            try:
+                if self._sock is None:
+                    self._connect()
+                assert self._sock is not None and self._reader is not None
+                sent = 0
+                for frame in frames:
+                    self._sock.sendall(frame)
+                    sent += 1
+                for _ in range(sent):
+                    answer = read_frame(self._reader)
+                    if answer is None:
+                        raise ConnectionError(
+                            "coordinator closed the session without a "
+                            "response")
+                    answers.append(answer)
+            except FrameError as error:
+                self._drop()
+                raise ConnectionError(
+                    f"coordinator sent an unreadable frame: {error}")
+            except ConnectionError:
+                self._drop()
+                raise
+            except OSError as error:
+                self._drop()
+                raise ConnectionError(
+                    f"coordinator connection failed: {error}")
+        return [self._parse_response(answer) for answer in answers]
+
+    def _parse_response(self, answer: Tuple[int, bytes]
+                        ) -> Dict[str, object]:
+        kind, payload = answer
+        if kind != FRAME_KIND_JSON:
+            self.close()
+            raise ConnectionError(
+                f"coordinator answered with frame kind 0x{kind:02x}")
+        try:
+            response = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            self.close()
+            raise ConnectionError(
+                f"coordinator answered with malformed JSON: {error}")
+        if not isinstance(response, dict) or not response.get("ok"):
+            error_text = "request failed"
+            if isinstance(response, dict):
+                error_text = str(response.get("error", error_text))
+            raise CoordinatorError(error_text)
+        return response
+
+    def call(self, request: Mapping[str, object]) -> Dict[str, object]:
+        return self._round_trip(encode_json_frame(request))
+
+    def call_many(self, requests: Sequence[Mapping[str, object]]
+                  ) -> List[Dict[str, object]]:
+        """Pipelined JSON ops: every request is written before the first
+        response is read, responses return in request order.  Lets a caller
+        fold the *next* lease batch into the same flight as the current
+        batch's completions, hiding the grant latency entirely.
+        """
+        return self._exchange(encode_json_frame(request)
+                              for request in list(requests))
+
+    # -- worker plane -------------------------------------------------------
+    def request_lease(self, worker: str) -> Dict[str, object]:
+        return self.call({"op": "lease", "worker": worker})
+
+    def request_leases(self, worker: str, count: int) -> Dict[str, object]:
+        return self.call({"op": "lease", "worker": worker,
+                          "count": int(count)})
+
+    def heartbeat(self, lease_id: int) -> bool:
+        return bool(self.call({"op": "heartbeat",
+                               "lease_id": lease_id})["live"])
+
+    def heartbeat_many(self, lease_ids: Sequence[int],
+                       worker: Optional[str] = None,
+                       rtt: Optional[Mapping[str, object]] = None,
+                       ) -> Dict[int, bool]:
+        request: Dict[str, object] = {"op": "heartbeat",
+                                      "lease_ids": list(lease_ids)}
+        if worker is not None:
+            request["worker"] = worker
+        if rtt is not None:
+            request["rtt"] = dict(rtt)
+        live = self.call(request)["live"]
+        return {int(lease_id): bool(alive)
+                for lease_id, alive in live.items()}
+
+    def _completion_frame(self, lease_id: int,
+                          document: Mapping[str, object]) -> bytes:
+        rows = document.get("rows")
+        row_count = len(rows) if isinstance(rows, list) else 0
+        if self.json_payloads or row_count < self.block_min_rows:
+            return encode_json_frame({"op": "complete", "lease_id": lease_id,
+                                      "document": document})
+        return encode_block_frame({"op": "complete",
+                                   "lease_id": int(lease_id)},
+                                  encode_shard_block(document))
+
+    def complete(self, lease_id: int,
+                 document: Mapping[str, object]) -> bool:
+        return bool(self._round_trip(
+            self._completion_frame(lease_id, document))["accepted"])
+
+    def complete_many(self, completions: Sequence[
+            Tuple[int, Mapping[str, object]]]) -> List[bool]:
+        """Complete many leases in one pipelined flight.
+
+        All completion frames (JSON or binary, per the ``block_min_rows``
+        policy) are written back-to-back and the responses collected
+        afterwards, so the client encodes span *n+1* while the coordinator
+        is still validating and ingesting span *n*.  Returns the per-lease
+        ``accepted`` flags in input order.
+        """
+        frames = (self._completion_frame(lease_id, document)
+                  for lease_id, document in list(completions))
+        return [bool(response["accepted"])
+                for response in self._exchange(frames)]
+
+    def complete_block(self, lease_id: int, block: bytes) -> bool:
+        frame = encode_block_frame({"op": "complete",
+                                    "lease_id": int(lease_id)}, block)
+        return bool(self._round_trip(frame)["accepted"])
 
     # -- control plane ------------------------------------------------------
     def submit(self, job_documents: Sequence[Mapping[str, object]],

@@ -439,7 +439,8 @@ def plan_merge(documents: Sequence[Mapping[str, object]],
 
 def validate_shard_result(document: Mapping[str, object], *,
                           count: int, total_jobs: int, fingerprint: str,
-                          columns: Optional[Sequence[str]] = None) -> int:
+                          columns: Optional[Sequence[str]] = None,
+                          actual_rows: Optional[int] = None) -> int:
     """Validate a single shard *result* document against a known plan.
 
     The per-document half of :func:`plan_merge`, for callers that receive
@@ -452,6 +453,11 @@ def validate_shard_result(document: Mapping[str, object], *,
     Returns the shard index; raises :class:`MergeError` on any mismatch, so
     a worker returning a doctored, truncated or foreign-campaign artifact is
     rejected before any of its rows land anywhere.
+
+    ``actual_rows`` validates the *columnar* form (a decoded
+    :class:`~repro.explore.store.ShardBlock`): the caller passes the decoded
+    array length and the document is a row-less header — no per-row dicts
+    are materialized just to count them.
     """
     what = "shard result"
     if not isinstance(document, Mapping):
@@ -481,12 +487,16 @@ def validate_shard_result(document: Mapping[str, object], *,
         raise MergeError(
             f"shard {index} declares the span [{shard['start']}, "
             f"{shard['stop']}), expected [{expected_start}, {expected_stop})")
-    rows = document.get("rows")
-    if not isinstance(rows, list):
-        raise MergeError(f"{what} carries no result rows")
-    if len(rows) != expected_stop - expected_start or \
-            document.get("row_count") != len(rows):
-        raise MergeError(f"shard {index} carries {len(rows)} row(s) for the "
+    if actual_rows is None:
+        rows = document.get("rows")
+        if not isinstance(rows, list):
+            raise MergeError(f"{what} carries no result rows")
+        actual = len(rows)
+    else:
+        actual = int(actual_rows)
+    if actual != expected_stop - expected_start or \
+            document.get("row_count") != actual:
+        raise MergeError(f"shard {index} carries {actual} row(s) for the "
                          f"span [{expected_start}, {expected_stop})")
     if columns is not None and list(document.get("columns", ())) != \
             list(columns):

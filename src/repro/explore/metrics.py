@@ -250,6 +250,52 @@ class Histogram(_Metric):
         with self._lock:
             return self._sums.get(_label_key(labels), 0.0)
 
+    def snapshot(self, **labels: str) -> Dict[str, object]:
+        """The cumulative state of one labelset as a JSON-shippable dict.
+
+        The worker piggybacks this on heartbeat frames so the coordinator
+        can aggregate per-worker distributions; the receiving side folds the
+        delta between two snapshots back in with :meth:`merge_counts`.
+        """
+        key = _label_key(labels)
+        with self._lock:
+            counts = list(self._counts.get(key,
+                                           [0] * (len(self.bounds) + 1)))
+            return {"bounds": list(self.bounds), "counts": counts,
+                    "sum": self._sums.get(key, 0.0),
+                    "count": self._totals.get(key, 0)}
+
+    def merge_counts(self, counts: Sequence[int], value_sum: float,
+                     total: int, **labels: str) -> None:
+        """Fold raw per-bucket event-count deltas into one labelset.
+
+        ``counts`` has one slot per bound plus the overflow slot — the same
+        layout :meth:`snapshot` ships.  Negative deltas and shape mismatches
+        are rejected; histograms are monotone like counters.
+        """
+        deltas = [int(count) for count in counts]
+        total = int(total)
+        if len(deltas) != len(self.bounds) + 1:
+            raise MetricsError(
+                f"histogram {self.name} takes {len(self.bounds) + 1} bucket "
+                f"count(s), got {len(deltas)}")
+        if any(delta < 0 for delta in deltas) or total < 0:
+            raise MetricsError(
+                f"histogram {self.name} cannot decrease (merge of negative "
+                f"count deltas)")
+        if sum(deltas) != total:
+            raise MetricsError(
+                f"histogram {self.name} merge disagrees with itself: bucket "
+                f"counts sum to {sum(deltas)}, total says {total}")
+        key = _label_key(labels)
+        with self._lock:
+            slots = self._counts.setdefault(
+                key, [0] * (len(self.bounds) + 1))
+            for position, delta in enumerate(deltas):
+                slots[position] += delta
+            self._sums[key] = self._sums.get(key, 0.0) + float(value_sum)
+            self._totals[key] = self._totals.get(key, 0) + total
+
     def samples(self):  # pragma: no cover - histograms render specially
         return []
 

@@ -343,9 +343,12 @@ def format_coordinator_status(status: Mapping[str, object]) -> str:
 def format_worker_stats(worker_id: str, stats: Mapping[str, int]) -> str:
     """One summary line for a finished :class:`~repro.explore.worker.
     CampaignWorker` run."""
-    return (f"worker {worker_id}: {stats['completed']} span(s) completed, "
+    line = (f"worker {worker_id}: {stats['completed']} span(s) completed, "
             f"{stats['stale']} stale, {stats['leases']} lease(s), "
             f"{stats['idle_polls']} idle poll(s)")
+    if stats.get("reconnects"):
+        line += f", {stats['reconnects']} reconnect(s)"
+    return line
 
 
 def _percent(value) -> str:

@@ -44,10 +44,14 @@ The on-disk layout itself is versioned (``store_schema_version`` =
 from __future__ import annotations
 
 import csv
+import io
 import json
+import struct
+import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
-    Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple,
+    Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union,
 )
 
 import numpy as np
@@ -103,9 +107,16 @@ class StoreError(ValueError):
 
 
 def _column_array(column: str, values: Sequence[object]) -> np.ndarray:
-    """One column buffer as a typed numpy array (schema-typed dtypes)."""
+    """One column buffer as a typed numpy array (schema-typed dtypes).
+
+    Already-typed arrays (a decoded shard block's columns) pass straight
+    through — ``np.asarray`` with a matching dtype is a no-copy view, and
+    the str branch skips its per-value conversion entirely.
+    """
     kind = COLUMN_KINDS.get(column)
     if kind == "str":
+        if isinstance(values, np.ndarray) and values.dtype.kind == "U":
+            return values
         return np.asarray([str(value) for value in values], dtype=np.str_)
     if kind in _KIND_DTYPES:
         return np.asarray(values, dtype=_KIND_DTYPES[kind])
@@ -156,6 +167,10 @@ class ColumnarStore:
         self._chunk_row_counts: List[int] = list(chunk_row_counts or [])
         self._row_count = int(row_count)
         self._buffer: List[List[object]] = [[] for _ in self._columns]
+        # Typed column blocks awaiting coalescing into full-size chunks
+        # (append_columns buffers here; _drain_segments writes them out).
+        self._segments: List[Dict[str, np.ndarray]] = []
+        self._segment_rows = 0
 
     # -- lifecycle ----------------------------------------------------------
     @classmethod
@@ -236,8 +251,9 @@ class ColumnarStore:
 
     @property
     def row_count(self) -> int:
-        return self._row_count + (len(self._buffer[0]) if self._writable
-                                  else 0)
+        if not self._writable:
+            return self._row_count
+        return self._row_count + len(self._buffer[0]) + self._segment_rows
 
     @property
     def chunk_count(self) -> int:
@@ -282,9 +298,12 @@ class ColumnarStore:
     def append_columns(self, columns: Mapping[str, Sequence[object]]) -> None:
         """Append a block of whole columns (the vectorized fast path).
 
-        Flushes any buffered rows first, then writes the block directly as
-        typed chunks of at most ``chunk_rows`` rows (array slices, no
-        per-row Python objects).
+        Blocks are typed immediately but *coalesced* before hitting disk:
+        consecutive blocks accumulate until ``chunk_rows`` rows are pending,
+        then drain as full-size chunks.  Many small blocks — the streaming
+        merge appending one shard at a time, or the coordinator ingesting
+        decoded completion payloads — therefore cost one npz write per
+        ``chunk_rows`` rows instead of one per block.
         """
         self._require_writable()
         missing = [c for c in self._columns if c not in columns]
@@ -296,12 +315,48 @@ class ColumnarStore:
         length = lengths.pop()
         if length == 0:
             return
-        self.flush()
-        arrays = {c: _column_array(c, columns[c]) for c in self._columns}
-        for start in range(0, length, self._chunk_rows):
-            stop = min(start + self._chunk_rows, length)
-            self._write_chunk({c: arrays[c][start:stop]
+        self._materialize_buffer()
+        self._segments.append({c: _column_array(c, columns[c])
+                               for c in self._columns})
+        self._segment_rows += length
+        if self._segment_rows >= self._chunk_rows:
+            self._drain_segments(final=False)
+
+    def _materialize_buffer(self) -> None:
+        """Convert buffered dict-rows into a typed segment (keeps append_row
+        and append_columns interleavings in row order)."""
+        buffered = len(self._buffer[0])
+        if not buffered:
+            return
+        self._segments.append({column: _column_array(column, buffer)
+                               for column, buffer in zip(self._columns,
+                                                         self._buffer)})
+        self._segment_rows += buffered
+        self._buffer = [[] for _ in self._columns]
+
+    def _drain_segments(self, final: bool) -> None:
+        """Write pending segments as chunks; keep a sub-chunk remainder
+        buffered unless *final*."""
+        total = self._segment_rows
+        writable = total if final \
+            else (total // self._chunk_rows) * self._chunk_rows
+        if not writable:
+            return
+        if len(self._segments) == 1:
+            merged = self._segments[0]
+        else:
+            merged = {c: np.concatenate([segment[c]
+                                         for segment in self._segments])
+                      for c in self._columns}
+        self._segments, self._segment_rows = [], 0
+        for start in range(0, writable, self._chunk_rows):
+            stop = min(start + self._chunk_rows, writable)
+            self._write_chunk({c: merged[c][start:stop]
                                for c in self._columns}, stop - start)
+        if writable < total:
+            self._segments = [{c: merged[c][writable:]
+                               for c in self._columns}]
+            self._segment_rows = total - writable
 
     def _write_chunk(self, arrays: Mapping[str, np.ndarray],
                      rows: int) -> None:
@@ -314,15 +369,10 @@ class ColumnarStore:
         self._row_count += rows
 
     def flush(self) -> None:
-        """Write the buffered rows out as one typed chunk."""
+        """Write everything pending (dict rows and column blocks) as chunks."""
         self._require_writable()
-        buffered = len(self._buffer[0])
-        if not buffered:
-            return
-        arrays = {column: _column_array(column, buffer)
-                  for column, buffer in zip(self._columns, self._buffer)}
-        self._write_chunk(arrays, buffered)
-        self._buffer = [[] for _ in self._columns]
+        self._materialize_buffer()
+        self._drain_segments(final=True)
 
     def close(self) -> None:
         """Flush and write the manifest; the store then serves reads."""
@@ -579,6 +629,173 @@ def merge_artifacts_to_store(paths: Sequence, store_path,
     return store, headers
 
 
+# -- binary columnar shard payloads ------------------------------------------
+#: Magic prefix of an encoded shard block (repro shard block, layout 1).
+SHARD_BLOCK_MAGIC = b"RSB1"
+
+
+@dataclass(frozen=True)
+class ShardBlock:
+    """A decoded binary shard result: row-less header + typed column arrays.
+
+    The columnar twin of a shard result *document*: ``header`` is exactly
+    the document minus its ``rows`` list (schema/envelope versions, shard
+    provenance, column list, declared ``row_count``), ``columns`` maps each
+    declared column to a typed numpy array.  Produced by
+    :func:`decode_shard_block`; ingested by
+    :meth:`IncrementalShardMerge.add_shard_block` without ever
+    materializing per-row dicts.
+    """
+
+    header: Dict[str, object]
+    columns: Dict[str, np.ndarray] = field(repr=False)
+
+    @property
+    def row_count(self) -> int:
+        return int(self.header.get("row_count", 0))
+
+    def document(self) -> Dict[str, object]:
+        """Materialize the equivalent dict-row shard document.
+
+        The inverse of :func:`encode_shard_block` — key order matches
+        :meth:`~repro.explore.distrib.ShardRun.as_document` (``rows`` last),
+        and ``.tolist()`` restores native Python scalars, so the round trip
+        is JSON-identical to the original document.
+        """
+        names = [str(column) for column in self.header.get("columns", ())]
+        document = dict(self.header)
+        lists = [self.columns[name].tolist() for name in names]
+        document["rows"] = [dict(zip(names, values))
+                            for values in zip(*lists)]
+        return document
+
+
+def encode_shard_block(document: Mapping[str, object]) -> bytes:
+    """Encode a shard result document as a binary columnar payload.
+
+    Layout: ``b"RSB1"`` magic, a big-endian u32 header length, a u32
+    CRC-32 covering everything after itself, the row-less document header
+    as compact JSON (carrying the same schema/fingerprint/provenance block
+    the JSON artifact does), then one length-prefixed raw ``.npy`` array
+    per column in header-column order, typed through the store's schema
+    dtypes.  Raw npy framing instead of an npz archive keeps the per-block
+    fixed cost at memcpy level (no zip machinery); the explicit checksum
+    keeps bit-flip detection.  This is the protocol-v2 completion payload:
+    a worker encodes once, the coordinator decodes straight into typed
+    arrays and appends them to the :class:`ColumnarStore` — no per-row
+    dicts, no JSON row parsing.
+    """
+    if not isinstance(document, Mapping):
+        raise StoreError("shard block source is not a result document")
+    rows = document.get("rows")
+    if not isinstance(rows, list):
+        raise StoreError("shard block source carries no row list")
+    columns = document.get("columns")
+    if not isinstance(columns, (list, tuple)) or not columns:
+        raise StoreError("shard block source declares no columns")
+    header = {key: value for key, value in document.items() if key != "rows"}
+    arrays = []
+    for column in columns:
+        try:
+            values = [row[column] for row in rows]
+        except KeyError as error:
+            raise StoreError(
+                f"shard block row is missing column {error.args[0]!r}")
+        array = _column_array(str(column), values)
+        if array.dtype.kind == "U" and array.tolist() != values:
+            # Fixed-width numpy unicode drops trailing NULs on read-back;
+            # refuse the lossy encode rather than corrupt silently.  (The
+            # read-back comparison is vectorized; a Python-level scan of
+            # every string would dominate bulk encodes.)
+            raise StoreError(
+                f"column {column!r} holds NUL-terminated strings, which a "
+                f"shard block cannot store losslessly")
+        arrays.append(array)
+    header_bytes = json.dumps(header, sort_keys=False,
+                              separators=(",", ":")).encode("utf-8")
+    chunks = [header_bytes]
+    for array in arrays:
+        buffer = io.BytesIO()
+        np.lib.format.write_array(buffer, array, allow_pickle=False)
+        encoded = buffer.getvalue()
+        chunks.append(struct.pack(">I", len(encoded)))
+        chunks.append(encoded)
+    body = b"".join(chunks)
+    return b"".join((SHARD_BLOCK_MAGIC, struct.pack(">I", len(header_bytes)),
+                     struct.pack(">I", zlib.crc32(body)), body))
+
+
+def decode_shard_block(payload: Union[bytes, bytearray, memoryview]
+                       ) -> ShardBlock:
+    """Decode an :func:`encode_shard_block` payload back to a ShardBlock.
+
+    Every structural defect — wrong magic, truncated header or columns,
+    checksum mismatch, corrupt JSON, missing columns, disagreeing lengths —
+    raises :class:`StoreError` with a message naming the defect; nothing is
+    partially ingested.  Semantic validation against a merge plan
+    (fingerprint, span, schema versions) stays with
+    :func:`~repro.explore.distrib.validate_shard_result`, which reads only
+    the decoded header.
+    """
+    data = bytes(payload)
+    prefix = len(SHARD_BLOCK_MAGIC)
+    if not data.startswith(SHARD_BLOCK_MAGIC):
+        raise StoreError("not a shard block (bad magic)")
+    if len(data) < prefix + 8:
+        raise StoreError(f"truncated shard block ({len(data)} byte(s))")
+    (header_len, checksum) = struct.unpack_from(">II", data, prefix)
+    body = prefix + 8
+    if len(data) < body + header_len:
+        raise StoreError(
+            f"truncated shard block header ({len(data)} byte(s), header "
+            f"needs {body + header_len})")
+    if zlib.crc32(data[body:]) != checksum:
+        raise StoreError("corrupt shard block payload (checksum mismatch)")
+    try:
+        header = json.loads(data[body:body + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise StoreError(f"corrupt shard block header: {error}")
+    if not isinstance(header, dict):
+        raise StoreError("shard block header is not a JSON object")
+    columns = header.get("columns")
+    if not isinstance(columns, list) or not columns:
+        raise StoreError("shard block header declares no columns")
+    arrays: Dict[str, np.ndarray] = {}
+    offset = body + header_len
+    try:
+        for column in columns:
+            if len(data) < offset + 4:
+                raise StoreError(
+                    f"truncated shard block payload at column {column!r}")
+            (array_len,) = struct.unpack_from(">I", data, offset)
+            offset += 4
+            if len(data) < offset + array_len:
+                raise StoreError(
+                    f"truncated shard block payload at column {column!r}")
+            arrays[str(column)] = np.lib.format.read_array(
+                io.BytesIO(data[offset:offset + array_len]),
+                allow_pickle=False)
+            offset += array_len
+    except StoreError:
+        raise
+    except Exception as error:
+        raise StoreError(f"truncated or corrupt shard block payload: "
+                         f"{error}")
+    if offset != len(data):
+        raise StoreError(
+            f"shard block carries {len(data) - offset} trailing byte(s)")
+    lengths = {len(array) for array in arrays.values()}
+    if len(lengths) > 1:
+        raise StoreError(
+            f"shard block column lengths disagree: {sorted(lengths)}")
+    row_count = lengths.pop() if lengths else 0
+    if header.get("row_count") != row_count:
+        raise StoreError(
+            f"shard block declares {header.get('row_count')!r} row(s) but "
+            f"carries {row_count}")
+    return ShardBlock(header=header, columns=arrays)
+
+
 class IncrementalShardMerge:
     """Streaming merge that accepts shard result documents in *completion*
     order — the live coordinator's ingestion path.
@@ -629,7 +846,8 @@ class IncrementalShardMerge:
             },
             chunk_rows=chunk_rows)
         self._next = 0
-        self._buffered: Dict[int, List[Mapping[str, object]]] = {}
+        self._buffered: Dict[int, Union[List[Mapping[str, object]],
+                                        Dict[str, np.ndarray]]] = {}
         self._merged: set = set()
         # Optional observability plane (repro.explore.metrics): a shared
         # MetricsRegistry and/or StructuredLog; the campaign label keeps
@@ -684,19 +902,53 @@ class IncrementalShardMerge:
         index = validate_shard_result(
             document, count=self._count, total_jobs=self._total_jobs,
             fingerprint=self._fingerprint, columns=self._columns)
+        return self._ingest(index, list(document["rows"]))
+
+    def add_shard_block(self, block: Union[ShardBlock, bytes, bytearray,
+                                           memoryview]) -> int:
+        """Validate and ingest one *binary columnar* shard result.
+
+        The protocol-v2 completion path: accepts a :class:`ShardBlock` (or
+        the raw :func:`encode_shard_block` bytes, decoded here) and buffers
+        its typed column arrays directly — the rows never exist as Python
+        dicts on the coordinator.  Validation is the same
+        :func:`~repro.explore.distrib.validate_shard_result` the JSON path
+        runs, applied to the decoded header with the decoded array length
+        standing in for ``len(rows)``.  Structural decode errors surface as
+        :class:`~repro.explore.distrib.MergeError` like any other invalid
+        completion.
+        """
+        if isinstance(block, (bytes, bytearray, memoryview)):
+            try:
+                block = decode_shard_block(block)
+            except StoreError as error:
+                raise MergeError(str(error))
+        index = validate_shard_result(
+            block.header, count=self._count, total_jobs=self._total_jobs,
+            fingerprint=self._fingerprint, columns=self._columns,
+            actual_rows=block.row_count)
+        return self._ingest(index, dict(block.columns))
+
+    def _ingest(self, index: int,
+                entry: Union[List[Mapping[str, object]],
+                             Dict[str, np.ndarray]]) -> int:
         if index in self._merged:
             raise MergeError(f"shard {index} was already merged "
                              f"(double completion)")
         self._merged.add(index)
-        self._buffered[index] = list(document["rows"])
+        self._buffered[index] = entry
         # Drain the in-order prefix: everything contiguous from _next flows
         # straight into typed column chunks and is dropped from memory.
         drained_rows = 0
         drained_shards = 0
         while self._next in self._buffered:
-            rows = self._buffered.pop(self._next)
-            _append_shard_rows(self._store, self._columns, rows)
-            drained_rows += len(rows)
+            pending = self._buffered.pop(self._next)
+            if isinstance(pending, dict):
+                self._store.append_columns(pending)
+                drained_rows += len(pending[self._columns[0]])
+            else:
+                _append_shard_rows(self._store, self._columns, pending)
+                drained_rows += len(pending)
             drained_shards += 1
             self._next += 1
         if self._m_rows is not None:

@@ -7,10 +7,14 @@ artifacts bitwise identical to monolithic ones), posts the deterministic
 shard document back, and repeats.  All scheduling intelligence — fairness,
 stealing, merge order — lives in the coordinator.
 
-Two client flavours plug into the same loop:
+Three client flavours plug into the same loop:
 
-* :class:`~repro.explore.coordinator.CoordinatorClient` — the TCP wire
-  client; used by the ``work`` CLI subcommand.
+* :class:`~repro.explore.coordinator.CoordinatorSession` — the protocol-v2
+  framed-session client (persistent socket, batched ops, binary columnar
+  completions); the default for the ``work`` CLI subcommand.
+* :class:`~repro.explore.coordinator.CoordinatorClient` — the legacy v1
+  connection-per-op JSONL client, kept as a compatibility shim
+  (``work --protocol v1``).
 * :class:`InProcessClient` — direct method calls against a
   :class:`~repro.explore.coordinator.Coordinator`; the deterministic test
   seam (no sockets, no threads unless the test asks for them).
@@ -20,13 +24,21 @@ While a span executes, an optional daemon thread heartbeats the lease so a
 with ``live=False`` means the coordinator already stole the lease; the
 loop notes it and keeps going — its eventual completion is acknowledged as
 stale and merged by nobody, preserving exactly-once ingestion.
+
+With ``prefetch > 1`` (and a client that supports batched leasing) the
+worker leases up to N spans per round trip and a single daemon thread
+coalesces heartbeats for *all* held leases into one frame, shipping the
+worker's cumulative heartbeat-RTT histogram snapshot along for coordinator
+-side aggregation.  With ``reconnect_tries > 0`` a transient connection
+error triggers bounded exponential backoff instead of an immediate exit;
+leases are abandoned only once the budget is exhausted.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Dict, Mapping, Optional, Sequence
+from typing import Callable, Dict, Mapping, Optional, Sequence, Set
 
 from repro.explore.coordinator import Coordinator
 from repro.explore.distrib import CampaignShard, run_shard
@@ -54,8 +66,26 @@ class InProcessClient:
                 "heartbeat_seconds": self._coordinator._lease_timeout / 3.0,
                 "shard": shard.as_document()}
 
+    def request_leases(self, worker: str, count: int) -> Dict[str, object]:
+        granted = self._coordinator.request_leases(worker, count)
+        if not granted and self._coordinator.draining:
+            return {"ok": True, "shutdown": True}
+        return {"ok": True,
+                "heartbeat_seconds": self._coordinator._lease_timeout / 3.0,
+                "leases": [{"lease": lease.as_document(),
+                            "shard": shard.as_document()}
+                           for lease, shard in granted]}
+
     def heartbeat(self, lease_id: int) -> bool:
         return self._coordinator.heartbeat(lease_id)
+
+    def heartbeat_many(self, lease_ids: Sequence[int],
+                       worker: Optional[str] = None,
+                       rtt: Optional[Mapping[str, object]] = None,
+                       ) -> Dict[int, bool]:
+        if rtt is not None and worker:
+            self._coordinator.record_worker_rtt(worker, rtt)
+        return self._coordinator.heartbeat_many(list(lease_ids))
 
     def complete(self, lease_id: int,
                  document: Mapping[str, object]) -> bool:
@@ -90,6 +120,9 @@ class CampaignWorker:
                  poll_interval: float = 0.5,
                  max_idle_polls: Optional[int] = None,
                  heartbeat_interval: Optional[float] = None,
+                 prefetch: int = 1,
+                 reconnect_tries: int = 0,
+                 reconnect_backoff: float = 0.5,
                  sleep: Callable[[float], None] = time.sleep,
                  executor: Callable[[CampaignShard],
                                     Mapping[str, object]] = _default_executor,
@@ -103,6 +136,9 @@ class CampaignWorker:
         self.poll_interval = poll_interval
         self.max_idle_polls = max_idle_polls
         self.heartbeat_interval = heartbeat_interval
+        self.prefetch = max(1, int(prefetch))
+        self.reconnect_tries = max(0, int(reconnect_tries))
+        self.reconnect_backoff = max(0.0, float(reconnect_backoff))
         self._sleep = sleep
         self._executor = executor
         self._should_run = should_run
@@ -112,6 +148,8 @@ class CampaignWorker:
         self.stats: Dict[str, int] = {
             "leases": 0, "completed": 0, "stale": 0, "idle_polls": 0,
         }
+        if self.reconnect_tries > 0:
+            self.stats["reconnects"] = 0
         # Worker-side observability: its own registry (the coordinator's
         # lives in another process), dominated by the heartbeat RTT
         # histogram — the one latency only the worker can measure.
@@ -148,6 +186,35 @@ class CampaignWorker:
                 # completion attempt will surface the failure.
                 return
 
+    def _coalesced_heartbeat_loop(self, held: Set[int],
+                                  held_lock: threading.Lock,
+                                  interval: float,
+                                  stop: threading.Event) -> None:
+        """One frame per beat for *all* held leases, RTT snapshot included.
+
+        The snapshot is cumulative, so retransmits are idempotent — the
+        coordinator merges only the delta since the last one it saw."""
+        while not stop.wait(interval):
+            with held_lock:
+                lease_ids = sorted(held)
+            if not lease_ids:
+                continue
+            try:
+                sent = self._clock()
+                live = self.client.heartbeat_many(
+                    lease_ids, worker=self.worker_id,
+                    rtt=self._m_rtt.snapshot())
+                self._m_rtt.observe(self._clock() - sent)
+            except (OSError, ValueError):
+                return
+            stolen = [lease_id for lease_id, alive in live.items()
+                      if not alive]
+            if stolen:
+                with held_lock:
+                    held.difference_update(stolen)
+                self._report(f"lease(s) {stolen} were stolen; "
+                             "finishing anyway")
+
     def run_one(self) -> bool:
         """Lease and execute one span.  False when no work was granted."""
         response = self.client.request_lease(self.worker_id)
@@ -181,6 +248,11 @@ class CampaignWorker:
             stop.set()
             if beat is not None:
                 beat.join(timeout=5.0)
+        self._complete_span(lease, lease_id, document)
+        return True
+
+    def _complete_span(self, lease: Mapping[str, object], lease_id: int,
+                       document: Mapping[str, object]) -> None:
         if self.client.complete(lease_id, document):
             self.stats["completed"] += 1
             self._m_spans.inc(outcome="accepted")
@@ -198,23 +270,90 @@ class CampaignWorker:
             self._emit("worker-complete", campaign=lease["campaign_id"],
                        span=lease["shard_index"], lease=lease_id,
                        accepted=False)
+
+    def run_batch(self) -> bool:
+        """Lease up to ``prefetch`` spans in one round trip, execute them
+        back to back under a single coalesced heartbeat thread.  False when
+        no work was granted."""
+        response = self.client.request_leases(self.worker_id, self.prefetch)
+        if response.get("shutdown"):
+            raise StopIteration
+        entries = response.get("leases") or []
+        if not entries:
+            return False
+        held: Set[int] = set()
+        held_lock = threading.Lock()
+        spans = []
+        for entry in entries:
+            lease = entry["lease"]
+            lease_id = int(lease["lease_id"])
+            shard = CampaignShard.from_document(entry["shard"])
+            self.stats["leases"] += 1
+            self._report(f"leased span {lease['campaign_id']}/"
+                         f"{lease['shard_index']} "
+                         f"({len(shard.jobs)} job(s))")
+            self._emit("worker-lease", campaign=lease["campaign_id"],
+                       span=lease["shard_index"], lease=lease_id,
+                       jobs=len(shard.jobs))
+            held.add(lease_id)
+            spans.append((lease, lease_id, shard))
+        interval = self.heartbeat_interval
+        if interval is None:
+            interval = float(response.get("heartbeat_seconds") or 0) or None
+        stop = threading.Event()
+        beat: Optional[threading.Thread] = None
+        if interval is not None and interval > 0 \
+                and hasattr(self.client, "heartbeat_many"):
+            beat = threading.Thread(
+                target=self._coalesced_heartbeat_loop,
+                args=(held, held_lock, interval, stop), daemon=True)
+            beat.start()
+        try:
+            for lease, lease_id, shard in spans:
+                document = self._executor(shard)
+                self._complete_span(lease, lease_id, document)
+                with held_lock:
+                    held.discard(lease_id)
+        finally:
+            stop.set()
+            if beat is not None:
+                beat.join(timeout=5.0)
         return True
 
     def run(self) -> Dict[str, int]:
         """Loop until the coordinator drains, idle polls run out, or
         ``should_run`` turns false.  Returns the stats counters."""
         idle = 0
+        failures = 0
+        batched = self.prefetch > 1 \
+            and hasattr(self.client, "request_leases")
         while self._should_run is None or self._should_run():
             try:
-                worked = self.run_one()
+                worked = self.run_batch() if batched else self.run_one()
             except StopIteration:
                 self._report("coordinator is draining; exiting")
                 self._emit("worker-exit", reason="draining")
                 break
             except ConnectionError:
-                self._report("coordinator unreachable; exiting")
-                self._emit("worker-exit", reason="unreachable")
-                break
+                failures += 1
+                if failures > self.reconnect_tries:
+                    self._report("coordinator unreachable; exiting")
+                    self._emit("worker-exit", reason="unreachable")
+                    break
+                delay = self.reconnect_backoff * (2 ** (failures - 1))
+                self.stats["reconnects"] += 1
+                self._report(f"coordinator unreachable; retry "
+                             f"{failures}/{self.reconnect_tries} "
+                             f"in {delay:g}s")
+                self._emit("worker-reconnect", attempt=failures,
+                           budget=self.reconnect_tries,
+                           delay_seconds=round(delay, 6))
+                self._sleep(delay)
+                reconnect = getattr(self.client, "reconnect", None)
+                if reconnect is not None:
+                    reconnect()
+                continue
+            failures = 0
             if worked:
                 idle = 0
                 continue

@@ -1,0 +1,552 @@
+"""Protocol v2: framed sessions, batched ops, binary columnar payloads.
+
+Four layers of evidence that the fast data plane is also a *correct* one:
+
+* property suites — hypothesis round-trips arbitrary frames through the
+  frame codec and arbitrary typed documents through the shard-block codec,
+  and shows every truncation/corruption is rejected with a clear error,
+  never half-decoded;
+* wire regressions — a live server answers malformed/oversized frames and
+  preambles with structured ``{"ok": false}`` errors plus a
+  ``coordinator_protocol_errors_total`` tick instead of silently dropping
+  the connection, and a framed session survives its own bad frame;
+* batching semantics — multi-span leases, coalesced heartbeats, and the
+  delta-merged per-worker RTT histograms in the coordinator registry;
+* differentials — columnar-payload campaigns over real sockets are
+  byte-identical to JSON-payload ones and to the monolithic run at 1/2/4
+  workers with one worker killed mid-lease, and a partitioned worker
+  reconnects with bounded exponential backoff instead of abandoning work.
+"""
+
+import io
+import json
+import socket
+import struct
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore.campaign import campaign_from_axes
+from repro.explore.coordinator import (
+    FRAME_KIND_BLOCK,
+    FRAME_KIND_JSON,
+    MAX_FRAME_BYTES,
+    PROTOCOL_MAGIC,
+    Coordinator,
+    CoordinatorClient,
+    CoordinatorError,
+    CoordinatorServer,
+    CoordinatorSession,
+    FrameError,
+    decode_block_payload,
+    encode_block_frame,
+    encode_frame,
+    encode_json_frame,
+    read_frame,
+)
+from repro.explore.distrib import job_to_dict, plan_shards
+from repro.explore.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.explore.scenarios import ScenarioSpec
+from repro.explore.store import (
+    StoreError,
+    decode_shard_block,
+    encode_shard_block,
+)
+from repro.explore.worker import CampaignWorker, InProcessClient
+from tests.explore.conftest import FlakyClient
+from tests.explore.test_coordinator import (
+    fake_jobs,
+    scripted_executor,
+    submit_fake,
+)
+
+
+# -- hypothesis: frame codec round trips -------------------------------------
+
+frame_kinds = st.integers(min_value=0, max_value=255)
+payloads = st.binary(max_size=4096)
+
+
+class TestFrameCodec:
+    @settings(max_examples=100, deadline=None)
+    @given(kind=frame_kinds, payload=payloads)
+    def test_round_trip(self, kind, payload):
+        reader = io.BytesIO(encode_frame(kind, payload))
+        assert read_frame(reader) == (kind, payload)
+        assert read_frame(reader) is None  # clean EOF after the frame
+
+    @settings(max_examples=100, deadline=None)
+    @given(kind=frame_kinds, payload=st.binary(min_size=1, max_size=512),
+           data=st.data())
+    def test_any_truncation_is_detected(self, kind, payload, data):
+        encoded = encode_frame(kind, payload)
+        cut = data.draw(st.integers(min_value=1, max_value=len(encoded) - 1))
+        with pytest.raises(FrameError, match="mid-frame|truncated"):
+            read_frame(io.BytesIO(encoded[:cut]))
+
+    def test_oversized_length_prefix_rejected_without_reading_it(self):
+        header = struct.pack(">IB", MAX_FRAME_BYTES + 1, FRAME_KIND_JSON)
+        with pytest.raises(FrameError, match="exceeds"):
+            read_frame(io.BytesIO(header))
+        with pytest.raises(FrameError, match="exceeds"):
+            encode_frame(FRAME_KIND_JSON, b"x" * (MAX_FRAME_BYTES + 1))
+
+    @settings(max_examples=50, deadline=None)
+    @given(meta=st.dictionaries(
+        st.text(min_size=1, max_size=10),
+        st.one_of(st.integers(min_value=-10**9, max_value=10**9),
+                  st.text(max_size=20), st.booleans()),
+        max_size=5),
+        block=st.binary(max_size=2048))
+    def test_block_frame_round_trip(self, meta, block):
+        frame = encode_block_frame(meta, block)
+        read = read_frame(io.BytesIO(frame))
+        assert read is not None and read[0] == FRAME_KIND_BLOCK
+        decoded_meta, decoded_block = decode_block_payload(read[1])
+        assert decoded_meta == meta
+        assert decoded_block == block
+
+    def test_block_payload_defects_are_named(self):
+        with pytest.raises(FrameError, match="truncated"):
+            decode_block_payload(b"\x00\x00")
+        with pytest.raises(FrameError, match="truncated"):
+            decode_block_payload(struct.pack(">I", 10) + b"{}")
+        bad_json = struct.pack(">I", 3) + b"nop"
+        with pytest.raises(FrameError, match="malformed"):
+            decode_block_payload(bad_json)
+        not_object = json.dumps([1]).encode()
+        with pytest.raises(FrameError, match="not a JSON object"):
+            decode_block_payload(
+                struct.pack(">I", len(not_object)) + not_object)
+
+
+# -- hypothesis: shard-block codec round trips --------------------------------
+
+column_names = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1, max_size=8)
+
+scalar_strategies = {
+    "int": st.integers(min_value=-2**53, max_value=2**53),
+    "float": st.floats(allow_nan=False, allow_infinity=False, width=64),
+    "bool": st.booleans(),
+    # Trailing NULs are rejected by the encoder (numpy's fixed-width
+    # unicode would drop them silently); the reject path has its own test.
+    "str": st.text(max_size=12).filter(lambda s: not s.endswith("\x00")),
+}
+
+
+@st.composite
+def shard_documents(draw):
+    """An arbitrary shard-result-shaped document: unique column names, one
+    scalar dtype per column, 1..16 rows."""
+    names = draw(st.lists(column_names, min_size=1, max_size=5, unique=True))
+    kinds = [draw(st.sampled_from(sorted(scalar_strategies)))
+             for _ in names]
+    row_count = draw(st.integers(min_value=1, max_value=16))
+    rows = [
+        {name: draw(scalar_strategies[kind])
+         for name, kind in zip(names, kinds)}
+        for _ in range(row_count)
+    ]
+    return {
+        "schema_version": 1,
+        "shard": {"index": draw(st.integers(0, 7)), "count": 8},
+        "columns": names,
+        "row_count": row_count,
+        "rows": rows,
+    }
+
+
+class TestShardBlockCodec:
+    @settings(max_examples=80, deadline=None)
+    @given(document=shard_documents())
+    def test_round_trip_is_json_identical(self, document):
+        block = decode_shard_block(encode_shard_block(document))
+        assert block.row_count == document["row_count"]
+        assert json.dumps(block.document(), sort_keys=False) == \
+            json.dumps(document, sort_keys=False)
+
+    @settings(max_examples=60, deadline=None)
+    @given(document=shard_documents(), data=st.data())
+    def test_any_truncation_is_rejected(self, document, data):
+        encoded = encode_shard_block(document)
+        cut = data.draw(st.integers(min_value=0, max_value=len(encoded) - 1))
+        with pytest.raises(StoreError):
+            decode_shard_block(encoded[:cut])
+
+    @settings(max_examples=60, deadline=None)
+    @given(document=shard_documents(), data=st.data())
+    def test_corrupt_archive_bytes_are_rejected(self, document, data):
+        encoded = bytearray(encode_shard_block(document))
+        header_len = struct.unpack_from(">I", encoded, 4)[0]
+        archive_start = 4 + 4 + header_len
+        # Corrupt the npz central directory: zero out a tail byte.
+        position = data.draw(st.integers(min_value=len(encoded) - 16,
+                                         max_value=len(encoded) - 1))
+        if encoded[position] == 0:
+            encoded[position] = 0xFF
+        else:
+            encoded[position] = 0
+        assert position >= archive_start  # the tail is inside the archive
+        try:
+            block = decode_shard_block(bytes(encoded))
+        except StoreError:
+            return  # rejected with a clear error — the expected outcome
+        # A flipped byte the zip reader tolerates must still decode to the
+        # identical arrays; silent corruption is the one forbidden outcome.
+        assert json.dumps(block.document(), sort_keys=False) == \
+            json.dumps(document, sort_keys=False)
+
+    def test_defects_are_named(self):
+        document = scripted_executor(plan_shards(fake_jobs(4), 2)[0])
+        encoded = encode_shard_block(document)
+        with pytest.raises(StoreError, match="bad magic"):
+            decode_shard_block(b"XXXX" + encoded[4:])
+        with pytest.raises(StoreError, match="no row list"):
+            encode_shard_block({"columns": ["a"]})
+        with pytest.raises(StoreError, match="declares no columns"):
+            encode_shard_block({"columns": [], "rows": []})
+        with pytest.raises(StoreError, match="missing column"):
+            encode_shard_block({"columns": ["a", "b"], "rows": [{"a": 1}]})
+        with pytest.raises(StoreError, match="NUL-terminated"):
+            encode_shard_block({"columns": ["name"], "row_count": 1,
+                                "rows": [{"name": "lossy\x00"}]})
+        # A lying row_count in the header is caught against the arrays.
+        tampered = dict(document)
+        tampered["row_count"] = document["row_count"] + 1
+        lying = encode_shard_block({**tampered,
+                                    "rows": document["rows"]})
+        with pytest.raises(StoreError, match="declares"):
+            decode_shard_block(lying)
+
+
+# -- wire regressions: protocol errors are answered, not dropped -------------
+
+@pytest.fixture
+def live_server():
+    coordinator = Coordinator(lease_timeout=600.0)
+    server = CoordinatorServer(coordinator)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    yield coordinator, server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5.0)
+    coordinator.close()
+
+
+def raw_connect(server):
+    connection = socket.create_connection(("127.0.0.1", server.port),
+                                          timeout=10.0)
+    return connection
+
+
+class TestProtocolErrors:
+    def expect_error_line(self, connection, match):
+        with connection.makefile("rb") as reader:
+            line = reader.readline()
+        response = json.loads(line)
+        assert response["ok"] is False
+        assert match in response["error"]
+        return response
+
+    def test_unknown_preamble_gets_structured_answer(self, live_server):
+        coordinator, server = live_server
+        with raw_connect(server) as connection:
+            connection.sendall(b"GET / HTTP/1.1\r\n\r\n")
+            connection.shutdown(socket.SHUT_WR)
+            self.expect_error_line(connection, "unrecognized protocol")
+        assert coordinator.status()["protocol_errors"] == 1
+
+    def test_malformed_v1_json_gets_structured_answer(self, live_server):
+        coordinator, server = live_server
+        with raw_connect(server) as connection:
+            connection.sendall(b'{"op": not-json\n')
+            self.expect_error_line(connection, "malformed JSON")
+        assert coordinator.status()["protocol_errors"] == 1
+
+    def test_oversized_frame_is_answered_then_closed(self, live_server):
+        coordinator, server = live_server
+        with raw_connect(server) as connection:
+            connection.sendall(PROTOCOL_MAGIC)
+            connection.sendall(struct.pack(">IB", MAX_FRAME_BYTES + 1,
+                                           FRAME_KIND_JSON))
+            with connection.makefile("rb") as reader:
+                frame = read_frame(reader)
+                assert frame is not None
+                response = json.loads(frame[1])
+                assert response["ok"] is False
+                assert "exceeds" in response["error"]
+                # Framing is unrecoverable: the server closes the session.
+                assert reader.read(1) == b""
+        assert coordinator.status()["protocol_errors"] == 1
+
+    def test_session_survives_a_malformed_json_frame(self, live_server):
+        coordinator, server = live_server
+        with raw_connect(server) as connection:
+            connection.sendall(PROTOCOL_MAGIC)
+            connection.sendall(encode_frame(FRAME_KIND_JSON, b"not json"))
+            with connection.makefile("rb") as reader:
+                frame = read_frame(reader)
+                response = json.loads(frame[1])
+                assert response["ok"] is False
+                assert "malformed JSON frame" in response["error"]
+                # Same socket, next frame: the session is still alive.
+                connection.sendall(encode_json_frame({"op": "status"}))
+                frame = read_frame(reader)
+                response = json.loads(frame[1])
+                assert response["ok"] is True
+        status = response["status"]
+        assert status["protocol_errors"] == 1
+
+    def test_unknown_frame_kind_is_answered_and_survivable(self, live_server):
+        coordinator, server = live_server
+        with raw_connect(server) as connection:
+            connection.sendall(PROTOCOL_MAGIC)
+            connection.sendall(encode_frame(0x7F, b"??"))
+            with connection.makefile("rb") as reader:
+                response = json.loads(read_frame(reader)[1])
+                assert response["ok"] is False
+                assert "unknown frame kind" in response["error"]
+                connection.sendall(encode_json_frame({"op": "status"}))
+                assert json.loads(read_frame(reader)[1])["ok"] is True
+        assert coordinator.status()["protocol_errors"] == 1
+
+    def test_protocol_errors_total_reaches_the_exporter(self, live_server):
+        coordinator, server = live_server
+        with raw_connect(server) as connection:
+            connection.sendall(b"BOGUS")
+            connection.shutdown(socket.SHUT_WR)
+            connection.recv(4096)
+        rendered = coordinator.metrics.render()
+        assert "coordinator_protocol_errors_total 1" in rendered
+
+
+# -- batching: multi-span leases, coalesced heartbeats, RTT aggregation ------
+
+class TestBatchedOps:
+    def test_request_leases_grants_up_to_count(self, tmp_path):
+        coordinator = Coordinator(lease_timeout=60.0)
+        submit_fake(coordinator, tmp_path, 10, 4)
+        try:
+            granted = coordinator.request_leases("w0", 3)
+            assert len(granted) == 3
+            assert [shard.index for _, shard in granted] == [0, 1, 2]
+            granted = coordinator.request_leases("w0", 3)
+            assert len(granted) == 1  # only one span left
+            assert coordinator.request_leases("w0", 3) == []
+        finally:
+            coordinator.close()
+
+    def test_heartbeat_many_mixes_live_and_unknown(self, tmp_path):
+        coordinator = Coordinator(lease_timeout=60.0)
+        submit_fake(coordinator, tmp_path, 10, 4)
+        try:
+            granted = coordinator.request_leases("w0", 2)
+            ids = [lease.lease_id for lease, _ in granted]
+            live = coordinator.heartbeat_many(ids + [999])
+            assert live == {ids[0]: True, ids[1]: True, 999: False}
+        finally:
+            coordinator.close()
+
+    def test_worker_rtt_histograms_delta_merge(self):
+        coordinator = Coordinator(lease_timeout=60.0)
+        try:
+            local = MetricsRegistry().histogram(
+                "worker_heartbeat_rtt_seconds", "t", LATENCY_BUCKETS)
+            local.observe(0.004)
+            local.observe(0.004)
+            coordinator.record_worker_rtt("w0", local.snapshot())
+            # A cumulative retransmit plus one new observation: only the
+            # delta lands.
+            local.observe(0.3)
+            coordinator.record_worker_rtt("w0", local.snapshot())
+            coordinator.record_worker_rtt("w0", local.snapshot())  # no-op
+            aggregated = coordinator.metrics.get(
+                "worker_heartbeat_rtt_seconds")
+            snapshot = aggregated.snapshot(worker="w0")
+            assert snapshot["count"] == 3
+            assert snapshot["sum"] == pytest.approx(0.308)
+        finally:
+            coordinator.close()
+
+    def test_worker_restart_resets_the_rtt_baseline(self):
+        coordinator = Coordinator(lease_timeout=60.0)
+        try:
+            local = MetricsRegistry().histogram(
+                "worker_heartbeat_rtt_seconds", "t", LATENCY_BUCKETS)
+            local.observe(0.004)
+            local.observe(0.004)
+            coordinator.record_worker_rtt("w0", local.snapshot())
+            fresh = MetricsRegistry().histogram(
+                "worker_heartbeat_rtt_seconds", "t", LATENCY_BUCKETS)
+            fresh.observe(0.004)  # non-monotone vs the last snapshot
+            coordinator.record_worker_rtt("w0", fresh.snapshot())
+            snapshot = coordinator.metrics.get(
+                "worker_heartbeat_rtt_seconds").snapshot(worker="w0")
+            assert snapshot["count"] == 3  # 2 + restarted worker's 1
+        finally:
+            coordinator.close()
+
+    def test_foreign_bucket_bounds_are_rejected(self):
+        coordinator = Coordinator(lease_timeout=60.0)
+        try:
+            with pytest.raises(CoordinatorError, match="bucket bounds"):
+                coordinator.record_worker_rtt(
+                    "w0", {"bounds": [1.0], "counts": [0, 0], "sum": 0.0,
+                           "count": 0})
+        finally:
+            coordinator.close()
+
+    def test_prefetch_worker_drains_in_batches(self, tmp_path):
+        coordinator = Coordinator(lease_timeout=60.0)
+        campaign_id, jobs, paths = submit_fake(coordinator, tmp_path, 12, 6)
+        try:
+            worker = CampaignWorker(
+                InProcessClient(coordinator), "batcher", max_idle_polls=1,
+                heartbeat_interval=0, prefetch=4,
+                executor=scripted_executor, sleep=lambda seconds: None)
+            stats = worker.run()
+            assert stats["completed"] == 6
+            assert coordinator.campaign_progress(campaign_id)["complete"]
+            assert paths["json"].read_bytes() == \
+                paths["mono_json"].read_bytes()
+        finally:
+            coordinator.close()
+
+
+# -- reconnect with bounded exponential backoff ------------------------------
+
+class TestWorkerReconnect:
+    def make_worker(self, coordinator, failures, tries, sleeps):
+        flaky = FlakyClient(InProcessClient(coordinator), failures=failures)
+        return flaky, CampaignWorker(
+            flaky, "flaky", max_idle_polls=1, heartbeat_interval=0,
+            reconnect_tries=tries, reconnect_backoff=0.5,
+            executor=scripted_executor, sleep=sleeps.append)
+
+    def test_transient_partition_is_survived(self, tmp_path):
+        coordinator = Coordinator(lease_timeout=60.0)
+        campaign_id, jobs, paths = submit_fake(coordinator, tmp_path, 8, 4)
+        sleeps = []
+        try:
+            flaky, worker = self.make_worker(coordinator, 2, 3, sleeps)
+            stats = worker.run()
+            assert stats["completed"] == 4
+            assert stats["reconnects"] == 2
+            # Exponential: 0.5, then 1.0 (reset on success would restart).
+            assert sleeps[:2] == [0.5, 1.0]
+            assert coordinator.campaign_progress(campaign_id)["complete"]
+            assert paths["json"].read_bytes() == \
+                paths["mono_json"].read_bytes()
+        finally:
+            coordinator.close()
+
+    def test_budget_exhaustion_abandons_the_leases(self, tmp_path):
+        coordinator = Coordinator(lease_timeout=60.0)
+        submit_fake(coordinator, tmp_path, 8, 4)
+        sleeps = []
+        try:
+            flaky, worker = self.make_worker(coordinator, 10, 2, sleeps)
+            stats = worker.run()
+            assert stats["completed"] == 0
+            assert stats["reconnects"] == 2
+            assert sleeps == [0.5, 1.0]
+        finally:
+            coordinator.close()
+
+    def test_default_budget_zero_exits_immediately(self, tmp_path):
+        """The historical contract: without opt-in, one connection error
+        still means an immediate, clean exit — and no 'reconnects' key."""
+        coordinator = Coordinator(lease_timeout=60.0)
+        submit_fake(coordinator, tmp_path, 8, 4)
+        try:
+            flaky = FlakyClient(InProcessClient(coordinator), failures=1)
+            worker = CampaignWorker(flaky, "fragile", max_idle_polls=1,
+                                    heartbeat_interval=0,
+                                    executor=scripted_executor,
+                                    sleep=lambda seconds: None)
+            stats = worker.run()
+            assert stats == {"leases": 0, "completed": 0, "stale": 0,
+                             "idle_polls": 0}
+        finally:
+            coordinator.close()
+
+
+# -- differential: columnar == JSON == monolithic over real sockets ----------
+
+AXES = {"core_count": [1, 2], "tam_width_bits": [16, 32]}
+BASE = ScenarioSpec(name="base", patterns_per_core=16, seed=3)
+
+
+@pytest.fixture(scope="module")
+def monolithic_reference(tmp_path_factory):
+    campaign = campaign_from_axes(AXES, base=BASE)
+    tmp_path = tmp_path_factory.mktemp("monolithic-v2")
+    run = campaign.run()
+    json_path = tmp_path / "mono.json"
+    csv_path = tmp_path / "mono.csv"
+    run.write_json(json_path, deterministic=True)
+    run.write_csv(csv_path, deterministic=True)
+    return {"jobs": campaign.jobs(), "json": json_path.read_bytes(),
+            "csv": csv_path.read_bytes()}
+
+
+class TestDifferentialColumnarPayloads:
+    @pytest.mark.parametrize("worker_count", [1, 2, 4])
+    def test_columnar_json_and_monolithic_agree_with_one_kill(
+            self, worker_count, tmp_path, monolithic_reference):
+        artifacts = {}
+        for payload in ("columnar", "json"):
+            coordinator = Coordinator(lease_timeout=0.5)
+            server = CoordinatorServer(coordinator)
+            thread = threading.Thread(target=server.serve_forever,
+                                      kwargs={"poll_interval": 0.05},
+                                      daemon=True)
+            thread.start()
+            json_path = tmp_path / f"{payload}.json"
+            csv_path = tmp_path / f"{payload}.csv"
+            try:
+                victim = CoordinatorSession(port=server.port)
+                submitter = CoordinatorClient(port=server.port)
+                submitter.submit(
+                    [job_to_dict(job)
+                     for job in monolithic_reference["jobs"]], 5,
+                    json_path=str(json_path), csv_path=str(csv_path))
+                # The victim takes one lease and is never heard from again;
+                # the survivors pick the span up after the lease times out.
+                granted = victim.request_lease("victim")
+                assert "lease" in granted
+                victim.close()
+                workers = [
+                    CampaignWorker(
+                        CoordinatorSession(port=server.port,
+                                           json_payloads=payload == "json",
+                                           block_min_rows=0),
+                        f"{payload}-w{index}", poll_interval=0.05,
+                        max_idle_polls=40, prefetch=2)
+                    for index in range(worker_count)
+                ]
+                threads = [threading.Thread(target=worker.run)
+                           for worker in workers]
+                for worker_thread in threads:
+                    worker_thread.start()
+                for worker_thread in threads:
+                    worker_thread.join(timeout=60.0)
+                status = submitter.status()
+                assert status["completed_spans"] == 5
+                assert status["steals"] == 1
+                artifacts[payload] = (json_path.read_bytes(),
+                                      csv_path.read_bytes())
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5.0)
+                coordinator.close()
+        assert artifacts["columnar"] == artifacts["json"]
+        assert artifacts["columnar"] == (monolithic_reference["json"],
+                                         monolithic_reference["csv"])
